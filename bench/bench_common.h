@@ -1,0 +1,48 @@
+// Shared helpers for the bench binaries: argument parsing (key=value
+// overrides), standard headers, and formatting shortcuts. Each bench prints
+// the rows/series of exactly one table or figure of the DARE paper.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+
+namespace dare::bench {
+
+/// Parse `key=value` CLI overrides into a Config.
+inline Config parse_args(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return Config::from_args(args);
+}
+
+/// Standard banner so bench outputs are self-describing in logs.
+inline void banner(const std::string& experiment,
+                   const std::string& paper_reference) {
+  std::cout << "==============================================================\n"
+            << experiment << '\n'
+            << "Reproduces: " << paper_reference << '\n'
+            << "==============================================================\n";
+}
+
+/// If the run was given `csv=<dir-or-prefix>`, also write `table` as
+/// `<prefix><name>.csv` so figure series can be re-plotted externally.
+inline void maybe_write_csv(const Config& cfg, const std::string& name,
+                            const AsciiTable& table) {
+  const std::string prefix = cfg.get_string("csv", "");
+  if (prefix.empty()) return;
+  const std::string path = prefix + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  table.to_csv(out);
+  std::cout << "[csv written: " << path << "]\n";
+}
+
+}  // namespace dare::bench

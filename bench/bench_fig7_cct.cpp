@@ -1,0 +1,128 @@
+// Figure 7 (a, b, c): data locality, normalized GMTT, and mean slowdown on
+// the dedicated 20-node CCT cluster, for FIFO and Fair schedulers, workloads
+// wl1 and wl2, and three replication configurations: vanilla Hadoop,
+// DARE/greedy-LRU, and DARE/ElephantTrap (p=0.3, threshold=1, budget=0.2).
+// Each cell is averaged over `seeds` independent replications (workload and
+// cluster seeds both vary).
+//
+// Overrides: jobs=<n> nodes=<n> seed=<n> seeds=<n>
+#include "bench_common.h"
+#include "cluster/experiment.h"
+
+namespace dare {
+namespace {
+
+using cluster::PolicyKind;
+using cluster::SchedulerKind;
+
+int run(const Config& cfg) {
+  const auto jobs = static_cast<std::size_t>(cfg.get_int("jobs", 500));
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 20));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const auto replications =
+      static_cast<std::size_t>(cfg.get_int("seeds", 3));
+
+  bench::banner("Fig. 7 — job performance in the 20-node CCT cluster",
+                "DARE (CLUSTER'11) Fig. 7a/7b/7c");
+
+  const std::vector<std::pair<SchedulerKind, std::string>> schedulers = {
+      {SchedulerKind::kFifo, "FIFO"}, {SchedulerKind::kFair, "Fair"}};
+  const std::vector<std::pair<PolicyKind, std::string>> policies = {
+      {PolicyKind::kVanilla, "Vanilla Hadoop"},
+      {PolicyKind::kGreedyLru, "DARE, LRU eviction"},
+      {PolicyKind::kElephantTrap, "DARE, ElephantTrap"}};
+
+  // One workload instance per (name, replication); generated up front so
+  // every policy/scheduler cell replays the identical job stream.
+  std::vector<std::vector<workload::Workload>> workloads(2);
+  for (std::size_t r = 0; r < replications; ++r) {
+    workloads[0].push_back(cluster::standard_wl1(nodes, jobs, seed + 10 * r));
+    workloads[1].push_back(
+        cluster::standard_wl2(nodes, jobs, seed + 10 * r + 1));
+  }
+
+  // Run the full 2x2x3xseeds grid in parallel.
+  std::vector<std::function<metrics::RunResult()>> runs;
+  for (std::size_t w = 0; w < 2; ++w) {
+    for (const auto& [sched, sched_name] : schedulers) {
+      for (const auto& [policy, policy_name] : policies) {
+        for (std::size_t r = 0; r < replications; ++r) {
+          const auto* wl_ptr = &workloads[w][r];
+          runs.push_back([=]() {
+            auto options = cluster::paper_defaults(
+                net::cct_profile(nodes), sched, policy, seed + 100 * r);
+            return cluster::run_once(options, *wl_ptr);
+          });
+        }
+      }
+    }
+  }
+  const auto results = cluster::run_parallel(runs);
+
+  // Seed-averaged aggregates per cell.
+  struct Cell {
+    double locality = 0.0;
+    double gmtt_s = 0.0;
+    double slowdown = 0.0;
+  };
+  std::vector<Cell> cells;
+  std::size_t idx = 0;
+  for (std::size_t cell = 0; cell < 2 * 2 * 3; ++cell) {
+    Cell c;
+    for (std::size_t r = 0; r < replications; ++r) {
+      c.locality += results[idx].locality;
+      c.gmtt_s += results[idx].gmtt_s;
+      c.slowdown += results[idx].mean_slowdown;
+      ++idx;
+    }
+    c.locality /= static_cast<double>(replications);
+    c.gmtt_s /= static_cast<double>(replications);
+    c.slowdown /= static_cast<double>(replications);
+    cells.push_back(c);
+  }
+
+  // Fig. 7a: data locality; 7b: GMTT normalized to vanilla; 7c: slowdown.
+  AsciiTable locality({"scheduler/workload", "vanilla", "dare-lru",
+                       "dare-elephanttrap"});
+  AsciiTable gmtt({"scheduler/workload", "vanilla", "dare-lru",
+                   "dare-elephanttrap", "(abs vanilla, s)"});
+  AsciiTable slowdown({"scheduler/workload", "vanilla", "dare-lru",
+                       "dare-elephanttrap"});
+
+  idx = 0;
+  for (const std::string wl_name : {"wl1", "wl2"}) {
+    for (const auto& [sched, sched_name] : schedulers) {
+      const auto& vanilla = cells[idx];
+      const auto& lru = cells[idx + 1];
+      const auto& trap = cells[idx + 2];
+      idx += 3;
+      const std::string row = sched_name + " (" + wl_name + ")";
+      locality.add_row({row, fmt_fixed(vanilla.locality, 3),
+                        fmt_fixed(lru.locality, 3),
+                        fmt_fixed(trap.locality, 3)});
+      gmtt.add_row({row, "1.000",
+                    fmt_fixed(lru.gmtt_s / vanilla.gmtt_s, 3),
+                    fmt_fixed(trap.gmtt_s / vanilla.gmtt_s, 3),
+                    fmt_fixed(vanilla.gmtt_s, 2)});
+      slowdown.add_row({row, fmt_fixed(vanilla.slowdown, 3),
+                        fmt_fixed(lru.slowdown, 3),
+                        fmt_fixed(trap.slowdown, 3)});
+    }
+  }
+  locality.print(std::cout, "\n(7a) Data locality of jobs (higher is better)");
+  gmtt.print(std::cout,
+             "\n(7b) Geometric mean turnaround time, normalized to vanilla "
+             "(lower is better)");
+  slowdown.print(std::cout, "\n(7c) Mean slowdown (lower is better)");
+  bench::maybe_write_csv(cfg, "fig7a_locality", locality);
+  bench::maybe_write_csv(cfg, "fig7b_gmtt", gmtt);
+  bench::maybe_write_csv(cfg, "fig7c_slowdown", slowdown);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dare
+
+int main(int argc, char** argv) {
+  return dare::run(dare::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,93 @@
+// Production-trace analytics (paper Section III): generate a Yahoo-style
+// HDFS audit trace and compute every statistic the paper derives from the
+// real logs — popularity-vs-rank, age-at-access CDF, and the burst-window
+// distributions — in one report.
+//
+// Usage: trace_analysis [files=N] [accesses=N] [seed=N]
+#include <cmath>
+#include <iostream>
+
+#include "analysis/trace_analysis.h"
+#include "common/config.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dare;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const Config cfg = Config::from_args(args);
+
+  workload::YahooTraceOptions opts;
+  opts.files = static_cast<std::size_t>(cfg.get_int("files", 1000));
+  opts.total_accesses =
+      static_cast<std::size_t>(cfg.get_int("accesses", 100000));
+  opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+
+  std::cout << "Generating a week-long audit trace: " << opts.files
+            << " files, ~" << opts.total_accesses << " accesses...\n\n";
+  const auto trace = workload::generate_yahoo_trace(opts);
+
+  // --- popularity ---------------------------------------------------------
+  const auto ranking = analysis::popularity_ranking(trace);
+  AsciiTable pop({"rank", "file", "accesses", "blocks"});
+  for (std::size_t r : {1u, 10u, 100u}) {
+    if (r > ranking.size()) break;
+    const auto& e = ranking[r - 1];
+    pop.add_row({std::to_string(r), std::to_string(e.file),
+                 std::to_string(e.accesses), std::to_string(e.blocks)});
+  }
+  pop.print(std::cout, "File popularity (top ranks)");
+  const double decades =
+      std::log10(static_cast<double>(ranking.front().accesses) /
+                 std::max<double>(1.0, static_cast<double>(
+                                           ranking.back().accesses)));
+  std::cout << "Popularity spans " << fmt_fixed(decades, 1)
+            << " decades — uniform replication cannot serve this.\n\n";
+
+  // --- temporal locality --------------------------------------------------
+  const auto age_cdf = analysis::age_at_access_cdf(trace);
+  std::cout << "Age at access: 50% of accesses within "
+            << fmt_fixed(age_cdf.quantile(0.5) / 3600.0, 1)
+            << " hours of file creation; "
+            << fmt_percent(age_cdf.fraction_at_or_below(24 * 3600.0))
+            << " within the first day.\n\n";
+
+  // --- burstiness ---------------------------------------------------------
+  analysis::WindowOptions wopts;
+  const auto windows = analysis::burst_window_distribution(trace, wopts);
+  double bursty = 0.0;
+  double daily = 0.0;
+  for (std::size_t w = 1; w < windows.fraction.size(); ++w) {
+    if (w <= 3) {
+      bursty += windows.fraction[w];
+    } else if (w >= 72) {
+      daily += windows.fraction[w];
+    }
+  }
+  std::cout << "Burst windows over the big files ("
+            << windows.files_considered << " files holding 80% of "
+            << "accesses):\n  " << fmt_percent(bursty)
+            << " concentrate 80% of their accesses within <= 3 hours;\n  "
+            << fmt_percent(daily)
+            << " are accessed daily and need multi-day windows.\n\n";
+
+  // --- concurrency (the hotspot problem) -----------------------------------
+  const auto concurrency =
+      analysis::peak_concurrency(trace, from_seconds(3600.0));
+  AsciiTable hot({"popularity rank", "accesses", "peak accesses in 1 hour"});
+  for (std::size_t r : {1u, 2u, 5u, 20u, 100u}) {
+    if (r > concurrency.size()) break;
+    const auto& e = concurrency[r - 1];
+    hot.add_row({std::to_string(r), std::to_string(e.accesses),
+                 std::to_string(e.peak_concurrency)});
+  }
+  hot.print(std::cout, "Peak hourly concurrency by popularity rank");
+  std::cout << "\nWith 3 static replicas, a file whose hourly burst exceeds "
+               "a few dozen accesses becomes a\nhotspot: its replica nodes "
+               "saturate. That is the replica *allocation* problem; how "
+               "DARE\nsolves it reactively is shown by examples/quickstart "
+               "and bench_fig7_cct.\n\n"
+            << "Consequence (the paper's motivation): popularity is both "
+               "skewed and short-lived, so replication\nmust adapt "
+               "continuously — which is precisely what DARE does.\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "analysis/trace_analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dare::analysis {
+
+namespace {
+
+std::unordered_map<FileId, std::size_t> count_accesses(
+    const workload::AccessTrace& trace) {
+  std::unordered_map<FileId, std::size_t> counts;
+  for (const auto& ev : trace.events) ++counts[ev.file];
+  return counts;
+}
+
+}  // namespace
+
+std::vector<PopularityEntry> popularity_ranking(
+    const workload::AccessTrace& trace) {
+  const auto counts = count_accesses(trace);
+  std::vector<PopularityEntry> entries;
+  entries.reserve(trace.files.size());
+  for (const auto& file : trace.files) {
+    const auto it = counts.find(file.id);
+    entries.push_back(PopularityEntry{
+        file.id, it == counts.end() ? 0 : it->second, file.blocks});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PopularityEntry& a, const PopularityEntry& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+std::vector<PopularityEntry> weighted_popularity_ranking(
+    const workload::AccessTrace& trace) {
+  auto entries = popularity_ranking(trace);
+  std::sort(entries.begin(), entries.end(),
+            [](const PopularityEntry& a, const PopularityEntry& b) {
+              if (a.weighted() != b.weighted()) {
+                return a.weighted() > b.weighted();
+              }
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+EmpiricalCdf age_at_access_cdf(const workload::AccessTrace& trace) {
+  std::unordered_map<FileId, SimTime> created;
+  created.reserve(trace.files.size());
+  for (const auto& file : trace.files) created[file.id] = file.created;
+  EmpiricalCdf cdf;
+  for (const auto& ev : trace.events) {
+    const auto it = created.find(ev.file);
+    if (it == created.end()) {
+      throw std::invalid_argument("trace event references unknown file");
+    }
+    cdf.add(to_seconds(ev.time - it->second));
+  }
+  return cdf;
+}
+
+std::size_t minimal_window_slots(const std::vector<SimTime>& times,
+                                 SimDuration slot, double coverage) {
+  if (times.empty()) return 0;
+  if (slot <= 0) throw std::invalid_argument("minimal_window_slots: slot<=0");
+  // Bucket into slots relative to the first access.
+  const SimTime t0 = times.front();
+  std::unordered_map<std::int64_t, std::size_t> buckets;
+  std::int64_t max_bucket = 0;
+  for (SimTime t : times) {
+    const std::int64_t b = (t - t0) / slot;
+    ++buckets[b];
+    max_bucket = std::max(max_bucket, b);
+  }
+  const auto n_slots = static_cast<std::size_t>(max_bucket) + 1;
+  std::vector<std::size_t> counts(n_slots, 0);
+  for (const auto& [b, c] : buckets) {
+    counts[static_cast<std::size_t>(b)] = c;
+  }
+  const auto needed = static_cast<std::size_t>(
+      std::max<double>(1.0, coverage * static_cast<double>(times.size())));
+  // Prefix sums + two pointers: smallest window with sum >= needed.
+  std::size_t best = n_slots;
+  std::size_t left = 0;
+  std::size_t sum = 0;
+  for (std::size_t right = 0; right < n_slots; ++right) {
+    sum += counts[right];
+    while (sum - counts[left] >= needed && left < right) {
+      sum -= counts[left];
+      ++left;
+    }
+    if (sum >= needed) best = std::min(best, right - left + 1);
+  }
+  return best;
+}
+
+std::size_t max_in_window(const std::vector<SimTime>& times,
+                          SimDuration window) {
+  if (times.empty()) return 0;
+  if (window <= 0) throw std::invalid_argument("max_in_window: window<=0");
+  std::size_t best = 1;
+  std::size_t left = 0;
+  for (std::size_t right = 0; right < times.size(); ++right) {
+    while (times[right] - times[left] >= window) ++left;
+    best = std::max(best, right - left + 1);
+  }
+  return best;
+}
+
+std::vector<ConcurrencyEntry> peak_concurrency(
+    const workload::AccessTrace& trace, SimDuration window) {
+  std::unordered_map<FileId, std::vector<SimTime>> per_file;
+  for (const auto& ev : trace.events) per_file[ev.file].push_back(ev.time);
+
+  std::vector<ConcurrencyEntry> entries;
+  entries.reserve(per_file.size());
+  for (auto& [file, times] : per_file) {
+    std::sort(times.begin(), times.end());
+    entries.push_back(
+        ConcurrencyEntry{file, times.size(), max_in_window(times, window)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ConcurrencyEntry& a, const ConcurrencyEntry& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+WindowDistribution burst_window_distribution(
+    const workload::AccessTrace& trace, const WindowOptions& options) {
+  // Collect per-file access times inside the requested interval.
+  std::unordered_map<FileId, std::vector<SimTime>> per_file;
+  for (const auto& ev : trace.events) {
+    if (options.begin && ev.time < *options.begin) continue;
+    if (options.end && ev.time >= *options.end) continue;
+    per_file[ev.file].push_back(ev.time);
+  }
+
+  // "Big files": the most popular files jointly holding big_file_fraction of
+  // all in-interval accesses.
+  std::vector<std::pair<FileId, std::size_t>> ranked;
+  std::size_t total_accesses = 0;
+  for (const auto& [file, times] : per_file) {
+    ranked.emplace_back(file, times.size());
+    total_accesses += times.size();
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<FileId> big;
+  std::size_t cum = 0;
+  for (const auto& [file, count] : ranked) {
+    if (total_accesses > 0 &&
+        static_cast<double>(cum) >=
+            options.big_file_fraction * static_cast<double>(total_accesses)) {
+      break;
+    }
+    big.push_back(file);
+    cum += count;
+  }
+
+  // Distribution of minimal windows.
+  std::unordered_map<std::size_t, double> weight_at_window;
+  double total_weight = 0.0;
+  std::size_t max_window = 0;
+  for (FileId file : big) {
+    auto& times = per_file[file];
+    std::sort(times.begin(), times.end());
+    const std::size_t w =
+        minimal_window_slots(times, options.slot, options.coverage);
+    if (w == 0) continue;
+    const double weight = options.weight_by_accesses
+                              ? static_cast<double>(times.size())
+                              : 1.0;
+    weight_at_window[w] += weight;
+    total_weight += weight;
+    max_window = std::max(max_window, w);
+  }
+
+  WindowDistribution dist;
+  dist.files_considered = big.size();
+  dist.fraction.assign(max_window + 1, 0.0);
+  if (total_weight > 0.0) {
+    for (const auto& [w, wt] : weight_at_window) {
+      dist.fraction[w] = wt / total_weight;
+    }
+  }
+  return dist;
+}
+
+}  // namespace dare::analysis

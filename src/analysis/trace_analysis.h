@@ -1,0 +1,88 @@
+// Access-pattern analytics reproducing Section III of the paper.
+//
+// All functions are pure over an AccessTrace, so they work equally on the
+// synthetic Yahoo-style trace and on any converted real audit log.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "workload/yahoo_trace.h"
+
+namespace dare::analysis {
+
+/// One row of the Fig. 2 popularity plot.
+struct PopularityEntry {
+  FileId file = kInvalidFile;
+  std::size_t accesses = 0;
+  std::size_t blocks = 1;
+  /// accesses weighted by the number of blocks in the file.
+  std::size_t weighted() const { return accesses * blocks; }
+};
+
+/// Files ranked by access count, descending (rank 1 = most popular).
+std::vector<PopularityEntry> popularity_ranking(
+    const workload::AccessTrace& trace);
+
+/// Same entries re-sorted by block-weighted popularity, descending.
+std::vector<PopularityEntry> weighted_popularity_ranking(
+    const workload::AccessTrace& trace);
+
+/// Fig. 3: CDF of file age (seconds) at the time of each access.
+EmpiricalCdf age_at_access_cdf(const workload::AccessTrace& trace);
+
+/// Options for the Fig. 4/5 burst-window analysis.
+struct WindowOptions {
+  SimDuration slot = from_seconds(3600);  ///< one-hour slots
+  double coverage = 0.8;                  ///< fraction of accesses to cover
+  /// Restrict to accesses inside [begin, end) (Fig. 5: one day); nullopt =
+  /// whole trace (Fig. 4).
+  std::optional<SimTime> begin;
+  std::optional<SimTime> end;
+  /// Only consider the most-popular files jointly holding this fraction of
+  /// all accesses ("big files" in the paper's captions).
+  double big_file_fraction = 0.8;
+  /// Weight each file by its access count instead of equally (the (b)
+  /// subfigures).
+  bool weight_by_accesses = false;
+};
+
+/// Result: distribution of minimal-window sizes over files.
+struct WindowDistribution {
+  /// fraction[w] = (weighted) fraction of files whose smallest window of
+  /// consecutive slots covering `coverage` of their accesses has size w
+  /// (w in slots; index 0 unused).
+  std::vector<double> fraction;
+  std::size_t files_considered = 0;
+};
+
+WindowDistribution burst_window_distribution(
+    const workload::AccessTrace& trace, const WindowOptions& options);
+
+/// Smallest number of consecutive `slot`-sized windows containing at least
+/// `coverage` of the given sorted access times. Exposed for testing.
+std::size_t minimal_window_slots(const std::vector<SimTime>& times,
+                                 SimDuration slot, double coverage);
+
+/// Per-file access concurrency: the maximum number of accesses to one file
+/// starting within any window of length `window` — the quantity Scarlett
+/// sizes replica counts from, and what makes a "hotspot" hot. Returned in
+/// popularity-rank order (most accessed file first).
+struct ConcurrencyEntry {
+  FileId file = kInvalidFile;
+  std::size_t accesses = 0;
+  std::size_t peak_concurrency = 0;
+};
+
+std::vector<ConcurrencyEntry> peak_concurrency(
+    const workload::AccessTrace& trace, SimDuration window);
+
+/// Maximum number of elements of sorted `times` within any half-open
+/// interval of length `window`. Exposed for testing.
+std::size_t max_in_window(const std::vector<SimTime>& times,
+                          SimDuration window);
+
+}  // namespace dare::analysis

@@ -1,0 +1,932 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "core/greedy_lru.h"
+#include "core/lfu.h"
+#include "sched/fair_scheduler.h"
+#include "sched/fifo_scheduler.h"
+
+namespace dare::cluster {
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kFair:
+      return "Fair";
+  }
+  return "?";
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kVanilla:
+      return "vanilla";
+    case PolicyKind::kGreedyLru:
+      return "lru";
+    case PolicyKind::kGreedyLfu:
+      return "lfu";
+    case PolicyKind::kElephantTrap:
+      return "elephant-trap";
+  }
+  return "?";
+}
+
+/// Adapts the name node's metadata to the scheduler's locality oracle —
+/// exactly what a Hadoop scheduler sees: replica locations as of the last
+/// heartbeat, not physical disk contents.
+class Cluster::Locator final : public sched::BlockLocator {
+ public:
+  Locator(const storage::NameNode& nn, const net::Topology& topo)
+      : nn_(&nn), topo_(&topo) {}
+  bool is_local(NodeId node, BlockId block) const override {
+    const auto& locs = nn_->locations(block);
+    return std::find(locs.begin(), locs.end(), node) != locs.end();
+  }
+  bool is_rack_local(NodeId node, BlockId block) const override {
+    for (NodeId holder : nn_->locations(block)) {
+      if (topo_->same_rack(node, holder)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const storage::NameNode* nn_;
+  const net::Topology* topo_;
+};
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), rng_(options.seed) {
+  if (options_.profile.topology.nodes < 2) {
+    throw std::invalid_argument("Cluster: need a master plus >= 1 worker");
+  }
+  const std::size_t workers = options_.profile.topology.nodes - 1;
+
+  net::TopologyOptions topo = options_.profile.topology;
+  topo.nodes = workers;
+  topology_ = std::make_unique<net::Topology>(topo, rng_);
+  network_ =
+      std::make_unique<net::Network>(options_.profile, *topology_, rng_);
+  name_node_ =
+      std::make_unique<storage::NameNode>(workers, topology_.get(), rng_);
+  data_nodes_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    data_nodes_.push_back(std::make_unique<storage::DataNode>(
+        static_cast<NodeId>(i), options_.profile.disk, rng_));
+  }
+  locator_ = std::make_unique<Locator>(*name_node_, *topology_);
+  dead_.assign(workers, false);
+  node_slowdown_.assign(workers, 1.0);
+  for (auto& factor : node_slowdown_) {
+    if (rng_.bernoulli(options_.profile.straggler_fraction)) {
+      factor = options_.profile.straggler_slowdown;
+    }
+  }
+
+  switch (options_.scheduler) {
+    case SchedulerKind::kFifo:
+      scheduler_ = std::make_unique<sched::FifoScheduler>();
+      break;
+    case SchedulerKind::kFair:
+      scheduler_ = std::make_unique<sched::FairScheduler>(options_.fair_delay);
+      break;
+  }
+
+  free_map_slots_.assign(workers, options_.map_slots_per_node);
+  free_reduce_slots_.assign(workers, options_.reduce_slots_per_node);
+
+  if (options_.enable_scarlett) {
+    scarlett_ = std::make_unique<core::ScarlettPlanner>(options_.scarlett);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::load_files(const workload::Workload& workload) {
+  if (workload.catalog.empty()) {
+    throw std::invalid_argument("Cluster: workload has an empty catalog");
+  }
+  Bytes total_static = 0;
+  for (const auto& file : workload.catalog) {
+    const FileId fid = name_node_->create_file(
+        file.name, file.blocks, workload.catalog_spec.block_size,
+        /*replication=*/3, sim_.now());
+    catalog_file_ids_.push_back(fid);
+    for (BlockId bid : name_node_->file(fid).blocks) {
+      const auto& meta = name_node_->block(bid);
+      for (NodeId node : name_node_->static_locations(bid)) {
+        data_nodes_[static_cast<std::size_t>(node)]->add_static_block(meta);
+        total_static += meta.size;
+      }
+    }
+  }
+  node_budget_bytes_ = static_cast<Bytes>(
+      options_.budget_fraction *
+      (static_cast<double>(total_static) /
+       static_cast<double>(data_nodes_.size())));
+  scarlett_budget_total_ = static_cast<Bytes>(
+      options_.scarlett.budget_fraction * static_cast<double>(total_static));
+
+  // Snapshot the initial-placement popularity indices now: repair copies
+  // created after failures later mutate the static block sets.
+  const auto counts = workload.file_access_counts();
+  std::unordered_map<FileId, double> file_popularity;
+  for (std::size_t i = 0; i < catalog_file_ids_.size(); ++i) {
+    file_popularity[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
+  }
+  cv_before_samples_.clear();
+  for (const auto& dn : data_nodes_) {
+    double pi = 0.0;
+    for (const auto& meta : dn->static_blocks()) {
+      pi += static_cast<double>(meta.size) * file_popularity[meta.file];
+    }
+    cv_before_samples_.push_back(pi);
+  }
+}
+
+void Cluster::create_policies() {
+  policies_.clear();
+  policies_.reserve(data_nodes_.size());
+  for (auto& dn : data_nodes_) {
+    switch (options_.policy) {
+      case PolicyKind::kVanilla:
+        policies_.push_back(std::make_unique<core::NullPolicy>());
+        break;
+      case PolicyKind::kGreedyLru:
+        policies_.push_back(
+            std::make_unique<core::GreedyLruPolicy>(*dn, node_budget_bytes_));
+        break;
+      case PolicyKind::kGreedyLfu:
+        policies_.push_back(
+            std::make_unique<core::GreedyLfuPolicy>(*dn, node_budget_bytes_));
+        break;
+      case PolicyKind::kElephantTrap:
+        policies_.push_back(std::make_unique<core::ElephantTrapPolicy>(
+            *dn, node_budget_bytes_, options_.trap, rng_));
+        break;
+    }
+  }
+}
+
+void Cluster::schedule_arrivals(const workload::Workload& workload) {
+  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+    const auto& tmpl = workload.jobs[i];
+    if (tmpl.file_index >= catalog_file_ids_.size()) {
+      throw std::invalid_argument("Cluster: job references unknown file");
+    }
+    sched::JobSpec spec;
+    spec.id = static_cast<JobId>(i);
+    spec.arrival = tmpl.arrival;
+    spec.input_file = catalog_file_ids_[tmpl.file_index];
+    const auto& file = name_node_->file(spec.input_file);
+    spec.maps.reserve(file.blocks.size());
+    for (BlockId bid : file.blocks) {
+      spec.maps.push_back(
+          sched::MapTaskSpec{bid, file.block_size, tmpl.map_cpu});
+    }
+    spec.reduces = tmpl.reduces;
+    spec.reduce_cpu = tmpl.reduce_cpu;
+    spec.shuffle_bytes = tmpl.shuffle_bytes;
+    sim_.at(tmpl.arrival, [this, spec] {
+      jobs_.add_job(spec);
+      try_assign_all();
+    });
+  }
+}
+
+void Cluster::start_heartbeats() {
+  const std::size_t workers = data_nodes_.size();
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Stagger heartbeats across the interval like real data nodes do.
+    const SimDuration phase =
+        options_.heartbeat_interval * static_cast<SimDuration>(w + 1) /
+        static_cast<SimDuration>(workers);
+    sim_.after(phase, [this, w] { heartbeat(w); });
+  }
+}
+
+void Cluster::heartbeat(std::size_t worker) {
+  if (dead_[worker]) return;  // a dead node heartbeats no more
+  auto& dn = *data_nodes_[worker];
+  const auto report = dn.drain_report();
+  if (!report.added.empty()) {
+    name_node_->report_dynamic_added(static_cast<NodeId>(worker),
+                                     report.added);
+  }
+  if (!report.removed.empty()) {
+    name_node_->report_dynamic_removed(static_cast<NodeId>(worker),
+                                       report.removed);
+  }
+  // Lazy physical deletion happens at idle time; the heartbeat is our proxy.
+  dn.reclaim_marked();
+
+  const bool finished = workload_ != nullptr &&
+                        jobs_.all_jobs().size() == workload_->jobs.size() &&
+                        jobs_.all_done();
+  if (!finished) {
+    sim_.after(options_.heartbeat_interval, [this, worker] {
+      heartbeat(worker);
+    });
+  }
+}
+
+void Cluster::maybe_schedule_tick() {
+  if (tick_scheduled_) return;
+  tick_scheduled_ = true;
+  sim_.after(options_.scheduler_retry, [this] {
+    tick_scheduled_ = false;
+    if (!jobs_.all_done()) try_assign_all();
+  });
+}
+
+void Cluster::try_assign_all() {
+  const std::size_t n = data_nodes_.size();
+  const std::size_t start = assign_rotation_++ % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    try_assign_node(static_cast<NodeId>((start + k) % n));
+  }
+}
+
+void Cluster::try_assign_node(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (dead_[w]) return;
+  while (free_map_slots_[w] > 0) {
+    const auto selection =
+        scheduler_->select_map(worker, sim_.now(), jobs_, *locator_);
+    if (!selection) break;
+    launch_map(worker, *selection);
+  }
+  while (free_reduce_slots_[w] > 0) {
+    const auto job = scheduler_->select_reduce(jobs_);
+    if (!job) break;
+    launch_reduce(worker, *job);
+  }
+  if (jobs_.total_pending_maps() + jobs_.total_pending_reduces() > 0) {
+    maybe_schedule_tick();
+  }
+}
+
+NodeId Cluster::pick_source(NodeId reader, BlockId block) const {
+  const auto& locs = name_node_->locations(block);
+  NodeId best = kInvalidNode;
+  int best_hops = 0;
+  int best_flows = 0;
+  for (NodeId cand : locs) {
+    if (cand == reader) continue;  // metadata race; never a usable source
+    if (dead_[static_cast<std::size_t>(cand)]) continue;
+    const int hops = topology_->hops(reader, cand);
+    const int flows = network_->active_flows(cand);
+    if (best == kInvalidNode || hops < best_hops ||
+        (hops == best_hops &&
+         (flows < best_flows || (flows == best_flows && cand < best)))) {
+      best = cand;
+      best_hops = hops;
+      best_flows = flows;
+    }
+  }
+  return best;  // kInvalidNode when no live replica exists anywhere else
+}
+
+void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
+  const auto w = static_cast<std::size_t>(worker);
+  const std::size_t map_index =
+      jobs_.launch_map(selection.job, selection.pending_index,
+                       selection.locality);
+  const sched::MapTaskSpec task =
+      jobs_.job(selection.job).spec.maps[map_index];
+  const storage::BlockMeta meta = name_node_->block(task.block);
+  --free_map_slots_[w];
+
+  const bool node_local = selection.node_local();
+  SimDuration duration = options_.map_setup + task.cpu;
+  NodeId src = worker;
+  bool remote_flow = false;
+  if (node_local) {
+    duration += data_nodes_[w]->read_duration(task.bytes);
+  } else {
+    src = pick_source(worker, task.block);
+    if (src == kInvalidNode) {
+      // Every other replica is on a dead node: restore from the (simulated)
+      // archival tier — a fixed, painful penalty. This keeps jobs with
+      // genuinely lost blocks finishable instead of deadlocking the run.
+      duration += from_seconds(60.0);
+    } else {
+      // A remote read is bounded by both source disk and network path.
+      const SimDuration disk =
+          data_nodes_[static_cast<std::size_t>(src)]->read_duration(
+              task.bytes);
+      const SimDuration net =
+          network_->transfer_duration(src, worker, task.bytes);
+      duration += std::max(disk, net);
+      network_->flow_started(src, worker);
+      remote_flow = true;
+    }
+  }
+  duration = static_cast<SimDuration>(static_cast<double>(duration) *
+                                      node_slowdown_[w]);
+
+  // The DARE hook: the block is streaming through this node anyway, so the
+  // policy may capture it (remote case) or refresh its bookkeeping (local).
+  policies_[w]->on_map_task(meta, node_local);
+  if (scarlett_) scarlett_->record_access(meta.file);
+  if (options_.record_access_trace) {
+    access_trace_.events.push_back({meta.file, sim_.now()});
+  }
+
+  map_times_s_.push_back(to_seconds(duration));
+
+  const JobId job = selection.job;
+  const double duration_s = to_seconds(duration);
+  auto& state = running_maps_[task_key(job, map_index)];
+  state.block = task.block;
+  state.original_locality = selection.locality;
+  MapAttempt attempt;
+  attempt.node = worker;
+  attempt.started = sim_.now();
+  attempt.speculative = false;
+  attempt.holds_flow = remote_flow;
+  attempt.flow_src = src;
+  attempt.completion = sim_.after(
+      duration, [this, job, map_index, worker, remote_flow, src, duration_s] {
+        on_map_attempt_finished(job, map_index, worker, remote_flow, src,
+                                duration_s);
+      });
+  state.attempts.push_back(std::move(attempt));
+}
+
+void Cluster::launch_speculative(NodeId worker, JobId job,
+                                 std::size_t map_index) {
+  const auto w = static_cast<std::size_t>(worker);
+  const sched::MapTaskSpec task = jobs_.job(job).spec.maps[map_index];
+  const storage::BlockMeta meta = name_node_->block(task.block);
+  --free_map_slots_[w];
+  ++speculative_launched_;
+
+  const bool node_local = locator_->is_local(worker, task.block);
+  SimDuration duration = options_.map_setup + task.cpu;
+  NodeId src = worker;
+  bool remote_flow = false;
+  if (node_local) {
+    duration += data_nodes_[w]->read_duration(task.bytes);
+  } else {
+    src = pick_source(worker, task.block);
+    if (src == kInvalidNode) {
+      duration += from_seconds(60.0);
+    } else {
+      const SimDuration disk =
+          data_nodes_[static_cast<std::size_t>(src)]->read_duration(
+              task.bytes);
+      const SimDuration net =
+          network_->transfer_duration(src, worker, task.bytes);
+      duration += std::max(disk, net);
+      network_->flow_started(src, worker);
+      remote_flow = true;
+    }
+  }
+  duration = static_cast<SimDuration>(static_cast<double>(duration) *
+                                      node_slowdown_[w]);
+  // The backup attempt reads the block through this node too — the DARE
+  // hook applies exactly as for a regular attempt.
+  policies_[w]->on_map_task(meta, node_local);
+
+  const double duration_s = to_seconds(duration);
+  auto& state = running_maps_[task_key(job, map_index)];
+  MapAttempt attempt;
+  attempt.node = worker;
+  attempt.started = sim_.now();
+  attempt.speculative = true;
+  attempt.holds_flow = remote_flow;
+  attempt.flow_src = src;
+  attempt.completion = sim_.after(
+      duration, [this, job, map_index, worker, remote_flow, src, duration_s] {
+        on_map_attempt_finished(job, map_index, worker, remote_flow, src,
+                                duration_s);
+      });
+  state.attempts.push_back(std::move(attempt));
+}
+
+void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
+                                      NodeId worker, bool remote_flow,
+                                      NodeId src, double duration_s) {
+  if (remote_flow) network_->flow_finished(src, worker);
+  const auto wi = static_cast<std::size_t>(worker);
+  const auto key = task_key(job, map_index);
+  const auto state_it = running_maps_.find(key);
+  if (state_it == running_maps_.end()) {
+    throw std::logic_error("Cluster: attempt completion for unknown task");
+  }
+  MapTaskState& state = state_it->second;
+
+  // Locate and remove this attempt.
+  const auto att_it =
+      std::find_if(state.attempts.begin(), state.attempts.end(),
+                   [worker](const MapAttempt& a) { return a.node == worker; });
+  if (att_it == state.attempts.end()) {
+    throw std::logic_error("Cluster: attempt not registered");
+  }
+  const bool was_speculative = att_it->speculative;
+  state.attempts.erase(att_it);
+
+  if (dead_[wi]) {
+    // The node died mid-attempt. If another attempt is still running the
+    // task survives; otherwise it goes back to the pending queue.
+    if (state.attempts.empty()) {
+      jobs_.requeue_running_map(job, map_index, state.original_locality);
+      ++task_reexecutions_;
+      running_maps_.erase(state_it);
+      try_assign_all();
+    }
+    return;
+  }
+
+  // This attempt wins the task.
+  ++free_map_slots_[wi];
+  if (was_speculative) ++speculative_wins_;
+  jobs_.complete_map(job, sim_.now());
+  auto& [sum_s, count] = job_map_stats_[job];
+  sum_s += duration_s;
+  ++count;
+  global_map_stats_.first += duration_s;
+  ++global_map_stats_.second;
+
+  // Kill the losing attempts: cancel their completion events, release the
+  // network flows they held, and free their slots now (Hadoop sends a kill
+  // to the slower attempt).
+  for (auto& other : state.attempts) {
+    if (other.completion.cancel()) {
+      ++speculative_killed_;
+      if (other.holds_flow) {
+        network_->flow_finished(other.flow_src, other.node);
+      }
+      if (!dead_[static_cast<std::size_t>(other.node)]) {
+        ++free_map_slots_[static_cast<std::size_t>(other.node)];
+      }
+    }
+  }
+  running_maps_.erase(state_it);
+
+  const auto& rt = jobs_.job(job);
+  if (rt.maps_done() && rt.pending_reduces > 0) {
+    // Reduces just became launchable; offer slots cluster-wide.
+    try_assign_all();
+  } else {
+    try_assign_node(worker);
+  }
+}
+
+bool Cluster::run_finished() const {
+  return workload_ != nullptr &&
+         jobs_.all_jobs().size() == workload_->jobs.size() &&
+         jobs_.all_done();
+}
+
+void Cluster::speculation_tick() {
+  for (JobId id : jobs_.active_jobs()) {
+    const auto& rt = jobs_.job(id);
+    // Hadoop speculates only once a job has dispatched all its maps.
+    if (!rt.pending_maps.empty() || rt.running_maps == 0) continue;
+    // Estimate the expected map duration: the job's own completed maps when
+    // available, else the cluster-wide mean (covers single-map jobs).
+    const auto stats_it = job_map_stats_.find(id);
+    double mean_s = 0.0;
+    if (stats_it != job_map_stats_.end() && stats_it->second.second > 0) {
+      mean_s = stats_it->second.first /
+               static_cast<double>(stats_it->second.second);
+    } else if (global_map_stats_.second > 0) {
+      mean_s = global_map_stats_.first /
+               static_cast<double>(global_map_stats_.second);
+    } else {
+      continue;  // nothing has ever completed: no estimate yet
+    }
+    for (std::size_t map_index = 0; map_index < rt.spec.maps.size();
+         ++map_index) {
+      const auto it = running_maps_.find(task_key(id, map_index));
+      if (it == running_maps_.end()) continue;
+      MapTaskState& state = it->second;
+      if (state.attempts.size() != 1) continue;  // already speculated
+      const double age_s = to_seconds(sim_.now() - state.attempts[0].started);
+      if (age_s < options_.speculation_threshold * mean_s) continue;
+      // Find a free live slot, preferring one local to the block.
+      NodeId best = kInvalidNode;
+      for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+        if (dead_[w] || free_map_slots_[w] == 0) continue;
+        if (static_cast<NodeId>(w) == state.attempts[0].node) continue;
+        const auto node = static_cast<NodeId>(w);
+        if (locator_->is_local(node, state.block)) {
+          best = node;
+          break;
+        }
+        if (best == kInvalidNode) best = node;
+      }
+      if (best != kInvalidNode) launch_speculative(best, id, map_index);
+    }
+  }
+  if (!run_finished()) {
+    sim_.after(options_.speculation_check, [this] { speculation_tick(); });
+  }
+}
+
+void Cluster::launch_reduce(NodeId worker, JobId job) {
+  const auto w = static_cast<std::size_t>(worker);
+  jobs_.launch_reduce(job);
+  --free_reduce_slots_[w];
+  const auto& spec = jobs_.job(job).spec;
+
+  SimDuration duration = options_.reduce_setup + spec.reduce_cpu;
+  const Bytes shuffle =
+      spec.reduces > 0 ? spec.shuffle_bytes / static_cast<Bytes>(spec.reduces)
+                       : 0;
+  NodeId src = worker;
+  bool flows = false;
+  if (shuffle > 0 && data_nodes_.size() > 1) {
+    // Map outputs are spread across the cluster; model the shuffle as one
+    // aggregate fetch from a random other live node.
+    for (std::size_t attempt = 0; attempt < 8 * data_nodes_.size();
+         ++attempt) {
+      const auto cand =
+          static_cast<NodeId>(rng_.uniform_int(data_nodes_.size()));
+      if (cand != worker && !dead_[static_cast<std::size_t>(cand)]) {
+        src = cand;
+        break;
+      }
+    }
+    if (src != worker) {
+      duration += network_->transfer_duration(src, worker, shuffle);
+      network_->flow_started(src, worker);
+      flows = true;
+    }
+  }
+
+  sim_.after(duration, [this, job, worker, src, flows] {
+    if (flows) network_->flow_finished(src, worker);
+    const auto wi = static_cast<std::size_t>(worker);
+    if (dead_[wi]) {
+      jobs_.requeue_running_reduce(job);
+      ++task_reexecutions_;
+      try_assign_all();
+      return;
+    }
+    jobs_.complete_reduce(job, sim_.now());
+    ++free_reduce_slots_[wi];
+    try_assign_node(worker);
+  });
+}
+
+void Cluster::fail_node(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (dead_[w]) return;
+  if (name_node_->live_node_count() <= 1) {
+    throw std::logic_error("Cluster: cannot fail the last live worker");
+  }
+  dead_[w] = true;
+  free_map_slots_[w] = 0;
+  free_reduce_slots_[w] = 0;
+  // The name node notices the missed heartbeats: all replicas on the node
+  // are gone, under-replicated blocks enter the repair queue.
+  const auto under_replicated = name_node_->node_failed(worker);
+  if (options_.enable_rereplication) {
+    for (BlockId bid : under_replicated) repair_queue_.push_back(bid);
+    if (!repair_queue_.empty() && !repair_tick_scheduled_) {
+      repair_tick_scheduled_ = true;
+      sim_.after(options_.rereplication_interval,
+                 [this] { rereplication_tick(); });
+    }
+  }
+  // Work stolen by the failure will be re-queued as the zombie completion
+  // events fire; give the survivors a chance to pick up queued work now.
+  try_assign_all();
+}
+
+void Cluster::rereplication_tick() {
+  repair_tick_scheduled_ = false;
+  std::size_t started = 0;
+  while (!repair_queue_.empty() && started < options_.rereplication_batch) {
+    const BlockId bid = repair_queue_.front();
+    repair_queue_.pop_front();
+    const auto& meta = name_node_->block(bid);
+
+    // Source: any live holder. Destination: a live node without a copy.
+    const NodeId src = [&]() -> NodeId {
+      for (NodeId cand : name_node_->locations(bid)) {
+        if (!dead_[static_cast<std::size_t>(cand)]) return cand;
+      }
+      return kInvalidNode;
+    }();
+    if (src == kInvalidNode) continue;  // block truly lost, nothing to copy
+
+    NodeId dst = kInvalidNode;
+    for (std::size_t attempt = 0; attempt < 4 * data_nodes_.size();
+         ++attempt) {
+      const auto cand =
+          static_cast<std::size_t>(rng_.uniform_int(data_nodes_.size()));
+      if (!dead_[cand] && !data_nodes_[cand]->has_any_copy(bid)) {
+        dst = static_cast<NodeId>(cand);
+        break;
+      }
+    }
+    if (dst == kInvalidNode) continue;  // every live node already has it
+
+    const SimDuration transfer =
+        network_->transfer_duration(src, dst, meta.size);
+    network_->flow_started(src, dst);
+    ++started;
+    sim_.after(transfer, [this, bid, src, dst, meta] {
+      network_->flow_finished(src, dst);
+      const auto d = static_cast<std::size_t>(dst);
+      if (dead_[d]) return;  // destination died mid-copy; repair re-queues
+      if (name_node_->add_repair_replica(bid, dst)) {
+        data_nodes_[d]->add_static_block(meta);
+        ++rereplicated_blocks_;
+      }
+    });
+  }
+  if (!repair_queue_.empty()) {
+    repair_tick_scheduled_ = true;
+    sim_.after(options_.rereplication_interval,
+               [this] { rereplication_tick(); });
+  }
+}
+
+double Cluster::dedicated_runtime_s(const sched::JobSpec& spec) const {
+  const double workers = static_cast<double>(data_nodes_.size());
+  const double map_slots =
+      workers * static_cast<double>(options_.map_slots_per_node);
+  const double reduce_slots =
+      workers * static_cast<double>(options_.reduce_slots_per_node);
+
+  double mean_map_s = 0.0;
+  for (const auto& task : spec.maps) {
+    mean_map_s += to_seconds(options_.map_setup + task.cpu) +
+                  static_cast<double>(task.bytes) /
+                      mb_per_sec(options_.profile.disk.mean);
+  }
+  mean_map_s /= static_cast<double>(spec.maps.size());
+  const double map_waves =
+      std::ceil(static_cast<double>(spec.maps.size()) / map_slots);
+
+  double reduce_s = 0.0;
+  double reduce_waves = 0.0;
+  if (spec.reduces > 0) {
+    const double shuffle_per_reduce =
+        static_cast<double>(spec.shuffle_bytes) /
+        static_cast<double>(spec.reduces);
+    reduce_s = to_seconds(options_.reduce_setup + spec.reduce_cpu) +
+               shuffle_per_reduce / mb_per_sec(options_.profile.bandwidth.mean);
+    reduce_waves =
+        std::ceil(static_cast<double>(spec.reduces) / reduce_slots);
+  }
+  return map_waves * mean_map_s + reduce_waves * reduce_s;
+}
+
+void Cluster::scarlett_epoch() {
+  std::unordered_map<FileId, Bytes> file_bytes;
+  std::unordered_map<FileId, int> current_repl;
+  for (FileId fid : name_node_->all_files()) {
+    const auto& info = name_node_->file(fid);
+    file_bytes[fid] = info.total_bytes();
+    const auto it = scarlett_extra_replicas_.find(fid);
+    current_repl[fid] =
+        info.replication + (it == scarlett_extra_replicas_.end() ? 0 : it->second);
+  }
+  const auto orders = scarlett_->plan_epoch(
+      scarlett_budget_total_ - scarlett_bytes_spent_, file_bytes,
+      current_repl);
+  for (const auto& order : orders) {
+    const auto& info = name_node_->file(order.file);
+    const int extra = order.target_replication - order.current_replication;
+    for (int e = 0; e < extra; ++e) {
+      for (BlockId bid : info.blocks) {
+        const auto& meta = name_node_->block(bid);
+        // Try a few random nodes that lack the block.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const auto cand = static_cast<std::size_t>(
+              rng_.uniform_int(data_nodes_.size()));
+          if (data_nodes_[cand]->insert_dynamic(meta)) {
+            // Proactive replication costs real network traffic — the core
+            // difference from DARE's piggybacked replicas.
+            scarlett_bytes_moved_ += static_cast<std::uint64_t>(meta.size);
+            break;
+          }
+        }
+      }
+      scarlett_bytes_spent_ += info.total_bytes();
+    }
+    if (extra > 0) scarlett_extra_replicas_[order.file] += extra;
+  }
+
+  const bool finished = workload_ != nullptr &&
+                        jobs_.all_jobs().size() == workload_->jobs.size() &&
+                        jobs_.all_done();
+  if (!finished) {
+    sim_.after(options_.scarlett.epoch, [this] { scarlett_epoch(); });
+  }
+}
+
+void Cluster::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("Cluster::validate: " + what);
+  };
+
+  // Slot accounting.
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (free_map_slots_[w] > options_.map_slots_per_node) {
+      fail("map slot overflow on node " + std::to_string(w));
+    }
+    if (free_reduce_slots_[w] > options_.reduce_slots_per_node) {
+      fail("reduce slot overflow on node " + std::to_string(w));
+    }
+    if (dead_[w] && (free_map_slots_[w] != 0 || free_reduce_slots_[w] != 0)) {
+      fail("dead node " + std::to_string(w) + " advertises free slots");
+    }
+  }
+
+  // Name-node <-> data-node agreement, block by block.
+  for (FileId fid : name_node_->all_files()) {
+    for (BlockId bid : name_node_->file(fid).blocks) {
+      const auto& locs = name_node_->locations(bid);
+      const auto& statics = name_node_->static_locations(bid);
+      if (locs.size() < statics.size()) {
+        fail("block " + std::to_string(bid) +
+             " has fewer locations than static placements");
+      }
+      for (NodeId node : locs) {
+        const auto n = static_cast<std::size_t>(node);
+        if (n >= data_nodes_.size()) {
+          fail("location references unknown node");
+        }
+        if (dead_[n]) {
+          fail("block " + std::to_string(bid) +
+               " location references dead node " + std::to_string(n));
+        }
+        // A registered location must be physically present — unless the
+        // replica was evicted and the removal heartbeat has not fired yet;
+        // in that window the block is still on disk (marked), which
+        // has_any_copy covers.
+        if (!data_nodes_[n]->has_any_copy(bid)) {
+          fail("block " + std::to_string(bid) + " registered on node " +
+               std::to_string(n) + " but not present there");
+        }
+      }
+      for (NodeId node : statics) {
+        if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
+          fail("static placement missing from locations");
+        }
+      }
+    }
+  }
+
+  // Every *reported* live dynamic replica is known to the name node; the
+  // unreported window (insert -> next heartbeat) is allowed.
+  // Conversely checked above: every registered location is present.
+
+  // Job-table totals.
+  std::size_t pending_maps = 0;
+  std::size_t pending_reduces = 0;
+  std::size_t running = 0;
+  for (JobId id : jobs_.all_jobs()) {
+    const auto& rt = jobs_.job(id);
+    pending_maps += rt.pending_maps.size();
+    pending_reduces += rt.pending_reduces;
+    running += rt.running_maps + rt.running_reduces;
+    if (rt.completed_maps + rt.running_maps + rt.pending_maps.size() !=
+        rt.total_maps()) {
+      fail("map accounting broken for job " + std::to_string(id));
+    }
+    if (rt.completed_reduces + rt.running_reduces + rt.pending_reduces !=
+        rt.spec.reduces) {
+      fail("reduce accounting broken for job " + std::to_string(id));
+    }
+    if (rt.done() && rt.completion == kTimeNever) {
+      fail("finished job without completion time");
+    }
+  }
+  if (pending_maps != jobs_.total_pending_maps() ||
+      pending_reduces != jobs_.total_pending_reduces() ||
+      running != jobs_.total_running()) {
+    fail("job table aggregate counters diverge from per-job state");
+  }
+
+  // With no work in flight, every network flow must have been released.
+  if (jobs_.all_done()) {
+    for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+      if (network_->active_flows(static_cast<NodeId>(w)) != 0) {
+        fail("leaked network flow on node " + std::to_string(w));
+      }
+    }
+  }
+}
+
+metrics::RunResult Cluster::collect_results(
+    const workload::Workload& workload) {
+  metrics::RunResult result;
+
+  // Per-job metrics.
+  for (JobId id : jobs_.all_jobs()) {
+    const auto& rt = jobs_.job(id);
+    if (rt.completion == kTimeNever) {
+      throw std::logic_error("Cluster: job never completed");
+    }
+    metrics::JobMetrics jm;
+    jm.id = id;
+    jm.arrival = rt.spec.arrival;
+    jm.completion = rt.completion;
+    jm.maps = rt.total_maps();
+    jm.local_maps = rt.local_launches;
+    jm.rack_local_maps = rt.rack_local_launches;
+    jm.dedicated_runtime_s = dedicated_runtime_s(rt.spec);
+    result.jobs.push_back(jm);
+  }
+
+  // Replication activity.
+  for (const auto& policy : policies_) {
+    result.dynamic_replicas_created += policy->replicas_created();
+  }
+  for (const auto& dn : data_nodes_) {
+    result.dynamic_replica_disk_writes += dn->dynamic_insertions();
+  }
+  result.proactive_replication_bytes = scarlett_bytes_moved_;
+  result.task_reexecutions = task_reexecutions_;
+  result.rereplicated_blocks = rereplicated_blocks_;
+  result.blocks_lost = name_node_->lost_block_count();
+  result.speculative_launched = speculative_launched_;
+  result.speculative_wins = speculative_wins_;
+  result.speculative_killed = speculative_killed_;
+
+  // Popularity indices (Fig. 11). Block popularity = number of jobs that
+  // accessed its file in this workload. "Before" uses the snapshot taken at
+  // load time; "after" reflects the final placement on live nodes.
+  const auto counts = workload.file_access_counts();
+  std::unordered_map<FileId, double> file_popularity;
+  for (std::size_t i = 0; i < catalog_file_ids_.size(); ++i) {
+    file_popularity[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
+  }
+  std::vector<double> pi_after;
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (dead_[w]) continue;
+    const auto& dn = data_nodes_[w];
+    double after = 0.0;
+    for (const auto& meta : dn->static_blocks()) {
+      after += static_cast<double>(meta.size) * file_popularity[meta.file];
+    }
+    for (BlockId bid : dn->dynamic_blocks()) {
+      const auto& meta = name_node_->block(bid);
+      after += static_cast<double>(meta.size) * file_popularity[meta.file];
+    }
+    pi_after.push_back(after);
+  }
+  result.cv_before = coefficient_of_variation(cv_before_samples_);
+  result.cv_after = coefficient_of_variation(pi_after);
+
+  result.makespan = sim_.now();
+  metrics::finalize(result, map_times_s_);
+  return result;
+}
+
+metrics::RunResult Cluster::run(const workload::Workload& workload) {
+  if (ran_) throw std::logic_error("Cluster: run() may only be called once");
+  ran_ = true;
+  workload_ = &workload;
+
+  load_files(workload);
+  create_policies();
+  schedule_arrivals(workload);
+  start_heartbeats();
+  if (scarlett_) {
+    sim_.after(options_.scarlett.epoch, [this] { scarlett_epoch(); });
+  }
+  for (const auto& failure : options_.failures) {
+    if (failure.worker < 0 ||
+        static_cast<std::size_t>(failure.worker) >= data_nodes_.size()) {
+      throw std::invalid_argument("Cluster: failure for unknown worker");
+    }
+    sim_.at(failure.at, [this, worker = failure.worker] {
+      fail_node(worker);
+    });
+  }
+  if (options_.enable_speculation) {
+    sim_.after(options_.speculation_check, [this] { speculation_tick(); });
+  }
+
+  sim_.run();
+
+  if (!jobs_.all_done() ||
+      jobs_.all_jobs().size() != workload.jobs.size()) {
+    throw std::logic_error("Cluster: simulation drained with unfinished jobs");
+  }
+  if (options_.record_access_trace) {
+    // Finish the audit trace: file metadata + horizon.
+    for (FileId fid : name_node_->all_files()) {
+      const auto& info = name_node_->file(fid);
+      access_trace_.files.push_back(
+          {fid, info.created, info.blocks.size()});
+    }
+    access_trace_.span = sim_.now();
+  }
+  return collect_results(workload);
+}
+
+}  // namespace dare::cluster

@@ -1,0 +1,176 @@
+// The simulated MapReduce cluster: wires the event engine, topology,
+// network, HDFS (name node + data nodes), schedulers, and the DARE
+// replication policies into a runnable experiment.
+//
+// One Cluster instance runs one workload once, single-threaded and
+// deterministic for a given seed. Parameter sweeps construct many Cluster
+// instances and run them on a thread pool (see experiment.h).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/options.h"
+#include "common/rng.h"
+#include "core/replication_policy.h"
+#include "metrics/run_metrics.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sched/scheduler.h"
+#include "sim/simulation.h"
+#include "storage/datanode.h"
+#include "storage/namenode.h"
+#include "workload/workload.h"
+#include "workload/yahoo_trace.h"
+
+namespace dare::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Load the workload's catalog into HDFS, replay its jobs, run the
+  /// simulation to completion, and return the aggregated metrics.
+  /// May be called once per Cluster instance.
+  metrics::RunResult run(const workload::Workload& workload);
+
+  /// Exhaustive cross-component consistency check; throws std::logic_error
+  /// with a description on the first violated invariant. Intended for tests
+  /// (it walks every block): slot accounting, name-node/data-node replica
+  /// agreement, no metadata pointing at dead nodes, job-table totals.
+  void validate() const;
+
+  /// The recorded audit trace (options.record_access_trace must be set;
+  /// call after run()). One event per map-task launch, file granularity.
+  const workload::AccessTrace& access_trace() const { return access_trace_; }
+
+  /// Introspection for tests.
+  std::size_t worker_count() const { return data_nodes_.size(); }
+  const storage::NameNode& name_node() const { return *name_node_; }
+  const storage::DataNode& data_node(std::size_t i) const {
+    return *data_nodes_.at(i);
+  }
+  Bytes node_budget_bytes() const { return node_budget_bytes_; }
+
+ private:
+  class Locator;
+
+  void load_files(const workload::Workload& workload);
+  void create_policies();
+  void schedule_arrivals(const workload::Workload& workload);
+  void start_heartbeats();
+  void heartbeat(std::size_t worker);
+
+  void try_assign_all();
+  void try_assign_node(NodeId worker);
+  void launch_map(NodeId worker, const sched::MapSelection& selection);
+  void launch_reduce(NodeId worker, JobId job);
+  void maybe_schedule_tick();
+
+  /// Fault injection + repair.
+  void fail_node(NodeId worker);
+  void rereplication_tick();
+  bool node_alive(std::size_t worker) const { return !dead_[worker]; }
+
+  /// Speculative execution.
+  void speculation_tick();
+  void launch_speculative(NodeId worker, JobId job, std::size_t map_index);
+  void on_map_attempt_finished(JobId job, std::size_t map_index,
+                               NodeId worker, bool remote_flow, NodeId src,
+                               double duration_s);
+  bool run_finished() const;
+
+  /// Pick the replica source for a remote read: same rack first, then
+  /// fewest active flows, then lowest id (deterministic).
+  NodeId pick_source(NodeId reader, BlockId block) const;
+
+  double dedicated_runtime_s(const sched::JobSpec& spec) const;
+
+  void scarlett_epoch();
+
+  metrics::RunResult collect_results(const workload::Workload& workload);
+
+  ClusterOptions options_;
+  sim::Simulation sim_;
+  Rng rng_;
+
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<storage::NameNode> name_node_;
+  std::vector<std::unique_ptr<storage::DataNode>> data_nodes_;
+  std::vector<std::unique_ptr<core::ReplicationPolicy>> policies_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<Locator> locator_;
+
+  sched::JobTable jobs_;
+  std::vector<std::size_t> free_map_slots_;
+  std::vector<std::size_t> free_reduce_slots_;
+  std::vector<FileId> catalog_file_ids_;  ///< catalog index -> FileId
+
+  Bytes node_budget_bytes_ = 0;
+  bool tick_scheduled_ = false;
+  std::size_t assign_rotation_ = 0;
+  bool ran_ = false;
+
+  /// Fault-injection state.
+  std::vector<bool> dead_;
+  std::deque<BlockId> repair_queue_;
+  bool repair_tick_scheduled_ = false;
+  std::uint64_t task_reexecutions_ = 0;
+  std::uint64_t rereplicated_blocks_ = 0;
+
+  /// Straggler model: per-node duration multiplier (>= 1.0).
+  std::vector<double> node_slowdown_;
+
+  /// Speculative-execution state: one entry per map task with >= 1 running
+  /// attempt. Key = (job << 20) | map_index.
+  struct MapAttempt {
+    NodeId node = kInvalidNode;
+    SimTime started = 0;
+    sim::EventHandle completion;
+    bool speculative = false;
+    /// Remote-read flow held by this attempt (released on completion or on
+    /// kill — a cancelled completion event can no longer release it).
+    bool holds_flow = false;
+    NodeId flow_src = kInvalidNode;
+  };
+  struct MapTaskState {
+    BlockId block = kInvalidBlock;
+    sched::Locality original_locality = sched::Locality::kOffRack;
+    std::vector<MapAttempt> attempts;
+  };
+  static std::uint64_t task_key(JobId job, std::size_t map_index) {
+    return (static_cast<std::uint64_t>(job) << 20) |
+           static_cast<std::uint64_t>(map_index);
+  }
+  std::unordered_map<std::uint64_t, MapTaskState> running_maps_;
+  /// Per-job completed-map duration statistics (speculation estimator),
+  /// with a cluster-wide fallback for jobs (e.g. single-map jobs) that have
+  /// no completed sibling map to estimate from.
+  std::unordered_map<JobId, std::pair<double, std::size_t>> job_map_stats_;
+  std::pair<double, std::size_t> global_map_stats_{0.0, 0};
+  std::uint64_t speculative_launched_ = 0;
+  std::uint64_t speculative_wins_ = 0;
+  std::uint64_t speculative_killed_ = 0;
+
+  std::vector<double> map_times_s_;
+  std::vector<double> cv_before_samples_;  ///< static-placement node PIs
+  workload::AccessTrace access_trace_;
+
+  // Scarlett state.
+  std::unique_ptr<core::ScarlettPlanner> scarlett_;
+  Bytes scarlett_budget_total_ = 0;
+  Bytes scarlett_bytes_spent_ = 0;
+  std::unordered_map<FileId, int> scarlett_extra_replicas_;
+  std::uint64_t scarlett_bytes_moved_ = 0;
+
+  const workload::Workload* workload_ = nullptr;
+};
+
+}  // namespace dare::cluster

@@ -1,0 +1,57 @@
+// Experiment harness helpers shared by the bench binaries: standard option
+// builders for the paper's configurations and a parallel sweep runner.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/options.h"
+#include "common/config.h"
+#include "metrics/run_metrics.h"
+#include "workload/workload.h"
+
+namespace dare::cluster {
+
+/// The paper's standard DARE parameters for headline experiments
+/// (Figs. 7, 10): ElephantTrap with p = 0.3, threshold = 1, budget = 0.2.
+ClusterOptions paper_defaults(const net::ClusterProfile& profile,
+                              SchedulerKind scheduler, PolicyKind policy,
+                              std::uint64_t seed = 42);
+
+/// Apply `key=value` overrides to cluster options. Recognized keys mirror
+/// the Hadoop-style knobs the paper's patch adds plus the simulator's own:
+///   profile=cct|ec2          nodes=<n>           seed=<n>
+///   scheduler=fifo|fair      policy=vanilla|lru|lfu|elephant-trap
+///   p=<0..1>                 threshold=<n>       budget=<0..1>
+///   map_slots=<n>            reduce_slots=<n>
+///   heartbeat_s=<sec>        fair_delay_ms=<ms>
+/// Unknown keys are ignored (they may belong to the workload or harness).
+/// Throws std::invalid_argument on unparsable values for known keys.
+ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg);
+
+/// Parse the scheduler / policy names used by apply_overrides.
+SchedulerKind parse_scheduler(const std::string& name);
+PolicyKind parse_policy(const std::string& name);
+
+/// Construct a cluster and run the workload (one-shot convenience).
+metrics::RunResult run_once(const ClusterOptions& options,
+                            const workload::Workload& workload);
+
+/// Run a batch of independent simulations on a thread pool, preserving
+/// result order. Each factory must be self-contained (simulations are
+/// deterministic and share no state).
+std::vector<metrics::RunResult> run_parallel(
+    const std::vector<std::function<metrics::RunResult()>>& runs,
+    std::size_t threads = 0);
+
+/// Standard workloads at paper scale for a given cluster size: arrival
+/// rates are scaled so per-worker load stays comparable between the 20-node
+/// CCT and 100-node EC2 configurations.
+workload::Workload standard_wl1(std::size_t total_nodes, std::size_t num_jobs,
+                                std::uint64_t seed = 1);
+workload::Workload standard_wl2(std::size_t total_nodes, std::size_t num_jobs,
+                                std::uint64_t seed = 2);
+
+}  // namespace dare::cluster

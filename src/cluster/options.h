@@ -1,0 +1,91 @@
+// Configuration of a simulated cluster run: hardware profile, scheduler,
+// replication policy, and the three DARE knobs the paper's patch adds to
+// Hadoop (p, threshold, budget).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/elephant_trap.h"
+#include "core/scarlett.h"
+#include "net/profile.h"
+
+namespace dare::cluster {
+
+enum class SchedulerKind { kFifo, kFair };
+enum class PolicyKind { kVanilla, kGreedyLru, kGreedyLfu, kElephantTrap };
+
+const char* scheduler_name(SchedulerKind kind);
+const char* policy_name(PolicyKind kind);
+
+struct ClusterOptions {
+  /// Hardware/topology profile. `profile.topology.nodes` is the *total*
+  /// cluster size, paper-style (1 master + N-1 slaves); the master does not
+  /// hold blocks or run tasks and its metadata traffic is not modeled, so
+  /// the simulator instantiates N-1 worker nodes.
+  net::ClusterProfile profile = net::cct_profile(20);
+
+  /// Hadoop 0.21-era slot configuration.
+  std::size_t map_slots_per_node = 2;
+  std::size_t reduce_slots_per_node = 1;
+
+  /// Data-node heartbeat period (dynamic replicas become schedulable at the
+  /// next heartbeat) and the idle-slot scheduler retry period.
+  SimDuration heartbeat_interval = from_seconds(3.0);
+  SimDuration scheduler_retry = from_seconds(1.0);
+
+  /// Fixed per-task overhead (JVM launch, task setup).
+  SimDuration map_setup = from_millis(500);
+  SimDuration reduce_setup = from_millis(500);
+
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  /// Fair scheduler delay-scheduling window: how long a job waits for a
+  /// local slot before accepting a non-local launch. Calibrated to the
+  /// simulator's task-duration scale (the paper's Hadoop setup used ~5 s
+  /// with ~10x longer tasks).
+  SimDuration fair_delay = from_millis(500);
+
+  PolicyKind policy = PolicyKind::kVanilla;
+  /// Replication budget as a fraction of the mean static bytes per node.
+  double budget_fraction = 0.2;
+  core::ElephantTrapParams trap{};
+
+  /// Optional Scarlett-style proactive epoch replication (ablation).
+  bool enable_scarlett = false;
+  core::ScarlettParams scarlett{};
+
+  /// --- fault injection ---------------------------------------------------
+  /// Kill the given workers at the given times: the node's disk contents
+  /// are lost, its running tasks are re-queued, and the name node's
+  /// re-replication pipeline restores the replication factor of affected
+  /// blocks from the surviving copies.
+  struct FailureEvent {
+    SimTime at = 0;
+    NodeId worker = kInvalidNode;
+  };
+  std::vector<FailureEvent> failures;
+
+  /// Re-replication pipeline: how often the name node scans its repair
+  /// queue and how many block copies it starts per scan.
+  bool enable_rereplication = true;
+  SimDuration rereplication_interval = from_seconds(5.0);
+  std::size_t rereplication_batch = 8;
+
+  /// Record a file-level access event for every launched map task, exposed
+  /// as a workload::AccessTrace after the run — the simulated counterpart
+  /// of the HDFS audit logs the paper analyzes in Section III.
+  bool record_access_trace = false;
+
+  /// --- speculative execution ----------------------------------------------
+  /// Hadoop-style backup tasks: once a job has no pending maps, a running
+  /// map whose age exceeds `speculation_threshold` times the job's mean
+  /// completed-map duration gets a duplicate attempt on a free slot; the
+  /// first attempt to finish wins and the other is killed.
+  bool enable_speculation = false;
+  double speculation_threshold = 1.7;
+  SimDuration speculation_check = from_seconds(1.0);
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace dare::cluster

@@ -1,0 +1,144 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dare {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto b = s.begin();
+  auto e = s.end();
+  while (b != e && std::isspace(static_cast<unsigned char>(*b))) ++b;
+  while (e != b && std::isspace(static_cast<unsigned char>(*(e - 1)))) --e;
+  return std::string(b, e);
+}
+
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("Config: missing '=' on line " +
+                                  std::to_string(line_no));
+    }
+    cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Config: cannot read file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_string(text.str());
+}
+
+Config Config::from_args(const std::vector<std::string>& args,
+                         std::vector<std::string>* positional) {
+  Config cfg;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      if (positional != nullptr) positional->push_back(arg);
+      continue;
+    }
+    cfg.set(trim(arg.substr(0, eq)), trim(arg.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("Config: empty key");
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return d;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not a double: " + *v);
+  }
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t i = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return i;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not an integer: " + *v);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  throw std::invalid_argument("Config: key '" + key +
+                              "' is not a boolean: " + *v);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+}  // namespace dare

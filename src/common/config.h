@@ -1,0 +1,56 @@
+// Minimal key=value configuration store with typed accessors.
+//
+// Mirrors Hadoop's `*-site.xml` role: the paper's patch adds three knobs
+// (p, threshold, budget); examples and benches parse overrides from the
+// command line (`key=value` tokens) or from a config file.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dare {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" lines; '#' starts a comment; blank lines ignored.
+  /// Throws std::invalid_argument on malformed lines.
+  static Config from_string(const std::string& text);
+
+  /// Parse a configuration file (same syntax as from_string).
+  /// Throws std::runtime_error if the file cannot be read.
+  static Config from_file(const std::string& path);
+
+  /// Parse argv-style "key=value" tokens (tokens without '=' are ignored and
+  /// returned so callers can treat them as positional arguments).
+  static Config from_args(const std::vector<std::string>& args,
+                          std::vector<std::string>* positional = nullptr);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but unparsable.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys in sorted order (for dumping effective configuration).
+  std::vector<std::string> keys() const;
+
+  /// Merge: values in `other` override values here.
+  void merge(const Config& other);
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dare

@@ -1,0 +1,54 @@
+#include "common/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dare {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (rows_ > 0 || header_written_) {
+    throw std::logic_error("CsvWriter: header after rows");
+  }
+  header_written_ = true;
+  write_cells(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double d : cells) {
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << d;
+    text.push_back(ss.str());
+  }
+  row(text);
+}
+
+}  // namespace dare

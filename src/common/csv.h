@@ -1,0 +1,38 @@
+// CSV emission for experiment results so figure series can be re-plotted
+// outside the harness. Handles quoting per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dare {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (caller keeps it alive).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emit a header row. May only be called before any data rows.
+  void header(const std::vector<std::string>& columns);
+
+  /// Emit a row of pre-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Emit a row of doubles with full round-trip precision.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Quote a single CSV field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace dare

@@ -1,0 +1,126 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dare {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  if (!(lo > 0.0) || !(hi > lo) || !(alpha > 0.0)) {
+    throw std::invalid_argument("BoundedPareto: need 0 < lo < hi, alpha > 0");
+  }
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse transform of the bounded Pareto CDF.
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return std::clamp(x, lo_, hi_);
+}
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma >= 0.0)) throw std::invalid_argument("Lognormal: sigma >= 0");
+}
+
+double Lognormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double Lognormal::mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2); }
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("DiscreteDistribution: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("DiscreteDistribution: zero total weight");
+  }
+  cdf_.resize(weights.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    run += weights[i] / total;
+    cdf_[i] = run;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+double DiscreteDistribution::cdf(std::size_t k) const {
+  if (cdf_.empty()) return 0.0;
+  return cdf_[std::min(k, cdf_.size() - 1)];
+}
+
+PiecewiseCdf::PiecewiseCdf(std::vector<Knot> knots) : knots_(std::move(knots)) {
+  if (knots_.size() < 2 || knots_.front().cum != 0.0 ||
+      knots_.back().cum != 1.0) {
+    throw std::invalid_argument(
+        "PiecewiseCdf: need >= 2 knots spanning cum 0..1");
+  }
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (!(knots_[i].cum > knots_[i - 1].cum) ||
+        !(knots_[i].value > knots_[i - 1].value)) {
+      throw std::invalid_argument("PiecewiseCdf: knots must be increasing");
+    }
+  }
+}
+
+double PiecewiseCdf::quantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  // Find the first knot with cum >= u and interpolate from its predecessor.
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), u,
+      [](const Knot& k, double p) { return k.cum < p; });
+  if (it == knots_.begin()) return knots_.front().value;
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double frac = (u - lo.cum) / (hi.cum - lo.cum);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+double PiecewiseCdf::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+}  // namespace dare

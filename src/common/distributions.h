@@ -1,0 +1,120 @@
+// Samplers for the heavy-tailed distributions the DARE paper relies on.
+//
+// Section III of the paper observes that file popularity in production
+// MapReduce clusters is heavy-tailed (Zipf-like), that ~80 % of a file's
+// accesses happen within its first day of life, and that access bursts are
+// concentrated in short windows. The workload generators reproduce these
+// shapes using the samplers below. Everything is implemented from scratch on
+// top of `Rng` so draws are identical across standard libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dare {
+
+/// Zipf(s, n) sampler over ranks {0, 1, .., n-1}; rank 0 is most popular.
+///
+/// P(rank = k) ∝ 1 / (k+1)^s. Uses a precomputed CDF with binary search —
+/// n in our workloads is at most a few thousand files, so O(n) setup and
+/// O(log n) sampling is the right trade-off (exact, no rejection loops).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Draw a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_ = 1.0;
+};
+
+/// Bounded Pareto sampler on [lo, hi] with shape alpha. Used for job input
+/// sizes: most jobs are small, a heavy tail of large jobs (SWIM / Facebook
+/// trace shape).
+class BoundedPareto {
+ public:
+  BoundedPareto(double lo, double hi, double alpha);
+
+  double sample(Rng& rng) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+/// Lognormal sampler parameterized by the mean/stddev of the *underlying*
+/// normal. Used for virtualization jitter (EC2 RTT tail, bandwidth noise).
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+
+  double sample(Rng& rng) const;
+
+  /// Mean of the lognormal itself: exp(mu + sigma^2/2).
+  double mean() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Discrete distribution over {0..n-1} given arbitrary non-negative weights.
+/// Backs the Fig. 6 empirical access CDF.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability of index k.
+  double pmf(std::size_t k) const;
+
+  /// Cumulative probability through index k (inclusive).
+  double cdf(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Piecewise-linear inverse-CDF sampler over continuous values. Constructed
+/// from (value, cumulative-probability) knots; used to reproduce the Fig. 3
+/// age-at-access CDF in the Yahoo-style trace generator.
+class PiecewiseCdf {
+ public:
+  struct Knot {
+    double value;  ///< sample value at this knot
+    double cum;    ///< cumulative probability in [0, 1], strictly increasing
+  };
+
+  /// Knots must start at cum=0, end at cum=1, and be strictly increasing in
+  /// both fields. Throws std::invalid_argument otherwise.
+  explicit PiecewiseCdf(std::vector<Knot> knots);
+
+  double sample(Rng& rng) const;
+
+  /// Inverse CDF: value at cumulative probability u in [0,1].
+  double quantile(double u) const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace dare

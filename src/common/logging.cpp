@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dare {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+struct Logger::Impl {
+  std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mutex;
+  Sink sink;
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  impl_->level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(impl_->level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->sink = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->sink) {
+    impl_->sink(level, message);
+  } else {
+    std::cerr << '[' << log_level_name(level) << "] " << message << '\n';
+  }
+}
+
+LogMessage::~LogMessage() {
+  Logger::instance().log(level_, stream_.str());
+}
+
+}  // namespace dare

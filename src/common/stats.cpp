@@ -1,0 +1,163 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dare {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return n_ ? min_ : 0.0; }
+
+double OnlineStats::max() const { return n_ ? max_ : 0.0; }
+
+double OnlineStats::cv() const {
+  return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+double coefficient_of_variation(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  // Population standard deviation: cv describes the realized placement, not
+  // an estimate of a wider population.
+  const double sd = std::sqrt(ss / static_cast<double>(values.size()));
+  return sd / std::abs(mean);
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::proportion(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_.at(i)) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+void EmpiricalCdf::add(double x) {
+  data_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  data_.insert(data_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (data_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(data_.begin(), data_.end(), x);
+  return static_cast<double>(it - data_.begin()) /
+         static_cast<double>(data_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (data_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data_[lo] + frac * (data_[hi] - data_[lo]);
+}
+
+const std::vector<double>& EmpiricalCdf::sorted_values() const {
+  ensure_sorted();
+  return data_;
+}
+
+SummaryRow summarize(const std::string& label,
+                     const std::vector<double>& values) {
+  OnlineStats st;
+  for (double v : values) st.add(v);
+  return SummaryRow{label, st.min(), st.mean(), st.max(), st.stddev()};
+}
+
+}  // namespace dare

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace dare {
+
+std::string fmt_fixed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_fixed(fraction * 100.0, precision) + "%";
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("AsciiTable: no columns");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_fixed(v, precision));
+  add_row(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  if (!title.empty()) out << title << '\n';
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << (i ? "  " : "") << std::left << std::setw(static_cast<int>(widths[i]))
+          << cells[i];
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (columns_.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void AsciiTable::to_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header(columns_);
+  for (const auto& row : rows_) csv.row(row);
+}
+
+}  // namespace dare

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer used by every bench binary to print the
+// paper's tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dare {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> columns);
+
+  /// Append a data row; must have exactly as many cells as columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render with aligned columns, a header separator, and an optional title.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  /// Emit the same data as CSV (header + rows), for re-plotting.
+  void to_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt_fixed(double value, int precision);
+
+/// Format a percentage (value in [0,1] -> "xx.x%").
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace dare

@@ -1,0 +1,95 @@
+#include "core/elephant_trap.h"
+
+namespace dare::core {
+
+ElephantTrapPolicy::ElephantTrapPolicy(storage::DataNode& node,
+                                       Bytes budget_bytes,
+                                       const ElephantTrapParams& params,
+                                       Rng& rng)
+    : node_(&node),
+      budget_(budget_bytes),
+      params_(params),
+      rng_(rng.fork()),
+      eviction_pointer_(ring_.end()) {}
+
+ElephantTrapPolicy::Ring::iterator ElephantTrapPolicy::advance(
+    Ring::iterator it) {
+  ++it;
+  return it == ring_.end() ? ring_.begin() : it;
+}
+
+std::uint64_t ElephantTrapPolicy::access_count(BlockId block) const {
+  const auto it = index_.find(block);
+  return it == index_.end() ? 0 : it->second->count;
+}
+
+bool ElephantTrapPolicy::mark_block_for_deletion(
+    const storage::BlockMeta& evicting) {
+  if (ring_.empty()) return false;
+  auto it = eviction_pointer_ == ring_.end() ? ring_.begin()
+                                             : eviction_pointer_;
+  // Walk the circular list halving counts (competitive aging) until a block
+  // has aged below the threshold or we have visited every entry once.
+  std::size_t steps = 0;
+  const std::size_t limit = ring_.size();
+  while (steps < limit && it->count >= params_.threshold) {
+    it->count /= 2;
+    it = advance(it);
+    ++steps;
+  }
+  if (it->count >= params_.threshold || it->block.file == evicting.file) {
+    // Couldn't find an evictable victim this time (every block is still hot,
+    // or the candidate shares the incoming block's popularity class).
+    eviction_pointer_ = it;
+    return false;
+  }
+  node_->mark_for_deletion(it->block.id);
+  index_.erase(it->block.id);
+  auto next = std::next(it);
+  ring_.erase(it);
+  eviction_pointer_ = ring_.empty()
+                          ? ring_.end()
+                          : (next == ring_.end() ? ring_.begin() : next);
+  return true;
+}
+
+bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
+                                     bool local) {
+  // The single coin gates everything: replication of non-local reads and
+  // count refreshes of local reads (probabilistic aging, Section IV-B).
+  if (!rng_.bernoulli(params_.p)) return false;
+
+  if (local) {
+    const auto it = index_.find(block.id);
+    if (it != index_.end()) ++it->second->count;
+    return false;
+  }
+
+  if (const auto it = index_.find(block.id); it != index_.end()) {
+    // Already trapped here (replica exists but was not yet visible to the
+    // scheduler); count the access instead of re-inserting.
+    ++it->second->count;
+    return false;
+  }
+  if (block.size > budget_) return false;
+
+  while (node_->dynamic_bytes() + block.size > budget_) {
+    if (!mark_block_for_deletion(block)) return false;
+  }
+  if (!node_->insert_dynamic(block)) return false;
+
+  // Insert right before the eviction pointer: the freshly trapped block is
+  // the last the aging scan will reach, giving it time to prove popularity.
+  Ring::iterator pos;
+  if (ring_.empty()) {
+    pos = ring_.insert(ring_.end(), Entry{block, 0});
+    eviction_pointer_ = pos;
+  } else {
+    pos = ring_.insert(eviction_pointer_, Entry{block, 0});
+  }
+  index_[block.id] = pos;
+  ++created_;
+  return true;
+}
+
+}  // namespace dare::core

@@ -1,0 +1,57 @@
+#include "core/greedy_lru.h"
+
+namespace dare::core {
+
+GreedyLruPolicy::GreedyLruPolicy(storage::DataNode& node, Bytes budget_bytes)
+    : node_(&node), budget_(budget_bytes) {}
+
+void GreedyLruPolicy::touch(BlockId block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.splice(order_.end(), order_, it->second);
+}
+
+bool GreedyLruPolicy::make_room(const storage::BlockMeta& incoming) {
+  // Rotating same-file victims to the MRU end is bounded: each pass either
+  // evicts or rotates, and we stop after examining every entry once.
+  std::size_t examined = 0;
+  const std::size_t limit = order_.size();
+  while (node_->dynamic_bytes() + incoming.size > budget_ &&
+         examined < limit) {
+    ++examined;
+    const storage::BlockMeta victim = order_.front();
+    if (victim.file == incoming.file) {
+      // Same popularity class as the incoming block — skip (Algorithm 1).
+      order_.splice(order_.end(), order_, order_.begin());
+      continue;
+    }
+    order_.pop_front();
+    index_.erase(victim.id);
+    node_->mark_for_deletion(victim.id);
+  }
+  return node_->dynamic_bytes() + incoming.size <= budget_;
+}
+
+bool GreedyLruPolicy::on_map_task(const storage::BlockMeta& block,
+                                  bool local) {
+  if (local) {
+    // The usage queue is refreshed on every read.
+    touch(block.id);
+    return false;
+  }
+  if (block.size > budget_) return false;  // can never fit
+  if (index_.count(block.id) != 0) {
+    // Already dynamically replicated here (e.g. replica not yet visible to
+    // the scheduler); just refresh its recency.
+    touch(block.id);
+    return false;
+  }
+  if (!make_room(block)) return false;
+  if (!node_->insert_dynamic(block)) return false;
+  order_.push_back(block);
+  index_[block.id] = std::prev(order_.end());
+  ++created_;
+  return true;
+}
+
+}  // namespace dare::core

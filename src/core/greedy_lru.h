@@ -1,0 +1,51 @@
+// Algorithm 1 of the paper: the greedy reactive scheme with LRU eviction.
+//
+// Every non-data-local map task triggers replication of its input block at
+// the fetching node. A usage-ordered queue (refreshed on every read) selects
+// LRU victims when the replication budget would be exceeded; victims
+// belonging to the same file as the incoming block are skipped (they share
+// its popularity, so evicting them would thrash). Victims are tombstoned for
+// lazy deletion by the data node.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/replication_policy.h"
+
+namespace dare::core {
+
+class GreedyLruPolicy final : public ReplicationPolicy {
+ public:
+  /// `node` must outlive the policy. `budget_bytes` caps the total size of
+  /// live dynamic replicas on this node.
+  GreedyLruPolicy(storage::DataNode& node, Bytes budget_bytes);
+
+  bool on_map_task(const storage::BlockMeta& block, bool local) override;
+
+  std::string name() const override { return "greedy-lru"; }
+  std::uint64_t replicas_created() const override { return created_; }
+
+  Bytes budget_bytes() const { return budget_; }
+  std::size_t tracked_blocks() const { return order_.size(); }
+
+ private:
+  /// Evict LRU victims until `incoming` fits in the budget. Same-file
+  /// victims are rotated to the MRU end rather than evicted. Returns false
+  /// when no eviction could free enough space (every candidate shares the
+  /// incoming block's file).
+  bool make_room(const storage::BlockMeta& incoming);
+
+  /// Move a block to the MRU end of the queue.
+  void touch(BlockId block);
+
+  storage::DataNode* node_;
+  Bytes budget_;
+  /// LRU queue: front = least recently used, back = most recently used.
+  std::list<storage::BlockMeta> order_;
+  std::unordered_map<BlockId, std::list<storage::BlockMeta>::iterator> index_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace dare::core

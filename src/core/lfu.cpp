@@ -1,0 +1,48 @@
+#include "core/lfu.h"
+
+namespace dare::core {
+
+GreedyLfuPolicy::GreedyLfuPolicy(storage::DataNode& node, Bytes budget_bytes)
+    : node_(&node), budget_(budget_bytes) {}
+
+std::uint64_t GreedyLfuPolicy::frequency(BlockId block) const {
+  const auto it = entries_.find(block);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+bool GreedyLfuPolicy::make_room(const storage::BlockMeta& incoming) {
+  while (node_->dynamic_bytes() + incoming.size > budget_) {
+    // Linear victim scan: the per-node dynamic set is small (budget-bounded),
+    // so O(n) keeps the structure simple and allocation-free.
+    const Entry* victim = nullptr;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.block.file == incoming.file) continue;
+      if (victim == nullptr || entry.count < victim->count ||
+          (entry.count == victim->count && entry.tie < victim->tie)) {
+        victim = &entry;
+      }
+    }
+    if (victim == nullptr) return false;
+    const BlockId victim_id = victim->block.id;
+    node_->mark_for_deletion(victim_id);
+    entries_.erase(victim_id);
+  }
+  return true;
+}
+
+bool GreedyLfuPolicy::on_map_task(const storage::BlockMeta& block,
+                                  bool local) {
+  if (const auto it = entries_.find(block.id); it != entries_.end()) {
+    ++it->second.count;
+    return false;
+  }
+  if (local) return false;
+  if (block.size > budget_) return false;
+  if (!make_room(block)) return false;
+  if (!node_->insert_dynamic(block)) return false;
+  entries_[block.id] = Entry{block, 1, tie_counter_++};
+  ++created_;
+  return true;
+}
+
+}  // namespace dare::core

@@ -1,0 +1,47 @@
+// Least-frequently-used eviction baseline (extension).
+//
+// Section IV of the paper notes that the choice between LRU and LFU "should
+// be made after profiling typical workloads"; the evaluation only ships LRU
+// and ElephantTrap. We provide greedy-LFU as an ablation so the bench suite
+// can quantify the gap: LFU keeps long-term-popular blocks but is slow to
+// evict formerly-hot data (no aging), which is exactly the failure mode the
+// ElephantTrap's competitive aging addresses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "core/replication_policy.h"
+
+namespace dare::core {
+
+class GreedyLfuPolicy final : public ReplicationPolicy {
+ public:
+  GreedyLfuPolicy(storage::DataNode& node, Bytes budget_bytes);
+
+  bool on_map_task(const storage::BlockMeta& block, bool local) override;
+
+  std::string name() const override { return "greedy-lfu"; }
+  std::uint64_t replicas_created() const override { return created_; }
+
+  std::size_t tracked_blocks() const { return entries_.size(); }
+  std::uint64_t frequency(BlockId block) const;
+
+ private:
+  struct Entry {
+    storage::BlockMeta block;
+    std::uint64_t count = 0;
+    std::uint64_t tie = 0;  ///< insertion order; older evicts first on ties
+  };
+
+  bool make_room(const storage::BlockMeta& incoming);
+
+  storage::DataNode* node_;
+  Bytes budget_;
+  std::unordered_map<BlockId, Entry> entries_;
+  std::uint64_t created_ = 0;
+  std::uint64_t tie_counter_ = 0;
+};
+
+}  // namespace dare::core

@@ -1,0 +1,46 @@
+// The per-node dynamic replication policy interface — the heart of DARE.
+//
+// One policy instance runs independently at each data node (the paper's key
+// architectural point: no central coordination, no extra network traffic).
+// The task runner notifies the policy whenever a map task is launched on the
+// node; for a non-data-local task the input block is streaming through the
+// node anyway, so the policy may capture it as a new dynamic replica,
+// evicting older replicas to stay within the replication budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "storage/block.h"
+#include "storage/datanode.h"
+
+namespace dare::core {
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  /// Called once per map task scheduled on this node.
+  /// `local` is true when the node already held a visible replica of
+  /// `block` (per name-node metadata). Returns true iff the policy created
+  /// a dynamic replica of `block` on this node.
+  virtual bool on_map_task(const storage::BlockMeta& block, bool local) = 0;
+
+  /// Human-readable policy name for result tables.
+  virtual std::string name() const = 0;
+
+  /// Dynamic replicas this policy created (for blocks-created-per-job).
+  virtual std::uint64_t replicas_created() const = 0;
+};
+
+/// Vanilla Hadoop: never replicates dynamically.
+class NullPolicy final : public ReplicationPolicy {
+ public:
+  bool on_map_task(const storage::BlockMeta&, bool) override { return false; }
+  std::string name() const override { return "vanilla"; }
+  std::uint64_t replicas_created() const override { return 0; }
+};
+
+}  // namespace dare::core

@@ -1,0 +1,57 @@
+#include "core/scarlett.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dare::core {
+
+ScarlettPlanner::ScarlettPlanner(const ScarlettParams& params)
+    : params_(params) {}
+
+void ScarlettPlanner::record_access(FileId file) { ++window_[file]; }
+
+std::uint64_t ScarlettPlanner::window_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, c] : window_) total += c;
+  return total;
+}
+
+std::vector<ReplicationOrder> ScarlettPlanner::plan_epoch(
+    Bytes budget_remaining,
+    const std::unordered_map<FileId, Bytes>& file_bytes,
+    const std::unordered_map<FileId, int>& current_replication) {
+  // Sort files by observed popularity, most accessed first.
+  std::vector<std::pair<FileId, std::uint64_t>> ranked(window_.begin(),
+                                                       window_.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  std::vector<ReplicationOrder> orders;
+  for (const auto& [file, accesses] : ranked) {
+    const auto bytes_it = file_bytes.find(file);
+    const auto repl_it = current_replication.find(file);
+    if (bytes_it == file_bytes.end() || repl_it == current_replication.end()) {
+      continue;
+    }
+    const int current = repl_it->second;
+    const int desired = std::min(
+        params_.max_replication,
+        current + static_cast<int>(std::ceil(
+                      static_cast<double>(accesses) /
+                      params_.accesses_per_replica)) -
+            1);
+    if (desired <= current) continue;
+    // Budget check: each extra replica of the file costs its full size.
+    const Bytes cost =
+        bytes_it->second * static_cast<Bytes>(desired - current);
+    if (cost > budget_remaining) continue;
+    budget_remaining -= cost;
+    orders.push_back(ReplicationOrder{file, current, desired});
+  }
+  window_.clear();
+  return orders;
+}
+
+}  // namespace dare::core

@@ -1,0 +1,51 @@
+#include "metrics/availability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dare::metrics {
+
+namespace {
+
+/// log C(n, k) via lgamma; exact enough for probabilities of interest.
+double log_choose(std::size_t n, std::size_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double block_loss_probability(std::size_t n, std::size_t r, std::size_t k) {
+  if (r == 0 || r > n) {
+    throw std::invalid_argument("block_loss_probability: need 0 < r <= n");
+  }
+  if (k > n) {
+    throw std::invalid_argument("block_loss_probability: need k <= n");
+  }
+  if (r > k) return 0.0;
+  // Choose the k failed nodes; the block is lost iff all r replica holders
+  // are among them: C(n-r, k-r) / C(n, k).
+  const double log_p = log_choose(n - r, k - r) - log_choose(n, k);
+  return std::exp(log_p);
+}
+
+AvailabilityReport availability_under_failures(
+    std::size_t nodes, const std::vector<std::size_t>& replica_counts,
+    std::size_t k) {
+  AvailabilityReport report;
+  report.nodes = nodes;
+  report.failed = k;
+  report.blocks = replica_counts.size();
+  double log_all_survive = 0.0;
+  for (std::size_t r : replica_counts) {
+    const double p = block_loss_probability(nodes, r, k);
+    report.expected_lost += p;
+    log_all_survive += std::log1p(-std::min(p, 1.0 - 1e-15));
+  }
+  report.any_loss_probability = 1.0 - std::exp(log_all_survive);
+  return report;
+}
+
+}  // namespace dare::metrics

@@ -1,0 +1,45 @@
+// Availability analysis (paper Section IV-B: "Replicas created by DARE are
+// first-order replicas and as such they also contribute to increasing
+// availability of the data in the presence of failures").
+//
+// Given the replica placement (how many copies each block has on how many
+// distinct nodes), computes the exact probability that a block becomes
+// unavailable when k uniformly-random distinct nodes fail simultaneously:
+//
+//   P(block with r replicas lost | k of N nodes fail) = C(N-r, k-r) / C(N, k)
+//
+// and aggregates the expected number of unavailable blocks. DARE replicas
+// raise r for popular blocks, so the expected loss drops most where it
+// hurts most.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::metrics {
+
+/// Exact P(all r replica nodes are within a uniformly-random failed set of
+/// size k out of n nodes). 0 when r > k; computed in log-space so large
+/// clusters do not overflow. Requires 0 < r <= n and 0 <= k <= n.
+double block_loss_probability(std::size_t n, std::size_t r, std::size_t k);
+
+struct AvailabilityReport {
+  std::size_t nodes = 0;
+  std::size_t failed = 0;       ///< the k this row was computed for
+  std::size_t blocks = 0;
+  double expected_lost = 0.0;   ///< expected unavailable blocks
+  double any_loss_probability = 0.0;  ///< P(at least one block lost),
+                                      ///< assuming block independence (an
+                                      ///< upper-bound style approximation)
+};
+
+/// Aggregate the per-block loss probabilities for a simultaneous failure of
+/// `k` random nodes. `replica_counts[i]` is the number of distinct nodes
+/// holding block i.
+AvailabilityReport availability_under_failures(
+    std::size_t nodes, const std::vector<std::size_t>& replica_counts,
+    std::size_t k);
+
+}  // namespace dare::metrics

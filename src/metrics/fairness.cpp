@@ -1,0 +1,44 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace dare::metrics {
+
+double jains_index(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+namespace {
+
+std::vector<double> slowdowns(const RunResult& result) {
+  std::vector<double> out;
+  out.reserve(result.jobs.size());
+  for (const auto& job : result.jobs) out.push_back(job.slowdown());
+  return out;
+}
+
+}  // namespace
+
+double slowdown_fairness(const RunResult& result) {
+  return jains_index(slowdowns(result));
+}
+
+double worst_case_slowdown_ratio(const RunResult& result) {
+  auto values = slowdowns(result);
+  if (values.empty()) return 0.0;
+  const double median = percentile(values, 50.0);
+  const double worst = *std::max_element(values.begin(), values.end());
+  return median > 0.0 ? worst / median : 0.0;
+}
+
+}  // namespace dare::metrics

@@ -1,0 +1,27 @@
+// Fairness metrics for comparing schedulers.
+//
+// The paper's wl2 was chosen *because* it favors the Fair scheduler: under
+// FIFO, small jobs queue behind periodic large scans and their slowdown
+// explodes. Jain's fairness index over per-job slowdowns quantifies this:
+// 1.0 means every job is slowed equally; 1/n means one job absorbs all the
+// suffering.
+#pragma once
+
+#include <vector>
+
+#include "metrics/run_metrics.h"
+
+namespace dare::metrics {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+/// Returns 0 for empty input or all-zero values.
+double jains_index(const std::vector<double>& values);
+
+/// Jain's index over the per-job slowdowns of a run.
+double slowdown_fairness(const RunResult& result);
+
+/// Max/median slowdown ratio — an intuitive "how badly is the worst job
+/// treated" complement to Jain's index. Returns 0 for empty input.
+double worst_case_slowdown_ratio(const RunResult& result);
+
+}  // namespace dare::metrics

@@ -1,0 +1,39 @@
+#include "metrics/locality_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dare::metrics {
+
+double expected_fifo_locality(const std::vector<double>& weights,
+                              const std::vector<std::size_t>& replicas,
+                              std::size_t workers) {
+  if (weights.size() != replicas.size()) {
+    throw std::invalid_argument("expected_fifo_locality: size mismatch");
+  }
+  if (workers == 0) {
+    throw std::invalid_argument("expected_fifo_locality: workers == 0");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("expected_fifo_locality: negative weight");
+    }
+    total += w;
+  }
+  if (total == 0.0) return 0.0;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    if (replicas[i] == 0) {
+      throw std::invalid_argument(
+          "expected_fifo_locality: accessed block with no replicas");
+    }
+    const double p = std::min(
+        1.0, static_cast<double>(replicas[i]) / static_cast<double>(workers));
+    expected += weights[i] / total * p;
+  }
+  return expected;
+}
+
+}  // namespace dare::metrics

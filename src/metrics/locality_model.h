@@ -1,0 +1,32 @@
+// First-principles model of FIFO map locality, used to cross-validate the
+// simulator against arithmetic that needs no event engine at all.
+//
+// Under a saturated FIFO cluster, the node that next frees a slot is
+// (approximately) uniform over the workers, and the head-of-line task runs
+// locally iff that node holds one of its block's r replicas:
+//
+//     P(local | block b) = min(1, r_b / workers)
+//     expected locality  = sum_b  w_b * min(1, r_b / workers)
+//
+// with w_b the fraction of map launches that read block b. Two bounds
+// bracket a DARE run: evaluating the model with the *initial* replica
+// counts (replication factor) lower-bounds measured locality, and with the
+// *final* counts (after dynamic replication) upper-bounds it — the run
+// itself interpolates, because replicas accumulate during it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dare::metrics {
+
+/// Expected FIFO locality given per-block access weights and replica
+/// counts. `weights` need not be normalized (they are internally); both
+/// vectors must have equal size. Returns 0 for empty input.
+/// Throws std::invalid_argument on size mismatch, workers == 0, negative
+/// weights, or a zero replica count with positive weight.
+double expected_fifo_locality(const std::vector<double>& weights,
+                              const std::vector<std::size_t>& replicas,
+                              std::size_t workers);
+
+}  // namespace dare::metrics

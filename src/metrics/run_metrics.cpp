@@ -1,0 +1,56 @@
+#include "metrics/run_metrics.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace dare::metrics {
+
+void finalize(RunResult& result, const std::vector<double>& map_times_s) {
+  std::size_t total_maps = 0;
+  std::size_t local_maps = 0;
+  std::size_t rack_maps = 0;
+  std::vector<double> turnarounds;
+  turnarounds.reserve(result.jobs.size());
+  double slowdown_sum = 0.0;
+  for (const auto& job : result.jobs) {
+    total_maps += job.maps;
+    local_maps += job.local_maps;
+    rack_maps += job.rack_local_maps;
+    turnarounds.push_back(job.turnaround_s());
+    slowdown_sum += job.slowdown();
+  }
+  result.locality = total_maps ? static_cast<double>(local_maps) /
+                                     static_cast<double>(total_maps)
+                               : 0.0;
+  result.rack_locality =
+      total_maps ? static_cast<double>(local_maps + rack_maps) /
+                       static_cast<double>(total_maps)
+                 : 0.0;
+  result.gmtt_s = geometric_mean(turnarounds);
+  result.mean_slowdown =
+      result.jobs.empty() ? 0.0
+                          : slowdown_sum / static_cast<double>(result.jobs.size());
+  OnlineStats map_stats;
+  for (double t : map_times_s) map_stats.add(t);
+  result.mean_map_time_s = map_stats.mean();
+  result.blocks_created_per_job =
+      result.jobs.empty()
+          ? 0.0
+          : static_cast<double>(result.dynamic_replicas_created) /
+                static_cast<double>(result.jobs.size());
+}
+
+double popularity_index(const std::vector<Bytes>& block_sizes,
+                        const std::vector<double>& block_popularity) {
+  if (block_sizes.size() != block_popularity.size()) {
+    throw std::invalid_argument("popularity_index: size mismatch");
+  }
+  double pi = 0.0;
+  for (std::size_t i = 0; i < block_sizes.size(); ++i) {
+    pi += static_cast<double>(block_sizes[i]) * block_popularity[i];
+  }
+  return pi;
+}
+
+}  // namespace dare::metrics

@@ -1,0 +1,96 @@
+// The paper's evaluation metrics (Section V-A).
+//
+//  * data locality       — fraction of map tasks launched on a node holding
+//                          their input block;
+//  * GMTT                — geometric mean of job turnaround times (Eq. 1);
+//  * slowdown            — turnaround / runtime on a dedicated cluster with
+//                          100 % locality (Feitelson & Rudolph);
+//  * popularity index cv — uniformity of replica placement (Fig. 11):
+//                          PI_i = sum over blocks j on node i of
+//                          blockSize_j * blockPopularity_j, summarized by
+//                          the coefficient of variation across nodes;
+//  * blocks created/job  — dynamic replication activity (Figs. 8, 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::metrics {
+
+struct JobMetrics {
+  JobId id = kInvalidJob;
+  SimTime arrival = 0;
+  SimTime completion = 0;
+  std::size_t maps = 0;
+  std::size_t local_maps = 0;
+  std::size_t rack_local_maps = 0;  ///< same rack, different node
+  /// Analytic runtime on a free cluster with perfect locality (slowdown
+  /// denominator).
+  double dedicated_runtime_s = 0.0;
+
+  double turnaround_s() const { return to_seconds(completion - arrival); }
+  double slowdown() const {
+    return dedicated_runtime_s > 0.0 ? turnaround_s() / dedicated_runtime_s
+                                     : 0.0;
+  }
+  double locality() const {
+    return maps ? static_cast<double>(local_maps) /
+                      static_cast<double>(maps)
+                : 0.0;
+  }
+};
+
+struct RunResult {
+  std::vector<JobMetrics> jobs;
+
+  /// Cluster-wide map locality: node-local maps / all maps.
+  double locality = 0.0;
+  /// Node-local or rack-local maps / all maps (>= locality).
+  double rack_locality = 0.0;
+  /// Geometric mean turnaround time, seconds.
+  double gmtt_s = 0.0;
+  /// Mean slowdown across jobs.
+  double mean_slowdown = 0.0;
+  /// Mean map-task completion time, seconds (Section V-C).
+  double mean_map_time_s = 0.0;
+
+  /// Dynamic replication activity.
+  std::uint64_t dynamic_replicas_created = 0;
+  std::uint64_t dynamic_replica_disk_writes = 0;  ///< thrashing metric
+  double blocks_created_per_job = 0.0;
+  /// Bytes explicitly pushed over the network by proactive (Scarlett-style)
+  /// replication; always 0 for DARE, which piggybacks on task reads.
+  std::uint64_t proactive_replication_bytes = 0;
+
+  /// Fault-tolerance accounting (only nonzero when failures are injected).
+  std::uint64_t task_reexecutions = 0;   ///< tasks requeued after node loss
+  std::uint64_t rereplicated_blocks = 0; ///< name-node repair copies made
+  std::uint64_t blocks_lost = 0;         ///< blocks left with no live replica
+
+  /// Speculative-execution accounting (only nonzero when enabled).
+  std::uint64_t speculative_launched = 0;  ///< backup attempts started
+  std::uint64_t speculative_wins = 0;      ///< backups that finished first
+  std::uint64_t speculative_killed = 0;    ///< attempts cancelled by a winner
+
+  /// Fig. 11 uniformity: cv of node popularity indices with the initial
+  /// (static) placement and with the final placement.
+  double cv_before = 0.0;
+  double cv_after = 0.0;
+
+  /// Wall-clock sanity data.
+  SimTime makespan = 0;
+};
+
+/// Fill the aggregate fields of `result` from its per-job entries plus the
+/// provided counters. `map_times_s` holds every map task's duration.
+void finalize(RunResult& result, const std::vector<double>& map_times_s);
+
+/// Popularity index of one node: sum over its blocks of size * popularity.
+/// `block_sizes` and `block_popularity` are parallel arrays indexed by the
+/// node's block list.
+double popularity_index(const std::vector<Bytes>& block_sizes,
+                        const std::vector<double>& block_popularity);
+
+}  // namespace dare::metrics

@@ -1,0 +1,77 @@
+#include "net/measurement.h"
+
+#include <algorithm>
+
+namespace dare::net {
+
+std::vector<double> ping_all_pairs(Network& network,
+                                   std::size_t pings_per_pair) {
+  std::vector<double> samples;
+  const auto n = network.topology().node_count();
+  samples.reserve(n * (n - 1) * pings_per_pair);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (std::size_t k = 0; k < pings_per_pair; ++k) {
+        samples.push_back(network.sample_rtt_ms(static_cast<NodeId>(a),
+                                                static_cast<NodeId>(b)));
+      }
+    }
+  }
+  return samples;
+}
+
+double sample_disk_mbps(const DiskProfile& disk, Rng& rng) {
+  double mbps;
+  if (rng.bernoulli(disk.burst_probability)) {
+    mbps = rng.uniform(disk.burst_min, disk.burst_max);
+  } else {
+    mbps = rng.normal(disk.mean, disk.stddev);
+  }
+  return std::clamp(mbps, disk.floor, disk.ceiling);
+}
+
+std::vector<double> disk_bandwidth_samples(const ClusterProfile& profile,
+                                           std::size_t nodes,
+                                           std::size_t samples_per_node,
+                                           Rng& rng) {
+  std::vector<double> samples;
+  samples.reserve(nodes * samples_per_node);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t k = 0; k < samples_per_node; ++k) {
+      samples.push_back(sample_disk_mbps(profile.disk, rng));
+    }
+  }
+  return samples;
+}
+
+std::vector<double> iperf_samples(Network& network, std::size_t pairs,
+                                  Rng& rng) {
+  std::vector<double> samples;
+  samples.reserve(pairs);
+  const auto n = network.topology().node_count();
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(n));
+    NodeId b = a;
+    while (b == a) b = static_cast<NodeId>(rng.uniform_int(n));
+    const BytesPerSec bw = network.sample_path_bandwidth(a, b);
+    samples.push_back(bw / static_cast<double>(kMiB));
+  }
+  return samples;
+}
+
+std::vector<double> hop_count_distribution(const Topology& topology,
+                                           int max_hops) {
+  std::vector<double> proportions(static_cast<std::size_t>(max_hops) + 1, 0.0);
+  const auto hops = topology.all_pair_hops();
+  if (hops.empty()) return proportions;
+  for (int h : hops) {
+    const auto idx =
+        static_cast<std::size_t>(std::clamp(h, 0, max_hops));
+    proportions[idx] += 1.0;
+  }
+  for (auto& p : proportions) p /= static_cast<double>(hops.size());
+  return proportions;
+}
+
+}  // namespace dare::net

@@ -1,0 +1,42 @@
+// Measurement campaigns reproducing the paper's Section II substrate
+// characterization: all-to-all ping (Table I), hdparm-style disk reads and
+// iperf-style pairwise transfers (Table II), and hop-count distribution
+// (Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/profile.h"
+
+namespace dare::net {
+
+/// All-to-all ping: `pings_per_pair` RTT samples for every ordered pair of
+/// distinct nodes. Returns every sample in ms.
+std::vector<double> ping_all_pairs(Network& network,
+                                   std::size_t pings_per_pair = 3);
+
+/// hdparm-style buffered disk read benchmark: `samples_per_node` timed reads
+/// on every node. Returns MB/s samples.
+std::vector<double> disk_bandwidth_samples(const ClusterProfile& profile,
+                                           std::size_t nodes,
+                                           std::size_t samples_per_node,
+                                           Rng& rng);
+
+/// iperf-style pairwise bandwidth: one long uncontended transfer per sampled
+/// pair. Returns MB/s samples.
+std::vector<double> iperf_samples(Network& network, std::size_t pairs,
+                                  Rng& rng);
+
+/// Histogram of hop counts over all unordered node pairs; index = hop count,
+/// value = proportion of pairs (Fig. 1).
+std::vector<double> hop_count_distribution(const Topology& topology,
+                                           int max_hops = 10);
+
+/// Sample a single disk read bandwidth in MB/s from a profile's disk model.
+double sample_disk_mbps(const DiskProfile& disk, Rng& rng);
+
+}  // namespace dare::net

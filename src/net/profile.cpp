@@ -1,0 +1,88 @@
+#include "net/profile.h"
+
+#include <algorithm>
+
+namespace dare::net {
+
+ClusterProfile cct_profile(std::size_t nodes) {
+  ClusterProfile p;
+  p.name = "cct";
+  p.topology.kind = TopologyKind::kSingleRack;
+  p.topology.nodes = nodes;
+  p.topology.racks = 1;
+
+  // RTT: mean 0.18 ms, occasional ~2 ms outliers from switch queueing.
+  p.latency.per_hop_ms = 0.03;
+  p.latency.base_ms = 0.01;
+  p.latency.jitter_mu = -2.2;   // lognormal median ~0.11 ms
+  p.latency.jitter_sigma = 0.9;
+  p.latency.spike_probability = 0.0015;
+  p.latency.spike_min_ms = 1.0;
+  p.latency.spike_max_ms = 2.2;
+
+  // Gigabit Ethernet close to line rate, very low dispersion.
+  p.bandwidth.mean = 117.5;
+  p.bandwidth.stddev = 0.6;
+  p.bandwidth.floor = 114.0;
+  p.bandwidth.ceiling = 118.0;
+  p.bandwidth.degraded_probability = 0.0;
+  p.bandwidth.cross_pod_penalty = 1.0;
+
+  // Dedicated SATA arrays: tight distribution around 157.8 MB/s.
+  p.disk.mean = 157.8;
+  p.disk.stddev = 6.0;
+  p.disk.floor = 145.0;
+  p.disk.ceiling = 167.0;
+  p.disk.burst_probability = 0.0;
+  return p;
+}
+
+ClusterProfile ec2_profile(std::size_t nodes) {
+  ClusterProfile p;
+  p.name = "ec2";
+  p.topology.kind = TopologyKind::kMultiTier;
+  p.topology.nodes = nodes;
+  // Providers scatter an allocation widely: roughly one rack per two nodes.
+  // Most racks share one aggregation pod, with a small spill-over pod —
+  // this makes 4 hops the robust mode of the pair distance distribution
+  // while keeping a minority of 5-hop (cross-pod) pairs, matching Fig. 1.
+  p.topology.racks = nodes / 2 + 1;
+  p.topology.racks_per_pod = std::max<std::size_t>(2, p.topology.racks - 1);
+
+  // RTT: mean 0.77 ms with a heavy tail up to ~75 ms caused by hypervisor
+  // processor sharing (Wang & Ng, INFOCOM'10).
+  p.latency.per_hop_ms = 0.08;
+  p.latency.base_ms = 0.02;
+  p.latency.jitter_mu = -1.2;   // lognormal median ~0.3 ms
+  p.latency.jitter_sigma = 1.1;
+  p.latency.spike_probability = 0.004;
+  p.latency.spike_min_ms = 10.0;
+  p.latency.spike_max_ms = 75.0;
+
+  // Shared NICs: mean 73.2 MB/s, large dispersion, occasional badly shared
+  // pairs down to ~6 MB/s.
+  p.bandwidth.mean = 78.0;
+  p.bandwidth.stddev = 13.0;
+  p.bandwidth.floor = 5.8;
+  p.bandwidth.ceiling = 109.9;
+  p.bandwidth.degraded_probability = 0.03;
+  p.bandwidth.degraded_min = 5.8;
+  p.bandwidth.degraded_max = 30.0;
+  p.bandwidth.cross_pod_penalty = 0.9;
+  // With ~2 instances per rack, an oversubscribed uplink binds only when
+  // several cross-rack reads pile onto the same rack at once.
+  p.bandwidth.rack_uplink_mbps = 250.0;
+
+  // Instance store disks: mean 141.5 MB/s but huge variance — bursts up to
+  // ~358 MB/s when no co-tenant is using the spindle.
+  p.disk.mean = 125.0;
+  p.disk.stddev = 35.0;
+  p.disk.floor = 67.1;
+  p.disk.ceiling = 357.9;
+  p.disk.burst_probability = 0.08;
+  p.disk.burst_min = 250.0;
+  p.disk.burst_max = 357.9;
+  return p;
+}
+
+}  // namespace dare::net

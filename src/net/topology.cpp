@@ -1,0 +1,72 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace dare::net {
+
+Topology::Topology(const TopologyOptions& options, Rng& rng)
+    : kind_(options.kind),
+      racks_(options.kind == TopologyKind::kSingleRack ? 1 : options.racks),
+      racks_per_pod_(options.racks_per_pod) {
+  if (options.nodes == 0) {
+    throw std::invalid_argument("Topology: need at least one node");
+  }
+  if (kind_ == TopologyKind::kMultiTier && racks_ == 0) {
+    throw std::invalid_argument("Topology: multi-tier needs racks > 0");
+  }
+  if (racks_per_pod_ == 0) {
+    throw std::invalid_argument("Topology: racks_per_pod must be > 0");
+  }
+  rack_of_.resize(options.nodes);
+  if (kind_ == TopologyKind::kSingleRack) {
+    for (auto& r : rack_of_) r = 0;
+  } else {
+    for (auto& r : rack_of_) {
+      r = static_cast<RackId>(rng.uniform_int(racks_));
+    }
+  }
+}
+
+void Topology::check_node(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= rack_of_.size()) {
+    throw std::out_of_range("Topology: bad node id");
+  }
+}
+
+RackId Topology::rack_of(NodeId node) const {
+  check_node(node);
+  return rack_of_[static_cast<std::size_t>(node)];
+}
+
+bool Topology::same_rack(NodeId a, NodeId b) const {
+  return rack_of(a) == rack_of(b);
+}
+
+int Topology::hops(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return 0;
+  if (kind_ == TopologyKind::kSingleRack) return 1;
+  const RackId ra = rack_of_[static_cast<std::size_t>(a)];
+  const RackId rb = rack_of_[static_cast<std::size_t>(b)];
+  if (ra == rb) return 1;
+  const auto pod_a = static_cast<std::size_t>(ra) / racks_per_pod_;
+  const auto pod_b = static_cast<std::size_t>(rb) / racks_per_pod_;
+  // Up through ToR + aggregation and back down: 4 router hops within a pod,
+  // one more through the core across pods.
+  return pod_a == pod_b ? 4 : 5;
+}
+
+std::vector<int> Topology::all_pair_hops() const {
+  std::vector<int> out;
+  const auto n = rack_of_.size();
+  out.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out.push_back(hops(static_cast<NodeId>(i), static_cast<NodeId>(j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace dare::net

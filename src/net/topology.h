@@ -1,0 +1,65 @@
+// Cluster topology: which rack each node lives in and router-hop distances
+// between node pairs.
+//
+// Two shapes matter for the paper:
+//  * Dedicated single-rack cluster (CCT): every pair is 1 hop apart through
+//    the top-of-rack switch.
+//  * Virtualized public cloud (EC2): instances are scattered across racks and
+//    aggregation pods by the provider; Fig. 1 of the paper shows most pairs
+//    of a 20-node allocation are 4 hops apart. We model a three-tier tree
+//    (ToR -> aggregation -> core) with randomized instance placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dare::net {
+
+enum class TopologyKind {
+  kSingleRack,  ///< dedicated cluster, one rack
+  kMultiTier,   ///< cloud-style: racks grouped into aggregation pods
+};
+
+struct TopologyOptions {
+  TopologyKind kind = TopologyKind::kSingleRack;
+  std::size_t nodes = 20;
+  /// Multi-tier only: how many racks instances are scattered over.
+  std::size_t racks = 1;
+  /// Multi-tier only: racks per aggregation pod.
+  std::size_t racks_per_pod = 4;
+};
+
+class Topology {
+ public:
+  /// Build a topology; multi-tier placement is randomized via `rng`
+  /// (every node is assigned a uniformly random rack, mimicking an IaaS
+  /// provider spreading an allocation for availability).
+  Topology(const TopologyOptions& options, Rng& rng);
+
+  std::size_t node_count() const { return rack_of_.size(); }
+  std::size_t rack_count() const { return racks_; }
+
+  RackId rack_of(NodeId node) const;
+  bool same_rack(NodeId a, NodeId b) const;
+
+  /// Router hops between two nodes (0 for a node to itself).
+  /// Single rack: 1. Multi-tier: 1 within a rack, 4 across racks within a
+  /// pod, 5 across pods — matching the Fig. 1 mode at 4 hops.
+  int hops(NodeId a, NodeId b) const;
+
+  /// All distinct unordered pairs' hop counts (for the Fig. 1 histogram).
+  std::vector<int> all_pair_hops() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  TopologyKind kind_;
+  std::size_t racks_ = 1;
+  std::size_t racks_per_pod_ = 4;
+  std::vector<RackId> rack_of_;
+};
+
+}  // namespace dare::net

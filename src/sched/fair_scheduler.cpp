@@ -1,0 +1,80 @@
+#include "sched/fair_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dare::sched {
+
+FairScheduler::FairScheduler(SimDuration node_delay, SimDuration rack_delay)
+    : node_delay_(node_delay), rack_delay_(rack_delay) {
+  if (node_delay < 0 || rack_delay < 0) {
+    throw std::invalid_argument("FairScheduler: delays must be >= 0");
+  }
+}
+
+FairScheduler::FairScheduler(SimDuration delay)
+    : FairScheduler(delay, delay) {}
+
+std::optional<MapSelection> FairScheduler::select_map(
+    NodeId node, SimTime now, JobTable& jobs, const BlockLocator& locator) {
+  // Fair ordering: smallest weighted share (running maps / weight) first;
+  // arrival order breaks ties (active_jobs() is already in arrival order,
+  // stable_sort preserves it).
+  std::vector<JobId> order;
+  for (JobId id : jobs.active_jobs()) {
+    if (!jobs.job(id).pending_maps.empty()) order.push_back(id);
+  }
+  const auto share = [&jobs](JobId id) {
+    const JobRuntime& rt = jobs.job(id);
+    const double weight = rt.spec.weight > 0.0 ? rt.spec.weight : 1.0;
+    return static_cast<double>(rt.running_maps) / weight;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    return share(a) < share(b);
+  });
+
+  for (JobId id : order) {
+    JobRuntime& rt = jobs.job(id);
+    if (const auto local = jobs.find_local_map(id, node, locator)) {
+      rt.waiting_since = kTimeNever;
+      return MapSelection{id, *local, Locality::kNodeLocal};
+    }
+    if (rt.waiting_since == kTimeNever) {
+      // First declined opportunity: start the delay clock.
+      rt.waiting_since = now;
+      if (node_delay_ > 0) continue;
+    }
+    const SimDuration waited = now - rt.waiting_since;
+    if (waited >= node_delay_) {
+      // Level-1 delay expired: a rack-local launch is acceptable.
+      if (const auto rack = jobs.find_rack_local_map(id, node, locator)) {
+        rt.waiting_since = kTimeNever;
+        return MapSelection{id, *rack, Locality::kRackLocal};
+      }
+      if (waited >= node_delay_ + rack_delay_) {
+        // Level-2 delay expired too: launch anywhere rather than starve.
+        rt.waiting_since = kTimeNever;
+        const auto any = jobs.find_any_map(id);
+        return MapSelection{id, *any, Locality::kOffRack};
+      }
+    }
+    // Still within a delay window: skip this job, try the next.
+  }
+  return std::nullopt;
+}
+
+std::optional<JobId> FairScheduler::select_reduce(JobTable& jobs) {
+  // Fewest running reduces first among jobs with launchable reduces.
+  std::optional<JobId> best;
+  for (JobId id : jobs.active_jobs()) {
+    const JobRuntime& rt = jobs.job(id);
+    if (!rt.maps_done() || rt.pending_reduces == 0) continue;
+    if (!best || rt.running_reduces < jobs.job(*best).running_reduces) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace dare::sched

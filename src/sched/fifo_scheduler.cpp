@@ -1,0 +1,33 @@
+#include "sched/fifo_scheduler.h"
+
+namespace dare::sched {
+
+std::optional<MapSelection> FifoScheduler::select_map(
+    NodeId node, SimTime /*now*/, JobTable& jobs,
+    const BlockLocator& locator) {
+  for (JobId id : jobs.active_jobs()) {
+    const JobRuntime& rt = jobs.job(id);
+    if (rt.pending_maps.empty()) continue;
+    // Hadoop's tiered preference within the head job: node-local, then
+    // rack-local, then any — but never wait.
+    if (const auto local = jobs.find_local_map(id, node, locator)) {
+      return MapSelection{id, *local, Locality::kNodeLocal};
+    }
+    if (const auto rack = jobs.find_rack_local_map(id, node, locator)) {
+      return MapSelection{id, *rack, Locality::kRackLocal};
+    }
+    const auto any = jobs.find_any_map(id);
+    return MapSelection{id, *any, Locality::kOffRack};
+  }
+  return std::nullopt;
+}
+
+std::optional<JobId> FifoScheduler::select_reduce(JobTable& jobs) {
+  for (JobId id : jobs.active_jobs()) {
+    const JobRuntime& rt = jobs.job(id);
+    if (rt.maps_done() && rt.pending_reduces > 0) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dare::sched

@@ -1,0 +1,34 @@
+// MapReduce job and task specifications.
+//
+// A job reads one input file; it has one map task per input block (HDFS
+// granularity) and a configurable number of reduce tasks that start once all
+// maps have finished (no slow-start, as in the paper's Hadoop 0.21 setup the
+// map phase dominates the locality story).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::sched {
+
+struct MapTaskSpec {
+  BlockId block = kInvalidBlock;  ///< input block (locality unit)
+  Bytes bytes = 0;                ///< input size (== block size)
+  SimDuration cpu = 0;            ///< pure compute time of the map function
+};
+
+struct JobSpec {
+  JobId id = kInvalidJob;
+  SimTime arrival = 0;
+  FileId input_file = kInvalidFile;
+  std::vector<MapTaskSpec> maps;
+  std::size_t reduces = 1;
+  SimDuration reduce_cpu = 0;     ///< compute time per reduce task
+  Bytes shuffle_bytes = 0;        ///< total map-output bytes shuffled
+  /// Fair-scheduler share weight (Hadoop pools): a weight-2 job is entitled
+  /// to twice the running tasks of a weight-1 job. Ignored by FIFO.
+  double weight = 1.0;
+};
+
+}  // namespace dare::sched

@@ -1,0 +1,179 @@
+#include "sched/job_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dare::sched {
+
+void JobTable::add_job(const JobSpec& spec) {
+  if (spec.id == kInvalidJob) {
+    throw std::invalid_argument("JobTable: job needs a valid id");
+  }
+  if (jobs_.count(spec.id)) {
+    throw std::logic_error("JobTable: duplicate job id");
+  }
+  if (spec.maps.empty()) {
+    throw std::invalid_argument("JobTable: job needs at least one map task");
+  }
+  JobRuntime rt;
+  rt.spec = spec;
+  rt.pending_maps.resize(spec.maps.size());
+  for (std::size_t i = 0; i < spec.maps.size(); ++i) rt.pending_maps[i] = i;
+  rt.pending_reduces = spec.reduces;
+  total_pending_maps_ += rt.pending_maps.size();
+  total_pending_reduces_ += rt.pending_reduces;
+  jobs_.emplace(spec.id, std::move(rt));
+  order_.push_back(spec.id);
+  active_.push_back(spec.id);
+}
+
+JobRuntime& JobTable::job(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobTable: unknown job");
+  return it->second;
+}
+
+const JobRuntime& JobTable::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobTable: unknown job");
+  return it->second;
+}
+
+bool JobTable::has_job(JobId id) const { return jobs_.count(id) != 0; }
+
+std::optional<std::size_t> JobTable::find_local_map(
+    JobId id, NodeId node, const BlockLocator& locator) const {
+  const JobRuntime& rt = job(id);
+  for (std::size_t i = 0; i < rt.pending_maps.size(); ++i) {
+    const MapTaskSpec& task = rt.spec.maps[rt.pending_maps[i]];
+    if (locator.is_local(node, task.block)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> JobTable::find_rack_local_map(
+    JobId id, NodeId node, const BlockLocator& locator) const {
+  const JobRuntime& rt = job(id);
+  for (std::size_t i = 0; i < rt.pending_maps.size(); ++i) {
+    const MapTaskSpec& task = rt.spec.maps[rt.pending_maps[i]];
+    if (locator.is_rack_local(node, task.block)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> JobTable::find_any_map(JobId id) const {
+  const JobRuntime& rt = job(id);
+  if (rt.pending_maps.empty()) return std::nullopt;
+  return 0;
+}
+
+std::size_t JobTable::launch_map(JobId id, std::size_t pending_index,
+                                 Locality locality) {
+  JobRuntime& rt = job(id);
+  if (pending_index >= rt.pending_maps.size()) {
+    throw std::out_of_range("JobTable: bad pending map index");
+  }
+  const std::size_t map_index = rt.pending_maps[pending_index];
+  // Swap-erase: pending order is not semantically meaningful.
+  rt.pending_maps[pending_index] = rt.pending_maps.back();
+  rt.pending_maps.pop_back();
+  ++rt.running_maps;
+  switch (locality) {
+    case Locality::kNodeLocal:
+      ++rt.local_launches;
+      break;
+    case Locality::kRackLocal:
+      ++rt.rack_local_launches;
+      break;
+    case Locality::kOffRack:
+      ++rt.remote_launches;
+      break;
+  }
+  --total_pending_maps_;
+  ++total_running_;
+  return map_index;
+}
+
+void JobTable::requeue_running_map(JobId id, std::size_t map_index,
+                                   Locality locality) {
+  JobRuntime& rt = job(id);
+  if (rt.running_maps == 0) {
+    throw std::logic_error("JobTable: requeue_running_map with none running");
+  }
+  if (map_index >= rt.spec.maps.size()) {
+    throw std::out_of_range("JobTable: bad map index");
+  }
+  --rt.running_maps;
+  rt.pending_maps.push_back(map_index);
+  switch (locality) {
+    case Locality::kNodeLocal:
+      --rt.local_launches;
+      break;
+    case Locality::kRackLocal:
+      --rt.rack_local_launches;
+      break;
+    case Locality::kOffRack:
+      --rt.remote_launches;
+      break;
+  }
+  ++total_pending_maps_;
+  --total_running_;
+}
+
+void JobTable::requeue_running_reduce(JobId id) {
+  JobRuntime& rt = job(id);
+  if (rt.running_reduces == 0) {
+    throw std::logic_error(
+        "JobTable: requeue_running_reduce with none running");
+  }
+  --rt.running_reduces;
+  ++rt.pending_reduces;
+  ++total_pending_reduces_;
+  --total_running_;
+}
+
+void JobTable::complete_map(JobId id, SimTime now) {
+  JobRuntime& rt = job(id);
+  if (rt.running_maps == 0) {
+    throw std::logic_error("JobTable: complete_map with none running");
+  }
+  --rt.running_maps;
+  ++rt.completed_maps;
+  --total_running_;
+  if (rt.spec.reduces == 0 && rt.done()) {
+    rt.completion = now;
+    const auto it = std::find(active_.begin(), active_.end(), id);
+    if (it != active_.end()) active_.erase(it);
+  }
+}
+
+void JobTable::launch_reduce(JobId id) {
+  JobRuntime& rt = job(id);
+  if (!rt.maps_done()) {
+    throw std::logic_error("JobTable: reduce before maps finished");
+  }
+  if (rt.pending_reduces == 0) {
+    throw std::logic_error("JobTable: no pending reduces");
+  }
+  --rt.pending_reduces;
+  ++rt.running_reduces;
+  --total_pending_reduces_;
+  ++total_running_;
+}
+
+void JobTable::complete_reduce(JobId id, SimTime now) {
+  JobRuntime& rt = job(id);
+  if (rt.running_reduces == 0) {
+    throw std::logic_error("JobTable: complete_reduce with none running");
+  }
+  --rt.running_reduces;
+  ++rt.completed_reduces;
+  --total_running_;
+  if (rt.done()) {
+    rt.completion = now;
+    const auto it = std::find(active_.begin(), active_.end(), id);
+    if (it != active_.end()) active_.erase(it);
+  }
+}
+
+}  // namespace dare::sched

@@ -1,0 +1,140 @@
+// Runtime state of all submitted jobs: the JobTracker's bookkeeping.
+//
+// The schedulers (FIFO / Fair) are pure selection strategies over this
+// table; launching, completion, and metric accounting mutate it through the
+// methods below so invariants (pending + running + completed == total) hold
+// by construction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/job.h"
+
+namespace dare::sched {
+
+/// Oracle answering "does `node` hold a visible replica of `block`?" and
+/// "is a replica of `block` in the same rack as `node`?".
+/// Backed by the name node + topology in production; fakeable in tests.
+class BlockLocator {
+ public:
+  virtual ~BlockLocator() = default;
+  virtual bool is_local(NodeId node, BlockId block) const = 0;
+  /// Rack locality; single-rack topologies return true for every block.
+  /// Default: no rack information (everything off-rack unless node-local).
+  virtual bool is_rack_local(NodeId node, BlockId block) const {
+    return is_local(node, block);
+  }
+};
+
+/// How close a launched map task is to its input data — Hadoop's three
+/// locality tiers.
+enum class Locality { kNodeLocal, kRackLocal, kOffRack };
+
+struct JobRuntime {
+  JobSpec spec;
+
+  /// Indices into spec.maps still waiting to launch.
+  std::vector<std::size_t> pending_maps;
+  std::size_t running_maps = 0;
+  std::size_t completed_maps = 0;
+
+  std::size_t pending_reduces = 0;
+  std::size_t running_reduces = 0;
+  std::size_t completed_reduces = 0;
+
+  SimTime completion = kTimeNever;
+
+  /// Locality accounting per tier.
+  std::size_t local_launches = 0;       ///< node-local
+  std::size_t rack_local_launches = 0;  ///< same rack, different node
+  std::size_t remote_launches = 0;      ///< off-rack
+
+  /// Delay-scheduling state (Fair scheduler): when the job first declined a
+  /// scheduling opportunity waiting for locality; kTimeNever when it is not
+  /// currently waiting.
+  SimTime waiting_since = kTimeNever;
+
+  bool maps_done() const {
+    return pending_maps.empty() && running_maps == 0;
+  }
+  bool reduces_done() const {
+    return completed_reduces == spec.reduces;
+  }
+  bool done() const { return maps_done() && reduces_done(); }
+  std::size_t total_maps() const { return spec.maps.size(); }
+};
+
+class JobTable {
+ public:
+  /// Register an arrived job; its maps become pending, reduces blocked.
+  void add_job(const JobSpec& spec);
+
+  JobRuntime& job(JobId id);
+  const JobRuntime& job(JobId id) const;
+  bool has_job(JobId id) const;
+
+  /// Ids of jobs not yet complete, in arrival (submission) order.
+  const std::vector<JobId>& active_jobs() const { return active_; }
+
+  /// Ids of all jobs ever submitted, in arrival order.
+  const std::vector<JobId>& all_jobs() const { return order_; }
+
+  /// Find a pending map of `job` whose block is local to `node`.
+  std::optional<std::size_t> find_local_map(JobId job, NodeId node,
+                                            const BlockLocator& locator) const;
+
+  /// Find a pending map of `job` whose block has a replica in `node`'s rack
+  /// (not necessarily on the node itself).
+  std::optional<std::size_t> find_rack_local_map(
+      JobId job, NodeId node, const BlockLocator& locator) const;
+
+  /// Any pending map of `job` (the first pending one).
+  std::optional<std::size_t> find_any_map(JobId job) const;
+
+  /// --- state transitions ------------------------------------------------
+  /// Launch pending map `pending_index` (an index into pending_maps, not
+  /// into spec.maps). Returns the spec.maps index launched.
+  std::size_t launch_map(JobId job, std::size_t pending_index,
+                         Locality locality);
+
+  /// A running map failed (its node died): put it back in the pending set
+  /// and undo its locality accounting contribution.
+  void requeue_running_map(JobId job, std::size_t map_index,
+                           Locality locality);
+
+  /// A running reduce failed: back to pending.
+  void requeue_running_reduce(JobId job);
+
+  /// A running map finished. Jobs with zero reduces complete when their
+  /// last map does.
+  void complete_map(JobId job, SimTime now);
+
+  /// Launch one reduce. Requires maps_done() and pending_reduces > 0.
+  void launch_reduce(JobId job);
+
+  /// A running reduce finished; when the job completes, record the time and
+  /// retire it from the active list.
+  void complete_reduce(JobId job, SimTime now);
+
+  /// --- aggregates ---------------------------------------------------------
+  std::size_t total_pending_maps() const { return total_pending_maps_; }
+  std::size_t total_pending_reduces() const { return total_pending_reduces_; }
+  std::size_t total_running() const { return total_running_; }
+  bool all_done() const {
+    return active_.empty();
+  }
+
+ private:
+  std::unordered_map<JobId, JobRuntime> jobs_;
+  std::vector<JobId> order_;
+  std::vector<JobId> active_;
+  std::size_t total_pending_maps_ = 0;
+  std::size_t total_pending_reduces_ = 0;
+  std::size_t total_running_ = 0;
+};
+
+}  // namespace dare::sched

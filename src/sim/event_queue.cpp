@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace dare::sim {
+
+EventHandle EventQueue::schedule(SimTime when, Callback cb) {
+  if (when < 0) throw std::invalid_argument("EventQueue: negative time");
+  if (!cb) throw std::invalid_argument("EventQueue: null callback");
+  auto done = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(cb), done});
+  ++*live_;
+  return EventHandle(std::move(done), live_);
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && *heap_.top().done) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+SimTime EventQueue::pop_and_run() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  *entry.done = true;
+  --*live_;
+  entry.cb();
+  return entry.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) {
+    if (!*heap_.top().done) --*live_;
+    *heap_.top().done = true;
+    heap_.pop();
+  }
+}
+
+}  // namespace dare::sim

@@ -1,0 +1,89 @@
+// Stable priority queue of timed callbacks for the discrete-event engine.
+//
+// Events at the same timestamp fire in insertion order (a strict sequence
+// number breaks ties), which keeps heartbeat/scheduling interleavings
+// deterministic. Events can be cancelled in O(1) (lazily: the heap entry is
+// tombstoned and skipped at pop time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel the event; returns true if it was still pending.
+  bool cancel() {
+    if (!pending()) return false;
+    *state_ = true;
+    if (live_) --*live_;
+    return true;
+  }
+
+ private:
+  friend class EventQueue;
+  EventHandle(std::shared_ptr<bool> state, std::shared_ptr<std::size_t> live)
+      : state_(std::move(state)), live_(std::move(live)) {}
+  std::shared_ptr<bool> state_;  // true once fired or cancelled
+  std::shared_ptr<std::size_t> live_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
+
+  /// Schedule `cb` at absolute time `when`. Requires when >= 0.
+  EventHandle schedule(SimTime when, Callback cb);
+
+  /// True when no live (uncancelled) events remain.
+  bool empty() const { return *live_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const { return *live_; }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  SimTime next_time() const;
+
+  /// Pop and run the earliest live event; returns its timestamp.
+  /// Requires !empty().
+  SimTime pop_and_run();
+
+  /// Drop everything (used when a simulation ends early).
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> done;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Remove cancelled entries from the top of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_;
+};
+
+}  // namespace dare::sim

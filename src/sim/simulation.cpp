@@ -1,0 +1,48 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace dare::sim {
+
+EventHandle Simulation::at(SimTime when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulation: scheduling in the past");
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventHandle Simulation::after(SimDuration delay, EventQueue::Callback cb) {
+  if (delay < 0) delay = 0;
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+std::uint64_t Simulation::run(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    // Advance the clock before executing: callbacks observe now() == their
+    // own timestamp.
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++ran;
+    ++executed_;
+  }
+  // Advance the clock to `until` only if we exhausted events before it; this
+  // lets callers resume with a later horizon without time going backwards.
+  if (queue_.empty() && until != std::numeric_limits<SimTime>::max() &&
+      until > now_) {
+    now_ = until;
+  }
+  return ran;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++executed_;
+  return true;
+}
+
+void Simulation::stop() { queue_.clear(); }
+
+}  // namespace dare::sim

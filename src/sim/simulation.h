@@ -1,0 +1,56 @@
+// The discrete-event simulation driver: a clock plus an event queue.
+//
+// Components hold a reference to the Simulation and use `at`/`after` to
+// schedule work; `run()` drains events in timestamp order, advancing the
+// clock. One Simulation instance == one independent, single-threaded,
+// fully deterministic experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace dare::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventHandle at(SimTime when, EventQueue::Callback cb);
+
+  /// Schedule after a relative delay (clamped to >= 0).
+  EventHandle after(SimDuration delay, EventQueue::Callback cb);
+
+  /// Run until the queue is empty or `until` is reached (events at exactly
+  /// `until` still run). Returns the number of events executed.
+  std::uint64_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Execute exactly one event if present; returns false when idle.
+  bool step();
+
+  /// Abort: drop all pending events. `run` then returns.
+  void stop();
+
+  /// Live events still queued.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dare::sim

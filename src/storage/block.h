@@ -1,0 +1,36 @@
+// Block and file metadata for the simulated HDFS.
+//
+// As in HDFS, a file is a sequence of fixed-size blocks; the block is the
+// unit of replication and of map-task input. The paper's patch adds
+// file-membership information to INodes so the eviction policy can avoid
+// evicting a block of the same file as the one being inserted — `BlockMeta`
+// therefore always carries its owning `FileId`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::storage {
+
+struct BlockMeta {
+  BlockId id = kInvalidBlock;
+  FileId file = kInvalidFile;
+  Bytes size = 0;
+};
+
+struct FileInfo {
+  FileId id = kInvalidFile;
+  std::string name;
+  std::vector<BlockId> blocks;
+  Bytes block_size = 0;
+  int replication = 3;
+  SimTime created = 0;
+
+  Bytes total_bytes() const {
+    return block_size * static_cast<Bytes>(blocks.size());
+  }
+};
+
+}  // namespace dare::storage

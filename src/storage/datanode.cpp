@@ -1,0 +1,107 @@
+#include "storage/datanode.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/measurement.h"
+
+namespace dare::storage {
+
+DataNode::DataNode(NodeId id, const net::DiskProfile& disk, Rng& rng)
+    : id_(id), disk_(disk), rng_(rng.fork()) {}
+
+void DataNode::add_static_block(const BlockMeta& block) {
+  if (static_index_.count(block.id)) {
+    throw std::logic_error("DataNode: duplicate static block");
+  }
+  static_blocks_.push_back(block);
+  static_index_.insert(block.id);
+  static_bytes_ += block.size;
+}
+
+bool DataNode::insert_dynamic(const BlockMeta& block) {
+  if (static_index_.count(block.id) || dynamic_.count(block.id) ||
+      marked_.count(block.id)) {
+    return false;
+  }
+  dynamic_.emplace(block.id, block);
+  dynamic_bytes_ += block.size;
+  pending_added_.push_back(block.id);
+  ++dynamic_insertions_;
+  return true;
+}
+
+bool DataNode::mark_for_deletion(BlockId block) {
+  const auto it = dynamic_.find(block);
+  if (it == dynamic_.end()) return false;
+  dynamic_bytes_ -= it->second.size;
+  marked_.emplace(it->first, it->second);
+  dynamic_.erase(it);
+  pending_removed_.push_back(block);
+  ++dynamic_evictions_;
+  return true;
+}
+
+std::size_t DataNode::reclaim_marked() {
+  const std::size_t n = marked_.size();
+  marked_.clear();
+  return n;
+}
+
+std::vector<BlockId> DataNode::dynamic_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(dynamic_.size());
+  for (const auto& [id, _] : dynamic_) out.push_back(id);
+  return out;
+}
+
+bool DataNode::has_visible_block(BlockId block) const {
+  return static_index_.count(block) != 0 || dynamic_.count(block) != 0;
+}
+
+bool DataNode::has_static_block(BlockId block) const {
+  return static_index_.count(block) != 0;
+}
+
+bool DataNode::has_dynamic_block(BlockId block) const {
+  return dynamic_.count(block) != 0;
+}
+
+bool DataNode::has_any_copy(BlockId block) const {
+  return static_index_.count(block) != 0 || dynamic_.count(block) != 0 ||
+         marked_.count(block) != 0;
+}
+
+DataNode::Report DataNode::drain_report() {
+  Report report;
+  // Cancel out blocks that were both added and removed since the last
+  // heartbeat: the name node never needs to learn about them.
+  std::unordered_set<BlockId> removed(pending_removed_.begin(),
+                                      pending_removed_.end());
+  for (BlockId b : pending_added_) {
+    if (removed.count(b)) {
+      removed.erase(b);
+    } else {
+      report.added.push_back(b);
+    }
+  }
+  report.removed.assign(removed.begin(), removed.end());
+  std::sort(report.removed.begin(), report.removed.end());
+  pending_added_.clear();
+  pending_removed_.clear();
+  return report;
+}
+
+double DataNode::sample_disk_mbps() {
+  return net::sample_disk_mbps(disk_, rng_);
+}
+
+SimDuration DataNode::read_duration(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("DataNode: negative bytes");
+  const double mbps = sample_disk_mbps();
+  const double seconds =
+      static_cast<double>(bytes) / mb_per_sec(mbps);
+  return from_seconds(seconds);
+}
+
+}  // namespace dare::storage

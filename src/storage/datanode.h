@@ -1,0 +1,117 @@
+// A data node: block storage plus the disk model, including the
+// dynamically-replicated block area that DARE manages.
+//
+// Lifecycle of a dynamic replica (paper Section IV):
+//   insert_dynamic()          — the block just read remotely is written to
+//                               the local store; counts as one disk write
+//                               (the thrashing metric);
+//   [next heartbeat]          — drain_report() carries the addition to the
+//                               name node, which makes it schedulable;
+//   mark_for_deletion()       — the eviction policy tombstones it; it stops
+//                               being visible/usable immediately and its
+//                               bytes stop counting against the budget;
+//   reclaim_marked()          — lazy physical deletion at idle time; the
+//                               next heartbeat reports the removal.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/profile.h"
+#include "storage/block.h"
+
+namespace dare::storage {
+
+class DataNode {
+ public:
+  DataNode(NodeId id, const net::DiskProfile& disk, Rng& rng);
+
+  NodeId id() const { return id_; }
+
+  /// --- static (placement-time) replicas -------------------------------
+  void add_static_block(const BlockMeta& block);
+  Bytes static_bytes() const { return static_bytes_; }
+  const std::vector<BlockMeta>& static_blocks() const {
+    return static_blocks_;
+  }
+
+  /// --- dynamic replicas (DARE-managed) --------------------------------
+  /// Insert a dynamically replicated block. Returns false (no-op) if the
+  /// block is already stored here, statically or dynamically (including
+  /// marked-for-deletion dynamic replicas, which still occupy disk).
+  bool insert_dynamic(const BlockMeta& block);
+
+  /// Tombstone a dynamic replica: immediately invisible, budget released,
+  /// physical bytes reclaimed later. Returns false if not a live dynamic
+  /// replica.
+  bool mark_for_deletion(BlockId block);
+
+  /// Physically delete marked replicas (lazy deletion). Returns how many
+  /// blocks were reclaimed.
+  std::size_t reclaim_marked();
+
+  /// Bytes held by live (unmarked) dynamic replicas — the quantity the
+  /// replication budget constrains.
+  Bytes dynamic_bytes() const { return dynamic_bytes_; }
+
+  /// Live dynamic replica block ids (unspecified order).
+  std::vector<BlockId> dynamic_blocks() const;
+
+  std::size_t marked_count() const { return marked_.size(); }
+
+  /// --- queries ---------------------------------------------------------
+  /// Does a map task on this node have local access to `block`?
+  /// (static replica, or live dynamic replica).
+  bool has_visible_block(BlockId block) const;
+  bool has_static_block(BlockId block) const;
+  bool has_dynamic_block(BlockId block) const;
+  /// Any physical copy at all, including tombstoned (marked) dynamic
+  /// replicas — used by the re-replication pipeline to pick destinations.
+  bool has_any_copy(BlockId block) const;
+
+  /// --- heartbeat -------------------------------------------------------
+  struct Report {
+    std::vector<BlockId> added;    ///< dynamic replicas created since last HB
+    std::vector<BlockId> removed;  ///< dynamic replicas deleted since last HB
+  };
+  /// Drain and return the pending report (cleared afterwards). A block
+  /// inserted and deleted within one heartbeat interval cancels out.
+  Report drain_report();
+
+  /// --- disk model ------------------------------------------------------
+  /// One sampled sequential-read bandwidth figure, MB/s.
+  double sample_disk_mbps();
+  /// Duration to read `bytes` sequentially from local disk.
+  SimDuration read_duration(Bytes bytes);
+
+  /// --- instrumentation -------------------------------------------------
+  /// Total dynamic-replica insertions ever (== extra disk writes incurred;
+  /// the paper's thrashing comparison metric).
+  std::uint64_t dynamic_insertions() const { return dynamic_insertions_; }
+  std::uint64_t dynamic_evictions() const { return dynamic_evictions_; }
+
+ private:
+  NodeId id_;
+  net::DiskProfile disk_;
+  Rng rng_;
+
+  std::vector<BlockMeta> static_blocks_;
+  std::unordered_set<BlockId> static_index_;
+  Bytes static_bytes_ = 0;
+
+  std::unordered_map<BlockId, BlockMeta> dynamic_;  // live replicas
+  std::unordered_map<BlockId, BlockMeta> marked_;   // tombstoned, on disk
+  Bytes dynamic_bytes_ = 0;
+
+  std::vector<BlockId> pending_added_;
+  std::vector<BlockId> pending_removed_;
+
+  std::uint64_t dynamic_insertions_ = 0;
+  std::uint64_t dynamic_evictions_ = 0;
+};
+
+}  // namespace dare::storage

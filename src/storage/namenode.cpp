@@ -1,0 +1,187 @@
+#include "storage/namenode.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dare::storage {
+
+NameNode::NameNode(std::size_t data_nodes, const net::Topology* topology,
+                   Rng& rng, std::unique_ptr<PlacementPolicy> placement)
+    : data_nodes_(data_nodes),
+      topology_(topology),
+      rng_(rng.fork()),
+      placement_(placement ? std::move(placement)
+                           : default_placement(data_nodes, topology)),
+      node_alive_(data_nodes, true) {
+  if (data_nodes_ == 0) {
+    throw std::invalid_argument("NameNode: need at least one data node");
+  }
+  placement_name_ = placement_->name();
+}
+
+FileId NameNode::create_file(const std::string& name, std::size_t num_blocks,
+                             Bytes block_size, int replication, SimTime now) {
+  if (num_blocks == 0) {
+    throw std::invalid_argument("NameNode: file needs at least one block");
+  }
+  if (block_size <= 0) {
+    throw std::invalid_argument("NameNode: block size must be positive");
+  }
+  FileInfo info;
+  info.id = next_file_++;
+  info.name = name;
+  info.block_size = block_size;
+  info.replication = replication;
+  info.created = now;
+  info.blocks.reserve(num_blocks);
+  for (std::size_t i = 0; i < num_blocks; ++i) {
+    const BlockId bid = next_block_++;
+    blocks_[bid] = BlockMeta{bid, info.id, block_size};
+    auto placement = placement_->place(replication, node_alive_, rng_);
+    locations_[bid] = placement;
+    static_locations_[bid] = std::move(placement);
+    info.blocks.push_back(bid);
+  }
+  const FileId fid = info.id;
+  file_order_.push_back(fid);
+  files_[fid] = std::move(info);
+  return fid;
+}
+
+const FileInfo& NameNode::file(FileId id) const {
+  const auto it = files_.find(id);
+  if (it == files_.end()) throw std::out_of_range("NameNode: unknown file");
+  return it->second;
+}
+
+bool NameNode::has_file(FileId id) const { return files_.count(id) != 0; }
+
+const BlockMeta& NameNode::block(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) throw std::out_of_range("NameNode: unknown block");
+  return it->second;
+}
+
+const std::vector<NodeId>& NameNode::locations(BlockId block) const {
+  const auto it = locations_.find(block);
+  if (it == locations_.end()) {
+    throw std::out_of_range("NameNode: unknown block");
+  }
+  return it->second;
+}
+
+const std::vector<NodeId>& NameNode::static_locations(BlockId block) const {
+  const auto it = static_locations_.find(block);
+  if (it == static_locations_.end()) {
+    throw std::out_of_range("NameNode: unknown block");
+  }
+  return it->second;
+}
+
+void NameNode::report_dynamic_added(NodeId node,
+                                    const std::vector<BlockId>& blocks) {
+  for (BlockId b : blocks) {
+    auto it = locations_.find(b);
+    if (it == locations_.end()) {
+      throw std::out_of_range("NameNode: dynamic add for unknown block");
+    }
+    auto& locs = it->second;
+    if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
+      locs.push_back(node);
+      ++dynamic_replicas_;
+    }
+  }
+}
+
+void NameNode::report_dynamic_removed(NodeId node,
+                                      const std::vector<BlockId>& blocks) {
+  for (BlockId b : blocks) {
+    auto it = locations_.find(b);
+    if (it == locations_.end()) {
+      throw std::out_of_range("NameNode: dynamic remove for unknown block");
+    }
+    auto& locs = it->second;
+    const auto pos = std::find(locs.begin(), locs.end(), node);
+    if (pos == locs.end()) continue;
+    // Never drop a static placement: removal reports only concern dynamic
+    // replicas, and a node is a static holder iff it is in static_locations_.
+    const auto& statics = static_locations_.at(b);
+    if (std::find(statics.begin(), statics.end(), node) != statics.end()) {
+      continue;
+    }
+    locs.erase(pos);
+    --dynamic_replicas_;
+  }
+}
+
+std::size_t NameNode::replica_count(BlockId block) const {
+  return locations(block).size();
+}
+
+std::vector<FileId> NameNode::all_files() const { return file_order_; }
+
+bool NameNode::is_node_alive(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
+    throw std::out_of_range("NameNode: bad node id");
+  }
+  return node_alive_[static_cast<std::size_t>(node)];
+}
+
+std::size_t NameNode::live_node_count() const {
+  std::size_t live = 0;
+  for (bool alive : node_alive_) {
+    if (alive) ++live;
+  }
+  return live;
+}
+
+std::vector<BlockId> NameNode::node_failed(NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
+    throw std::out_of_range("NameNode: bad node id");
+  }
+  node_alive_[static_cast<std::size_t>(node)] = false;
+
+  std::vector<BlockId> under_replicated;
+  for (auto& [bid, locs] : locations_) {
+    const auto pos = std::find(locs.begin(), locs.end(), node);
+    if (pos == locs.end()) continue;
+    locs.erase(pos);
+    auto& statics = static_locations_.at(bid);
+    const auto spos = std::find(statics.begin(), statics.end(), node);
+    if (spos != statics.end()) {
+      statics.erase(spos);
+    } else {
+      --dynamic_replicas_;  // it was a DARE replica
+    }
+    // Under-replicated relative to the file's configured factor (clamped to
+    // what the surviving cluster can hold).
+    const auto& info = files_.at(blocks_.at(bid).file);
+    const auto target = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(info.replication, 1)),
+        live_node_count());
+    if (statics.size() < target) under_replicated.push_back(bid);
+  }
+  std::sort(under_replicated.begin(), under_replicated.end());
+  return under_replicated;
+}
+
+bool NameNode::add_repair_replica(BlockId block, NodeId node) {
+  if (!is_node_alive(node)) {
+    throw std::logic_error("NameNode: repair replica on a dead node");
+  }
+  auto& locs = locations_.at(block);
+  if (std::find(locs.begin(), locs.end(), node) != locs.end()) return false;
+  locs.push_back(node);
+  static_locations_.at(block).push_back(node);
+  return true;
+}
+
+std::size_t NameNode::lost_block_count() const {
+  std::size_t lost = 0;
+  for (const auto& [_, locs] : locations_) {
+    if (locs.empty()) ++lost;
+  }
+  return lost;
+}
+
+}  // namespace dare::storage

@@ -1,0 +1,111 @@
+// The name node: metadata-only master of the simulated HDFS.
+//
+// Responsibilities mirrored from HDFS + the paper's modifications:
+//  * file -> blocks -> replica locations map;
+//  * static placement of `replication` copies on distinct nodes, rack-aware
+//    when the topology has more than one rack (at least two racks covered
+//    when possible);
+//  * tolerating over-replicated blocks: dynamic replicas registered via
+//    heartbeat (`DNA_DYNREPL` in the paper's patch) are *added* to the block
+//    map rather than scheduled for excess-replica deletion, so the scheduler
+//    and all file-system users see them;
+//  * removal reports drop dynamic replicas from the map.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/topology.h"
+#include "storage/block.h"
+#include "storage/placement.h"
+
+namespace dare::storage {
+
+class NameNode {
+ public:
+  /// `topology` may be null (placement then ignores racks); if non-null it
+  /// must outlive the name node. `data_nodes` is the number of slave nodes
+  /// available for placement, identified as NodeId 0..data_nodes-1.
+  /// `placement` overrides the default policy (rack-aware when a multi-rack
+  /// topology is given, random otherwise).
+  NameNode(std::size_t data_nodes, const net::Topology* topology, Rng& rng,
+           std::unique_ptr<PlacementPolicy> placement = nullptr);
+
+  /// Name of the placement policy in effect.
+  const std::string& placement_name() const { return placement_name_; }
+
+  /// Create a file of `num_blocks` blocks and place `replication` static
+  /// replicas of each. Returns the new file's id.
+  FileId create_file(const std::string& name, std::size_t num_blocks,
+                     Bytes block_size, int replication, SimTime now);
+
+  const FileInfo& file(FileId id) const;
+  const BlockMeta& block(BlockId id) const;
+  bool has_file(FileId id) const;
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// All nodes currently known to hold a visible replica of `block`
+  /// (static placements plus heartbeat-reported dynamic replicas).
+  const std::vector<NodeId>& locations(BlockId block) const;
+
+  /// Static placements chosen at create time (stable; used by the cluster
+  /// glue to populate data nodes).
+  const std::vector<NodeId>& static_locations(BlockId block) const;
+
+  /// Heartbeat processing: register / unregister dynamic replicas.
+  /// Unknown blocks throw; duplicate adds and missing removes are ignored
+  /// (heartbeats may legitimately repeat after races in real HDFS).
+  void report_dynamic_added(NodeId node, const std::vector<BlockId>& blocks);
+  void report_dynamic_removed(NodeId node, const std::vector<BlockId>& blocks);
+
+  /// Replica count visible to the scheduler.
+  std::size_t replica_count(BlockId block) const;
+
+  /// --- failure handling --------------------------------------------------
+  /// A data node died: drop it from every block's location list (static and
+  /// dynamic replicas alike — the disk is gone). Returns the blocks that
+  /// are now under-replicated (fewer authoritative replicas than their
+  /// file's replication factor), in block-id order.
+  std::vector<BlockId> node_failed(NodeId node);
+
+  /// Whether a node has been declared failed.
+  bool is_node_alive(NodeId node) const;
+  std::size_t live_node_count() const;
+
+  /// Register a repair copy created by the re-replication pipeline; the
+  /// copy is authoritative (counted as static). Returns false if the node
+  /// already holds the block.
+  bool add_repair_replica(BlockId block, NodeId node);
+
+  /// Blocks with no live replica at all (data loss).
+  std::size_t lost_block_count() const;
+
+  /// Total dynamic replicas currently registered (across all blocks).
+  std::size_t dynamic_replica_count() const { return dynamic_replicas_; }
+
+  /// All file ids in creation order.
+  std::vector<FileId> all_files() const;
+
+ private:
+  std::size_t data_nodes_;
+  const net::Topology* topology_;
+  Rng rng_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::string placement_name_;
+  std::unordered_map<FileId, FileInfo> files_;
+  std::unordered_map<BlockId, BlockMeta> blocks_;
+  std::unordered_map<BlockId, std::vector<NodeId>> static_locations_;
+  std::unordered_map<BlockId, std::vector<NodeId>> locations_;
+  std::vector<FileId> file_order_;
+  std::vector<bool> node_alive_;
+  FileId next_file_ = 0;
+  BlockId next_block_ = 0;
+  std::size_t dynamic_replicas_ = 0;
+};
+
+}  // namespace dare::storage

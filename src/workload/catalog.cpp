@@ -1,0 +1,37 @@
+#include "workload/catalog.h"
+
+#include <stdexcept>
+
+namespace dare::workload {
+
+std::vector<FileSpec> build_catalog(const CatalogSpec& spec, Rng& rng) {
+  if (spec.small_files == 0) {
+    throw std::invalid_argument("CatalogSpec: need small files");
+  }
+  if (spec.small_min_blocks == 0 || spec.large_min_blocks == 0 ||
+      spec.small_min_blocks > spec.small_max_blocks ||
+      spec.large_min_blocks > spec.large_max_blocks) {
+    throw std::invalid_argument("CatalogSpec: bad block count ranges");
+  }
+  std::vector<FileSpec> catalog;
+  catalog.reserve(spec.small_files + spec.large_files);
+  for (std::size_t i = 0; i < spec.small_files; ++i) {
+    FileSpec f;
+    f.name = "small-" + std::to_string(i);
+    f.blocks = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(spec.small_min_blocks),
+                        static_cast<std::int64_t>(spec.small_max_blocks)));
+    catalog.push_back(std::move(f));
+  }
+  for (std::size_t i = 0; i < spec.large_files; ++i) {
+    FileSpec f;
+    f.name = "large-" + std::to_string(i);
+    f.blocks = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(spec.large_min_blocks),
+                        static_cast<std::int64_t>(spec.large_max_blocks)));
+    catalog.push_back(std::move(f));
+  }
+  return catalog;
+}
+
+}  // namespace dare::workload

@@ -1,0 +1,38 @@
+// The file population jobs read from.
+//
+// The catalog mimics the data-lake layout behind the Facebook SWIM traces:
+// a large population of small files (a handful of 128 MB blocks — logs,
+// partitions, samples) plus a modest set of large files (tens to a hundred
+// blocks — the common data set full scans run over). Small files occupy the
+// low popularity ranks; see workload.h for how jobs choose among them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dare::workload {
+
+struct FileSpec {
+  std::string name;
+  std::size_t blocks = 1;
+};
+
+struct CatalogSpec {
+  std::size_t small_files = 100;
+  std::size_t small_min_blocks = 1;
+  std::size_t small_max_blocks = 1;
+  std::size_t large_files = 10;
+  std::size_t large_min_blocks = 12;
+  std::size_t large_max_blocks = 36;
+  Bytes block_size = 128 * kMiB;
+};
+
+/// Build the catalog: small files first (indices [0, small_files)), then
+/// large files. Block counts are drawn uniformly from the configured ranges.
+std::vector<FileSpec> build_catalog(const CatalogSpec& spec, Rng& rng);
+
+}  // namespace dare::workload

@@ -1,0 +1,107 @@
+#include "workload/swim_import.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace dare::workload {
+
+Workload import_swim(std::istream& in, const SwimImportOptions& options) {
+  if (options.block_size <= 0) {
+    throw std::invalid_argument("SwimImport: block_size must be positive");
+  }
+  Workload wl;
+  wl.name = "swim-import";
+  wl.catalog_spec = CatalogSpec{};
+  wl.catalog_spec.block_size = options.block_size;
+
+  Rng rng(options.seed);
+  // Jobs with the same input size map to the same catalog file.
+  std::map<std::size_t, std::size_t> blocks_to_file;
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t row = 0;       // data rows seen (for the window selection)
+  std::size_t imported = 0;  // jobs actually kept
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("swim trace line " + std::to_string(line_no) +
+                                ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name)) continue;  // blank
+
+    double submit_s = 0.0;
+    double inter_arrival_s = 0.0;
+    double input_bytes = 0.0;
+    double shuffle_bytes = 0.0;
+    double output_bytes = 0.0;
+    if (!(ls >> submit_s >> inter_arrival_s >> input_bytes >> shuffle_bytes >>
+          output_bytes)) {
+      fail("expected <name> <submit> <interarrival> <input> <shuffle> "
+           "<output>");
+    }
+    if (submit_s < 0 || input_bytes < 0 || shuffle_bytes < 0 ||
+        output_bytes < 0) {
+      fail("negative field");
+    }
+
+    const std::size_t this_row = row++;
+    if (this_row < options.first_job) continue;
+    if (options.num_jobs != 0 && imported >= options.num_jobs) break;
+
+    auto blocks = static_cast<std::size_t>(
+        std::ceil(input_bytes / static_cast<double>(options.block_size)));
+    blocks = std::max<std::size_t>(1, blocks);
+    if (options.max_blocks_per_job != 0) {
+      blocks = std::min(blocks, options.max_blocks_per_job);
+    }
+
+    const auto [it, inserted] =
+        blocks_to_file.try_emplace(blocks, wl.catalog.size());
+    if (inserted) {
+      FileSpec file;
+      file.name = "swim-" + std::to_string(blocks) + "b";
+      file.blocks = blocks;
+      wl.catalog.push_back(std::move(file));
+    }
+
+    JobTemplate job;
+    job.arrival = from_seconds(submit_s * options.time_scale);
+    job.file_index = it->second;
+    job.map_cpu = from_seconds(rng.uniform(0.5, 2.0));
+    job.reduces = std::clamp<std::size_t>(blocks / 4, 1, 8);
+    job.reduce_cpu = from_seconds(rng.uniform(1.0, 3.0));
+    job.shuffle_bytes = static_cast<Bytes>(shuffle_bytes);
+    wl.jobs.push_back(job);
+    ++imported;
+  }
+  if (wl.jobs.empty()) {
+    throw std::invalid_argument("SwimImport: no jobs in the selected window");
+  }
+  // SWIM rows are usually sorted by submit time, but slices may not start
+  // at zero and some published traces interleave job classes.
+  std::sort(wl.jobs.begin(), wl.jobs.end(),
+            [](const JobTemplate& a, const JobTemplate& b) {
+              return a.arrival < b.arrival;
+            });
+  const SimTime t0 = wl.jobs.front().arrival;
+  for (auto& job : wl.jobs) job.arrival -= t0;
+  return wl;
+}
+
+Workload import_swim_string(const std::string& text,
+                            const SwimImportOptions& options) {
+  std::istringstream in(text);
+  return import_swim(in, options);
+}
+
+}  // namespace dare::workload

@@ -1,0 +1,52 @@
+// Importer for SWIM-format workload traces (Chen et al., MASCOTS'11).
+//
+// The paper replays jobs 0-499 (wl1) and 4800-5299 (wl2) of the Facebook
+// trace published with SWIM's "Statistical Workload Injector for
+// MapReduce". SWIM trace files are whitespace-separated lines:
+//
+//   <job-name> <submit_time_s> <inter_arrival_s> <map_input_bytes>
+//   <shuffle_bytes> <reduce_output_bytes>
+//
+// This importer converts such a trace into our Workload format:
+//   * every distinct input size becomes (or reuses) a catalog file with
+//     ceil(input_bytes / block_size) blocks — SWIM does not publish file
+//     identities, so jobs with identical input sizes are mapped to the same
+//     file, which reconstructs file reuse for the repetitive small jobs
+//     that dominate the Facebook trace;
+//   * reduces and CPU demand are synthesized from the shuffle/output
+//     volumes, mirroring workload.cpp's generator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace dare::workload {
+
+struct SwimImportOptions {
+  Bytes block_size = 128 * kMiB;
+  /// Import only rows [first_job, first_job + num_jobs); num_jobs = 0 means
+  /// "to the end" — e.g. first_job=4800, num_jobs=500 selects the paper's
+  /// wl2 window.
+  std::size_t first_job = 0;
+  std::size_t num_jobs = 0;
+  /// Scale all arrival times (replay speed-up; SWIM traces span a day).
+  double time_scale = 1.0;
+  /// Cap on blocks per job (SWIM contains multi-TB scans; the simulator's
+  /// clusters are small). 0 = no cap.
+  std::size_t max_blocks_per_job = 512;
+  std::uint64_t seed = 13;  ///< for the synthesized CPU demands
+};
+
+/// Parse a SWIM trace from a stream. Lines starting with '#' and blank
+/// lines are skipped. Throws std::invalid_argument (with a line number) on
+/// malformed rows.
+Workload import_swim(std::istream& in, const SwimImportOptions& options);
+
+/// Convenience: parse from a string.
+Workload import_swim_string(const std::string& text,
+                            const SwimImportOptions& options);
+
+}  // namespace dare::workload

@@ -1,0 +1,92 @@
+#include "workload/trace_io.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dare::workload {
+
+void write_workload(std::ostream& out, const Workload& workload) {
+  out << "# DARE workload trace v1\n";
+  out << "workload " << workload.name << '\n';
+  out << "blocksize " << workload.catalog_spec.block_size << '\n';
+  for (const auto& file : workload.catalog) {
+    out << "file " << file.blocks << '\n';
+  }
+  for (const auto& job : workload.jobs) {
+    out << "job " << job.arrival << ' ' << job.file_index << ' '
+        << job.reduces << ' ' << job.map_cpu << ' ' << job.reduce_cpu << ' '
+        << job.shuffle_bytes << '\n';
+  }
+}
+
+Workload read_workload(std::istream& in) {
+  Workload wl;
+  wl.catalog_spec = CatalogSpec{};
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    if (kind == "workload") {
+      if (!(ls >> wl.name)) fail("workload needs a name");
+      saw_header = true;
+    } else if (kind == "blocksize") {
+      if (!(ls >> wl.catalog_spec.block_size) ||
+          wl.catalog_spec.block_size <= 0) {
+        fail("bad blocksize");
+      }
+    } else if (kind == "file") {
+      FileSpec f;
+      if (!(ls >> f.blocks) || f.blocks == 0) fail("bad file entry");
+      f.name = "file-" + std::to_string(wl.catalog.size());
+      wl.catalog.push_back(std::move(f));
+    } else if (kind == "job") {
+      JobTemplate j;
+      if (!(ls >> j.arrival >> j.file_index >> j.reduces >> j.map_cpu >>
+            j.reduce_cpu >> j.shuffle_bytes)) {
+        fail("bad job entry");
+      }
+      if (j.arrival < 0 || j.map_cpu < 0 || j.reduce_cpu < 0 ||
+          j.shuffle_bytes < 0) {
+        fail("negative job field");
+      }
+      if (j.file_index >= wl.catalog.size()) {
+        fail("job references file not yet declared");
+      }
+      wl.jobs.push_back(j);
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_header) {
+    ++line_no;
+    fail("missing 'workload' header");
+  }
+  if (wl.catalog.empty()) {
+    fail("trace has no files");
+  }
+  return wl;
+}
+
+std::string workload_to_string(const Workload& workload) {
+  std::ostringstream out;
+  write_workload(out, workload);
+  return out.str();
+}
+
+Workload workload_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_workload(in);
+}
+
+}  // namespace dare::workload

@@ -1,0 +1,32 @@
+// Plain-text serialization of synthesized workloads, so experiments can be
+// replayed bit-identically outside the generator (and users can hand-edit
+// or substitute their own traces, e.g. ones converted from real SWIM data).
+//
+// Format (line oriented, '#' comments):
+//   workload <name>
+//   blocksize <bytes>
+//   file <blocks>                      # catalog entry, in index order
+//   job <arrival_us> <file_index> <reduces> <map_cpu_us> <reduce_cpu_us>
+//       followed by <shuffle_bytes>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace dare::workload {
+
+/// Serialize a workload to a stream. Throws std::ios_base::failure on I/O
+/// errors (the stream's exception mask is honored).
+void write_workload(std::ostream& out, const Workload& workload);
+
+/// Parse a workload; throws std::invalid_argument with a line number on any
+/// malformed input, including jobs referencing out-of-range files.
+Workload read_workload(std::istream& in);
+
+/// Convenience: round-trip through a string.
+std::string workload_to_string(const Workload& workload);
+Workload workload_from_string(const std::string& text);
+
+}  // namespace dare::workload

@@ -1,0 +1,115 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dare::workload {
+
+std::vector<std::size_t> Workload::file_access_counts() const {
+  std::vector<std::size_t> counts(catalog.size(), 0);
+  for (const auto& job : jobs) {
+    if (job.file_index >= counts.size()) {
+      throw std::out_of_range("Workload: job references missing file");
+    }
+    ++counts[job.file_index];
+  }
+  return counts;
+}
+
+DiscreteDistribution small_file_popularity(const CatalogSpec& catalog,
+                                           double zipf_s) {
+  ZipfDistribution zipf(catalog.small_files, zipf_s);
+  std::vector<double> weights(catalog.small_files);
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = zipf.pmf(i);
+  return DiscreteDistribution(std::move(weights));
+}
+
+namespace {
+
+/// Shared per-job parameter synthesis: CPU demand and reduce shape follow
+/// the input size. The trace mixes input-bound jobs (small shuffles; map
+/// reads dominate) with a minority of output-bound jobs (heavy shuffles and
+/// reduce work) — the mixture the paper invokes in Section V-C to explain
+/// why dynamic replication expedites some tasks more than others.
+JobTemplate synthesize_job(SimTime arrival, std::size_t file_index,
+                           std::size_t file_blocks, Rng& rng) {
+  JobTemplate job;
+  job.arrival = arrival;
+  job.file_index = file_index;
+  job.map_cpu = from_seconds(rng.uniform(0.5, 2.0));
+  job.reduces = std::clamp<std::size_t>(file_blocks / 4, 1, 8);
+  const bool output_bound = rng.bernoulli(0.3);
+  if (output_bound) {
+    job.reduce_cpu = from_seconds(rng.uniform(3.0, 8.0));
+    job.shuffle_bytes = static_cast<Bytes>(file_blocks) * 48 * kMiB;
+  } else {
+    job.reduce_cpu = from_seconds(rng.uniform(1.0, 3.0));
+    job.shuffle_bytes = static_cast<Bytes>(file_blocks) * 4 * kMiB;
+  }
+  return job;
+}
+
+}  // namespace
+
+Workload make_wl1(const WorkloadOptions& options) {
+  Workload wl;
+  wl.name = "wl1";
+  wl.catalog_spec = options.catalog;
+  Rng rng(options.seed);
+  wl.catalog = build_catalog(options.catalog, rng);
+  const DiscreteDistribution popularity =
+      small_file_popularity(options.catalog, options.zipf_s);
+
+  SimTime t = 0;
+  const double lambda = 1.0 / options.small_interarrival_s;
+  for (std::size_t i = 0; i < options.num_jobs; ++i) {
+    t += from_seconds(rng.exponential(lambda));
+    const std::size_t file = popularity.sample(rng);
+    wl.jobs.push_back(
+        synthesize_job(t, file, wl.catalog[file].blocks, rng));
+  }
+  return wl;
+}
+
+Workload make_wl2(const WorkloadOptions& options) {
+  if (options.catalog.large_files == 0) {
+    throw std::invalid_argument("make_wl2: needs large files in the catalog");
+  }
+  Workload wl;
+  wl.name = "wl2";
+  wl.catalog_spec = options.catalog;
+  Rng rng(options.seed);
+  wl.catalog = build_catalog(options.catalog, rng);
+  const DiscreteDistribution popularity =
+      small_file_popularity(options.catalog, options.zipf_s);
+
+  SimTime t = 0;
+  const double lambda = 1.0 / options.small_interarrival_s;
+  const double burst_lambda = 1.0 / options.burst_interarrival_s;
+  std::size_t burst_remaining = 0;
+  for (std::size_t i = 0; i < options.num_jobs; ++i) {
+    const bool large =
+        options.large_period > 0 && i % options.large_period == 0 && i > 0;
+    if (large) {
+      t += from_seconds(rng.exponential(lambda));
+      // Full scan over one of the large files.
+      const std::size_t file =
+          options.catalog.small_files +
+          static_cast<std::size_t>(rng.uniform_int(options.catalog.large_files));
+      wl.jobs.push_back(
+          synthesize_job(t, file, wl.catalog[file].blocks, rng));
+      burst_remaining = options.burst_length;
+      continue;
+    }
+    // Small jobs arrive faster right after a large job (the wl2 pattern).
+    const double rate = burst_remaining > 0 ? burst_lambda : lambda;
+    if (burst_remaining > 0) --burst_remaining;
+    t += from_seconds(rng.exponential(rate));
+    const std::size_t file = popularity.sample(rng);
+    wl.jobs.push_back(
+        synthesize_job(t, file, wl.catalog[file].blocks, rng));
+  }
+  return wl;
+}
+
+}  // namespace dare::workload

@@ -1,0 +1,76 @@
+// SWIM-style synthetic Facebook workloads.
+//
+// The paper replays two 500-job segments of a Facebook 600-machine trace
+// published with SWIM (Chen et al., MASCOTS'11):
+//   wl1 (jobs 0-499):      a long sequence of small jobs — favors FIFO;
+//   wl2 (jobs 4800-5299):  a pattern of small jobs following large jobs —
+//                          favors the Fair scheduler.
+// The trace itself is not redistributable, so these generators synthesize
+// workloads with the same shape properties: heavy-tailed file popularity
+// (the Fig. 6 CDF), Poisson job arrivals, and — for wl2 — periodic large
+// full-scan jobs followed by bursts of small jobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/catalog.h"
+
+namespace dare::workload {
+
+/// One job to be materialized against the catalog at run time.
+struct JobTemplate {
+  SimTime arrival = 0;
+  std::size_t file_index = 0;   ///< catalog index of the input file
+  std::size_t reduces = 1;
+  SimDuration map_cpu = 0;      ///< per map task
+  SimDuration reduce_cpu = 0;   ///< per reduce task
+  Bytes shuffle_bytes = 0;      ///< total shuffled bytes for the job
+};
+
+struct Workload {
+  std::string name;
+  CatalogSpec catalog_spec;
+  std::vector<FileSpec> catalog;
+  std::vector<JobTemplate> jobs;
+
+  /// Number of accesses per catalog file in this workload (for popularity
+  /// indices and the Fig. 6 CDF).
+  std::vector<std::size_t> file_access_counts() const;
+};
+
+struct WorkloadOptions {
+  std::size_t num_jobs = 500;
+  std::uint64_t seed = 1;
+  /// Popularity skew over small files (Fig. 6 shape).
+  double zipf_s = 1.4;
+  /// Mean inter-arrival of small jobs, seconds, calibrated so a 19-worker
+  /// cluster runs at high utilization — the regime in which head-of-line
+  /// FIFO locality degrades to roughly replicas/nodes, as in the paper's
+  /// Fig. 7. Lower = more queueing.
+  double small_interarrival_s = 0.15;
+  /// wl2 only: a large job every `large_period` jobs.
+  std::size_t large_period = 25;
+  /// wl2 only: inter-arrival of the small-job burst after a large job.
+  double burst_interarrival_s = 0.1;
+  std::size_t burst_length = 10;
+  CatalogSpec catalog;
+};
+
+/// wl1: long sequence of small jobs, heavy-tailed file choice.
+Workload make_wl1(const WorkloadOptions& options);
+
+/// wl2: small jobs after large jobs.
+Workload make_wl2(const WorkloadOptions& options);
+
+/// The file-popularity distribution used to draw inputs for small jobs —
+/// exactly the distribution plotted in Fig. 6.
+DiscreteDistribution small_file_popularity(const CatalogSpec& catalog,
+                                           double zipf_s);
+
+}  // namespace dare::workload

@@ -1,0 +1,64 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+
+namespace dare::workload {
+
+WorkloadStats characterize(const Workload& workload) {
+  WorkloadStats stats;
+  stats.jobs = workload.jobs.size();
+  stats.files = workload.catalog.size();
+  if (workload.jobs.empty()) return stats;
+
+  OnlineStats maps;
+  std::size_t small_jobs = 0;
+  for (const auto& job : workload.jobs) {
+    const auto blocks = workload.catalog.at(job.file_index).blocks;
+    maps.add(static_cast<double>(blocks));
+    if (blocks <= 2) ++small_jobs;
+    stats.total_input_bytes +=
+        static_cast<Bytes>(blocks) * workload.catalog_spec.block_size;
+    stats.total_shuffle_bytes += job.shuffle_bytes;
+  }
+  stats.mean_maps = maps.mean();
+  stats.max_maps = maps.max();
+  stats.small_job_fraction =
+      static_cast<double>(small_jobs) / static_cast<double>(stats.jobs);
+
+  // Arrival process (jobs are sorted by arrival in our generators; sort a
+  // copy to be safe for imported traces).
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(stats.jobs);
+  for (const auto& job : workload.jobs) arrivals.push_back(job.arrival);
+  std::sort(arrivals.begin(), arrivals.end());
+  stats.duration_s = to_seconds(arrivals.back() - arrivals.front());
+  if (stats.jobs > 1) {
+    stats.mean_interarrival_s =
+        stats.duration_s / static_cast<double>(stats.jobs - 1);
+  }
+  // Peak rate over sliding 10 s windows (two pointers).
+  const SimDuration window = from_seconds(10.0);
+  std::size_t left = 0;
+  std::size_t peak = 0;
+  for (std::size_t right = 0; right < arrivals.size(); ++right) {
+    while (arrivals[right] - arrivals[left] > window) ++left;
+    peak = std::max(peak, right - left + 1);
+  }
+  stats.peak_rate_jobs_per_s = static_cast<double>(peak) / 10.0;
+
+  // Popularity skew.
+  auto counts = workload.file_access_counts();
+  std::sort(counts.rbegin(), counts.rend());
+  const std::size_t decile = std::max<std::size_t>(1, counts.size() / 10);
+  std::size_t top = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < decile) top += counts[i];
+  }
+  stats.top_decile_access_share =
+      total ? static_cast<double>(top) / static_cast<double>(total) : 0.0;
+  return stats;
+}
+
+}  // namespace dare::workload

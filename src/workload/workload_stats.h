@@ -1,0 +1,42 @@
+// Descriptive statistics of a workload: what the SWIM paper calls the
+// "workload suite" characterization. Used by examples to print what is
+// about to be replayed, and by tests to assert the generators produce the
+// documented shapes (wl1 = long stream of small jobs; wl2 = small jobs
+// after large jobs).
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.h"
+#include "workload/workload.h"
+
+namespace dare::workload {
+
+struct WorkloadStats {
+  std::size_t jobs = 0;
+  std::size_t files = 0;
+
+  /// Maps per job (== blocks of the input file).
+  double mean_maps = 0.0;
+  double max_maps = 0.0;
+  /// Fraction of jobs with at most 2 map tasks ("small jobs").
+  double small_job_fraction = 0.0;
+
+  /// Arrival process.
+  double duration_s = 0.0;           ///< last arrival - first arrival
+  double mean_interarrival_s = 0.0;
+  double peak_rate_jobs_per_s = 0.0;  ///< max jobs in any 10 s window / 10
+
+  /// Data volumes.
+  Bytes total_input_bytes = 0;
+  Bytes total_shuffle_bytes = 0;
+
+  /// Popularity skew: fraction of accesses going to the top 10% of files
+  /// (by access count).
+  double top_decile_access_share = 0.0;
+};
+
+/// Compute the characterization. O(jobs log jobs).
+WorkloadStats characterize(const Workload& workload);
+
+}  // namespace dare::workload

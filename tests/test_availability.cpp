@@ -1,0 +1,103 @@
+#include "metrics/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dare::metrics {
+namespace {
+
+TEST(BlockLoss, ExactSmallCases) {
+  // 1 replica, 1 failure of n nodes: P = 1/n.
+  EXPECT_NEAR(block_loss_probability(10, 1, 1), 0.1, 1e-12);
+  // 2 replicas cannot be lost to 1 failure.
+  EXPECT_EQ(block_loss_probability(10, 2, 1), 0.0);
+  // 2 replicas, 2 failures of 4 nodes: C(2,0)/C(4,2) = 1/6.
+  EXPECT_NEAR(block_loss_probability(4, 2, 2), 1.0 / 6.0, 1e-12);
+  // 3 replicas, 3 failures of 19 nodes: 1/C(19,3) = 1/969.
+  EXPECT_NEAR(block_loss_probability(19, 3, 3), 1.0 / 969.0, 1e-12);
+  // All nodes fail: certain loss.
+  EXPECT_NEAR(block_loss_probability(8, 3, 8), 1.0, 1e-12);
+}
+
+TEST(BlockLoss, MoreReplicasNeverIncreaseRisk) {
+  for (std::size_t r = 1; r < 6; ++r) {
+    EXPECT_GE(block_loss_probability(20, r, 6),
+              block_loss_probability(20, r + 1, 6));
+  }
+}
+
+TEST(BlockLoss, MoreFailuresNeverDecreaseRisk) {
+  for (std::size_t k = 3; k < 19; ++k) {
+    EXPECT_LE(block_loss_probability(20, 3, k),
+              block_loss_probability(20, 3, k + 1));
+  }
+}
+
+TEST(BlockLoss, InvalidArgumentsThrow) {
+  EXPECT_THROW(block_loss_probability(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(block_loss_probability(10, 11, 1), std::invalid_argument);
+  EXPECT_THROW(block_loss_probability(10, 3, 11), std::invalid_argument);
+}
+
+TEST(BlockLoss, MatchesMonteCarlo) {
+  // Cross-check the closed form against simulation.
+  const std::size_t n = 12;
+  const std::size_t r = 3;
+  const std::size_t k = 5;
+  Rng rng(77);
+  int lost = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    // Sample k distinct failed nodes; block replicas live on nodes 0..r-1.
+    std::vector<bool> failed(n, false);
+    std::size_t chosen = 0;
+    while (chosen < k) {
+      const auto cand = static_cast<std::size_t>(rng.uniform_int(n));
+      if (!failed[cand]) {
+        failed[cand] = true;
+        ++chosen;
+      }
+    }
+    bool all_replicas_failed = true;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (!failed[i]) {
+        all_replicas_failed = false;
+        break;
+      }
+    }
+    if (all_replicas_failed) ++lost;
+  }
+  const double exact = block_loss_probability(n, r, k);
+  EXPECT_NEAR(static_cast<double>(lost) / trials, exact, 0.005);
+}
+
+TEST(AvailabilityReport, AggregatesExpectedLoss) {
+  // Two blocks with 1 replica, one with 2, on 4 nodes, 2 failures:
+  // P(r=1) = C(3,1)/C(4,2) = 0.5; P(r=2) = 1/6.
+  const auto report =
+      availability_under_failures(4, {1, 1, 2}, 2);
+  EXPECT_EQ(report.blocks, 3u);
+  EXPECT_NEAR(report.expected_lost, 0.5 + 0.5 + 1.0 / 6.0, 1e-9);
+  // Independence-style aggregate: 1 - (0.5 * 0.5 * (5/6)).
+  EXPECT_NEAR(report.any_loss_probability, 1.0 - 0.25 * (5.0 / 6.0), 1e-9);
+}
+
+TEST(AvailabilityReport, ExtraReplicasShrinkLoss) {
+  const std::vector<std::size_t> vanilla(100, 3);
+  std::vector<std::size_t> dare(100, 3);
+  for (std::size_t i = 0; i < 20; ++i) dare[i] = 8;  // popular blocks boosted
+  const auto before = availability_under_failures(19, vanilla, 3);
+  const auto after = availability_under_failures(19, dare, 3);
+  EXPECT_LT(after.expected_lost, before.expected_lost);
+  EXPECT_LT(after.any_loss_probability, before.any_loss_probability);
+}
+
+TEST(AvailabilityReport, EmptyIsSafe) {
+  const auto report = availability_under_failures(10, {}, 2);
+  EXPECT_EQ(report.expected_lost, 0.0);
+  EXPECT_EQ(report.any_loss_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace dare::metrics

@@ -1,0 +1,76 @@
+#include "workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dare::workload {
+namespace {
+
+TEST(Catalog, SizesWithinConfiguredRanges) {
+  CatalogSpec spec;
+  spec.small_files = 50;
+  spec.small_min_blocks = 1;
+  spec.small_max_blocks = 4;
+  spec.large_files = 10;
+  spec.large_min_blocks = 20;
+  spec.large_max_blocks = 40;
+  Rng rng(1);
+  const auto catalog = build_catalog(spec, rng);
+  ASSERT_EQ(catalog.size(), 60u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(catalog[i].blocks, 1u);
+    EXPECT_LE(catalog[i].blocks, 4u);
+  }
+  for (std::size_t i = 50; i < 60; ++i) {
+    EXPECT_GE(catalog[i].blocks, 20u);
+    EXPECT_LE(catalog[i].blocks, 40u);
+  }
+}
+
+TEST(Catalog, NamesAreUniqueAndClassed) {
+  CatalogSpec spec;
+  spec.small_files = 3;
+  spec.large_files = 2;
+  Rng rng(2);
+  const auto catalog = build_catalog(spec, rng);
+  EXPECT_EQ(catalog[0].name, "small-0");
+  EXPECT_EQ(catalog[2].name, "small-2");
+  EXPECT_EQ(catalog[3].name, "large-0");
+  EXPECT_EQ(catalog[4].name, "large-1");
+}
+
+TEST(Catalog, DeterministicForSeed) {
+  CatalogSpec spec;
+  Rng r1(7);
+  Rng r2(7);
+  const auto a = build_catalog(spec, r1);
+  const auto b = build_catalog(spec, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].blocks, b[i].blocks);
+  }
+}
+
+TEST(Catalog, RejectsInvalidSpecs) {
+  Rng rng(3);
+  CatalogSpec none;
+  none.small_files = 0;
+  EXPECT_THROW(build_catalog(none, rng), std::invalid_argument);
+  CatalogSpec inverted;
+  inverted.small_min_blocks = 5;
+  inverted.small_max_blocks = 2;
+  EXPECT_THROW(build_catalog(inverted, rng), std::invalid_argument);
+  CatalogSpec zero_blocks;
+  zero_blocks.small_min_blocks = 0;
+  EXPECT_THROW(build_catalog(zero_blocks, rng), std::invalid_argument);
+}
+
+TEST(Catalog, ZeroLargeFilesAllowed) {
+  CatalogSpec spec;
+  spec.large_files = 0;
+  Rng rng(4);
+  const auto catalog = build_catalog(spec, rng);
+  EXPECT_EQ(catalog.size(), spec.small_files);
+}
+
+}  // namespace
+}  // namespace dare::workload

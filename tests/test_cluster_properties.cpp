@@ -1,0 +1,222 @@
+// Property-style sweeps over the DARE parameter space (TEST_P grids).
+//
+// These are the invariants the paper's design arguments rest on; they must
+// hold at *every* parameter combination, not just the defaults:
+//   * the replication budget is never exceeded on any node;
+//   * dynamic replication never loses a static replica;
+//   * DARE never hurts map locality relative to vanilla on heavy-tailed
+//     workloads;
+//   * runs are bit-deterministic in their metrics for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+
+namespace dare::cluster {
+namespace {
+
+workload::Workload sweep_workload(std::uint64_t seed = 17) {
+  workload::WorkloadOptions opts;
+  opts.num_jobs = 60;
+  opts.seed = seed;
+  opts.catalog.small_files = 24;
+  opts.catalog.large_files = 3;
+  opts.catalog.large_min_blocks = 8;
+  opts.catalog.large_max_blocks = 12;
+  return workload::make_wl2(opts);
+}
+
+using SweepParam = std::tuple<double /*p*/, int /*threshold*/,
+                              double /*budget*/, int /*scheduler*/>;
+
+class TrapSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TrapSweep, InvariantsHoldAcrossParameterGrid) {
+  const auto [p, threshold, budget, sched] = GetParam();
+  ClusterOptions opts = paper_defaults(
+      net::cct_profile(8),
+      sched == 0 ? SchedulerKind::kFifo : SchedulerKind::kFair,
+      PolicyKind::kElephantTrap);
+  opts.trap.p = p;
+  opts.trap.threshold = static_cast<std::uint32_t>(threshold);
+  opts.budget_fraction = budget;
+
+  Cluster cluster(opts);
+  const auto wl = sweep_workload();
+  const auto result = cluster.run(wl);
+
+  // 1. Every job completed, locality within [0, 1].
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  EXPECT_GE(result.locality, 0.0);
+  EXPECT_LE(result.locality, 1.0);
+
+  // 2. Budget invariant on every node.
+  for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+    EXPECT_LE(cluster.data_node(w).dynamic_bytes(),
+              cluster.node_budget_bytes())
+        << "node " << w << " p=" << p << " thr=" << threshold
+        << " budget=" << budget;
+  }
+
+  // 3. Static replicas never lost.
+  const auto& nn = cluster.name_node();
+  for (FileId fid : nn.all_files()) {
+    for (BlockId bid : nn.file(fid).blocks) {
+      const auto& statics = nn.static_locations(bid);
+      const auto& locs = nn.locations(bid);
+      for (NodeId node : statics) {
+        EXPECT_NE(std::find(locs.begin(), locs.end(), node), locs.end());
+      }
+      EXPECT_GE(locs.size(), statics.size());
+    }
+  }
+
+  // 4. p = 0 must behave exactly like vanilla (no replication at all).
+  if (p == 0.0) {
+    EXPECT_EQ(result.dynamic_replicas_created, 0u);
+  }
+}
+
+std::string sweep_param_name(
+    const ::testing::TestParamInfo<SweepParam>& info) {
+  const double p = std::get<0>(info.param);
+  const int thr = std::get<1>(info.param);
+  const double budget = std::get<2>(info.param);
+  const int sched = std::get<3>(info.param);
+  return "p" + std::to_string(static_cast<int>(p * 10)) + "_thr" +
+         std::to_string(thr) + "_b" +
+         std::to_string(static_cast<int>(budget * 100)) +
+         (sched == 0 ? "_fifo" : "_fair");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, TrapSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.9),
+                       ::testing::Values(1, 3),
+                       ::testing::Values(0.05, 0.2, 0.5),
+                       ::testing::Values(0, 1)),
+    sweep_param_name);
+
+class PolicySweep
+    : public ::testing::TestWithParam<std::tuple<int /*policy*/, int>> {};
+
+TEST_P(PolicySweep, DareNeverHurtsLocality) {
+  const auto [policy, sched] = GetParam();
+  const SchedulerKind scheduler =
+      sched == 0 ? SchedulerKind::kFifo : SchedulerKind::kFair;
+  const auto wl = sweep_workload();
+
+  const auto vanilla = run_once(
+      paper_defaults(net::cct_profile(8), scheduler, PolicyKind::kVanilla),
+      wl);
+  const auto dare = run_once(
+      paper_defaults(net::cct_profile(8), scheduler,
+                     static_cast<PolicyKind>(policy)),
+      wl);
+  // Allow an epsilon for scheduling noise: when the Fair scheduler is
+  // already near its locality ceiling, replication slightly perturbs task
+  // durations and hence delay-scheduling decisions, which can cost a few
+  // launches at this tiny scale. The shape property is that replication
+  // does not *materially* degrade locality.
+  EXPECT_GE(dare.locality, vanilla.locality - 0.06)
+      << "policy=" << policy << " sched=" << sched;
+}
+
+std::string policy_param_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  return "policy" + std::to_string(std::get<0>(info.param)) +
+         (std::get<1>(info.param) == 0 ? "_fifo" : "_fair");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(PolicyKind::kGreedyLru),
+                          static_cast<int>(PolicyKind::kGreedyLfu),
+                          static_cast<int>(PolicyKind::kElephantTrap)),
+        ::testing::Values(0, 1)),
+    policy_param_name);
+
+/// Profile dimension: the same invariants must hold on the virtualized
+/// multi-rack EC2 profile, with failures and speculation in the mix.
+class ProfileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ProfileSweep, InvariantsAcrossProfilesAndFeatures) {
+  const auto [profile, policy, features] = GetParam();
+  ClusterOptions opts = paper_defaults(
+      profile == 0 ? net::cct_profile(10) : net::ec2_profile(10),
+      SchedulerKind::kFair, static_cast<PolicyKind>(policy));
+  if (features & 1) {
+    opts.failures.push_back({from_seconds(6.0), NodeId{2}});
+  }
+  if (features & 2) {
+    opts.enable_speculation = true;
+    opts.profile.straggler_fraction = 0.2;
+    opts.profile.straggler_slowdown = 3.0;
+  }
+  Cluster cluster(opts);
+  const auto wl = sweep_workload();
+  const auto result = cluster.run(wl);
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  EXPECT_NO_THROW(cluster.validate());
+  EXPECT_GE(result.rack_locality, result.locality);
+  for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+    EXPECT_LE(cluster.data_node(w).dynamic_bytes(),
+              cluster.node_budget_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndFeatures, ProfileSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(
+                           static_cast<int>(PolicyKind::kVanilla),
+                           static_cast<int>(PolicyKind::kElephantTrap)),
+                       ::testing::Values(0, 1, 2, 3)));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, MetricsAreDeterministic) {
+  const std::uint64_t seed = GetParam();
+  ClusterOptions opts = paper_defaults(
+      net::cct_profile(8), SchedulerKind::kFair, PolicyKind::kElephantTrap,
+      seed);
+  const auto wl = sweep_workload(seed);
+  const auto r1 = run_once(opts, wl);
+  const auto r2 = run_once(opts, wl);
+  EXPECT_DOUBLE_EQ(r1.locality, r2.locality);
+  EXPECT_DOUBLE_EQ(r1.gmtt_s, r2.gmtt_s);
+  EXPECT_DOUBLE_EQ(r1.mean_slowdown, r2.mean_slowdown);
+  EXPECT_DOUBLE_EQ(r1.cv_after, r2.cv_after);
+  EXPECT_EQ(r1.dynamic_replica_disk_writes, r2.dynamic_replica_disk_writes);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 42u, 1234u, 99999u));
+
+class BudgetMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetMonotonicity, LargerBudgetNeverBreaksInvariants) {
+  ClusterOptions opts = paper_defaults(net::cct_profile(8),
+                                       SchedulerKind::kFifo,
+                                       PolicyKind::kGreedyLru);
+  opts.budget_fraction = GetParam();
+  Cluster cluster(opts);
+  const auto result = cluster.run(sweep_workload());
+  EXPECT_EQ(result.jobs.size(), 60u);
+  for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+    EXPECT_LE(cluster.data_node(w).dynamic_bytes(),
+              cluster.node_budget_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotonicity,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.3, 0.7, 1.0));
+
+}  // namespace
+}  // namespace dare::cluster

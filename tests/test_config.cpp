@@ -1,0 +1,115 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dare {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = Config::from_string(
+      "budget = 0.2\n"
+      "policy = elephant-trap\n"
+      "threshold=1\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("budget", 0.0), 0.2);
+  EXPECT_EQ(cfg.get_string("policy", ""), "elephant-trap");
+  EXPECT_EQ(cfg.get_int("threshold", 0), 1);
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const auto cfg = Config::from_string(
+      "# a comment\n"
+      "\n"
+      "p = 0.3  # inline comment\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("p", 0.0), 0.3);
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+TEST(Config, MissingKeyYieldsFallback) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_string("x", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_int("x", 7), 7);
+  EXPECT_TRUE(cfg.get_bool("x", true));
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::from_string("novalue\n"), std::invalid_argument);
+}
+
+TEST(Config, BadTypedValueThrows) {
+  auto cfg = Config::from_string("p = abc\nn = 1.5\nb = maybe\n");
+  EXPECT_THROW(cfg.get_double("p", 0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto cfg = Config::from_string(
+      "a = true\nb = FALSE\nc = 1\nd = off\ne = Yes\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+}
+
+TEST(Config, FromArgsSeparatesPositional) {
+  std::vector<std::string> positional;
+  const auto cfg = Config::from_args({"run", "p=0.3", "wl1", "budget=0.5"},
+                                     &positional);
+  EXPECT_DOUBLE_EQ(cfg.get_double("p", 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(cfg.get_double("budget", 0.0), 0.5);
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "run");
+  EXPECT_EQ(positional[1], "wl1");
+}
+
+TEST(Config, MergeOverrides) {
+  auto base = Config::from_string("a = 1\nb = 2\n");
+  const auto over = Config::from_string("b = 3\nc = 4\n");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, KeysSorted) {
+  const auto cfg = Config::from_string("zeta = 1\nalpha = 2\n");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(Config, EmptyKeyRejected) {
+  Config cfg;
+  EXPECT_THROW(cfg.set("", "v"), std::invalid_argument);
+}
+
+TEST(Config, TrailingCharactersRejected) {
+  auto cfg = Config::from_string("p = 0.5x\n");
+  EXPECT_THROW(cfg.get_double("p", 0.0), std::invalid_argument);
+}
+
+TEST(Config, FromFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dare_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "# cluster config\npolicy = elephant-trap\np = 0.3\n";
+  }
+  const auto cfg = Config::from_file(path);
+  EXPECT_EQ(cfg.get_string("policy", ""), "elephant-trap");
+  EXPECT_DOUBLE_EQ(cfg.get_double("p", 0.0), 0.3);
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMissingThrows) {
+  EXPECT_THROW(Config::from_file("/nonexistent/dare.conf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dare

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace dare {
+namespace {
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  csv.row(std::vector<std::string>{"1", "2"});
+  csv.row(std::vector<double>{0.5, 1.5});
+  EXPECT_EQ(csv.rows_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("x,y\n"), std::string::npos);
+  EXPECT_NE(text.find("1,2\n"), std::string::npos);
+  EXPECT_NE(text.find("0.5,1.5\n"), std::string::npos);
+}
+
+TEST(Csv, HeaderAfterRowsThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"1"});
+  EXPECT_THROW(csv.header({"x"}), std::logic_error);
+}
+
+TEST(Csv, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<double>{1.0 / 3.0});
+  const double parsed = std::stod(out.str());
+  EXPECT_DOUBLE_EQ(parsed, 1.0 / 3.0);
+}
+
+TEST(Table, AlignsColumnsAndPrintsSeparator) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  std::ostringstream out;
+  t.print(out, "My Table");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My Table"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  AsciiTable t({"label", "a", "b"});
+  t.add_row("row", {1.23456, 7.0}, 2);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("7.00"), std::string::npos);
+}
+
+TEST(Table, WidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnsThrows) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(Table, CsvExportMatchesContents) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"a,b", "1"});  // comma must be quoted
+  t.add_row({"plain", "2"});
+  std::ostringstream out;
+  t.to_csv(out);
+  EXPECT_EQ(out.str(), "name,value\n\"a,b\",1\nplain,2\n");
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.856, 1), "85.6%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dare

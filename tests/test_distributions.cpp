@@ -1,0 +1,179 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dare {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsDecreasingInRank) {
+  ZipfDistribution zipf(50, 1.0);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.pmf(k - 1), zipf.pmf(k));
+  }
+}
+
+TEST(Zipf, PmfMatchesPowerLaw) {
+  const double s = 1.5;
+  ZipfDistribution zipf(1000, s);
+  // pmf(k) / pmf(0) should equal (k+1)^-s.
+  for (std::size_t k : {1u, 9u, 99u}) {
+    const double ratio = zipf.pmf(k) / zipf.pmf(0);
+    EXPECT_NEAR(ratio, std::pow(static_cast<double>(k + 1), -s), 1e-9);
+  }
+}
+
+TEST(Zipf, SamplingFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 1.2);
+  Rng rng(1);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double freq = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(freq, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(Zipf, RejectsEmpty) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, OutOfRangePmfIsZero) {
+  ZipfDistribution zipf(5, 1.0);
+  EXPECT_EQ(zipf.pmf(5), 0.0);
+  EXPECT_EQ(zipf.pmf(100), 0.0);
+}
+
+TEST(BoundedPareto, SamplesStayInBounds) {
+  BoundedPareto pareto(1.0, 100.0, 1.3);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = pareto.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedPareto, HeavyTailShape) {
+  // With alpha ~1, the median is near lo but the mean is pulled far above
+  // it — the signature of a heavy tail.
+  BoundedPareto pareto(1.0, 1000.0, 1.0);
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(pareto.sample(rng));
+  std::sort(xs.begin(), xs.end());
+  const double median = xs[xs.size() / 2];
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  EXPECT_LT(median, 3.0);
+  EXPECT_GT(mean, 3.0 * median);
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(10.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Lognormal, MeanMatchesClosedForm) {
+  Lognormal ln(0.5, 0.75);
+  Rng rng(4);
+  const int n = 300000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += ln.sample(rng);
+  EXPECT_NEAR(sum / n, ln.mean(), ln.mean() * 0.02);
+}
+
+TEST(Lognormal, AllSamplesPositive) {
+  Lognormal ln(-2.0, 1.5);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(ln.sample(rng), 0.0);
+  }
+}
+
+TEST(Discrete, PmfAndCdfConsistent) {
+  DiscreteDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(d.pmf(0), 0.1, 1e-12);
+  EXPECT_NEAR(d.pmf(3), 0.4, 1e-12);
+  EXPECT_NEAR(d.cdf(1), 0.3, 1e-12);
+  EXPECT_NEAR(d.cdf(3), 1.0, 1e-12);
+  EXPECT_NEAR(d.cdf(100), 1.0, 1e-12);  // clamped
+}
+
+TEST(Discrete, ZeroWeightEntriesNeverSampled) {
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(d.sample(rng), 1u);
+  }
+}
+
+TEST(Discrete, SamplingMatchesWeights) {
+  DiscreteDistribution d({3.0, 1.0});
+  Rng rng(7);
+  int zeros = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.75, 0.01);
+}
+
+TEST(Discrete, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PiecewiseCdf, QuantileInterpolatesLinearly) {
+  PiecewiseCdf cdf({{0.0, 0.0}, {10.0, 0.5}, {20.0, 1.0}});
+  EXPECT_NEAR(cdf.quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(0.25), 5.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(0.5), 10.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(0.75), 15.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(1.0), 20.0, 1e-12);
+}
+
+TEST(PiecewiseCdf, QuantileClampsInput) {
+  PiecewiseCdf cdf({{1.0, 0.0}, {2.0, 1.0}});
+  EXPECT_NEAR(cdf.quantile(-0.5), 1.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(1.5), 2.0, 1e-12);
+}
+
+TEST(PiecewiseCdf, SampleDistributionMatchesKnots) {
+  PiecewiseCdf cdf({{0.0, 0.0}, {1.0, 0.8}, {10.0, 1.0}});
+  Rng rng(8);
+  int below_one = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (cdf.sample(rng) <= 1.0) ++below_one;
+  }
+  EXPECT_NEAR(static_cast<double>(below_one) / n, 0.8, 0.01);
+}
+
+TEST(PiecewiseCdf, RejectsMalformedKnots) {
+  using K = PiecewiseCdf::Knot;
+  EXPECT_THROW(PiecewiseCdf({K{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseCdf({K{0.0, 0.1}, K{1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseCdf({K{0.0, 0.0}, K{1.0, 0.5}}),
+               std::invalid_argument);
+  // Non-increasing value.
+  EXPECT_THROW(PiecewiseCdf({K{0.0, 0.0}, K{-1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dare

@@ -1,0 +1,203 @@
+#include "core/elephant_trap.h"
+
+#include <gtest/gtest.h>
+
+#include "net/profile.h"
+
+namespace dare::core {
+namespace {
+
+storage::BlockMeta blk(BlockId id, FileId file, Bytes size = 100) {
+  return storage::BlockMeta{id, file, size};
+}
+
+ElephantTrapParams params(double p, std::uint32_t threshold = 1) {
+  ElephantTrapParams tp;
+  tp.p = p;
+  tp.threshold = threshold;
+  return tp;
+}
+
+class ElephantTrapTest : public ::testing::Test {
+ protected:
+  ElephantTrapTest() : node_(0, net::cct_profile().disk, rng_) {}
+  Rng rng_{51};
+  storage::DataNode node_;
+};
+
+TEST_F(ElephantTrapTest, PEqualOneAlwaysReplicates) {
+  ElephantTrapPolicy policy(node_, 1000, params(1.0), rng_);
+  EXPECT_TRUE(policy.on_map_task(blk(1, 0), false));
+  EXPECT_TRUE(policy.on_map_task(blk(2, 1), false));
+  EXPECT_EQ(policy.replicas_created(), 2u);
+}
+
+TEST_F(ElephantTrapTest, PEqualZeroNeverReplicates) {
+  ElephantTrapPolicy policy(node_, 1000, params(0.0), rng_);
+  for (BlockId b = 0; b < 100; ++b) {
+    EXPECT_FALSE(policy.on_map_task(blk(b, b), false));
+  }
+  EXPECT_EQ(policy.replicas_created(), 0u);
+}
+
+TEST_F(ElephantTrapTest, SamplingRateApproximatesP) {
+  ElephantTrapPolicy policy(node_, 1000000, params(0.3), rng_);
+  int created = 0;
+  for (BlockId b = 0; b < 10000; ++b) {
+    if (policy.on_map_task(blk(b, b), false)) ++created;
+  }
+  EXPECT_NEAR(static_cast<double>(created) / 10000.0, 0.3, 0.03);
+}
+
+TEST_F(ElephantTrapTest, LocalAccessIncrementsCountWithProbabilityP) {
+  ElephantTrapPolicy policy(node_, 1000, params(1.0), rng_);
+  policy.on_map_task(blk(1, 0), false);
+  EXPECT_EQ(policy.access_count(1), 0u);
+  policy.on_map_task(blk(1, 0), true);
+  policy.on_map_task(blk(1, 0), true);
+  EXPECT_EQ(policy.access_count(1), 2u);
+}
+
+TEST_F(ElephantTrapTest, UntrackedLocalAccessIsIgnored) {
+  ElephantTrapPolicy policy(node_, 1000, params(1.0), rng_);
+  EXPECT_FALSE(policy.on_map_task(blk(9, 0), true));
+  EXPECT_EQ(policy.access_count(9), 0u);
+  EXPECT_EQ(policy.tracked_blocks(), 0u);
+}
+
+TEST_F(ElephantTrapTest, BudgetNeverExceeded) {
+  const Bytes budget = 350;
+  ElephantTrapPolicy policy(node_, budget, params(1.0), rng_);
+  for (BlockId b = 0; b < 100; ++b) {
+    policy.on_map_task(blk(b, b), false);
+    EXPECT_LE(node_.dynamic_bytes(), budget);
+  }
+}
+
+TEST_F(ElephantTrapTest, ColdBlocksEvictedWhenFull) {
+  ElephantTrapPolicy policy(node_, 300, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  // All counts are 0 < threshold, so the next insert evicts one victim.
+  EXPECT_TRUE(policy.on_map_task(blk(4, 13), false));
+  EXPECT_EQ(node_.dynamic_blocks().size(), 3u);
+  EXPECT_TRUE(node_.has_dynamic_block(4));
+}
+
+TEST_F(ElephantTrapTest, HotBlockSurvivesEviction) {
+  ElephantTrapPolicy policy(node_, 300, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  // Make block 1 hot: repeated local accesses.
+  for (int i = 0; i < 8; ++i) policy.on_map_task(blk(1, 10), true);
+  // Insert new blocks; the hot block must survive all evictions.
+  for (BlockId b = 20; b < 26; ++b) {
+    policy.on_map_task(blk(b, b), false);
+    EXPECT_TRUE(node_.has_dynamic_block(1)) << "evicted at b=" << b;
+  }
+}
+
+TEST_F(ElephantTrapTest, CompetitiveAgingHalvesCounts) {
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  for (int i = 0; i < 4; ++i) policy.on_map_task(blk(1, 10), true);
+  EXPECT_EQ(policy.access_count(1), 4u);
+  // Insert: the scan halves counts until it finds block 2 (count 0).
+  policy.on_map_task(blk(3, 12), false);
+  EXPECT_FALSE(node_.has_dynamic_block(2));
+  EXPECT_LE(policy.access_count(1), 2u);  // aged
+}
+
+TEST_F(ElephantTrapTest, AllHotBlocksMeansNoReplication) {
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  // Give both very high counts; one scan cannot age them below threshold.
+  for (int i = 0; i < 16; ++i) {
+    policy.on_map_task(blk(1, 10), true);
+    policy.on_map_task(blk(2, 11), true);
+  }
+  EXPECT_FALSE(policy.on_map_task(blk(3, 12), false));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+}
+
+TEST_F(ElephantTrapTest, SameFileVictimBlocksReplication) {
+  ElephantTrapPolicy policy(node_, 100, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 7), false);
+  // Only resident block shares the incoming file: refuse to replicate.
+  EXPECT_FALSE(policy.on_map_task(blk(2, 7), false));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+}
+
+TEST_F(ElephantTrapTest, HigherThresholdEvictsWarmBlocks) {
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 5), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  // Counts 3 and 0: with threshold 5, even the warm block is evictable.
+  for (int i = 0; i < 3; ++i) policy.on_map_task(blk(1, 10), true);
+  EXPECT_TRUE(policy.on_map_task(blk(3, 12), false));
+}
+
+TEST_F(ElephantTrapTest, RemoteReadOfTrackedBlockCountsAccess) {
+  ElephantTrapPolicy policy(node_, 1000, params(1.0), rng_);
+  policy.on_map_task(blk(1, 0), false);
+  EXPECT_FALSE(policy.on_map_task(blk(1, 0), false));
+  EXPECT_EQ(policy.access_count(1), 1u);
+  EXPECT_EQ(policy.replicas_created(), 1u);
+}
+
+TEST_F(ElephantTrapTest, BlockBiggerThanBudgetRefused) {
+  ElephantTrapPolicy policy(node_, 50, params(1.0), rng_);
+  EXPECT_FALSE(policy.on_map_task(blk(1, 0, 100), false));
+}
+
+TEST_F(ElephantTrapTest, NewestInsertIsScannedLast) {
+  // Insertion "right before the eviction pointer" means the freshest block
+  // is the last the aging scan reaches: with all counts at zero, the next
+  // eviction must pick the oldest surviving entry, not the newest.
+  ElephantTrapPolicy policy(node_, 300, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  // Budget full; insert 4: the scan starts at the eviction pointer, which
+  // sits just after the most recent insert — i.e., on the oldest blocks.
+  EXPECT_TRUE(policy.on_map_task(blk(4, 13), false));
+  EXPECT_TRUE(node_.has_dynamic_block(3));  // newest old entry survives
+  EXPECT_TRUE(node_.has_dynamic_block(4));
+}
+
+TEST_F(ElephantTrapTest, CountsAgeAcrossRepeatedEvictionScans) {
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 1), rng_);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  for (int i = 0; i < 8; ++i) policy.on_map_task(blk(1, 10), true);
+  ASSERT_EQ(policy.access_count(1), 8u);
+  // Each insertion that needs an eviction halves block 1's count when the
+  // scan passes it; after a few churn rounds it decays to near zero but the
+  // halving never makes it negative.
+  for (BlockId b = 20; b < 26; ++b) {
+    policy.on_map_task(blk(b, b), false);
+  }
+  EXPECT_LE(policy.access_count(1), 8u);
+}
+
+TEST_F(ElephantTrapTest, DeterministicGivenSeed) {
+  Rng r1(77);
+  Rng r2(77);
+  storage::DataNode n1(0, net::cct_profile().disk, r1);
+  storage::DataNode n2(0, net::cct_profile().disk, r2);
+  ElephantTrapPolicy p1(n1, 500, params(0.5), r1);
+  ElephantTrapPolicy p2(n2, 500, params(0.5), r2);
+  for (BlockId b = 0; b < 200; ++b) {
+    EXPECT_EQ(p1.on_map_task(blk(b % 20, b % 7), b % 3 == 0),
+              p2.on_map_task(blk(b % 20, b % 7), b % 3 == 0));
+  }
+  EXPECT_EQ(p1.replicas_created(), p2.replicas_created());
+}
+
+}  // namespace
+}  // namespace dare::core

@@ -1,0 +1,129 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dare::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  EXPECT_EQ(q.next_time(), 10);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(123, [] {});
+  EXPECT_EQ(q.pop_and_run(), 123);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  auto handle = q.schedule(10, [] {});
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(EventQueue, CancelledEventSkippedAmongLive) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] { fired.push_back(1); });
+  auto handle = q.schedule(20, [&] { fired.push_back(2); });
+  q.schedule(30, [&] { fired.push_back(3); });
+  handle.cancel();
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, HandleNotPendingAfterFire) {
+  EventQueue q;
+  auto handle = q.schedule(1, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] {
+    fired.push_back(1);
+    q.schedule(20, [&] { fired.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(10, [&] { ran = true; });
+  q.schedule(20, [&] { ran = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RejectsInvalidScheduling) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(1, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_and_run(), std::logic_error);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto h1 = q.schedule(1, [] {});
+  auto h2 = q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  h1.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 0u);
+  (void)h2;
+}
+
+}  // namespace
+}  // namespace dare::sim

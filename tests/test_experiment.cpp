@@ -1,0 +1,123 @@
+// Tests for the experiment harness: option builders, config overrides, and
+// the parallel runner's order preservation.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+
+namespace dare::cluster {
+namespace {
+
+TEST(PaperDefaults, MatchSectionVParameters) {
+  const auto opts = paper_defaults(net::cct_profile(20), SchedulerKind::kFair,
+                                   PolicyKind::kElephantTrap, 7);
+  EXPECT_DOUBLE_EQ(opts.trap.p, 0.3);
+  EXPECT_EQ(opts.trap.threshold, 1u);
+  EXPECT_DOUBLE_EQ(opts.budget_fraction, 0.2);
+  EXPECT_EQ(opts.scheduler, SchedulerKind::kFair);
+  EXPECT_EQ(opts.policy, PolicyKind::kElephantTrap);
+  EXPECT_EQ(opts.seed, 7u);
+}
+
+TEST(ParseNames, SchedulerAndPolicySpellings) {
+  EXPECT_EQ(parse_scheduler("fifo"), SchedulerKind::kFifo);
+  EXPECT_EQ(parse_scheduler("Fair"), SchedulerKind::kFair);
+  EXPECT_THROW(parse_scheduler("lifo"), std::invalid_argument);
+  EXPECT_EQ(parse_policy("vanilla"), PolicyKind::kVanilla);
+  EXPECT_EQ(parse_policy("lru"), PolicyKind::kGreedyLru);
+  EXPECT_EQ(parse_policy("greedy-lfu"), PolicyKind::kGreedyLfu);
+  EXPECT_EQ(parse_policy("et"), PolicyKind::kElephantTrap);
+  EXPECT_EQ(parse_policy("elephant-trap"), PolicyKind::kElephantTrap);
+  EXPECT_THROW(parse_policy("arc"), std::invalid_argument);
+}
+
+TEST(ApplyOverrides, KnownKeysApplied) {
+  const auto cfg = Config::from_string(
+      "profile = ec2\n"
+      "nodes = 40\n"
+      "scheduler = fair\n"
+      "policy = lru\n"
+      "p = 0.7\n"
+      "threshold = 3\n"
+      "budget = 0.5\n"
+      "map_slots = 4\n"
+      "reduce_slots = 2\n"
+      "heartbeat_s = 1.5\n"
+      "fair_delay_ms = 250\n"
+      "seed = 99\n");
+  const auto opts = apply_overrides(
+      paper_defaults(net::cct_profile(20), SchedulerKind::kFifo,
+                     PolicyKind::kVanilla),
+      cfg);
+  EXPECT_EQ(opts.profile.name, "ec2");
+  EXPECT_EQ(opts.profile.topology.nodes, 40u);
+  EXPECT_EQ(opts.scheduler, SchedulerKind::kFair);
+  EXPECT_EQ(opts.policy, PolicyKind::kGreedyLru);
+  EXPECT_DOUBLE_EQ(opts.trap.p, 0.7);
+  EXPECT_EQ(opts.trap.threshold, 3u);
+  EXPECT_DOUBLE_EQ(opts.budget_fraction, 0.5);
+  EXPECT_EQ(opts.map_slots_per_node, 4u);
+  EXPECT_EQ(opts.reduce_slots_per_node, 2u);
+  EXPECT_EQ(opts.heartbeat_interval, from_seconds(1.5));
+  EXPECT_EQ(opts.fair_delay, from_millis(250));
+  EXPECT_EQ(opts.seed, 99u);
+}
+
+TEST(ApplyOverrides, UnknownKeysIgnoredDefaultsKept) {
+  const auto cfg = Config::from_string("jobs = 500\nfoo = bar\n");
+  const auto base = paper_defaults(net::cct_profile(20), SchedulerKind::kFifo,
+                                   PolicyKind::kElephantTrap);
+  const auto opts = apply_overrides(base, cfg);
+  EXPECT_EQ(opts.profile.topology.nodes, base.profile.topology.nodes);
+  EXPECT_DOUBLE_EQ(opts.trap.p, base.trap.p);
+  EXPECT_EQ(opts.scheduler, base.scheduler);
+}
+
+TEST(ApplyOverrides, NodesAloneKeepsProfileKind) {
+  const auto cfg = Config::from_string("nodes = 50\n");
+  const auto opts = apply_overrides(
+      paper_defaults(net::ec2_profile(20), SchedulerKind::kFifo,
+                     PolicyKind::kVanilla),
+      cfg);
+  EXPECT_EQ(opts.profile.name, "ec2");
+  EXPECT_EQ(opts.profile.topology.nodes, 50u);
+}
+
+TEST(ApplyOverrides, BadValuesThrow) {
+  const auto base = paper_defaults(net::cct_profile(20), SchedulerKind::kFifo,
+                                   PolicyKind::kVanilla);
+  EXPECT_THROW(
+      apply_overrides(base, Config::from_string("profile = gcp\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      apply_overrides(base, Config::from_string("policy = arc\n")),
+      std::invalid_argument);
+  EXPECT_THROW(apply_overrides(base, Config::from_string("p = high\n")),
+               std::invalid_argument);
+}
+
+TEST(StandardWorkloads, ScaleArrivalsWithClusterSize) {
+  const auto small = standard_wl1(12, 100, 3);
+  const auto large = standard_wl1(100, 100, 3);
+  // Same job count; the larger cluster receives them faster.
+  ASSERT_EQ(small.jobs.size(), large.jobs.size());
+  EXPECT_GT(small.jobs.back().arrival, large.jobs.back().arrival);
+}
+
+TEST(RunParallel, PreservesOrderAndValues) {
+  std::vector<std::function<metrics::RunResult()>> runs;
+  for (int i = 0; i < 6; ++i) {
+    runs.push_back([i] {
+      metrics::RunResult r;
+      r.makespan = i;
+      return r;
+    });
+  }
+  const auto results = run_parallel(runs, 3);
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].makespan, i);
+  }
+}
+
+}  // namespace
+}  // namespace dare::cluster

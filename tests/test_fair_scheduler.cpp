@@ -1,0 +1,241 @@
+#include "sched/fair_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dare::sched {
+namespace {
+
+JobSpec make_job(JobId id, std::size_t maps, BlockId first_block,
+                 std::size_t reduces = 1) {
+  JobSpec spec;
+  spec.id = id;
+  spec.arrival = 10 * id;
+  for (std::size_t i = 0; i < maps; ++i) {
+    spec.maps.push_back(
+        MapTaskSpec{first_block + static_cast<BlockId>(i), 128, 1000});
+  }
+  spec.reduces = reduces;
+  return spec;
+}
+
+class MapLocator final : public BlockLocator {
+ public:
+  void add(NodeId node, BlockId block) { local_[node].insert(block); }
+  bool is_local(NodeId node, BlockId block) const override {
+    const auto it = local_.find(node);
+    return it != local_.end() && it->second.count(block) != 0;
+  }
+
+ private:
+  std::map<NodeId, std::set<BlockId>> local_;
+};
+
+class FairTest : public ::testing::Test {
+ protected:
+  JobTable jobs_;
+  MapLocator locator_;
+};
+
+TEST(FairScheduler, RejectsNegativeDelay) {
+  EXPECT_THROW(FairScheduler(-1), std::invalid_argument);
+}
+
+TEST_F(FairTest, LocalTaskSelectedImmediately) {
+  FairScheduler sched(from_seconds(5.0));
+  jobs_.add_job(make_job(1, 2, 100));
+  locator_.add(0, 101);
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_TRUE(sel->node_local());
+  EXPECT_EQ(jobs_.job(1).waiting_since, kTimeNever);
+}
+
+TEST_F(FairTest, DelaysNonLocalLaunchUntilWindowExpires) {
+  // Two-level delay: wait up to 2 s for node locality, then (with no
+  // rack-local option either) a further 1 s before going off-rack.
+  FairScheduler sched(from_seconds(2.0), from_seconds(1.0));
+  jobs_.add_job(make_job(1, 1, 100));
+  // No locality anywhere: opportunities inside the window are declined.
+  EXPECT_FALSE(sched.select_map(0, from_seconds(10.0), jobs_, locator_));
+  EXPECT_EQ(jobs_.job(1).waiting_since, from_seconds(10.0));
+  EXPECT_FALSE(sched.select_map(1, from_seconds(11.0), jobs_, locator_));
+  EXPECT_FALSE(sched.select_map(2, from_seconds(12.5), jobs_, locator_));
+  // Both windows expired: launch off-rack, clock reset.
+  const auto sel = sched.select_map(0, from_seconds(13.0), jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->locality, Locality::kOffRack);
+  EXPECT_EQ(jobs_.job(1).waiting_since, kTimeNever);
+}
+
+TEST_F(FairTest, RackLocalAcceptedAfterFirstDelayLevel) {
+  // A locator with rack information: block 100 lives in node 0's rack but
+  // not on node 0 itself.
+  class RackLocator final : public BlockLocator {
+   public:
+    bool is_local(NodeId, BlockId) const override { return false; }
+    bool is_rack_local(NodeId node, BlockId block) const override {
+      return node == 0 && block == 100;
+    }
+  } rack_locator;
+  FairScheduler sched(from_seconds(2.0), from_seconds(50.0));
+  jobs_.add_job(make_job(1, 1, 100));
+  EXPECT_FALSE(sched.select_map(0, from_seconds(1.0), jobs_, rack_locator));
+  // After the node-level delay, the rack-local launch is accepted long
+  // before the rack-level delay would allow off-rack.
+  const auto sel =
+      sched.select_map(0, from_seconds(3.5), jobs_, rack_locator);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->locality, Locality::kRackLocal);
+}
+
+TEST_F(FairTest, ZeroDelayBehavesGreedily) {
+  FairScheduler sched(0);
+  jobs_.add_job(make_job(1, 1, 100));
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_FALSE(sel->node_local());
+}
+
+TEST_F(FairTest, SkippedJobLetsNextJobRun) {
+  FairScheduler sched(from_seconds(5.0));
+  jobs_.add_job(make_job(1, 1, 100));
+  jobs_.add_job(make_job(2, 1, 200));
+  locator_.add(0, 200);  // only job 2 has local work on node 0
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 2);
+  EXPECT_TRUE(sel->node_local());
+  EXPECT_NE(jobs_.job(1).waiting_since, kTimeNever);  // job 1 is waiting
+}
+
+TEST_F(FairTest, FairnessPrefersJobWithFewerRunningMaps) {
+  FairScheduler sched(0);
+  jobs_.add_job(make_job(1, 5, 100));
+  jobs_.add_job(make_job(2, 5, 200));
+  // Give job 1 two running maps.
+  jobs_.launch_map(1, 0, Locality::kOffRack);
+  jobs_.launch_map(1, 0, Locality::kOffRack);
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 2);
+}
+
+TEST_F(FairTest, ArrivalOrderBreaksFairnessTies) {
+  FairScheduler sched(0);
+  jobs_.add_job(make_job(1, 1, 100));
+  jobs_.add_job(make_job(2, 1, 200));
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 1);
+}
+
+TEST_F(FairTest, LocalLaunchResetsDelayClock) {
+  FairScheduler sched(from_seconds(10.0));
+  jobs_.add_job(make_job(1, 2, 100));
+  EXPECT_FALSE(sched.select_map(0, from_seconds(1.0), jobs_, locator_));
+  EXPECT_NE(jobs_.job(1).waiting_since, kTimeNever);
+  locator_.add(0, 100);
+  const auto sel = sched.select_map(0, from_seconds(2.0), jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_TRUE(sel->node_local());
+  EXPECT_EQ(jobs_.job(1).waiting_since, kTimeNever);
+}
+
+TEST_F(FairTest, WaitingJobDoesNotBlockOthers) {
+  FairScheduler sched(from_seconds(5.0));
+  jobs_.add_job(make_job(1, 1, 100));  // fewest running, but never local
+  jobs_.add_job(make_job(2, 1, 200));
+  locator_.add(3, 200);
+  const auto sel = sched.select_map(3, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 2);  // job 1 skipped, job 2 local
+}
+
+TEST_F(FairTest, ReducePrefersJobWithFewerRunningReduces) {
+  FairScheduler sched(from_seconds(5.0));
+  jobs_.add_job(make_job(1, 1, 100, 3));
+  jobs_.add_job(make_job(2, 1, 200, 3));
+  for (JobId j : {JobId{1}, JobId{2}}) {
+    jobs_.launch_map(j, 0, Locality::kNodeLocal);
+    jobs_.complete_map(j, 1);
+  }
+  jobs_.launch_reduce(1);
+  const auto r = sched.select_reduce(jobs_);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST_F(FairTest, NoReduceBeforeMapsDone) {
+  FairScheduler sched(from_seconds(5.0));
+  jobs_.add_job(make_job(1, 2, 100, 1));
+  jobs_.launch_map(1, 0, Locality::kNodeLocal);
+  jobs_.complete_map(1, 1);
+  EXPECT_FALSE(sched.select_reduce(jobs_).has_value());
+}
+
+TEST_F(FairTest, WeightedShareFavorsHeavyJob) {
+  FairScheduler sched(0);
+  auto heavy = make_job(1, 8, 100);
+  heavy.weight = 4.0;
+  auto light = make_job(2, 8, 200);
+  light.weight = 1.0;
+  jobs_.add_job(heavy);
+  jobs_.add_job(light);
+  // Give each one running map: shares are 1/4 vs 1/1 — the heavy job is
+  // furthest below its entitlement and gets the next slot.
+  jobs_.launch_map(1, 0, Locality::kOffRack);
+  jobs_.launch_map(2, 0, Locality::kOffRack);
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 1);
+}
+
+TEST_F(FairTest, EqualWeightsReduceToPlainFairness) {
+  FairScheduler sched(0);
+  jobs_.add_job(make_job(1, 4, 100));
+  jobs_.add_job(make_job(2, 4, 200));
+  jobs_.launch_map(1, 0, Locality::kOffRack);
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 2);
+}
+
+TEST_F(FairTest, NonPositiveWeightTreatedAsOne) {
+  FairScheduler sched(0);
+  auto broken = make_job(1, 4, 100);
+  broken.weight = 0.0;  // defensive: config mistakes must not divide by 0
+  jobs_.add_job(broken);
+  jobs_.add_job(make_job(2, 4, 200));
+  jobs_.launch_map(2, 0, Locality::kOffRack);
+  const auto sel = sched.select_map(0, 0, jobs_, locator_);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->job, 1);
+}
+
+TEST_F(FairTest, HighDelayWithDistributedLocalityGivesAllLocal) {
+  // Delay scheduling's core promise: with enough patience, every launch is
+  // local when replicas are spread across nodes.
+  FairScheduler sched(from_seconds(100.0));
+  jobs_.add_job(make_job(1, 4, 100));
+  locator_.add(0, 100);
+  locator_.add(1, 101);
+  locator_.add(2, 102);
+  locator_.add(3, 103);
+  int local_launches = 0;
+  for (NodeId node = 0; node < 4; ++node) {
+    const auto sel = sched.select_map(node, from_seconds(1.0), jobs_,
+                                      locator_);
+    if (sel) {
+      EXPECT_TRUE(sel->node_local());
+      jobs_.launch_map(sel->job, sel->pending_index, sel->locality);
+      ++local_launches;
+    }
+  }
+  EXPECT_EQ(local_launches, 4);
+}
+
+}  // namespace
+}  // namespace dare::sched

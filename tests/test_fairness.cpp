@@ -1,0 +1,76 @@
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+
+namespace dare::metrics {
+namespace {
+
+TEST(JainsIndex, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(jains_index({2.0, 2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_index({7.5}), 1.0);
+}
+
+TEST(JainsIndex, TotalStarvationIsOneOverN) {
+  EXPECT_NEAR(jains_index({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainsIndex, KnownIntermediateValue) {
+  // x = {1, 2, 3}: (6)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jains_index({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainsIndex, EdgeCases) {
+  EXPECT_EQ(jains_index({}), 0.0);
+  EXPECT_EQ(jains_index({0.0, 0.0}), 0.0);
+}
+
+TEST(JainsIndex, ScaleInvariant) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(x * 17.0);
+  EXPECT_NEAR(jains_index(xs), jains_index(scaled), 1e-12);
+}
+
+JobMetrics jm(double slowdown) {
+  JobMetrics m;
+  m.arrival = 0;
+  m.completion = from_seconds(slowdown);
+  m.maps = 1;
+  m.dedicated_runtime_s = 1.0;
+  return m;
+}
+
+TEST(SlowdownFairness, ComputedOverJobSlowdowns) {
+  RunResult result;
+  result.jobs = {jm(1.0), jm(1.0), jm(4.0)};
+  // slowdowns {1,1,4}: 36 / (3*18) = 2/3.
+  EXPECT_NEAR(slowdown_fairness(result), 2.0 / 3.0, 1e-12);
+}
+
+TEST(WorstCase, RatioOfMaxToMedian) {
+  RunResult result;
+  result.jobs = {jm(1.0), jm(2.0), jm(8.0)};
+  EXPECT_NEAR(worst_case_slowdown_ratio(result), 4.0, 1e-12);
+  EXPECT_EQ(worst_case_slowdown_ratio(RunResult{}), 0.0);
+}
+
+TEST(SchedulerFairness, FairBeatsFifoOnWl2) {
+  // The reason wl2 exists: FIFO lets large scans starve small jobs.
+  const auto wl = cluster::standard_wl2(16, 200, 9);
+  const auto fifo = cluster::run_once(
+      cluster::paper_defaults(net::cct_profile(16),
+                              cluster::SchedulerKind::kFifo,
+                              cluster::PolicyKind::kVanilla),
+      wl);
+  const auto fair = cluster::run_once(
+      cluster::paper_defaults(net::cct_profile(16),
+                              cluster::SchedulerKind::kFair,
+                              cluster::PolicyKind::kVanilla),
+      wl);
+  EXPECT_GT(slowdown_fairness(fair), slowdown_fairness(fifo));
+}
+
+}  // namespace
+}  // namespace dare::metrics

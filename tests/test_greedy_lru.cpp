@@ -1,0 +1,128 @@
+#include "core/greedy_lru.h"
+
+#include <gtest/gtest.h>
+
+#include "net/profile.h"
+
+namespace dare::core {
+namespace {
+
+storage::BlockMeta blk(BlockId id, FileId file, Bytes size = 100) {
+  return storage::BlockMeta{id, file, size};
+}
+
+class GreedyLruTest : public ::testing::Test {
+ protected:
+  GreedyLruTest() : node_(0, net::cct_profile().disk, rng_) {}
+  Rng rng_{41};
+  storage::DataNode node_;
+};
+
+TEST_F(GreedyLruTest, ReplicatesEveryRemoteRead) {
+  GreedyLruPolicy policy(node_, 1000);
+  EXPECT_TRUE(policy.on_map_task(blk(1, 0), /*local=*/false));
+  EXPECT_TRUE(policy.on_map_task(blk(2, 1), false));
+  EXPECT_EQ(policy.replicas_created(), 2u);
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+}
+
+TEST_F(GreedyLruTest, LocalReadNeverReplicates) {
+  GreedyLruPolicy policy(node_, 1000);
+  EXPECT_FALSE(policy.on_map_task(blk(1, 0), /*local=*/true));
+  EXPECT_EQ(policy.replicas_created(), 0u);
+  EXPECT_FALSE(node_.has_dynamic_block(1));
+}
+
+TEST_F(GreedyLruTest, EvictsLeastRecentlyUsedWhenFull) {
+  GreedyLruPolicy policy(node_, 300);  // room for 3 blocks of 100
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  // Access block 1 so block 2 becomes LRU.
+  policy.on_map_task(blk(1, 10), true);
+  policy.on_map_task(blk(4, 13), false);
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_FALSE(node_.has_dynamic_block(2));  // evicted
+  EXPECT_TRUE(node_.has_dynamic_block(3));
+  EXPECT_TRUE(node_.has_dynamic_block(4));
+}
+
+TEST_F(GreedyLruTest, BudgetNeverExceeded) {
+  const Bytes budget = 450;
+  GreedyLruPolicy policy(node_, budget);
+  for (BlockId b = 0; b < 50; ++b) {
+    policy.on_map_task(blk(b, b), false);
+    EXPECT_LE(node_.dynamic_bytes(), budget);
+  }
+}
+
+TEST_F(GreedyLruTest, SameFileVictimIsSkipped) {
+  GreedyLruPolicy policy(node_, 200);
+  policy.on_map_task(blk(1, 7), false);
+  policy.on_map_task(blk(2, 7), false);
+  // Incoming block of the same file 7: neither resident block of file 7 may
+  // be evicted, so the insert fails and both stay.
+  EXPECT_FALSE(policy.on_map_task(blk(3, 7), false));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+  EXPECT_FALSE(node_.has_dynamic_block(3));
+}
+
+TEST_F(GreedyLruTest, OtherFileVictimEvictedBeforeSameFile) {
+  GreedyLruPolicy policy(node_, 200);
+  policy.on_map_task(blk(1, 7), false);   // same file as incoming, older
+  policy.on_map_task(blk(2, 8), false);
+  EXPECT_TRUE(policy.on_map_task(blk(3, 7), false));
+  EXPECT_TRUE(node_.has_dynamic_block(1));   // protected (same file)
+  EXPECT_FALSE(node_.has_dynamic_block(2));  // evicted despite being MRU-er
+  EXPECT_TRUE(node_.has_dynamic_block(3));
+}
+
+TEST_F(GreedyLruTest, BlockLargerThanBudgetRefused) {
+  GreedyLruPolicy policy(node_, 50);
+  EXPECT_FALSE(policy.on_map_task(blk(1, 0, 100), false));
+  EXPECT_EQ(node_.dynamic_bytes(), 0);
+}
+
+TEST_F(GreedyLruTest, RemoteReadOfTrackedBlockOnlyTouches) {
+  GreedyLruPolicy policy(node_, 300);
+  policy.on_map_task(blk(1, 0), false);
+  // Replica exists locally but metadata lag may still mark tasks remote.
+  EXPECT_FALSE(policy.on_map_task(blk(1, 0), false));
+  EXPECT_EQ(policy.replicas_created(), 1u);
+  EXPECT_EQ(node_.dynamic_insertions(), 1u);
+}
+
+TEST_F(GreedyLruTest, EvictionMarksForLazyDeletion) {
+  GreedyLruPolicy policy(node_, 100);
+  policy.on_map_task(blk(1, 0), false);
+  policy.on_map_task(blk(2, 1), false);  // evicts block 1
+  EXPECT_EQ(node_.marked_count(), 1u);
+  EXPECT_FALSE(node_.has_visible_block(1));
+}
+
+TEST_F(GreedyLruTest, EvictionOrderFollowsUsageNotInsertion) {
+  GreedyLruPolicy policy(node_, 300);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  // Touch in reverse insertion order: 1 is now MRU, 2 middle, 3 LRU... via
+  // local reads.
+  policy.on_map_task(blk(3, 12), true);
+  policy.on_map_task(blk(2, 11), true);
+  policy.on_map_task(blk(1, 10), true);
+  policy.on_map_task(blk(4, 13), false);  // evicts 3 (LRU after touches)
+  EXPECT_FALSE(node_.has_dynamic_block(3));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+}
+
+TEST_F(GreedyLruTest, TrackedBlocksMatchesNodeContents) {
+  GreedyLruPolicy policy(node_, 500);
+  for (BlockId b = 0; b < 5; ++b) policy.on_map_task(blk(b, b), false);
+  EXPECT_EQ(policy.tracked_blocks(), node_.dynamic_blocks().size());
+}
+
+}  // namespace
+}  // namespace dare::core

@@ -1,0 +1,168 @@
+#include "sched/job_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dare::sched {
+namespace {
+
+JobSpec make_job(JobId id, std::size_t maps, std::size_t reduces = 1,
+                 BlockId first_block = 100) {
+  JobSpec spec;
+  spec.id = id;
+  spec.arrival = 10 * id;
+  spec.input_file = id;
+  for (std::size_t i = 0; i < maps; ++i) {
+    spec.maps.push_back(
+        MapTaskSpec{first_block + static_cast<BlockId>(i), 128, 1000});
+  }
+  spec.reduces = reduces;
+  return spec;
+}
+
+/// Locator marking a fixed set of blocks local to every node.
+class FakeLocator final : public BlockLocator {
+ public:
+  explicit FakeLocator(std::set<BlockId> local) : local_(std::move(local)) {}
+  bool is_local(NodeId, BlockId block) const override {
+    return local_.count(block) != 0;
+  }
+
+ private:
+  std::set<BlockId> local_;
+};
+
+TEST(JobTable, AddJobInitializesState) {
+  JobTable table;
+  table.add_job(make_job(1, 3, 2));
+  const auto& rt = table.job(1);
+  EXPECT_EQ(rt.pending_maps.size(), 3u);
+  EXPECT_EQ(rt.pending_reduces, 2u);
+  EXPECT_EQ(rt.running_maps, 0u);
+  EXPECT_FALSE(rt.maps_done());
+  EXPECT_FALSE(rt.done());
+  EXPECT_EQ(table.total_pending_maps(), 3u);
+  EXPECT_EQ(table.total_pending_reduces(), 2u);
+  EXPECT_FALSE(table.all_done());
+}
+
+TEST(JobTable, DuplicateAndInvalidJobsRejected) {
+  JobTable table;
+  table.add_job(make_job(1, 1));
+  EXPECT_THROW(table.add_job(make_job(1, 1)), std::logic_error);
+  JobSpec no_maps = make_job(2, 1);
+  no_maps.maps.clear();
+  EXPECT_THROW(table.add_job(no_maps), std::invalid_argument);
+  JobSpec bad_id = make_job(kInvalidJob, 1);
+  EXPECT_THROW(table.add_job(bad_id), std::invalid_argument);
+}
+
+TEST(JobTable, MapLifecycle) {
+  JobTable table;
+  table.add_job(make_job(1, 2, 1));
+  const std::size_t idx = table.launch_map(1, 0, Locality::kNodeLocal);
+  EXPECT_LT(idx, 2u);
+  EXPECT_EQ(table.job(1).running_maps, 1u);
+  EXPECT_EQ(table.job(1).local_launches, 1u);
+  EXPECT_EQ(table.total_pending_maps(), 1u);
+  table.complete_map(1, 50);
+  EXPECT_EQ(table.job(1).completed_maps, 1u);
+  EXPECT_FALSE(table.job(1).maps_done());
+  table.launch_map(1, 0, Locality::kOffRack);
+  EXPECT_EQ(table.job(1).remote_launches, 1u);
+  table.complete_map(1, 60);
+  EXPECT_TRUE(table.job(1).maps_done());
+}
+
+TEST(JobTable, ReduceGatedOnMapsDone) {
+  JobTable table;
+  table.add_job(make_job(1, 1, 1));
+  EXPECT_THROW(table.launch_reduce(1), std::logic_error);
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  table.complete_map(1, 5);
+  table.launch_reduce(1);
+  EXPECT_EQ(table.job(1).running_reduces, 1u);
+  table.complete_reduce(1, 42);
+  EXPECT_TRUE(table.job(1).done());
+  EXPECT_EQ(table.job(1).completion, 42);
+  EXPECT_TRUE(table.all_done());
+}
+
+TEST(JobTable, ZeroReduceJobCompletesWithLastMap) {
+  JobTable table;
+  table.add_job(make_job(1, 1, /*reduces=*/0));
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  table.complete_map(1, 33);
+  EXPECT_TRUE(table.job(1).done());
+  EXPECT_EQ(table.job(1).completion, 33);
+  EXPECT_TRUE(table.active_jobs().empty());
+}
+
+TEST(JobTable, ActiveJobsShrinkOnCompletion) {
+  JobTable table;
+  table.add_job(make_job(1, 1, 1));
+  table.add_job(make_job(2, 1, 1));
+  EXPECT_EQ(table.active_jobs().size(), 2u);
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  table.complete_map(1, 1);
+  table.launch_reduce(1);
+  table.complete_reduce(1, 2);
+  ASSERT_EQ(table.active_jobs().size(), 1u);
+  EXPECT_EQ(table.active_jobs()[0], 2);
+  EXPECT_EQ(table.all_jobs().size(), 2u);
+}
+
+TEST(JobTable, FindLocalMapUsesLocator) {
+  JobTable table;
+  table.add_job(make_job(1, 3, 1, /*first_block=*/100));
+  const FakeLocator locator({101});
+  const auto found = table.find_local_map(1, 0, locator);
+  ASSERT_TRUE(found.has_value());
+  const auto& rt = table.job(1);
+  EXPECT_EQ(rt.spec.maps[rt.pending_maps[*found]].block, 101);
+}
+
+TEST(JobTable, FindLocalMapReturnsNulloptWhenNoneLocal) {
+  JobTable table;
+  table.add_job(make_job(1, 3, 1, 100));
+  const FakeLocator locator({999});
+  EXPECT_FALSE(table.find_local_map(1, 0, locator).has_value());
+}
+
+TEST(JobTable, FindAnyMapEmptyWhenAllLaunched) {
+  JobTable table;
+  table.add_job(make_job(1, 1, 1));
+  EXPECT_TRUE(table.find_any_map(1).has_value());
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  EXPECT_FALSE(table.find_any_map(1).has_value());
+}
+
+TEST(JobTable, CountersNeverUnderflow) {
+  JobTable table;
+  table.add_job(make_job(1, 1, 1));
+  EXPECT_THROW(table.complete_map(1, 0), std::logic_error);
+  EXPECT_THROW(table.complete_reduce(1, 0), std::logic_error);
+  EXPECT_THROW(table.launch_map(1, 5, Locality::kNodeLocal), std::out_of_range);
+}
+
+TEST(JobTable, UnknownJobThrows) {
+  JobTable table;
+  EXPECT_THROW(table.job(9), std::out_of_range);
+  EXPECT_FALSE(table.has_job(9));
+}
+
+TEST(JobTable, RunningTotalsTrackAllJobs) {
+  JobTable table;
+  table.add_job(make_job(1, 2, 1));
+  table.add_job(make_job(2, 2, 1, 200));
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  table.launch_map(2, 0, Locality::kOffRack);
+  EXPECT_EQ(table.total_running(), 2u);
+  EXPECT_EQ(table.total_pending_maps(), 2u);
+  table.complete_map(1, 1);
+  EXPECT_EQ(table.total_running(), 1u);
+}
+
+}  // namespace
+}  // namespace dare::sched

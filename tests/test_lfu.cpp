@@ -1,0 +1,91 @@
+#include "core/lfu.h"
+
+#include <gtest/gtest.h>
+
+#include "net/profile.h"
+
+namespace dare::core {
+namespace {
+
+storage::BlockMeta blk(BlockId id, FileId file, Bytes size = 100) {
+  return storage::BlockMeta{id, file, size};
+}
+
+class LfuTest : public ::testing::Test {
+ protected:
+  LfuTest() : node_(0, net::cct_profile().disk, rng_) {}
+  Rng rng_{61};
+  storage::DataNode node_;
+};
+
+TEST_F(LfuTest, ReplicatesRemoteReads) {
+  GreedyLfuPolicy policy(node_, 1000);
+  EXPECT_TRUE(policy.on_map_task(blk(1, 0), false));
+  EXPECT_EQ(policy.replicas_created(), 1u);
+  EXPECT_EQ(policy.frequency(1), 1u);
+}
+
+TEST_F(LfuTest, LocalReadsIncrementFrequency) {
+  GreedyLfuPolicy policy(node_, 1000);
+  policy.on_map_task(blk(1, 0), false);
+  policy.on_map_task(blk(1, 0), true);
+  policy.on_map_task(blk(1, 0), true);
+  EXPECT_EQ(policy.frequency(1), 3u);
+}
+
+TEST_F(LfuTest, EvictsLeastFrequentlyUsed) {
+  GreedyLfuPolicy policy(node_, 300);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  policy.on_map_task(blk(3, 12), false);
+  policy.on_map_task(blk(1, 10), true);
+  policy.on_map_task(blk(3, 12), true);
+  // Block 2 has the lowest count -> evicted.
+  EXPECT_TRUE(policy.on_map_task(blk(4, 13), false));
+  EXPECT_FALSE(node_.has_dynamic_block(2));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(3));
+}
+
+TEST_F(LfuTest, TieBrokenByInsertionAge) {
+  GreedyLfuPolicy policy(node_, 200);
+  policy.on_map_task(blk(1, 10), false);
+  policy.on_map_task(blk(2, 11), false);
+  // Equal frequencies: the older entry (block 1) is evicted first.
+  policy.on_map_task(blk(3, 12), false);
+  EXPECT_FALSE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+}
+
+TEST_F(LfuTest, SameFileVictimProtected) {
+  GreedyLfuPolicy policy(node_, 100);
+  policy.on_map_task(blk(1, 7), false);
+  EXPECT_FALSE(policy.on_map_task(blk(2, 7), false));
+  EXPECT_TRUE(node_.has_dynamic_block(1));
+}
+
+TEST_F(LfuTest, BudgetNeverExceeded) {
+  const Bytes budget = 250;
+  GreedyLfuPolicy policy(node_, budget);
+  for (BlockId b = 0; b < 40; ++b) {
+    policy.on_map_task(blk(b, b), false);
+    EXPECT_LE(node_.dynamic_bytes(), budget);
+  }
+}
+
+TEST_F(LfuTest, NoAgingKeepsFormerlyHotBlocks) {
+  // The LFU failure mode the ElephantTrap fixes: a block with high history
+  // count survives even when it stops being accessed.
+  GreedyLfuPolicy policy(node_, 200);
+  policy.on_map_task(blk(1, 10), false);
+  for (int i = 0; i < 50; ++i) policy.on_map_task(blk(1, 10), true);
+  policy.on_map_task(blk(2, 11), false);
+  // Churn many new blocks; block 1 is never the LFU victim.
+  for (BlockId b = 20; b < 40; ++b) {
+    policy.on_map_task(blk(b, b), false);
+    EXPECT_TRUE(node_.has_dynamic_block(1));
+  }
+}
+
+}  // namespace
+}  // namespace dare::core

@@ -1,0 +1,86 @@
+#include "metrics/locality_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+
+namespace dare::metrics {
+namespace {
+
+TEST(LocalityModel, HandComputedCases) {
+  // One block, 3 replicas, 19 workers: 3/19.
+  EXPECT_NEAR(expected_fifo_locality({1.0}, {3}, 19), 3.0 / 19.0, 1e-12);
+  // Fully replicated block: probability 1 regardless of weight.
+  EXPECT_NEAR(expected_fifo_locality({5.0}, {19}, 19), 1.0, 1e-12);
+  // Replicas exceeding workers clamp to 1.
+  EXPECT_NEAR(expected_fifo_locality({1.0}, {40}, 19), 1.0, 1e-12);
+  // Weighted mixture: 0.75 * 1 + 0.25 * 0.5.
+  EXPECT_NEAR(expected_fifo_locality({3.0, 1.0}, {4, 2}, 4), 0.875, 1e-12);
+}
+
+TEST(LocalityModel, ZeroWeightBlocksIgnored) {
+  EXPECT_NEAR(expected_fifo_locality({0.0, 1.0}, {1, 2}, 4), 0.5, 1e-12);
+}
+
+TEST(LocalityModel, EdgeAndErrorCases) {
+  EXPECT_EQ(expected_fifo_locality({}, {}, 4), 0.0);
+  EXPECT_EQ(expected_fifo_locality({0.0}, {3}, 4), 0.0);
+  EXPECT_THROW(expected_fifo_locality({1.0}, {1, 2}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(expected_fifo_locality({1.0}, {1}, 0), std::invalid_argument);
+  EXPECT_THROW(expected_fifo_locality({-1.0}, {1}, 4), std::invalid_argument);
+  EXPECT_THROW(expected_fifo_locality({1.0}, {0}, 4), std::invalid_argument);
+}
+
+/// Cross-validation against the simulator: a measured FIFO run must land
+/// between the model evaluated on initial replica counts (lower bound) and
+/// on final replica counts (upper bound).
+TEST(LocalityModel, BracketsSimulatedFifoRuns) {
+  for (const cluster::PolicyKind policy :
+       {cluster::PolicyKind::kVanilla, cluster::PolicyKind::kGreedyLru,
+        cluster::PolicyKind::kElephantTrap}) {
+    const auto wl = cluster::standard_wl1(20, 400, 6);
+    cluster::Cluster sim(cluster::paper_defaults(
+        net::cct_profile(20), cluster::SchedulerKind::kFifo, policy));
+    const auto result = sim.run(wl);
+
+    // Per-block access weights (each job access reads every block of its
+    // file once) and initial/final replica counts.
+    const auto counts = wl.file_access_counts();
+    std::vector<double> weights;
+    std::vector<std::size_t> initial;
+    std::vector<std::size_t> final_counts;
+    const auto& nn = sim.name_node();
+    const auto files = nn.all_files();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      for (BlockId bid : nn.file(files[i]).blocks) {
+        weights.push_back(static_cast<double>(counts[i]));
+        initial.push_back(3);
+        final_counts.push_back(nn.locations(bid).size());
+      }
+    }
+    const double lower =
+        expected_fifo_locality(weights, initial, sim.worker_count());
+    const double upper =
+        expected_fifo_locality(weights, final_counts, sim.worker_count());
+
+    // Tolerances: the freed-slot-is-uniform assumption is approximate (the
+    // rotation and light-load intervals give slight extra locality), so
+    // allow a margin around the band.
+    EXPECT_GE(result.locality, lower - 0.08)
+        << "policy " << static_cast<int>(policy);
+    EXPECT_LE(result.locality, upper + 0.08)
+        << "policy " << static_cast<int>(policy);
+    if (policy == cluster::PolicyKind::kVanilla) {
+      // No dynamic replication: the band collapses to a point estimate.
+      EXPECT_NEAR(result.locality, lower, 0.1);
+      EXPECT_NEAR(upper, lower, 1e-9);
+    } else {
+      EXPECT_GT(upper, lower);  // replication widened the band
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dare::metrics

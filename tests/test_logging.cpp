@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dare {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& msg) {
+          captured_.emplace_back(level, msg);
+        });
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, StreamStyleMessageReachesSink) {
+  DARE_LOG_INFO << "x=" << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "x=42");
+}
+
+TEST_F(LoggingTest, LevelFiltersOutLowerSeverity) {
+  Logger::instance().set_level(LogLevel::kError);
+  DARE_LOG_DEBUG << "hidden";
+  DARE_LOG_WARN << "also hidden";
+  DARE_LOG_ERROR << "visible";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "visible");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  DARE_LOG_ERROR << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, FilteredMessagesDoNotEvaluate) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  DARE_LOG_DEBUG << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace dare

@@ -1,0 +1,92 @@
+#include "net/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dare::net {
+namespace {
+
+TEST(Measurement, PingAllPairsSampleCount) {
+  Rng rng(1);
+  const auto profile = cct_profile(5);
+  Topology topo(profile.topology, rng);
+  Network net(profile, topo, rng);
+  const auto samples = ping_all_pairs(net, 2);
+  EXPECT_EQ(samples.size(), 5u * 4u * 2u);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Measurement, DiskSamplesWithinProfileBounds) {
+  Rng rng(2);
+  const auto profile = ec2_profile(20);
+  const auto samples = disk_bandwidth_samples(profile, 20, 10, rng);
+  EXPECT_EQ(samples.size(), 200u);
+  for (double s : samples) {
+    EXPECT_GE(s, profile.disk.floor);
+    EXPECT_LE(s, profile.disk.ceiling);
+  }
+}
+
+TEST(Measurement, CctDiskMeanMatchesTable2) {
+  Rng rng(3);
+  const auto profile = cct_profile(20);
+  const auto samples = disk_bandwidth_samples(profile, 20, 50, rng);
+  const double mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                      static_cast<double>(samples.size());
+  EXPECT_NEAR(mean, 157.8, 3.0);
+}
+
+TEST(Measurement, Ec2DiskHasLargeDispersion) {
+  Rng rng(4);
+  const auto profile = ec2_profile(100);
+  const auto samples = disk_bandwidth_samples(profile, 100, 20, rng);
+  OnlineStats st;
+  for (double s : samples) st.add(s);
+  EXPECT_GT(st.stddev(), 25.0);          // Table II: std 74.2
+  EXPECT_GT(st.max(), 250.0);            // unshared-host bursts
+  EXPECT_NEAR(st.mean(), 141.5, 20.0);   // Table II mean
+}
+
+TEST(Measurement, IperfSamplesRespectProfile) {
+  Rng rng(5);
+  const auto profile = ec2_profile(20);
+  Topology topo(profile.topology, rng);
+  Network net(profile, topo, rng);
+  const auto samples = iperf_samples(net, 500, rng);
+  EXPECT_EQ(samples.size(), 500u);
+  OnlineStats st;
+  for (double s : samples) st.add(s);
+  EXPECT_NEAR(st.mean(), 73.2, 10.0);  // Table II: EC2 net mean
+  EXPECT_GT(st.stddev(), 5.0);
+}
+
+TEST(Measurement, HopDistributionSumsToOne) {
+  Rng rng(6);
+  const auto profile = ec2_profile(20);
+  Topology topo(profile.topology, rng);
+  const auto dist = hop_count_distribution(topo, 10);
+  EXPECT_EQ(dist.size(), 11u);
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Measurement, SingleRackHopDistributionAllAtOne) {
+  Rng rng(7);
+  const auto profile = cct_profile(20);
+  Topology topo(profile.topology, rng);
+  const auto dist = hop_count_distribution(topo, 10);
+  EXPECT_NEAR(dist[1], 1.0, 1e-9);
+}
+
+TEST(Measurement, SingleNodeTopologyHasNoPairs) {
+  Rng rng(8);
+  TopologyOptions opts;
+  opts.nodes = 1;
+  Topology topo(opts, rng);
+  const auto dist = hop_count_distribution(topo, 5);
+  for (double p : dist) EXPECT_EQ(p, 0.0);
+}
+
+}  // namespace
+}  // namespace dare::net

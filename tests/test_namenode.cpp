@@ -1,0 +1,159 @@
+#include "storage/namenode.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dare::storage {
+namespace {
+
+class NameNodeTest : public ::testing::Test {
+ protected:
+  Rng rng_{21};
+};
+
+TEST_F(NameNodeTest, CreateFileAssignsSequentialBlocks) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 4, 128 * kMiB, 3, 7);
+  const auto& info = nn.file(f);
+  EXPECT_EQ(info.name, "a");
+  EXPECT_EQ(info.blocks.size(), 4u);
+  EXPECT_EQ(info.block_size, 128 * kMiB);
+  EXPECT_EQ(info.created, 7);
+  EXPECT_EQ(info.total_bytes(), 4 * 128 * kMiB);
+  for (BlockId b : info.blocks) {
+    EXPECT_EQ(nn.block(b).file, f);
+    EXPECT_EQ(nn.block(b).size, 128 * kMiB);
+  }
+}
+
+TEST_F(NameNodeTest, PlacementUsesDistinctNodes) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 20, kMiB, 3, 0);
+  for (BlockId b : nn.file(f).blocks) {
+    const auto& locs = nn.locations(b);
+    EXPECT_EQ(locs.size(), 3u);
+    std::set<NodeId> unique(locs.begin(), locs.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (NodeId n : locs) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 10);
+    }
+  }
+}
+
+TEST_F(NameNodeTest, ReplicationClampedToClusterSize) {
+  NameNode nn(2, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 5, 0);
+  EXPECT_EQ(nn.locations(nn.file(f).blocks[0]).size(), 2u);
+}
+
+TEST_F(NameNodeTest, RackAwarePlacementCoversTwoRacks) {
+  net::TopologyOptions topo_opts;
+  topo_opts.kind = net::TopologyKind::kMultiTier;
+  topo_opts.nodes = 12;
+  topo_opts.racks = 4;
+  net::Topology topo(topo_opts, rng_);
+  NameNode nn(12, &topo, rng_);
+  const FileId f = nn.create_file("a", 30, kMiB, 3, 0);
+  int two_rack_placements = 0;
+  for (BlockId b : nn.file(f).blocks) {
+    std::set<RackId> racks;
+    for (NodeId n : nn.locations(b)) racks.insert(topo.rack_of(n));
+    if (racks.size() >= 2) ++two_rack_placements;
+  }
+  // The policy tries hard to cover two racks (falls back only when random
+  // search fails); expect the vast majority of placements succeed.
+  EXPECT_GE(two_rack_placements, 27);
+}
+
+TEST_F(NameNodeTest, DynamicAddExtendsLocations) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 3, 0);
+  const BlockId b = nn.file(f).blocks[0];
+  // Find a node not already hosting the block.
+  NodeId extra = 0;
+  while (std::find(nn.locations(b).begin(), nn.locations(b).end(), extra) !=
+         nn.locations(b).end()) {
+    ++extra;
+  }
+  nn.report_dynamic_added(extra, {b});
+  EXPECT_EQ(nn.replica_count(b), 4u);
+  EXPECT_EQ(nn.dynamic_replica_count(), 1u);
+  EXPECT_NE(std::find(nn.locations(b).begin(), nn.locations(b).end(), extra),
+            nn.locations(b).end());
+}
+
+TEST_F(NameNodeTest, DuplicateDynamicAddIgnored) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 3, 0);
+  const BlockId b = nn.file(f).blocks[0];
+  nn.report_dynamic_added(9, {b});
+  nn.report_dynamic_added(9, {b});
+  EXPECT_EQ(nn.replica_count(b), 4u);
+  EXPECT_EQ(nn.dynamic_replica_count(), 1u);
+}
+
+TEST_F(NameNodeTest, DynamicRemoveDropsOnlyDynamicReplica) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 3, 0);
+  const BlockId b = nn.file(f).blocks[0];
+  const NodeId static_holder = nn.static_locations(b)[0];
+  nn.report_dynamic_added(9, {b});
+  // Removing the static holder is refused (only dynamic replicas go away).
+  nn.report_dynamic_removed(static_holder, {b});
+  EXPECT_EQ(nn.replica_count(b), 4u);
+  nn.report_dynamic_removed(9, {b});
+  EXPECT_EQ(nn.replica_count(b), 3u);
+  EXPECT_EQ(nn.dynamic_replica_count(), 0u);
+}
+
+TEST_F(NameNodeTest, RemoveOfAbsentReplicaIgnored) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 3, 0);
+  const BlockId b = nn.file(f).blocks[0];
+  nn.report_dynamic_removed(9, {b});  // no-op
+  EXPECT_EQ(nn.replica_count(b), 3u);
+}
+
+TEST_F(NameNodeTest, UnknownIdsThrow) {
+  NameNode nn(4, nullptr, rng_);
+  EXPECT_THROW(nn.file(99), std::out_of_range);
+  EXPECT_THROW(nn.block(99), std::out_of_range);
+  EXPECT_THROW(nn.locations(99), std::out_of_range);
+  EXPECT_THROW(nn.report_dynamic_added(0, {99}), std::out_of_range);
+  EXPECT_THROW(nn.report_dynamic_removed(0, {99}), std::out_of_range);
+}
+
+TEST_F(NameNodeTest, InvalidCreateArgumentsThrow) {
+  NameNode nn(4, nullptr, rng_);
+  EXPECT_THROW(nn.create_file("a", 0, kMiB, 3, 0), std::invalid_argument);
+  EXPECT_THROW(nn.create_file("a", 1, 0, 3, 0), std::invalid_argument);
+  EXPECT_THROW(NameNode(0, nullptr, rng_), std::invalid_argument);
+}
+
+TEST_F(NameNodeTest, AllFilesInCreationOrder) {
+  NameNode nn(4, nullptr, rng_);
+  const FileId a = nn.create_file("a", 1, kMiB, 3, 0);
+  const FileId b = nn.create_file("b", 1, kMiB, 3, 0);
+  const auto files = nn.all_files();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], a);
+  EXPECT_EQ(files[1], b);
+  EXPECT_EQ(nn.file_count(), 2u);
+  EXPECT_EQ(nn.block_count(), 2u);
+}
+
+TEST_F(NameNodeTest, StaticLocationsStableAfterDynamicChanges) {
+  NameNode nn(10, nullptr, rng_);
+  const FileId f = nn.create_file("a", 1, kMiB, 3, 0);
+  const BlockId b = nn.file(f).blocks[0];
+  const auto before = nn.static_locations(b);
+  nn.report_dynamic_added(9, {b});
+  nn.report_dynamic_removed(9, {b});
+  EXPECT_EQ(nn.static_locations(b), before);
+}
+
+}  // namespace
+}  // namespace dare::storage

@@ -1,0 +1,212 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "net/profile.h"
+
+namespace dare::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Rng rng_{11};
+};
+
+TEST_F(NetworkTest, RttPositiveAndReasonableOnCct) {
+  const auto profile = cct_profile(20);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats st;
+  for (int i = 0; i < 5000; ++i) st.add(net.sample_rtt_ms(0, 1));
+  EXPECT_GT(st.min(), 0.0);
+  EXPECT_NEAR(st.mean(), 0.18, 0.12);  // Table I: mean 0.18 ms
+  EXPECT_LT(st.max(), 5.0);            // Table I: max 2.17 ms
+}
+
+TEST_F(NetworkTest, Ec2RttHasHeavyTail) {
+  const auto profile = ec2_profile(20);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats st;
+  for (int i = 0; i < 20000; ++i) {
+    st.add(net.sample_rtt_ms(0, static_cast<NodeId>(1 + i % 19)));
+  }
+  EXPECT_NEAR(st.mean(), 0.77, 0.5);  // Table I: mean 0.77 ms
+  EXPECT_GT(st.max(), 5.0);           // spikes occur
+  EXPECT_GT(st.stddev(), st.mean());  // dispersion dominates the mean
+}
+
+TEST_F(NetworkTest, BandwidthWithinProfileClamps) {
+  const auto profile = ec2_profile(20);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  for (int i = 0; i < 5000; ++i) {
+    const double mbps =
+        net.sample_path_bandwidth(0, 1) / static_cast<double>(kMiB);
+    EXPECT_GE(mbps, profile.bandwidth.floor * 0.89);  // cross-pod penalty
+    EXPECT_LE(mbps, profile.bandwidth.ceiling);
+  }
+}
+
+TEST_F(NetworkTest, CctBandwidthTightAroundGigabit) {
+  const auto profile = cct_profile(20);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats st;
+  for (int i = 0; i < 5000; ++i) {
+    st.add(net.sample_path_bandwidth(0, 1) / static_cast<double>(kMiB));
+  }
+  EXPECT_NEAR(st.mean(), 117.7, 1.5);  // Table II
+  EXPECT_LT(st.stddev(), 2.0);
+}
+
+TEST_F(NetworkTest, FlowAccountingBalances) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  net.flow_started(0, 1);
+  net.flow_started(0, 2);
+  EXPECT_EQ(net.active_flows(0), 2);
+  EXPECT_EQ(net.active_flows(1), 1);
+  EXPECT_EQ(net.active_flows(2), 1);
+  net.flow_finished(0, 1);
+  EXPECT_EQ(net.active_flows(0), 1);
+  net.flow_finished(0, 2);
+  EXPECT_EQ(net.active_flows(0), 0);
+}
+
+TEST_F(NetworkTest, UnbalancedFlowFinishThrows) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  EXPECT_THROW(net.flow_finished(0, 1), std::logic_error);
+}
+
+TEST_F(NetworkTest, ContentionSlowsTransfers) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats uncontended;
+  OnlineStats contended;
+  for (int i = 0; i < 300; ++i) {
+    uncontended.add(
+        to_seconds(net.transfer_duration(0, 1, 128 * kMiB)));
+  }
+  net.flow_started(2, 1);
+  net.flow_started(3, 1);
+  net.flow_started(4, 1);
+  for (int i = 0; i < 300; ++i) {
+    contended.add(to_seconds(net.transfer_duration(0, 1, 128 * kMiB)));
+  }
+  // Four flows share the destination NIC -> about 4x slower.
+  EXPECT_GT(contended.mean(), uncontended.mean() * 3.0);
+}
+
+TEST_F(NetworkTest, LocalTransferIsFree) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  EXPECT_EQ(net.transfer_duration(3, 3, kGiB), 0);
+}
+
+TEST_F(NetworkTest, TransferScalesWithBytes) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats small;
+  OnlineStats large;
+  for (int i = 0; i < 200; ++i) {
+    small.add(to_seconds(net.transfer_duration(0, 1, 64 * kMiB)));
+    large.add(to_seconds(net.transfer_duration(0, 1, 256 * kMiB)));
+  }
+  EXPECT_NEAR(large.mean() / small.mean(), 4.0, 0.5);
+}
+
+TEST_F(NetworkTest, NegativeBytesRejected) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  EXPECT_THROW(net.transfer_duration(0, 1, -1), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, UplinkAccountingTracksCrossRackFlows) {
+  const auto profile = ec2_profile(20);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  // Find a cross-rack pair and a same-rack pair (if any).
+  NodeId a = 0;
+  NodeId b = 1;
+  while (topo.same_rack(a, b)) ++b;
+  net.flow_started(a, b);
+  EXPECT_EQ(net.active_uplink_flows(topo.rack_of(a)), 1);
+  EXPECT_EQ(net.active_uplink_flows(topo.rack_of(b)), 1);
+  net.flow_finished(a, b);
+  EXPECT_EQ(net.active_uplink_flows(topo.rack_of(a)), 0);
+  EXPECT_EQ(net.active_uplink_flows(topo.rack_of(b)), 0);
+}
+
+TEST_F(NetworkTest, SameRackFlowsDoNotTouchUplink) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  net.flow_started(0, 1);
+  EXPECT_EQ(net.active_uplink_flows(0), 0);
+  net.flow_finished(0, 1);
+}
+
+TEST_F(NetworkTest, OversubscribedUplinkSlowsCrossRackTransfers) {
+  auto profile = ec2_profile(24);
+  profile.bandwidth.rack_uplink_mbps = 100.0;  // tight uplink
+  // Remove per-pair noise so only the uplink effect remains.
+  profile.bandwidth.stddev = 0.0;
+  profile.bandwidth.degraded_probability = 0.0;
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  NodeId a = 0;
+  NodeId b = 1;
+  while (topo.same_rack(a, b)) ++b;
+  OnlineStats before;
+  for (int i = 0; i < 100; ++i) {
+    before.add(to_seconds(net.transfer_duration(a, b, 128 * kMiB)));
+  }
+  // Saturate rack a's uplink with other cross-rack flows.
+  int added = 0;
+  for (NodeId other = 0; other < 24 && added < 3; ++other) {
+    if (other != a && other != b && topo.same_rack(other, a)) {
+      for (NodeId far = 0; far < 24; ++far) {
+        if (!topo.same_rack(other, far)) {
+          net.flow_started(other, far);
+          ++added;
+          break;
+        }
+      }
+    }
+  }
+  if (added == 0) {
+    // The random placement isolated node a in its rack: saturate via flows
+    // from a itself.
+    net.flow_started(a, b);
+    added = 1;
+  }
+  OnlineStats after;
+  for (int i = 0; i < 100; ++i) {
+    after.add(to_seconds(net.transfer_duration(a, b, 128 * kMiB)));
+  }
+  EXPECT_GT(after.mean(), before.mean() * 1.3);
+}
+
+TEST_F(NetworkTest, CctTransferRoughly128MiBPerSecond) {
+  const auto profile = cct_profile(10);
+  Topology topo(profile.topology, rng_);
+  Network net(profile, topo, rng_);
+  OnlineStats st;
+  for (int i = 0; i < 200; ++i) {
+    st.add(to_seconds(net.transfer_duration(0, 1, 128 * kMiB)));
+  }
+  // 128 MiB at ~117.7 MB/s ~= 1.09 s.
+  EXPECT_NEAR(st.mean(), 1.09, 0.15);
+}
+
+}  // namespace
+}  // namespace dare::net

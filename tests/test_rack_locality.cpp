@@ -1,0 +1,83 @@
+// Rack-locality tests on the EC2 (multi-rack) profile: the three-tier
+// locality accounting, two-level delay scheduling, and the Fig.-1-style
+// topology's effect on scheduling.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+
+namespace dare::cluster {
+namespace {
+
+workload::Workload ec2_workload(std::size_t jobs = 120,
+                                std::uint64_t seed = 31) {
+  workload::WorkloadOptions opts;
+  opts.num_jobs = jobs;
+  opts.seed = seed;
+  opts.catalog.small_files = 30;
+  opts.catalog.large_files = 3;
+  opts.catalog.large_min_blocks = 8;
+  opts.catalog.large_max_blocks = 12;
+  return workload::make_wl1(opts);
+}
+
+TEST(RackLocality, RackLocalityDominatesNodeLocality) {
+  for (const auto sched : {SchedulerKind::kFifo, SchedulerKind::kFair}) {
+    const auto result = run_once(
+        paper_defaults(net::ec2_profile(16), sched, PolicyKind::kVanilla),
+        ec2_workload());
+    EXPECT_GE(result.rack_locality, result.locality);
+    EXPECT_LE(result.rack_locality, 1.0);
+  }
+}
+
+TEST(RackLocality, SingleRackClusterIsAllRackLocal) {
+  const auto result = run_once(
+      paper_defaults(net::cct_profile(12), SchedulerKind::kFifo,
+                     PolicyKind::kVanilla),
+      ec2_workload());
+  // Every replica is in the (single) rack of every node.
+  EXPECT_DOUBLE_EQ(result.rack_locality, 1.0);
+}
+
+TEST(RackLocality, TierCountsArePartitioned) {
+  Cluster cluster(paper_defaults(net::ec2_profile(16), SchedulerKind::kFair,
+                                 PolicyKind::kElephantTrap));
+  const auto wl = ec2_workload();
+  const auto result = cluster.run(wl);
+  for (const auto& jm : result.jobs) {
+    EXPECT_LE(jm.local_maps + jm.rack_local_maps, jm.maps);
+  }
+}
+
+TEST(RackLocality, FairSchedulerRackDelayTradesTiers) {
+  // With a long rack-level delay, off-rack launches become rare.
+  const auto wl = ec2_workload(150);
+  auto eager = paper_defaults(net::ec2_profile(16), SchedulerKind::kFair,
+                              PolicyKind::kVanilla);
+  eager.fair_delay = from_millis(100);
+  auto patient = eager;
+  patient.fair_delay = from_seconds(3.0);
+  const auto r_eager = run_once(eager, wl);
+  const auto r_patient = run_once(patient, wl);
+  // Patience buys locality (node or rack) at both tiers.
+  EXPECT_GE(r_patient.rack_locality, r_eager.rack_locality - 0.02);
+  EXPECT_GE(r_patient.locality, r_eager.locality);
+}
+
+TEST(RackLocality, DareImprovesBothTiersOnEc2) {
+  const auto wl = ec2_workload(150);
+  const auto vanilla = run_once(
+      paper_defaults(net::ec2_profile(16), SchedulerKind::kFifo,
+                     PolicyKind::kVanilla),
+      wl);
+  const auto dare = run_once(
+      paper_defaults(net::ec2_profile(16), SchedulerKind::kFifo,
+                     PolicyKind::kGreedyLru),
+      wl);
+  EXPECT_GT(dare.locality, vanilla.locality);
+  EXPECT_GE(dare.rack_locality, vanilla.rack_locality - 0.02);
+}
+
+}  // namespace
+}  // namespace dare::cluster

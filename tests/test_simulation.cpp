@@ -1,0 +1,145 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dare::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  sim.at(100, [&] { seen.push_back(sim.now()); });
+  sim.at(200, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{100, 200}));
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.at(50, [&] {
+    sim.after(25, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 75);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.at(10, [&] {
+    sim.after(-5, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilHorizonStopsAndResumes) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  sim.at(10, [&] { seen.push_back(10); });
+  sim.at(20, [&] { seen.push_back(20); });
+  sim.at(30, [&] { seen.push_back(30); });
+  EXPECT_EQ(sim.run(20), 2u);  // events at exactly the horizon still run
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(seen.back(), 30);
+}
+
+TEST(Simulation, RunAdvancesClockToHorizonWhenDrained) {
+  Simulation sim;
+  sim.at(5, [] {});
+  sim.run(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulation, StepExecutesOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.at(1, [&] { ++count; });
+  sim.at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, StopDropsPendingEvents) {
+  Simulation sim;
+  int count = 0;
+  sim.at(10, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.at(20, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, ExecutedEventsCounter) {
+  Simulation sim;
+  for (int i = 1; i <= 5; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulation, CallbackObservesItsOwnTimestamp) {
+  Simulation sim;
+  std::vector<SimTime> observed;
+  sim.at(7, [&] { observed.push_back(sim.now()); });
+  sim.at(7, [&] { observed.push_back(sim.now()); });
+  sim.at(9, [&] { observed.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<SimTime>{7, 7, 9}));
+}
+
+TEST(Simulation, CancelFromWithinCallback) {
+  Simulation sim;
+  bool second_ran = false;
+  EventHandle second;
+  sim.at(5, [&] { second.cancel(); });
+  second = sim.at(10, [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(Simulation, SchedulingAtNowFromCallbackRunsSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(5, [&] {
+    order.push_back(1);
+    sim.at(5, [&] { order.push_back(2); });  // same timestamp, runs after
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(Simulation, RepeatingEventChainTerminates) {
+  Simulation sim;
+  int fires = 0;
+  // Self-rescheduling heartbeat with a termination condition.
+  std::function<void()> beat = [&] {
+    if (++fires < 10) sim.after(3, beat);
+  };
+  sim.after(3, beat);
+  sim.run();
+  EXPECT_EQ(fires, 10);
+  EXPECT_EQ(sim.now(), 30);
+}
+
+}  // namespace
+}  // namespace dare::sim

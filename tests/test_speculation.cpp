@@ -1,0 +1,109 @@
+// Speculative-execution tests: straggler nodes slow tasks, backup attempts
+// rescue them, and the attempt bookkeeping never double-completes a task.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+
+namespace dare::cluster {
+namespace {
+
+workload::Workload spec_workload(std::size_t jobs = 80,
+                                 std::uint64_t seed = 41) {
+  workload::WorkloadOptions opts;
+  opts.num_jobs = jobs;
+  opts.seed = seed;
+  opts.catalog.small_files = 20;
+  opts.catalog.large_files = 2;
+  opts.catalog.large_min_blocks = 6;
+  opts.catalog.large_max_blocks = 10;
+  return workload::make_wl1(opts);
+}
+
+ClusterOptions straggler_options(bool speculation,
+                                 double straggler_fraction = 0.25,
+                                 double slowdown = 4.0) {
+  auto opts = paper_defaults(net::cct_profile(10), SchedulerKind::kFifo,
+                             PolicyKind::kVanilla);
+  opts.profile.straggler_fraction = straggler_fraction;
+  opts.profile.straggler_slowdown = slowdown;
+  opts.enable_speculation = speculation;
+  return opts;
+}
+
+TEST(Speculation, DisabledMeansNoBackupAttempts) {
+  const auto result =
+      run_once(straggler_options(/*speculation=*/false), spec_workload());
+  EXPECT_EQ(result.speculative_launched, 0u);
+  EXPECT_EQ(result.speculative_wins, 0u);
+  EXPECT_EQ(result.speculative_killed, 0u);
+}
+
+TEST(Speculation, LaunchesBackupsUnderStragglers) {
+  const auto result =
+      run_once(straggler_options(/*speculation=*/true), spec_workload(150));
+  EXPECT_GT(result.speculative_launched, 0u);
+  // Every launched backup either wins or is killed (or its task's original
+  // wins, killing it) — accounting must balance.
+  EXPECT_LE(result.speculative_wins, result.speculative_launched);
+}
+
+TEST(Speculation, AllJobsCompleteWithSpeculation) {
+  const auto wl = spec_workload(150);
+  const auto result = run_once(straggler_options(true), wl);
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  for (const auto& jm : result.jobs) {
+    EXPECT_GT(jm.completion, jm.arrival);
+  }
+}
+
+TEST(Speculation, ImprovesTurnaroundUnderSevereStragglers) {
+  const auto wl = spec_workload(150);
+  const auto without =
+      run_once(straggler_options(false, 0.25, 6.0), wl);
+  const auto with = run_once(straggler_options(true, 0.25, 6.0), wl);
+  // Backup attempts rescue straggler-bound tasks; turnaround improves.
+  EXPECT_LT(with.gmtt_s, without.gmtt_s);
+}
+
+TEST(Speculation, NoStragglersMeansFewBackups) {
+  // With homogeneous nodes the duration spread is small; the threshold of
+  // 1.7x the mean is rarely exceeded.
+  auto opts = straggler_options(true, 0.0, 1.0);
+  const auto busy = run_once(opts, spec_workload(150));
+  const auto with_stragglers =
+      run_once(straggler_options(true, 0.3, 5.0), spec_workload(150));
+  EXPECT_LT(busy.speculative_launched, with_stragglers.speculative_launched);
+}
+
+TEST(Speculation, DeterministicAcrossRuns) {
+  const auto wl = spec_workload(100);
+  const auto opts = straggler_options(true);
+  const auto r1 = run_once(opts, wl);
+  const auto r2 = run_once(opts, wl);
+  EXPECT_DOUBLE_EQ(r1.gmtt_s, r2.gmtt_s);
+  EXPECT_EQ(r1.speculative_launched, r2.speculative_launched);
+  EXPECT_EQ(r1.speculative_wins, r2.speculative_wins);
+  EXPECT_EQ(r1.speculative_killed, r2.speculative_killed);
+}
+
+TEST(Speculation, CoexistsWithFailures) {
+  auto opts = straggler_options(true);
+  opts.failures.push_back({from_seconds(10.0), NodeId{2}});
+  opts.failures.push_back({from_seconds(20.0), NodeId{5}});
+  const auto wl = spec_workload(120);
+  const auto result = run_once(opts, wl);
+  EXPECT_EQ(result.jobs.size(), wl.jobs.size());
+  EXPECT_EQ(result.blocks_lost, 0u);
+}
+
+TEST(Speculation, CoexistsWithDare) {
+  auto opts = straggler_options(true);
+  opts.policy = PolicyKind::kElephantTrap;
+  const auto result = run_once(opts, spec_workload(120));
+  EXPECT_GT(result.dynamic_replicas_created, 0u);
+  EXPECT_EQ(result.jobs.size(), 120u);
+}
+
+}  // namespace
+}  // namespace dare::cluster

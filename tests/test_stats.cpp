@@ -1,0 +1,177 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dare {
+namespace {
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.min(), 0.0);
+  EXPECT_EQ(st.max(), 0.0);
+  EXPECT_EQ(st.cv(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleValueHasZeroVariance) {
+  OnlineStats st;
+  st.add(42.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.min(), 42.0);
+  EXPECT_EQ(st.max(), 42.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(GeometricMean, MatchesHandComputation) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, SkipsNonPositive) {
+  EXPECT_NEAR(geometric_mean({0.0, -5.0, 4.0, 4.0}), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_EQ(geometric_mean({0.0}), 0.0);
+}
+
+TEST(GeometricMean, DominatedLessByOutliersThanArithmetic) {
+  const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 1000.0};
+  const double gm = geometric_mean(xs);
+  EXPECT_LT(gm, 5.0);  // arithmetic mean would be ~200
+}
+
+TEST(CoefficientOfVariation, UniformDataIsZero) {
+  EXPECT_EQ(coefficient_of_variation({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(CoefficientOfVariation, MatchesHandComputation) {
+  // Population stddev of {2, 4} is 1, mean is 3.
+  EXPECT_NEAR(coefficient_of_variation({2.0, 4.0}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CoefficientOfVariation, EdgeCases) {
+  EXPECT_EQ(coefficient_of_variation({}), 0.0);
+  EXPECT_EQ(coefficient_of_variation({0.0, 0.0}), 0.0);  // zero mean
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(HistogramTest, CountsAndProportions) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.7, 9.9}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.bin_count(1), 2u);  // 2.5, 2.7
+  EXPECT_EQ(h.bin_count(4), 1u);  // 9.9
+  EXPECT_NEAR(h.proportion(0), 0.4, 1e-12);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, FractionAtOrBelow) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  EmpiricalCdf cdf;
+  cdf.add_all({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdfTest, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5.0), 1.0);
+  cdf.add(1.0);  // forces re-sort on next query
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.5);
+}
+
+TEST(Summarize, ProducesPaperStyleRow) {
+  const auto row = summarize("disk", {145.3, 157.8, 167.0});
+  EXPECT_EQ(row.label, "disk");
+  EXPECT_DOUBLE_EQ(row.min, 145.3);
+  EXPECT_DOUBLE_EQ(row.max, 167.0);
+  EXPECT_NEAR(row.mean, 156.7, 0.01);
+  EXPECT_GT(row.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace dare

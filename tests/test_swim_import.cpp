@@ -1,0 +1,110 @@
+#include "workload/swim_import.h"
+
+#include <gtest/gtest.h>
+
+namespace dare::workload {
+namespace {
+
+// A hand-written SWIM-style trace: name, submit_s, inter_arrival_s,
+// input_bytes, shuffle_bytes, output_bytes.
+const char* kTinyTrace =
+    "# synthetic sample in SWIM format\n"
+    "job0 0     0   134217728   1048576   1048576\n"
+    "job1 10    10  268435456   2097152   1048576\n"
+    "job2 25    15  134217728   1048576   524288\n"
+    "\n"
+    "job3 40    15  1073741824  8388608   4194304\n";
+
+SwimImportOptions default_options() {
+  SwimImportOptions opts;
+  opts.block_size = 128 * kMiB;
+  return opts;
+}
+
+TEST(SwimImport, ParsesAllRows) {
+  const auto wl = import_swim_string(kTinyTrace, default_options());
+  EXPECT_EQ(wl.name, "swim-import");
+  ASSERT_EQ(wl.jobs.size(), 4u);
+  EXPECT_EQ(wl.catalog_spec.block_size, 128 * kMiB);
+}
+
+TEST(SwimImport, ArrivalsRebasedToZeroAndScaled) {
+  auto opts = default_options();
+  opts.time_scale = 0.5;
+  const auto wl = import_swim_string(kTinyTrace, opts);
+  EXPECT_EQ(wl.jobs[0].arrival, 0);
+  EXPECT_EQ(wl.jobs[1].arrival, from_seconds(5.0));   // 10s * 0.5
+  EXPECT_EQ(wl.jobs[3].arrival, from_seconds(20.0));  // 40s * 0.5
+}
+
+TEST(SwimImport, BlockCountsFromInputBytes) {
+  const auto wl = import_swim_string(kTinyTrace, default_options());
+  // 128 MiB -> 1 block, 256 MiB -> 2 blocks, 1 GiB -> 8 blocks.
+  EXPECT_EQ(wl.catalog[wl.jobs[0].file_index].blocks, 1u);
+  EXPECT_EQ(wl.catalog[wl.jobs[1].file_index].blocks, 2u);
+  EXPECT_EQ(wl.catalog[wl.jobs[3].file_index].blocks, 8u);
+}
+
+TEST(SwimImport, IdenticalInputSizesShareAFile) {
+  const auto wl = import_swim_string(kTinyTrace, default_options());
+  EXPECT_EQ(wl.jobs[0].file_index, wl.jobs[2].file_index);
+  EXPECT_NE(wl.jobs[0].file_index, wl.jobs[1].file_index);
+  EXPECT_EQ(wl.catalog.size(), 3u);  // 1-block, 2-block, 8-block files
+}
+
+TEST(SwimImport, WindowSelection) {
+  auto opts = default_options();
+  opts.first_job = 1;
+  opts.num_jobs = 2;
+  const auto wl = import_swim_string(kTinyTrace, opts);
+  ASSERT_EQ(wl.jobs.size(), 2u);
+  // Jobs 1 and 2 selected; arrivals rebased to job 1's submit time.
+  EXPECT_EQ(wl.jobs[0].arrival, 0);
+  EXPECT_EQ(wl.jobs[1].arrival, from_seconds(15.0));
+}
+
+TEST(SwimImport, BlockCapApplied) {
+  auto opts = default_options();
+  opts.max_blocks_per_job = 4;
+  const auto wl = import_swim_string(kTinyTrace, opts);
+  for (const auto& job : wl.jobs) {
+    EXPECT_LE(wl.catalog[job.file_index].blocks, 4u);
+  }
+}
+
+TEST(SwimImport, ShuffleBytesPreserved) {
+  const auto wl = import_swim_string(kTinyTrace, default_options());
+  EXPECT_EQ(wl.jobs[1].shuffle_bytes, 2097152);
+}
+
+TEST(SwimImport, MalformedRowsRejected) {
+  EXPECT_THROW(import_swim_string("job0 0 0 1000\n", default_options()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      import_swim_string("job0 -5 0 1000 0 0\n", default_options()),
+      std::invalid_argument);
+  EXPECT_THROW(import_swim_string("# only comments\n", default_options()),
+               std::invalid_argument);
+}
+
+TEST(SwimImport, EmptyWindowRejected) {
+  auto opts = default_options();
+  opts.first_job = 100;
+  EXPECT_THROW(import_swim_string(kTinyTrace, opts), std::invalid_argument);
+}
+
+TEST(SwimImport, ImportedWorkloadRunsRoundTrip) {
+  // The imported workload must satisfy the Workload invariants used by the
+  // cluster (valid file indices, monotonic arrivals).
+  const auto wl = import_swim_string(kTinyTrace, default_options());
+  for (std::size_t i = 1; i < wl.jobs.size(); ++i) {
+    EXPECT_GE(wl.jobs[i].arrival, wl.jobs[i - 1].arrival);
+  }
+  const auto counts = wl.file_access_counts();  // throws on bad indices
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, wl.jobs.size());
+}
+
+}  // namespace
+}  // namespace dare::workload

@@ -1,0 +1,145 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dare::net {
+namespace {
+
+TopologyOptions single_rack(std::size_t nodes) {
+  TopologyOptions o;
+  o.kind = TopologyKind::kSingleRack;
+  o.nodes = nodes;
+  return o;
+}
+
+TopologyOptions multi_tier(std::size_t nodes, std::size_t racks,
+                           std::size_t racks_per_pod = 4) {
+  TopologyOptions o;
+  o.kind = TopologyKind::kMultiTier;
+  o.nodes = nodes;
+  o.racks = racks;
+  o.racks_per_pod = racks_per_pod;
+  return o;
+}
+
+TEST(Topology, SingleRackAllPairsOneHop) {
+  Rng rng(1);
+  Topology topo(single_rack(8), rng);
+  EXPECT_EQ(topo.rack_count(), 1u);
+  for (NodeId a = 0; a < 8; ++a) {
+    EXPECT_EQ(topo.hops(a, a), 0);
+    for (NodeId b = 0; b < 8; ++b) {
+      if (a != b) { EXPECT_EQ(topo.hops(a, b), 1); }
+      EXPECT_TRUE(topo.same_rack(a, b));
+    }
+  }
+}
+
+TEST(Topology, HopsAreSymmetric) {
+  Rng rng(2);
+  Topology topo(multi_tier(20, 11), rng);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+    }
+  }
+}
+
+TEST(Topology, MultiTierHopValues) {
+  Rng rng(3);
+  Topology topo(multi_tier(30, 10, 4), rng);
+  for (NodeId a = 0; a < 30; ++a) {
+    for (NodeId b = 0; b < 30; ++b) {
+      const int h = topo.hops(a, b);
+      if (a == b) {
+        EXPECT_EQ(h, 0);
+      } else if (topo.same_rack(a, b)) {
+        EXPECT_EQ(h, 1);
+      } else {
+        EXPECT_TRUE(h == 4 || h == 5) << "hops=" << h;
+      }
+    }
+  }
+}
+
+TEST(Topology, CrossPodIsFiveHops) {
+  Rng rng(4);
+  Topology topo(multi_tier(40, 12, 4), rng);
+  bool saw_cross_pod = false;
+  for (NodeId a = 0; a < 40 && !saw_cross_pod; ++a) {
+    for (NodeId b = 0; b < 40; ++b) {
+      const RackId ra = topo.rack_of(a);
+      const RackId rb = topo.rack_of(b);
+      if (ra / 4 != rb / 4) {
+        EXPECT_EQ(topo.hops(a, b), 5);
+        saw_cross_pod = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_cross_pod);
+}
+
+TEST(Topology, MultiTierSpreadsNodesAcrossRacks) {
+  Rng rng(5);
+  Topology topo(multi_tier(20, 11), rng);
+  std::set<RackId> racks;
+  for (NodeId n = 0; n < 20; ++n) racks.insert(topo.rack_of(n));
+  EXPECT_GE(racks.size(), 5u);  // provider scatters the allocation
+}
+
+TEST(Topology, Ec2StyleDistributionPeaksAtFourHops) {
+  // Fig. 1 of the paper: with 20 instances scattered across racks, the mode
+  // of the pairwise hop distribution is 4. Use the EC2 profile's own
+  // topology parameters and check across several placements.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    Topology topo(multi_tier(20, 11, 10), rng);
+    std::size_t counts[8] = {};
+    for (int h : topo.all_pair_hops()) {
+      ++counts[std::min(h, 7)];
+    }
+    // 4 hops must be the most common distance.
+    for (int h = 0; h < 8; ++h) {
+      if (h != 4) { EXPECT_GE(counts[4], counts[h]) << "seed " << seed; }
+    }
+  }
+}
+
+TEST(Topology, AllPairHopsCountsPairs) {
+  Rng rng(7);
+  Topology topo(single_rack(10), rng);
+  EXPECT_EQ(topo.all_pair_hops().size(), 45u);  // C(10,2)
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  Topology a(multi_tier(25, 13), rng1);
+  Topology b(multi_tier(25, 13), rng2);
+  for (NodeId n = 0; n < 25; ++n) {
+    EXPECT_EQ(a.rack_of(n), b.rack_of(n));
+  }
+}
+
+TEST(Topology, RejectsBadOptions) {
+  Rng rng(8);
+  EXPECT_THROW(Topology(single_rack(0), rng), std::invalid_argument);
+  auto bad_racks = multi_tier(5, 0);
+  EXPECT_THROW(Topology(bad_racks, rng), std::invalid_argument);
+  auto bad_pod = multi_tier(5, 3, 0);
+  EXPECT_THROW(Topology(bad_pod, rng), std::invalid_argument);
+}
+
+TEST(Topology, BadNodeIdThrows) {
+  Rng rng(10);
+  Topology topo(single_rack(5), rng);
+  EXPECT_THROW(topo.rack_of(-1), std::out_of_range);
+  EXPECT_THROW(topo.rack_of(5), std::out_of_range);
+  EXPECT_THROW(topo.hops(0, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dare::net

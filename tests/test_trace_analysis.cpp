@@ -1,0 +1,192 @@
+#include "analysis/trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace dare::analysis {
+namespace {
+
+using workload::AccessEvent;
+using workload::AccessTrace;
+using workload::TraceFileInfo;
+
+AccessTrace tiny_trace() {
+  AccessTrace trace;
+  trace.span = from_seconds(1000.0);
+  trace.files = {
+      TraceFileInfo{0, from_seconds(0.0), 2},
+      TraceFileInfo{1, from_seconds(100.0), 10},
+      TraceFileInfo{2, from_seconds(200.0), 1},
+  };
+  // File 0: 3 accesses, file 1: 2 accesses, file 2: 0 accesses.
+  trace.events = {
+      AccessEvent{0, from_seconds(10.0)},
+      AccessEvent{0, from_seconds(20.0)},
+      AccessEvent{1, from_seconds(150.0)},
+      AccessEvent{0, from_seconds(300.0)},
+      AccessEvent{1, from_seconds(400.0)},
+  };
+  return trace;
+}
+
+TEST(PopularityRanking, SortsByAccessCount) {
+  const auto ranking = popularity_ranking(tiny_trace());
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].file, 0);
+  EXPECT_EQ(ranking[0].accesses, 3u);
+  EXPECT_EQ(ranking[1].file, 1);
+  EXPECT_EQ(ranking[1].accesses, 2u);
+  EXPECT_EQ(ranking[2].accesses, 0u);
+}
+
+TEST(PopularityRanking, WeightedRankingUsesBlockCounts) {
+  const auto ranking = weighted_popularity_ranking(tiny_trace());
+  // File 1: 2 accesses x 10 blocks = 20 beats file 0: 3 x 2 = 6.
+  EXPECT_EQ(ranking[0].file, 1);
+  EXPECT_EQ(ranking[0].weighted(), 20u);
+  EXPECT_EQ(ranking[1].file, 0);
+}
+
+TEST(AgeCdf, ComputesAgesRelativeToCreation) {
+  const auto cdf = age_at_access_cdf(tiny_trace());
+  EXPECT_EQ(cdf.count(), 5u);
+  // Ages: 10, 20, 50, 300, 300 seconds.
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(20.0), 0.4);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(50.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(300.0), 1.0);
+}
+
+TEST(AgeCdf, UnknownFileThrows) {
+  auto trace = tiny_trace();
+  trace.events.push_back(AccessEvent{99, from_seconds(5.0)});
+  EXPECT_THROW(age_at_access_cdf(trace), std::invalid_argument);
+}
+
+TEST(MinimalWindow, SingleBurstIsOneSlot) {
+  const std::vector<SimTime> times = {
+      from_seconds(0.0), from_seconds(10.0), from_seconds(20.0)};
+  EXPECT_EQ(minimal_window_slots(times, from_seconds(3600.0), 0.8), 1u);
+}
+
+TEST(MinimalWindow, SpreadAccessesNeedWiderWindow) {
+  // 10 accesses, one per hour: 80% needs 8 consecutive hourly slots.
+  std::vector<SimTime> times;
+  for (int h = 0; h < 10; ++h) {
+    times.push_back(from_seconds(h * 3600.0 + 10.0));
+  }
+  EXPECT_EQ(minimal_window_slots(times, from_seconds(3600.0), 0.8), 8u);
+}
+
+TEST(MinimalWindow, DenseCoreIgnoresOutliers) {
+  // 8 accesses in one slot + 2 stragglers far away: window of 1 covers 80%.
+  std::vector<SimTime> times;
+  for (int i = 0; i < 8; ++i) times.push_back(from_seconds(100.0 + i));
+  times.push_back(from_seconds(50 * 3600.0));
+  times.push_back(from_seconds(90 * 3600.0));
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(minimal_window_slots(times, from_seconds(3600.0), 0.8), 1u);
+}
+
+TEST(MinimalWindow, EmptyAndInvalidInputs) {
+  EXPECT_EQ(minimal_window_slots({}, from_seconds(3600.0), 0.8), 0u);
+  EXPECT_THROW(minimal_window_slots({from_seconds(1.0)}, 0, 0.8),
+               std::invalid_argument);
+}
+
+TEST(WindowDistribution, FractionsSumToOne) {
+  WindowOptions opts;
+  const auto dist = burst_window_distribution(tiny_trace(), opts);
+  double total = 0.0;
+  for (double f : dist.fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(dist.files_considered, 0u);
+}
+
+TEST(WindowDistribution, BigFileFilterDropsColdFiles) {
+  WindowOptions opts;
+  opts.big_file_fraction = 0.5;
+  const auto dist = burst_window_distribution(tiny_trace(), opts);
+  // File 0 alone holds 60% >= 50% of accesses: only it is considered.
+  EXPECT_EQ(dist.files_considered, 1u);
+}
+
+TEST(WindowDistribution, DayFilterRestrictsEvents) {
+  auto trace = tiny_trace();
+  WindowOptions opts;
+  opts.begin = from_seconds(0.0);
+  opts.end = from_seconds(100.0);  // only file 0's first two accesses
+  opts.big_file_fraction = 1.0;
+  const auto dist = burst_window_distribution(trace, opts);
+  EXPECT_EQ(dist.files_considered, 1u);
+  ASSERT_GE(dist.fraction.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist.fraction[1], 1.0);
+}
+
+TEST(MaxInWindow, CountsDensestInterval) {
+  const std::vector<SimTime> times = {0, 10, 20, 100, 105, 110, 115, 500};
+  EXPECT_EQ(max_in_window(times, 30), 4u);   // 100..115
+  EXPECT_EQ(max_in_window(times, 11), 3u);  // 100, 105, 110
+  EXPECT_EQ(max_in_window(times, 1000), 8u);
+  EXPECT_EQ(max_in_window({}, 10), 0u);
+  EXPECT_THROW(max_in_window(times, 0), std::invalid_argument);
+}
+
+TEST(PeakConcurrency, RanksByAccessesAndFindsBursts) {
+  workload::AccessTrace trace;
+  trace.span = from_seconds(1000.0);
+  trace.files = {workload::TraceFileInfo{0, 0, 1},
+                 workload::TraceFileInfo{1, 0, 1}};
+  // File 0: 5 accesses, 3 of them within one second.
+  for (double t : {1.0, 1.2, 1.5, 100.0, 200.0}) {
+    trace.events.push_back({0, from_seconds(t)});
+  }
+  // File 1: 2 accesses, far apart.
+  trace.events.push_back({1, from_seconds(10.0)});
+  trace.events.push_back({1, from_seconds(500.0)});
+
+  const auto entries = peak_concurrency(trace, from_seconds(1.0));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].file, 0);
+  EXPECT_EQ(entries[0].accesses, 5u);
+  EXPECT_EQ(entries[0].peak_concurrency, 3u);
+  EXPECT_EQ(entries[1].file, 1);
+  EXPECT_EQ(entries[1].peak_concurrency, 1u);
+}
+
+TEST(PeakConcurrency, PopularFilesBurstHarderInYahooTrace) {
+  workload::YahooTraceOptions opts;
+  opts.files = 200;
+  opts.total_accesses = 20000;
+  opts.seed = 12;
+  const auto trace = workload::generate_yahoo_trace(opts);
+  const auto entries = peak_concurrency(trace, from_seconds(3600.0));
+  // The head of the popularity distribution sees real concurrency; the
+  // tail does not — the paper's hotspot motivation.
+  EXPECT_GT(entries.front().peak_concurrency, 20u);
+  EXPECT_LE(entries.back().peak_concurrency, 2u);
+}
+
+TEST(WindowDistribution, WeightedByAccessesShiftsMass) {
+  // Two files: one bursty with many accesses, one spread with few.
+  AccessTrace trace;
+  trace.span = from_seconds(100 * 3600.0);
+  trace.files = {TraceFileInfo{0, 0, 1}, TraceFileInfo{1, 0, 1}};
+  for (int i = 0; i < 20; ++i) {
+    trace.events.push_back(AccessEvent{0, from_seconds(10.0 + i)});
+  }
+  for (int h = 0; h < 5; ++h) {
+    trace.events.push_back(AccessEvent{1, from_seconds(h * 3600.0 + 5.0)});
+  }
+  WindowOptions plain;
+  plain.big_file_fraction = 1.0;
+  const auto unweighted = burst_window_distribution(trace, plain);
+  WindowOptions weighted = plain;
+  weighted.weight_by_accesses = true;
+  const auto by_access = burst_window_distribution(trace, weighted);
+  // Equal weight: 50/50 between window 1 and window 4.
+  EXPECT_NEAR(unweighted.fraction[1], 0.5, 1e-9);
+  // Weighted: the bursty file's 20 accesses dominate.
+  EXPECT_GT(by_access.fraction[1], 0.75);
+}
+
+}  // namespace
+}  // namespace dare::analysis

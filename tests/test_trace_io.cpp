@@ -1,0 +1,88 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+namespace dare::workload {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesWorkload) {
+  WorkloadOptions opts;
+  opts.num_jobs = 50;
+  opts.seed = 3;
+  const auto original = make_wl2(opts);
+  const auto text = workload_to_string(original);
+  const auto parsed = workload_from_string(text);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.catalog_spec.block_size, original.catalog_spec.block_size);
+  ASSERT_EQ(parsed.catalog.size(), original.catalog.size());
+  for (std::size_t i = 0; i < parsed.catalog.size(); ++i) {
+    EXPECT_EQ(parsed.catalog[i].blocks, original.catalog[i].blocks);
+  }
+  ASSERT_EQ(parsed.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < parsed.jobs.size(); ++i) {
+    EXPECT_EQ(parsed.jobs[i].arrival, original.jobs[i].arrival);
+    EXPECT_EQ(parsed.jobs[i].file_index, original.jobs[i].file_index);
+    EXPECT_EQ(parsed.jobs[i].reduces, original.jobs[i].reduces);
+    EXPECT_EQ(parsed.jobs[i].map_cpu, original.jobs[i].map_cpu);
+    EXPECT_EQ(parsed.jobs[i].reduce_cpu, original.jobs[i].reduce_cpu);
+    EXPECT_EQ(parsed.jobs[i].shuffle_bytes, original.jobs[i].shuffle_bytes);
+  }
+}
+
+TEST(TraceIo, ParsesHandWrittenTrace) {
+  const auto wl = workload_from_string(
+      "# comment\n"
+      "workload tiny\n"
+      "blocksize 1048576\n"
+      "file 2\n"
+      "file 5\n"
+      "job 1000 0 1 2000 3000 4096\n"
+      "job 2000 1 2 2000 3000 8192\n");
+  EXPECT_EQ(wl.name, "tiny");
+  EXPECT_EQ(wl.catalog_spec.block_size, 1048576);
+  ASSERT_EQ(wl.catalog.size(), 2u);
+  EXPECT_EQ(wl.catalog[1].blocks, 5u);
+  ASSERT_EQ(wl.jobs.size(), 2u);
+  EXPECT_EQ(wl.jobs[1].file_index, 1u);
+  EXPECT_EQ(wl.jobs[1].reduces, 2u);
+}
+
+TEST(TraceIo, MissingHeaderRejected) {
+  EXPECT_THROW(workload_from_string("file 2\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, NoFilesRejected) {
+  EXPECT_THROW(workload_from_string("workload empty\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, ForwardFileReferenceRejected) {
+  EXPECT_THROW(workload_from_string("workload t\n"
+                                    "job 0 0 1 1 1 1\n"
+                                    "file 2\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, MalformedRecordsRejected) {
+  EXPECT_THROW(workload_from_string("workload t\nfile zero\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload_from_string("workload t\nfile 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload_from_string("workload t\nfile 1\njob 1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workload_from_string("workload t\nfile 1\nbogus 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      workload_from_string("workload t\nfile 1\njob -5 0 1 1 1 1\n"),
+      std::invalid_argument);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesSkipped) {
+  const auto wl = workload_from_string(
+      "\n# full line comment\nworkload x\n\nfile 1  # trailing\n");
+  EXPECT_EQ(wl.catalog.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dare::workload

@@ -1,0 +1,137 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dare::workload {
+namespace {
+
+WorkloadOptions small_options(std::size_t jobs = 200) {
+  WorkloadOptions o;
+  o.num_jobs = jobs;
+  o.seed = 5;
+  return o;
+}
+
+TEST(Workload, Wl1HasRequestedJobCount) {
+  const auto wl = make_wl1(small_options(100));
+  EXPECT_EQ(wl.name, "wl1");
+  EXPECT_EQ(wl.jobs.size(), 100u);
+  EXPECT_FALSE(wl.catalog.empty());
+}
+
+TEST(Workload, ArrivalsAreMonotonic) {
+  for (const auto& wl : {make_wl1(small_options()), make_wl2(small_options())}) {
+    for (std::size_t i = 1; i < wl.jobs.size(); ++i) {
+      EXPECT_GE(wl.jobs[i].arrival, wl.jobs[i - 1].arrival);
+    }
+  }
+}
+
+TEST(Workload, Wl1UsesOnlySmallFiles) {
+  const auto wl = make_wl1(small_options());
+  for (const auto& job : wl.jobs) {
+    EXPECT_LT(job.file_index, wl.catalog_spec.small_files);
+  }
+}
+
+TEST(Workload, Wl2ContainsPeriodicLargeJobs) {
+  auto opts = small_options(200);
+  opts.large_period = 25;
+  const auto wl = make_wl2(opts);
+  std::size_t large_jobs = 0;
+  for (const auto& job : wl.jobs) {
+    if (job.file_index >= wl.catalog_spec.small_files) ++large_jobs;
+  }
+  // Jobs 25, 50, ..., appear every `large_period`.
+  EXPECT_EQ(large_jobs, 199u / 25u);
+}
+
+TEST(Workload, Wl2LargeJobsHaveManyMaps) {
+  const auto wl = make_wl2(small_options(100));
+  for (const auto& job : wl.jobs) {
+    const auto blocks = wl.catalog[job.file_index].blocks;
+    if (job.file_index >= wl.catalog_spec.small_files) {
+      EXPECT_GE(blocks, wl.catalog_spec.large_min_blocks);
+    } else {
+      EXPECT_LE(blocks, wl.catalog_spec.small_max_blocks);
+    }
+  }
+}
+
+TEST(Workload, PopularityIsHeavyTailed) {
+  auto opts = small_options(2000);
+  const auto wl = make_wl1(opts);
+  const auto counts = wl.file_access_counts();
+  // Top-ranked file receives far more accesses than the median file.
+  const auto max_count = *std::max_element(counts.begin(), counts.end());
+  std::size_t accessed_files = 0;
+  for (auto c : counts) {
+    if (c > 0) ++accessed_files;
+  }
+  EXPECT_GT(max_count, 2000u / 10u);  // >10% of accesses on rank-1 file
+  EXPECT_GT(accessed_files, 10u);     // but the tail exists
+}
+
+TEST(Workload, Fig6CdfConcentratedOnTopRanks) {
+  CatalogSpec catalog;
+  const auto popularity = small_file_popularity(catalog, 1.1);
+  // The paper's Fig. 6: the top ~20 ranks hold the bulk of the probability.
+  EXPECT_GT(popularity.cdf(19), 0.6);
+  EXPECT_NEAR(popularity.cdf(catalog.small_files - 1), 1.0, 1e-9);
+}
+
+TEST(Workload, JobShapeFieldsArePositive) {
+  const auto wl = make_wl2(small_options());
+  for (const auto& job : wl.jobs) {
+    EXPECT_GT(job.map_cpu, 0);
+    EXPECT_GT(job.reduce_cpu, 0);
+    EXPECT_GE(job.reduces, 1u);
+    EXPECT_LE(job.reduces, 8u);
+    EXPECT_GT(job.shuffle_bytes, 0);
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = make_wl2(small_options());
+  const auto b = make_wl2(small_options());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].file_index, b.jobs[i].file_index);
+  }
+}
+
+TEST(Workload, DifferentSeedsProduceDifferentStreams) {
+  auto o1 = small_options();
+  auto o2 = small_options();
+  o2.seed = 6;
+  const auto a = make_wl1(o1);
+  const auto b = make_wl1(o2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].arrival != b.jobs[i].arrival) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Workload, AccessCountsSumToJobs) {
+  const auto wl = make_wl1(small_options(150));
+  const auto counts = wl.file_access_counts();
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 150u);
+}
+
+TEST(Workload, Wl2RequiresLargeFiles) {
+  auto opts = small_options();
+  opts.catalog.large_files = 0;
+  EXPECT_THROW(make_wl2(opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dare::workload

@@ -1,0 +1,77 @@
+#include "workload/workload_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_io.h"
+
+namespace dare::workload {
+namespace {
+
+TEST(WorkloadStats, EmptyWorkloadSafe) {
+  Workload wl;
+  wl.catalog.push_back(FileSpec{"f", 1});
+  const auto stats = characterize(wl);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.mean_maps, 0.0);
+}
+
+TEST(WorkloadStats, HandComputedTinyTrace) {
+  const auto wl = workload_from_string(
+      "workload tiny\n"
+      "blocksize 1048576\n"
+      "file 1\n"
+      "file 4\n"
+      "job 0       0 1 1000 1000 100\n"
+      "job 5000000 0 1 1000 1000 100\n"
+      "job 10000000 1 1 1000 1000 200\n");
+  const auto stats = characterize(wl);
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_NEAR(stats.mean_maps, 2.0, 1e-12);  // (1 + 1 + 4) / 3
+  EXPECT_NEAR(stats.max_maps, 4.0, 1e-12);
+  EXPECT_NEAR(stats.small_job_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.duration_s, 10.0, 1e-9);
+  EXPECT_NEAR(stats.mean_interarrival_s, 5.0, 1e-9);
+  EXPECT_EQ(stats.total_input_bytes, Bytes{6 * 1048576});
+  EXPECT_EQ(stats.total_shuffle_bytes, Bytes{400});
+}
+
+TEST(WorkloadStats, Wl1IsSmallJobStream) {
+  WorkloadOptions opts;
+  opts.num_jobs = 400;
+  opts.seed = 3;
+  const auto stats = characterize(make_wl1(opts));
+  // "A long sequence of small jobs": essentially every job tiny.
+  EXPECT_GT(stats.small_job_fraction, 0.95);
+  EXPECT_LT(stats.mean_maps, 3.0);
+}
+
+TEST(WorkloadStats, Wl2HasLargeJobTail) {
+  WorkloadOptions opts;
+  opts.num_jobs = 400;
+  opts.seed = 3;
+  const auto stats = characterize(make_wl2(opts));
+  EXPECT_GT(stats.max_maps, 10.0);           // periodic large scans
+  EXPECT_GT(stats.small_job_fraction, 0.8);  // still mostly small jobs
+}
+
+TEST(WorkloadStats, PopularitySkewReflectsZipf) {
+  WorkloadOptions opts;
+  opts.num_jobs = 1000;
+  opts.seed = 4;
+  const auto stats = characterize(make_wl1(opts));
+  // Zipf(1.4) over 100 files: top 10 files hold well over half the mass.
+  EXPECT_GT(stats.top_decile_access_share, 0.55);
+}
+
+TEST(WorkloadStats, PeakRateAtLeastMeanRate) {
+  WorkloadOptions opts;
+  opts.num_jobs = 300;
+  opts.seed = 5;
+  const auto stats = characterize(make_wl2(opts));
+  const double mean_rate = 1.0 / stats.mean_interarrival_s;
+  EXPECT_GE(stats.peak_rate_jobs_per_s, mean_rate);
+}
+
+}  // namespace
+}  // namespace dare::workload

@@ -1,0 +1,110 @@
+#include "workload/yahoo_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dare::workload {
+namespace {
+
+YahooTraceOptions small_trace() {
+  YahooTraceOptions o;
+  o.files = 300;
+  o.total_accesses = 30000;
+  o.seed = 9;
+  return o;
+}
+
+TEST(YahooTrace, GeneratesRequestedFiles) {
+  const auto trace = generate_yahoo_trace(small_trace());
+  EXPECT_EQ(trace.files.size(), 300u);
+  EXPECT_GE(trace.events.size(), 30000u * 9 / 10);  // rounding slack
+}
+
+TEST(YahooTrace, EventsSortedByTime) {
+  const auto trace = generate_yahoo_trace(small_trace());
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].time, trace.events[i].time);
+  }
+}
+
+TEST(YahooTrace, EventsWithinHorizonAndAfterCreation) {
+  const auto trace = generate_yahoo_trace(small_trace());
+  std::unordered_map<FileId, SimTime> created;
+  for (const auto& f : trace.files) created[f.id] = f.created;
+  for (const auto& ev : trace.events) {
+    EXPECT_GE(ev.time, created[ev.file]);
+    EXPECT_LE(ev.time, trace.span);
+  }
+}
+
+TEST(YahooTrace, PopularityIsHeavyTailed) {
+  const auto trace = generate_yahoo_trace(small_trace());
+  std::unordered_map<FileId, std::size_t> counts;
+  for (const auto& ev : trace.events) ++counts[ev.file];
+  std::vector<std::size_t> sorted;
+  for (const auto& [_, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Fig. 2: several decades between head and tail.
+  EXPECT_GT(sorted.front(), 100u * sorted.back());
+}
+
+TEST(YahooTrace, EveryFileAccessedAtLeastOnce) {
+  const auto trace = generate_yahoo_trace(small_trace());
+  std::unordered_map<FileId, std::size_t> counts;
+  for (const auto& ev : trace.events) ++counts[ev.file];
+  EXPECT_EQ(counts.size(), trace.files.size());
+}
+
+TEST(YahooTrace, BlockCountsWithinRange) {
+  auto opts = small_trace();
+  opts.min_blocks = 2;
+  opts.max_blocks = 10;
+  const auto trace = generate_yahoo_trace(opts);
+  for (const auto& f : trace.files) {
+    EXPECT_GE(f.blocks, 2u);
+    EXPECT_LE(f.blocks, 10u);
+  }
+}
+
+TEST(YahooTrace, DeterministicForSeed) {
+  const auto a = generate_yahoo_trace(small_trace());
+  const auto b = generate_yahoo_trace(small_trace());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); i += 97) {
+    EXPECT_EQ(a.events[i].file, b.events[i].file);
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+  }
+}
+
+TEST(YahooTrace, RejectsEmptyConfigurations) {
+  YahooTraceOptions no_files = small_trace();
+  no_files.files = 0;
+  EXPECT_THROW(generate_yahoo_trace(no_files), std::invalid_argument);
+  YahooTraceOptions no_accesses = small_trace();
+  no_accesses.total_accesses = 0;
+  EXPECT_THROW(generate_yahoo_trace(no_accesses), std::invalid_argument);
+}
+
+TEST(YahooTrace, DailyFractionZeroMakesEverythingBursty) {
+  auto opts = small_trace();
+  opts.daily_fraction = 0.0;
+  const auto trace = generate_yahoo_trace(opts);
+  // All accesses come from the bursty age CDF: ~94 % within a day of the
+  // file's creation.
+  std::unordered_map<FileId, SimTime> created;
+  for (const auto& f : trace.files) created[f.id] = f.created;
+  std::size_t within_day = 0;
+  for (const auto& ev : trace.events) {
+    if (ev.time - created[ev.file] <= from_seconds(24 * 3600.0)) {
+      ++within_day;
+    }
+  }
+  EXPECT_GT(static_cast<double>(within_day) /
+                static_cast<double>(trace.events.size()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace dare::workload
