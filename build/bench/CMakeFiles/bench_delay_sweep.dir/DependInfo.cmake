@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_delay_sweep.cpp" "bench/CMakeFiles/bench_delay_sweep.dir/bench_delay_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_delay_sweep.dir/bench_delay_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dare_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dare_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dare_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dare_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hopcount.dir/bench_fig1_hopcount.cpp.o"
+  "CMakeFiles/bench_fig1_hopcount.dir/bench_fig1_hopcount.cpp.o.d"
+  "bench_fig1_hopcount"
+  "bench_fig1_hopcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hopcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_windows_day.dir/bench_fig5_windows_day.cpp.o"
+  "CMakeFiles/bench_fig5_windows_day.dir/bench_fig5_windows_day.cpp.o.d"
+  "bench_fig5_windows_day"
+  "bench_fig5_windows_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_windows_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cct.dir/bench_fig7_cct.cpp.o"
+  "CMakeFiles/bench_fig7_cct.dir/bench_fig7_cct.cpp.o.d"
+  "bench_fig7_cct"
+  "bench_fig7_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

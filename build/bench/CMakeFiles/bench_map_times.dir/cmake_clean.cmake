@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map_times.dir/bench_map_times.cpp.o"
+  "CMakeFiles/bench_map_times.dir/bench_map_times.cpp.o.d"
+  "bench_map_times"
+  "bench_map_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

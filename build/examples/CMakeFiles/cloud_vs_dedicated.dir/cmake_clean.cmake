@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_vs_dedicated.dir/cloud_vs_dedicated.cpp.o"
+  "CMakeFiles/cloud_vs_dedicated.dir/cloud_vs_dedicated.cpp.o.d"
+  "cloud_vs_dedicated"
+  "cloud_vs_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_vs_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

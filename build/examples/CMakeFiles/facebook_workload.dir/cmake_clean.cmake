@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facebook_workload.dir/facebook_workload.cpp.o"
+  "CMakeFiles/facebook_workload.dir/facebook_workload.cpp.o.d"
+  "facebook_workload"
+  "facebook_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facebook_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim_replay.dir/swim_replay.cpp.o"
+  "CMakeFiles/swim_replay.dir/swim_replay.cpp.o.d"
+  "swim_replay"
+  "swim_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

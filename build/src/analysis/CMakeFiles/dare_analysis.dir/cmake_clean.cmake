@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_analysis.dir/trace_analysis.cpp.o"
+  "CMakeFiles/dare_analysis.dir/trace_analysis.cpp.o.d"
+  "libdare_analysis.a"
+  "libdare_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

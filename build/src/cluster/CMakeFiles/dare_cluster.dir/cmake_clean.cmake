@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dare_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/dare_cluster.dir/experiment.cpp.o"
+  "CMakeFiles/dare_cluster.dir/experiment.cpp.o.d"
+  "libdare_cluster.a"
+  "libdare_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

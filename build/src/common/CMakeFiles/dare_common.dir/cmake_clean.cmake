@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_common.dir/config.cpp.o"
+  "CMakeFiles/dare_common.dir/config.cpp.o.d"
+  "CMakeFiles/dare_common.dir/csv.cpp.o"
+  "CMakeFiles/dare_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dare_common.dir/distributions.cpp.o"
+  "CMakeFiles/dare_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/dare_common.dir/logging.cpp.o"
+  "CMakeFiles/dare_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dare_common.dir/rng.cpp.o"
+  "CMakeFiles/dare_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dare_common.dir/stats.cpp.o"
+  "CMakeFiles/dare_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dare_common.dir/table.cpp.o"
+  "CMakeFiles/dare_common.dir/table.cpp.o.d"
+  "CMakeFiles/dare_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dare_common.dir/thread_pool.cpp.o.d"
+  "libdare_common.a"
+  "libdare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

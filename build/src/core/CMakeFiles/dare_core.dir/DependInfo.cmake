@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/elephant_trap.cpp" "src/core/CMakeFiles/dare_core.dir/elephant_trap.cpp.o" "gcc" "src/core/CMakeFiles/dare_core.dir/elephant_trap.cpp.o.d"
+  "/root/repo/src/core/greedy_lru.cpp" "src/core/CMakeFiles/dare_core.dir/greedy_lru.cpp.o" "gcc" "src/core/CMakeFiles/dare_core.dir/greedy_lru.cpp.o.d"
+  "/root/repo/src/core/lfu.cpp" "src/core/CMakeFiles/dare_core.dir/lfu.cpp.o" "gcc" "src/core/CMakeFiles/dare_core.dir/lfu.cpp.o.d"
+  "/root/repo/src/core/scarlett.cpp" "src/core/CMakeFiles/dare_core.dir/scarlett.cpp.o" "gcc" "src/core/CMakeFiles/dare_core.dir/scarlett.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dare_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

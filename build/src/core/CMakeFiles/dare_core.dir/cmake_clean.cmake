@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_core.dir/elephant_trap.cpp.o"
+  "CMakeFiles/dare_core.dir/elephant_trap.cpp.o.d"
+  "CMakeFiles/dare_core.dir/greedy_lru.cpp.o"
+  "CMakeFiles/dare_core.dir/greedy_lru.cpp.o.d"
+  "CMakeFiles/dare_core.dir/lfu.cpp.o"
+  "CMakeFiles/dare_core.dir/lfu.cpp.o.d"
+  "CMakeFiles/dare_core.dir/scarlett.cpp.o"
+  "CMakeFiles/dare_core.dir/scarlett.cpp.o.d"
+  "libdare_core.a"
+  "libdare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

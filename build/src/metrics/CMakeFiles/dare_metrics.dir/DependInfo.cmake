@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/availability.cpp" "src/metrics/CMakeFiles/dare_metrics.dir/availability.cpp.o" "gcc" "src/metrics/CMakeFiles/dare_metrics.dir/availability.cpp.o.d"
+  "/root/repo/src/metrics/fairness.cpp" "src/metrics/CMakeFiles/dare_metrics.dir/fairness.cpp.o" "gcc" "src/metrics/CMakeFiles/dare_metrics.dir/fairness.cpp.o.d"
+  "/root/repo/src/metrics/locality_model.cpp" "src/metrics/CMakeFiles/dare_metrics.dir/locality_model.cpp.o" "gcc" "src/metrics/CMakeFiles/dare_metrics.dir/locality_model.cpp.o.d"
+  "/root/repo/src/metrics/run_metrics.cpp" "src/metrics/CMakeFiles/dare_metrics.dir/run_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/dare_metrics.dir/run_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_metrics.dir/availability.cpp.o"
+  "CMakeFiles/dare_metrics.dir/availability.cpp.o.d"
+  "CMakeFiles/dare_metrics.dir/fairness.cpp.o"
+  "CMakeFiles/dare_metrics.dir/fairness.cpp.o.d"
+  "CMakeFiles/dare_metrics.dir/locality_model.cpp.o"
+  "CMakeFiles/dare_metrics.dir/locality_model.cpp.o.d"
+  "CMakeFiles/dare_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/dare_metrics.dir/run_metrics.cpp.o.d"
+  "libdare_metrics.a"
+  "libdare_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_net.dir/measurement.cpp.o"
+  "CMakeFiles/dare_net.dir/measurement.cpp.o.d"
+  "CMakeFiles/dare_net.dir/network.cpp.o"
+  "CMakeFiles/dare_net.dir/network.cpp.o.d"
+  "CMakeFiles/dare_net.dir/profile.cpp.o"
+  "CMakeFiles/dare_net.dir/profile.cpp.o.d"
+  "CMakeFiles/dare_net.dir/topology.cpp.o"
+  "CMakeFiles/dare_net.dir/topology.cpp.o.d"
+  "libdare_net.a"
+  "libdare_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

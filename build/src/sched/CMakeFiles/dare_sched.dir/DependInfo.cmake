@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fair_scheduler.cpp" "src/sched/CMakeFiles/dare_sched.dir/fair_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dare_sched.dir/fair_scheduler.cpp.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cpp" "src/sched/CMakeFiles/dare_sched.dir/fifo_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dare_sched.dir/fifo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/job_table.cpp" "src/sched/CMakeFiles/dare_sched.dir/job_table.cpp.o" "gcc" "src/sched/CMakeFiles/dare_sched.dir/job_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dare_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_sched.dir/fair_scheduler.cpp.o"
+  "CMakeFiles/dare_sched.dir/fair_scheduler.cpp.o.d"
+  "CMakeFiles/dare_sched.dir/fifo_scheduler.cpp.o"
+  "CMakeFiles/dare_sched.dir/fifo_scheduler.cpp.o.d"
+  "CMakeFiles/dare_sched.dir/job_table.cpp.o"
+  "CMakeFiles/dare_sched.dir/job_table.cpp.o.d"
+  "libdare_sched.a"
+  "libdare_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dare_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dare_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dare_sim.dir/simulation.cpp.o.d"
+  "libdare_sim.a"
+  "libdare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/datanode.cpp" "src/storage/CMakeFiles/dare_storage.dir/datanode.cpp.o" "gcc" "src/storage/CMakeFiles/dare_storage.dir/datanode.cpp.o.d"
+  "/root/repo/src/storage/namenode.cpp" "src/storage/CMakeFiles/dare_storage.dir/namenode.cpp.o" "gcc" "src/storage/CMakeFiles/dare_storage.dir/namenode.cpp.o.d"
+  "/root/repo/src/storage/placement.cpp" "src/storage/CMakeFiles/dare_storage.dir/placement.cpp.o" "gcc" "src/storage/CMakeFiles/dare_storage.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dare_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_storage.dir/datanode.cpp.o"
+  "CMakeFiles/dare_storage.dir/datanode.cpp.o.d"
+  "CMakeFiles/dare_storage.dir/namenode.cpp.o"
+  "CMakeFiles/dare_storage.dir/namenode.cpp.o.d"
+  "CMakeFiles/dare_storage.dir/placement.cpp.o"
+  "CMakeFiles/dare_storage.dir/placement.cpp.o.d"
+  "libdare_storage.a"
+  "libdare_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/dare_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/swim_import.cpp" "src/workload/CMakeFiles/dare_workload.dir/swim_import.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/swim_import.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/dare_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/dare_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/workload.cpp.o.d"
+  "/root/repo/src/workload/workload_stats.cpp" "src/workload/CMakeFiles/dare_workload.dir/workload_stats.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/workload_stats.cpp.o.d"
+  "/root/repo/src/workload/yahoo_trace.cpp" "src/workload/CMakeFiles/dare_workload.dir/yahoo_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dare_workload.dir/yahoo_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dare_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dare_workload.dir/catalog.cpp.o"
+  "CMakeFiles/dare_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/dare_workload.dir/swim_import.cpp.o"
+  "CMakeFiles/dare_workload.dir/swim_import.cpp.o.d"
+  "CMakeFiles/dare_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/dare_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dare_workload.dir/workload.cpp.o"
+  "CMakeFiles/dare_workload.dir/workload.cpp.o.d"
+  "CMakeFiles/dare_workload.dir/workload_stats.cpp.o"
+  "CMakeFiles/dare_workload.dir/workload_stats.cpp.o.d"
+  "CMakeFiles/dare_workload.dir/yahoo_trace.cpp.o"
+  "CMakeFiles/dare_workload.dir/yahoo_trace.cpp.o.d"
+  "libdare_workload.a"
+  "libdare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elephant_trap.dir/test_elephant_trap.cpp.o"
+  "CMakeFiles/test_elephant_trap.dir/test_elephant_trap.cpp.o.d"
+  "test_elephant_trap"
+  "test_elephant_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elephant_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fair_scheduler.dir/test_fair_scheduler.cpp.o"
+  "CMakeFiles/test_fair_scheduler.dir/test_fair_scheduler.cpp.o.d"
+  "test_fair_scheduler"
+  "test_fair_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fair_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

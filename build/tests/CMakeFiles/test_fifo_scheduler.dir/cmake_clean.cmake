@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_scheduler.dir/test_fifo_scheduler.cpp.o"
+  "CMakeFiles/test_fifo_scheduler.dir/test_fifo_scheduler.cpp.o.d"
+  "test_fifo_scheduler"
+  "test_fifo_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_policies.dir/test_fuzz_policies.cpp.o"
+  "CMakeFiles/test_fuzz_policies.dir/test_fuzz_policies.cpp.o.d"
+  "test_fuzz_policies"
+  "test_fuzz_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

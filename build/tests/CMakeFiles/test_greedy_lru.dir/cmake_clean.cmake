@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_lru.dir/test_greedy_lru.cpp.o"
+  "CMakeFiles/test_greedy_lru.dir/test_greedy_lru.cpp.o.d"
+  "test_greedy_lru"
+  "test_greedy_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heartbeat_pipeline.dir/test_heartbeat_pipeline.cpp.o"
+  "CMakeFiles/test_heartbeat_pipeline.dir/test_heartbeat_pipeline.cpp.o.d"
+  "test_heartbeat_pipeline"
+  "test_heartbeat_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heartbeat_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_table.dir/test_job_table.cpp.o"
+  "CMakeFiles/test_job_table.dir/test_job_table.cpp.o.d"
+  "test_job_table"
+  "test_job_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfu.dir/test_lfu.cpp.o"
+  "CMakeFiles/test_lfu.dir/test_lfu.cpp.o.d"
+  "test_lfu"
+  "test_lfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locality_model.dir/test_locality_model.cpp.o"
+  "CMakeFiles/test_locality_model.dir/test_locality_model.cpp.o.d"
+  "test_locality_model"
+  "test_locality_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locality_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

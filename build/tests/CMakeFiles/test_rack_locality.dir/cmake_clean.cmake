@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rack_locality.dir/test_rack_locality.cpp.o"
+  "CMakeFiles/test_rack_locality.dir/test_rack_locality.cpp.o.d"
+  "test_rack_locality"
+  "test_rack_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rack_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

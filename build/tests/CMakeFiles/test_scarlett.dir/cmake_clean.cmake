@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scarlett.dir/test_scarlett.cpp.o"
+  "CMakeFiles/test_scarlett.dir/test_scarlett.cpp.o.d"
+  "test_scarlett"
+  "test_scarlett.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scarlett.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

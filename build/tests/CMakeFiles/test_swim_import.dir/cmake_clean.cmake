@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swim_import.dir/test_swim_import.cpp.o"
+  "CMakeFiles/test_swim_import.dir/test_swim_import.cpp.o.d"
+  "test_swim_import"
+  "test_swim_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swim_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_stats.dir/test_workload_stats.cpp.o"
+  "CMakeFiles/test_workload_stats.dir/test_workload_stats.cpp.o.d"
+  "test_workload_stats"
+  "test_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yahoo_trace.dir/test_yahoo_trace.cpp.o"
+  "CMakeFiles/test_yahoo_trace.dir/test_yahoo_trace.cpp.o.d"
+  "test_yahoo_trace"
+  "test_yahoo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yahoo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

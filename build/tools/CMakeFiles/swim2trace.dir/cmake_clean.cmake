@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swim2trace.dir/swim2trace.cpp.o"
+  "CMakeFiles/swim2trace.dir/swim2trace.cpp.o.d"
+  "swim2trace"
+  "swim2trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swim2trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

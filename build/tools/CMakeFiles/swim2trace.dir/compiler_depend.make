@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for swim2trace.
+# This may be replaced when dependencies are built.
