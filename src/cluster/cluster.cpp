@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "common/invariant.h"
 #include "common/stats.h"
 #include "core/greedy_lru.h"
 #include "core/lfu.h"
@@ -152,6 +154,11 @@ void Cluster::create_policies() {
   policies_.clear();
   policies_.reserve(data_nodes_.size());
   for (auto& dn : data_nodes_) {
+    // Install the budget audit: the data node itself verifies (in
+    // invariant-enabled builds) that no policy ever overshoots its budget.
+    if (options_.policy != PolicyKind::kVanilla) {
+      dn->set_audited_budget(node_budget_bytes_);
+    }
     switch (options_.policy) {
       case PolicyKind::kVanilla:
         policies_.push_back(std::make_unique<core::NullPolicy>());
@@ -221,6 +228,32 @@ void Cluster::heartbeat(std::size_t worker) {
     name_node_->report_dynamic_removed(static_cast<NodeId>(worker),
                                        report.removed);
   }
+#if DARE_INVARIANTS_ENABLED
+  // Cross-component audit: after the heartbeat is applied, the name node's
+  // replica-location map must agree with this data node's actual contents
+  // for every block the report touched.
+  for (BlockId b : report.added) {
+    const auto& locs = name_node_->locations(b);
+    DARE_INVARIANT(dn.has_dynamic_block(b),
+                   "heartbeat: reported-added block " + std::to_string(b) +
+                       " is not on data node " + std::to_string(worker));
+    DARE_INVARIANT(std::find(locs.begin(), locs.end(),
+                             static_cast<NodeId>(worker)) != locs.end(),
+                   "heartbeat: name node missing location for added block " +
+                       std::to_string(b));
+  }
+  for (BlockId b : report.removed) {
+    const auto& locs = name_node_->locations(b);
+    DARE_INVARIANT(!dn.has_dynamic_block(b),
+                   "heartbeat: reported-removed block " + std::to_string(b) +
+                       " is still live on data node " + std::to_string(worker));
+    DARE_INVARIANT(dn.has_static_block(b) ||
+                       std::find(locs.begin(), locs.end(),
+                                 static_cast<NodeId>(worker)) == locs.end(),
+                   "heartbeat: name node kept stale location for removed "
+                   "block " + std::to_string(b));
+  }
+#endif
   // Lazy physical deletion happens at idle time; the heartbeat is our proxy.
   dn.reclaim_marked();
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/options.h"
+#include "common/invariant.h"
 #include "common/rng.h"
 #include "core/replication_policy.h"
 #include "metrics/run_metrics.h"
@@ -146,6 +147,9 @@ class Cluster {
     std::vector<MapAttempt> attempts;
   };
   static std::uint64_t task_key(JobId job, std::size_t map_index) {
+    DARE_INVARIANT(job >= 0 && map_index < (1u << 20),
+                   "Cluster: task_key would collide (map index >= 2^20 or "
+                   "negative job id)");
     return (static_cast<std::uint64_t>(job) << 20) |
            static_cast<std::uint64_t>(map_index);
   }

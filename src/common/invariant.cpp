@@ -1,0 +1,43 @@
+#include "common/invariant.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dare {
+
+namespace {
+
+void default_handler(const InvariantViolation& violation) {
+  std::fprintf(stderr, "DARE invariant violated at %s:%d\n  condition: %s\n  %s\n",
+               violation.file, violation.line, violation.condition,
+               violation.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Atomic so a test installing a handler while pool threads run checks is
+// not itself a data race.
+std::atomic<InvariantHandler> g_handler{&default_handler};
+
+}  // namespace
+
+InvariantHandler set_invariant_handler(InvariantHandler handler) {
+  InvariantHandler next = handler ? handler : &default_handler;
+  InvariantHandler prev = g_handler.exchange(next);
+  return prev == &default_handler ? nullptr : prev;
+}
+
+namespace detail {
+
+void invariant_failed(const char* file, int line, const char* condition,
+                      const std::string& message) {
+  const InvariantViolation violation{file, line, condition, message};
+  g_handler.load()(violation);
+  // A conforming handler never returns; guarantee [[noreturn]] regardless.
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace dare

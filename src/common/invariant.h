@@ -1,0 +1,68 @@
+// Runtime invariant auditing.
+//
+// DARE_INVARIANT(cond, msg) documents and enforces an internal contract —
+// conditions that must hold if the simulator's components agree with each
+// other (event-time monotonicity, storage budgets, replica-map consistency).
+// Unlike input validation (which always throws), invariants are about *our*
+// bugs, so they compile to nothing in release builds and abort with full
+// context in Debug and sanitized builds:
+//
+//   * enabled when NDEBUG is not defined (Debug builds), or when
+//     DARE_ENABLE_INVARIANTS is defined (the DARE_SANITIZE=* presets and
+//     -DDARE_INVARIANTS=ON define it for every build type);
+//   * on failure the default handler prints file:line, the stringified
+//     condition and the message to stderr, then calls std::abort() so
+//     sanitizers and core dumps capture the state at the point of violation;
+//   * tests can install a throwing handler (set_invariant_handler) to assert
+//     that specific violations are caught without spawning death tests.
+#pragma once
+
+#include <string>
+
+namespace dare {
+
+struct InvariantViolation {
+  const char* file = nullptr;
+  int line = 0;
+  const char* condition = nullptr;
+  std::string message;
+};
+
+/// Handler invoked on a failed DARE_INVARIANT. Must not return normally
+/// (abort or throw); if it does return, std::abort() runs anyway.
+using InvariantHandler = void (*)(const InvariantViolation&);
+
+/// Install a handler (tests use a throwing one); nullptr restores the
+/// default abort-with-context handler. Returns the previous handler.
+InvariantHandler set_invariant_handler(InvariantHandler handler);
+
+namespace detail {
+/// Dispatch a violation to the installed handler. [[noreturn]] even if the
+/// handler misbehaves: falls through to std::abort().
+[[noreturn]] void invariant_failed(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace dare
+
+#if !defined(NDEBUG) || defined(DARE_ENABLE_INVARIANTS)
+#define DARE_INVARIANTS_ENABLED 1
+#define DARE_INVARIANT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dare::detail::invariant_failed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                     \
+  } while (false)
+#else
+#define DARE_INVARIANTS_ENABLED 0
+// Compiled out, but the condition and message stay odr-used-free and
+// syntax-checked so release builds can't rot.
+#define DARE_INVARIANT(cond, msg) \
+  do {                            \
+    if (false) {                  \
+      (void)(cond);               \
+      (void)(msg);                \
+    }                             \
+  } while (false)
+#endif

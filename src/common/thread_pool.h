@@ -22,11 +22,16 @@ class ThreadPool {
   /// Spawn `threads` workers (0 -> hardware_concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers (equivalent to shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Stop accepting work, drain the queue, and join all workers. Safe to
+  /// call more than once; after it returns, submit() throws. Must not be
+  /// called from a worker thread (a task joining its own pool deadlocks).
+  void shutdown();
 
   /// Enqueue a task; returns a future for its result.
   template <typename F>
@@ -46,8 +51,10 @@ class ThreadPool {
     return result;
   }
 
-  /// Apply `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// Apply `fn(i)` for i in [0, n) across the pool and wait for *every*
+  /// task to finish, even when some throw — `fn` is captured by reference,
+  /// so no task may outlive this call. The exception from the lowest index
+  /// is rethrown (first-exception-wins, deterministic).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }

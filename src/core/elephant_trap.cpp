@@ -1,5 +1,9 @@
 #include "core/elephant_trap.h"
 
+#include <string>
+
+#include "common/invariant.h"
+
 namespace dare::core {
 
 ElephantTrapPolicy::ElephantTrapPolicy(storage::DataNode& node,
@@ -43,6 +47,12 @@ bool ElephantTrapPolicy::mark_block_for_deletion(
     eviction_pointer_ = it;
     return false;
   }
+  // Contract (Algorithm 2): the victim never belongs to the file whose
+  // block is being inserted — evicting a same-popularity-class replica
+  // would thrash. The branch above must have filtered this case.
+  DARE_INVARIANT(it->block.file != evicting.file,
+                 "ElephantTrap: evicting a block of the inserting file " +
+                     std::to_string(evicting.file));
   node_->mark_for_deletion(it->block.id);
   index_.erase(it->block.id);
   auto next = std::next(it);
@@ -77,6 +87,9 @@ bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
     if (!mark_block_for_deletion(block)) return false;
   }
   if (!node_->insert_dynamic(block)) return false;
+  DARE_INVARIANT(node_->dynamic_bytes() <= budget_,
+                 "ElephantTrap: budget exceeded after insert on node " +
+                     std::to_string(node_->id()));
 
   // Insert right before the eviction pointer: the freshly trapped block is
   // the last the aging scan will reach, giving it time to prove popularity.

@@ -1,5 +1,9 @@
 #include "core/greedy_lru.h"
 
+#include <string>
+
+#include "common/invariant.h"
+
 namespace dare::core {
 
 GreedyLruPolicy::GreedyLruPolicy(storage::DataNode& node, Bytes budget_bytes)
@@ -48,6 +52,9 @@ bool GreedyLruPolicy::on_map_task(const storage::BlockMeta& block,
   }
   if (!make_room(block)) return false;
   if (!node_->insert_dynamic(block)) return false;
+  DARE_INVARIANT(node_->dynamic_bytes() <= budget_,
+                 "GreedyLRU: budget exceeded after insert on node " +
+                     std::to_string(node_->id()));
   order_.push_back(block);
   index_[block.id] = std::prev(order_.end());
   ++created_;

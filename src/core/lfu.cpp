@@ -15,6 +15,9 @@ bool GreedyLfuPolicy::make_room(const storage::BlockMeta& incoming) {
     // Linear victim scan: the per-node dynamic set is small (budget-bounded),
     // so O(n) keeps the structure simple and allocation-free.
     const Entry* victim = nullptr;
+    // dare-lint: allow(unordered-iteration) -- the (count, tie) key is a
+    // strict total order with a unique minimum, so the scan's result is
+    // independent of iteration order.
     for (const auto& [id, entry] : entries_) {
       if (entry.block.file == incoming.file) continue;
       if (victim == nullptr || entry.count < victim->count ||

@@ -12,6 +12,7 @@ void ScarlettPlanner::record_access(FileId file) { ++window_[file]; }
 
 std::uint64_t ScarlettPlanner::window_accesses() const {
   std::uint64_t total = 0;
+  // dare-lint: allow(unordered-iteration) -- integer sum, order-independent
   for (const auto& [_, c] : window_) total += c;
   return total;
 }

@@ -1,5 +1,6 @@
 #include "metrics/run_metrics.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "common/stats.h"
@@ -51,6 +52,64 @@ double popularity_index(const std::vector<Bytes>& block_sizes,
     pi += static_cast<double>(block_sizes[i]) * block_popularity[i];
   }
   return pi;
+}
+
+namespace {
+
+/// FNV-1a over explicit 64-bit words: field widths are pinned here (rather
+/// than hashing struct bytes) so padding and layout changes never alter the
+/// digest semantics.
+class Digest {
+ public:
+  void mix(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+  void mix_i(std::int64_t value) {
+    mix(static_cast<std::uint64_t>(value));
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const RunResult& result) {
+  Digest d;
+  d.mix(static_cast<std::uint64_t>(result.jobs.size()));
+  for (const auto& job : result.jobs) {
+    d.mix_i(job.id);
+    d.mix_i(job.arrival);
+    d.mix_i(job.completion);
+    d.mix(static_cast<std::uint64_t>(job.maps));
+    d.mix(static_cast<std::uint64_t>(job.local_maps));
+    d.mix(static_cast<std::uint64_t>(job.rack_local_maps));
+    d.mix(job.dedicated_runtime_s);
+  }
+  d.mix(result.locality);
+  d.mix(result.rack_locality);
+  d.mix(result.gmtt_s);
+  d.mix(result.mean_slowdown);
+  d.mix(result.mean_map_time_s);
+  d.mix(result.dynamic_replicas_created);
+  d.mix(result.dynamic_replica_disk_writes);
+  d.mix(result.blocks_created_per_job);
+  d.mix(result.proactive_replication_bytes);
+  d.mix(result.task_reexecutions);
+  d.mix(result.rereplicated_blocks);
+  d.mix(result.blocks_lost);
+  d.mix(result.speculative_launched);
+  d.mix(result.speculative_wins);
+  d.mix(result.speculative_killed);
+  d.mix(result.cv_before);
+  d.mix(result.cv_after);
+  d.mix_i(result.makespan);
+  return d.value();
 }
 
 }  // namespace dare::metrics

@@ -93,4 +93,11 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s);
 double popularity_index(const std::vector<Bytes>& block_sizes,
                         const std::vector<double>& block_popularity);
 
+/// Order-sensitive 64-bit digest (FNV-1a) of every field of a RunResult,
+/// including each per-job record and the exact bit patterns of all doubles.
+/// Two runs of the same seeded configuration must produce equal
+/// fingerprints — the repo's determinism guarantee (see
+/// tests/test_determinism.cpp, which runs each configuration twice).
+std::uint64_t fingerprint(const RunResult& result);
+
 }  // namespace dare::metrics

@@ -30,18 +30,29 @@ SimTime EventQueue::pop_and_run() {
   // Move the entry out before running: the callback may schedule new events.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  DARE_INVARIANT(*live_ > 0,
+                 "EventQueue: live count is zero with a live entry queued");
   *entry.done = true;
   --*live_;
+  // The live count can never exceed the heap entries still queued plus the
+  // one being fired; a mismatch means a cancel/clear path lost track.
+  DARE_INVARIANT(*live_ <= heap_.size(),
+                 "EventQueue: live count exceeds queued entries");
   entry.cb();
   return entry.when;
 }
 
 void EventQueue::clear() {
   while (!heap_.empty()) {
-    if (!*heap_.top().done) --*live_;
+    if (!*heap_.top().done) {
+      DARE_INVARIANT(*live_ > 0,
+                     "EventQueue: clear would underflow the live count");
+      --*live_;
+    }
     *heap_.top().done = true;
     heap_.pop();
   }
+  DARE_INVARIANT(*live_ == 0, "EventQueue: live events remain after clear");
 }
 
 }  // namespace dare::sim

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/invariant.h"
 #include "common/types.h"
 
 namespace dare::sim {
@@ -28,7 +29,11 @@ class EventHandle {
   bool cancel() {
     if (!pending()) return false;
     *state_ = true;
-    if (live_) --*live_;
+    if (live_) {
+      DARE_INVARIANT(*live_ > 0,
+                     "EventHandle: cancel would underflow the live count");
+      --*live_;
+    }
     return true;
   }
 
@@ -67,8 +72,8 @@ class EventQueue {
 
  private:
   struct Entry {
-    SimTime when;
-    std::uint64_t seq;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
     Callback cb;
     std::shared_ptr<bool> done;
 

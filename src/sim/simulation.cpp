@@ -1,6 +1,9 @@
 #include "sim/simulation.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/invariant.h"
 
 namespace dare::sim {
 
@@ -19,6 +22,13 @@ EventHandle Simulation::after(SimDuration delay, EventQueue::Callback cb) {
 std::uint64_t Simulation::run(SimTime until) {
   std::uint64_t ran = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
+    // Time monotonicity: `at` rejects scheduling in the past, so the next
+    // event can never be earlier than the clock. A violation means a
+    // callback corrupted the queue or the clock.
+    DARE_INVARIANT(queue_.next_time() >= now_,
+                   "Simulation: clock would move backwards (event at " +
+                       std::to_string(queue_.next_time()) + ", now " +
+                       std::to_string(now_) + ")");
     // Advance the clock before executing: callbacks observe now() == their
     // own timestamp.
     now_ = queue_.next_time();
@@ -37,6 +47,8 @@ std::uint64_t Simulation::run(SimTime until) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
+  DARE_INVARIANT(queue_.next_time() >= now_,
+                 "Simulation: clock would move backwards in step()");
   now_ = queue_.next_time();
   queue_.pop_and_run();
   ++executed_;

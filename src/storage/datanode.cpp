@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "common/invariant.h"
 #include "net/measurement.h"
 
 namespace dare::storage {
@@ -24,8 +26,20 @@ bool DataNode::insert_dynamic(const BlockMeta& block) {
       marked_.count(block.id)) {
     return false;
   }
+  DARE_INVARIANT(block.size >= 0, "DataNode: dynamic block with negative size");
   dynamic_.emplace(block.id, block);
   dynamic_bytes_ += block.size;
+  // No duplicate physical replica of a block, in any lifecycle state.
+  DARE_INVARIANT(static_index_.count(block.id) + marked_.count(block.id) == 0,
+                 "DataNode: duplicate replica of block " +
+                     std::to_string(block.id));
+  // The policy contract: a correctly implemented eviction scheme made room
+  // *before* inserting, so live dynamic bytes never exceed the budget.
+  DARE_INVARIANT(audited_budget_ < 0 || dynamic_bytes_ <= audited_budget_,
+                 "DataNode: dynamic bytes " + std::to_string(dynamic_bytes_) +
+                     " exceed replication budget " +
+                     std::to_string(audited_budget_) + " on node " +
+                     std::to_string(id_));
   pending_added_.push_back(block.id);
   ++dynamic_insertions_;
   return true;
@@ -35,6 +49,8 @@ bool DataNode::mark_for_deletion(BlockId block) {
   const auto it = dynamic_.find(block);
   if (it == dynamic_.end()) return false;
   dynamic_bytes_ -= it->second.size;
+  DARE_INVARIANT(dynamic_bytes_ >= 0,
+                 "DataNode: live dynamic bytes went negative");
   marked_.emplace(it->first, it->second);
   dynamic_.erase(it);
   pending_removed_.push_back(block);
@@ -51,7 +67,11 @@ std::size_t DataNode::reclaim_marked() {
 std::vector<BlockId> DataNode::dynamic_blocks() const {
   std::vector<BlockId> out;
   out.reserve(dynamic_.size());
+  // dare-lint: allow(unordered-iteration) -- sorted before returning
   for (const auto& [id, _] : dynamic_) out.push_back(id);
+  // Sorted so downstream consumers (e.g. the popularity-index float sums in
+  // Cluster::collect_results) see a platform-independent order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

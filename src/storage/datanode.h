@@ -40,6 +40,12 @@ class DataNode {
   }
 
   /// --- dynamic replicas (DARE-managed) --------------------------------
+  /// Declare the replication budget this node's policy enforces. Purely an
+  /// auditing hook: once set, the invariant layer checks that live dynamic
+  /// bytes never exceed it after any insertion. Negative clears the audit.
+  void set_audited_budget(Bytes budget_bytes) { audited_budget_ = budget_bytes; }
+  Bytes audited_budget() const { return audited_budget_; }
+
   /// Insert a dynamically replicated block. Returns false (no-op) if the
   /// block is already stored here, statically or dynamically (including
   /// marked-for-deletion dynamic replicas, which still occupy disk).
@@ -58,7 +64,8 @@ class DataNode {
   /// replication budget constrains.
   Bytes dynamic_bytes() const { return dynamic_bytes_; }
 
-  /// Live dynamic replica block ids (unspecified order).
+  /// Live dynamic replica block ids, sorted by id (deterministic across
+  /// platforms and hash-map implementations).
   std::vector<BlockId> dynamic_blocks() const;
 
   std::size_t marked_count() const { return marked_.size(); }
@@ -106,6 +113,7 @@ class DataNode {
   std::unordered_map<BlockId, BlockMeta> dynamic_;  // live replicas
   std::unordered_map<BlockId, BlockMeta> marked_;   // tombstoned, on disk
   Bytes dynamic_bytes_ = 0;
+  Bytes audited_budget_ = -1;  // < 0: no budget audit installed
 
   std::vector<BlockId> pending_added_;
   std::vector<BlockId> pending_removed_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "common/invariant.h"
 
 namespace dare::storage {
 
@@ -38,6 +41,20 @@ FileId NameNode::create_file(const std::string& name, std::size_t num_blocks,
     const BlockId bid = next_block_++;
     blocks_[bid] = BlockMeta{bid, info.id, block_size};
     auto placement = placement_->place(replication, node_alive_, rng_);
+    // Placement contract: distinct live nodes only.
+    for (std::size_t a = 0; a < placement.size(); ++a) {
+      DARE_INVARIANT(placement[a] >= 0 &&
+                         static_cast<std::size_t>(placement[a]) < data_nodes_,
+                     "NameNode: placement chose an out-of-range node");
+      DARE_INVARIANT(node_alive_[static_cast<std::size_t>(placement[a])],
+                     "NameNode: placement chose a dead node");
+      for (std::size_t b = a + 1; b < placement.size(); ++b) {
+        DARE_INVARIANT(placement[a] != placement[b],
+                       "NameNode: placement repeated node " +
+                           std::to_string(placement[a]) + " for block " +
+                           std::to_string(bid));
+      }
+    }
     locations_[bid] = placement;
     static_locations_[bid] = std::move(placement);
     info.blocks.push_back(bid);
@@ -89,6 +106,10 @@ void NameNode::report_dynamic_added(NodeId node,
     if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
       locs.push_back(node);
       ++dynamic_replicas_;
+      DARE_INVARIANT(
+          std::count(locs.begin(), locs.end(), node) == 1,
+          "NameNode: duplicate location entry after dynamic add of block " +
+              std::to_string(b));
     }
   }
 }
@@ -109,6 +130,9 @@ void NameNode::report_dynamic_removed(NodeId node,
     if (std::find(statics.begin(), statics.end(), node) != statics.end()) {
       continue;
     }
+    DARE_INVARIANT(dynamic_replicas_ > 0,
+                   "NameNode: dynamic replica counter underflow removing "
+                   "block " + std::to_string(b));
     locs.erase(pos);
     --dynamic_replicas_;
   }
@@ -142,6 +166,8 @@ std::vector<BlockId> NameNode::node_failed(NodeId node) {
   node_alive_[static_cast<std::size_t>(node)] = false;
 
   std::vector<BlockId> under_replicated;
+  // dare-lint: allow(unordered-iteration) -- per-block updates commute and
+  // the under-replicated list is sorted before returning.
   for (auto& [bid, locs] : locations_) {
     const auto pos = std::find(locs.begin(), locs.end(), node);
     if (pos == locs.end()) continue;
@@ -151,6 +177,9 @@ std::vector<BlockId> NameNode::node_failed(NodeId node) {
     if (spos != statics.end()) {
       statics.erase(spos);
     } else {
+      DARE_INVARIANT(dynamic_replicas_ > 0,
+                     "NameNode: dynamic replica counter underflow on node "
+                     "failure");
       --dynamic_replicas_;  // it was a DARE replica
     }
     // Under-replicated relative to the file's configured factor (clamped to
@@ -178,6 +207,7 @@ bool NameNode::add_repair_replica(BlockId block, NodeId node) {
 
 std::size_t NameNode::lost_block_count() const {
   std::size_t lost = 0;
+  // dare-lint: allow(unordered-iteration) -- order-independent count
   for (const auto& [_, locs] : locations_) {
     if (locs.empty()) ++lost;
   }

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace dare {
@@ -63,6 +66,111 @@ TEST(ThreadPool, ResultsPreserveSubmissionIdentity) {
   for (std::size_t i = 0; i < 100; ++i) {
     EXPECT_EQ(futures[i].get(), i * i);
   }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 2; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingQueue) {
+  // One worker, tasks queued behind a slow head: shutdown must run them
+  // all, not drop the backlog.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  for (int i = 0; i < 30; ++i) pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  // Multiple tasks throw; the lowest-index exception must surface, making
+  // failure reports deterministic regardless of execution interleaving.
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        if (i % 3 == 1) {  // indices 1, 4, 7, ...
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for should have thrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForFinishesAllTasksDespiteException) {
+  // Even when a task throws, every other task must complete before
+  // parallel_for returns — they reference caller state (here `started`).
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&started](std::size_t i) {
+                                   ++started;
+                                   if (i == 0) {
+                                     throw std::runtime_error("early");
+                                   }
+                                   std::this_thread::sleep_for(
+                                       std::chrono::microseconds(100));
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(started.load(), 64);
+}
+
+TEST(ThreadPool, StressManyTinyTasks) {
+  // Hammer the queue with tiny tasks from several submitter threads while
+  // workers drain it: exercises the mutex/cv handoff under TSan.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 2500;
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sum, s] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        futures.push_back(pool.submit([&sum, s, i] {
+          sum += static_cast<std::int64_t>(s * kPerSubmitter + i);
+        }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  const std::int64_t n = kSubmitters * kPerSubmitter;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, FutureOutlivesPool) {
+  // A future taken from submit() stays valid after the pool is destroyed:
+  // the shared state is owned by the packaged_task/future pair, not the
+  // pool.
+  std::future<int> f;
+  {
+    ThreadPool pool(2);
+    f = pool.submit([] { return 99; });
+  }
+  EXPECT_EQ(f.get(), 99);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue) {

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""dare_lint: repo-specific determinism and hygiene linter for DARE.
+
+The simulator's headline claim is bit-for-bit reproducibility of every run
+(see tests/test_determinism.cpp for the dynamic check). This tool statically
+bans the constructs that historically break that claim, at regex/token
+level so it runs in milliseconds with no compiler dependency:
+
+  banned-randomness    std::rand / srand / std::random_device /
+                       time(nullptr) / std::time / system_clock /
+                       steady_clock / high_resolution_clock / std::mt19937 /
+                       std::*_distribution inside src/sim, src/core,
+                       src/sched, src/storage. All randomness must flow
+                       through common/rng.h (forked xoshiro streams); all
+                       time must be simulation time (common/types.h).
+
+  unordered-iteration  Range-for over a variable declared as
+                       std::unordered_map/set/multimap/multiset in the same
+                       file or its paired header, in those same directories.
+                       Hash-map iteration order is implementation-defined,
+                       so anything it feeds becomes platform-dependent.
+                       Either iterate a sorted copy or suppress with a
+                       justification that the result is order-independent.
+
+  no-float             `float` in src/metrics: metric accumulation must use
+                       double (float loses integer exactness above 2^24 and
+                       makes digests platform-sensitive via excess
+                       precision).
+
+  pragma-once          Every .h under src/ must contain `#pragma once`.
+
+Suppressions:
+  // dare-lint: allow(<rule>)        on the offending line or the line above
+  // dare-lint: allow-file(<rule>)   anywhere: suppresses for the whole file
+
+Usage:
+  dare_lint.py [--root REPO_ROOT] [--self-test]
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories (relative to the repo root) where determinism rules apply.
+DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage")
+NO_FLOAT_DIRS = ("src/metrics",)
+
+BANNED_RANDOMNESS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\btime\s*\(\s*nullptr\s*\)|\bstd::time\s*\("),
+     "wall-clock time()"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bstd::(uniform_int|uniform_real|normal|bernoulli|"
+                r"exponential|poisson|geometric)_distribution\b"),
+     "std:: distribution"),
+]
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s+(\w+)\s*[;={]")
+RANGE_FOR = re.compile(r"\bfor\s*\([^;:)]*:\s*([^)]*)\)")
+FLOAT_TOKEN = re.compile(r"\bfloat\b")
+ALLOW_LINE = re.compile(r"//\s*dare-lint:\s*allow\(([\w-]+)\)")
+ALLOW_FILE = re.compile(r"//\s*dare-lint:\s*allow-file\(([\w-]+)\)")
+
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)'")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(line: str) -> str:
+    """Remove string/char literals and // comments for token scanning."""
+    line = STRING_OR_CHAR.sub('""', line)
+    return LINE_COMMENT.sub("", line)
+
+
+def strip_block_comments(text: str) -> str:
+    """Blank out /* ... */ runs, preserving line structure."""
+    out = []
+    in_comment = False
+    i = 0
+    while i < len(text):
+        if not in_comment and text.startswith("/*", i):
+            in_comment = True
+            i += 2
+        elif in_comment and text.startswith("*/", i):
+            in_comment = False
+            i += 2
+        else:
+            out.append(text[i] if text[i] == "\n" or not in_comment else " ")
+            i += 1
+    return "".join(out)
+
+
+def suppressed(rule: str, lines: list[str], idx: int,
+               file_allows: set[str]) -> bool:
+    """Same-line suppression, or one anywhere in the contiguous run of
+    comment-only lines directly above the offending line."""
+    if rule in file_allows:
+        return True
+    if idx < len(lines):
+        m = ALLOW_LINE.search(lines[idx])
+        if m and m.group(1) == rule:
+            return True
+    probe = idx - 1
+    while probe >= 0 and lines[probe].lstrip().startswith("//"):
+        m = ALLOW_LINE.search(lines[probe])
+        if m and m.group(1) == rule:
+            return True
+        probe -= 1
+    return False
+
+
+def file_allow_rules(lines: list[str]) -> set[str]:
+    allows = set()
+    for line in lines:
+        m = ALLOW_FILE.search(line)
+        if m:
+            allows.add(m.group(1))
+    return allows
+
+
+def paired_header_names(path: Path) -> set[str]:
+    """Unordered-container member names declared in the .cpp's header."""
+    if path.suffix != ".cpp":
+        return set()
+    header = path.with_suffix(".h")
+    if not header.is_file():
+        return set()
+    return unordered_names(strip_block_comments(
+        header.read_text(encoding="utf-8", errors="replace")))
+
+
+def unordered_names(text: str) -> set[str]:
+    names = set()
+    for line in text.splitlines():
+        code = strip_code(line)
+        for m in UNORDERED_DECL.finditer(code):
+            names.add(m.group(1))
+    return names
+
+
+def check_determinism_file(path: Path, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    clean_lines = strip_block_comments(text).splitlines()
+    file_allows = file_allow_rules(raw_lines)
+
+    local_unordered = unordered_names(strip_block_comments(text))
+    local_unordered |= paired_header_names(path)
+
+    for idx, line in enumerate(clean_lines):
+        code = strip_code(line)
+        lineno = idx + 1
+        for pattern, what in BANNED_RANDOMNESS:
+            if pattern.search(code) and not suppressed(
+                    "banned-randomness", raw_lines, idx, file_allows):
+                findings.append(Finding(
+                    path, lineno, "banned-randomness",
+                    f"{what} is banned here; use common/rng.h streams and "
+                    "simulation time"))
+        m = RANGE_FOR.search(code)
+        if m:
+            seq_tokens = set(re.findall(r"\b\w+\b", m.group(1)))
+            hits = seq_tokens & local_unordered
+            if hits and not suppressed(
+                    "unordered-iteration", raw_lines, idx, file_allows):
+                findings.append(Finding(
+                    path, lineno, "unordered-iteration",
+                    f"range-for over unordered container '{sorted(hits)[0]}' "
+                    "has implementation-defined order; sort first or justify "
+                    "with // dare-lint: allow(unordered-iteration)"))
+    return findings
+
+
+def check_no_float(path: Path, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    file_allows = file_allow_rules(raw_lines)
+    for idx, line in enumerate(strip_block_comments(text).splitlines()):
+        code = strip_code(line)
+        if FLOAT_TOKEN.search(code) and not suppressed(
+                "no-float", raw_lines, idx, file_allows):
+            findings.append(Finding(
+                path, idx + 1, "no-float",
+                "float in metrics code; accumulate in double"))
+    return findings
+
+
+def check_pragma_once(path: Path, text: str) -> list[Finding]:
+    if "#pragma once" in text:
+        return []
+    raw_lines = text.splitlines()
+    if "pragma-once" in file_allow_rules(raw_lines):
+        return []
+    return [Finding(path, 1, "pragma-once", "header lacks #pragma once")]
+
+
+def lint_repo(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    src = root / "src"
+    if not src.is_dir():
+        raise SystemExit(f"dare_lint: no src/ under {root}")
+
+    for rel in DETERMINISM_DIRS:
+        for path in sorted((root / rel).glob("*.h")) + \
+                sorted((root / rel).glob("*.cpp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(check_determinism_file(path, text))
+
+    for rel in NO_FLOAT_DIRS:
+        for path in sorted((root / rel).glob("*.h")) + \
+                sorted((root / rel).glob("*.cpp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(check_no_float(path, text))
+
+    for path in sorted(src.rglob("*.h")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        findings.extend(check_pragma_once(path, text))
+
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: fixture snippets covering every rule, both firing and
+# suppressed. Run via `dare_lint.py --self-test` (a CTest entry).
+# --------------------------------------------------------------------------
+
+def _st_determinism(name: str, text: str) -> list[Finding]:
+    return check_determinism_file(Path(name), text)
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    f = _st_determinism("a.cpp", "int x = std::rand();\n")
+    expect(len(f) == 1 and f[0].rule == "banned-randomness",
+           "std::rand not flagged")
+
+    f = _st_determinism("a.cpp", "auto t = time(nullptr);\n")
+    expect(len(f) == 1, "time(nullptr) not flagged")
+
+    f = _st_determinism(
+        "a.cpp", "auto n = std::chrono::system_clock::now();\n")
+    expect(len(f) == 1, "system_clock not flagged")
+
+    f = _st_determinism("a.cpp", "std::mt19937 gen(42);\n")
+    expect(len(f) == 1, "mt19937 not flagged")
+
+    f = _st_determinism(
+        "a.cpp",
+        "// dare-lint: allow(banned-randomness)\nstd::mt19937 gen(42);\n")
+    expect(not f, "line-above suppression ignored")
+
+    f = _st_determinism(
+        "a.cpp",
+        "std::mt19937 g;  // dare-lint: allow(banned-randomness)\n")
+    expect(not f, "same-line suppression ignored")
+
+    f = _st_determinism("a.cpp", "// in a comment: std::rand()\n")
+    expect(not f, "comment mention flagged")
+
+    f = _st_determinism(
+        "a.cpp", 'auto s = std::string("std::rand system_clock");\n')
+    expect(not f, "string-literal mention flagged")
+
+    f = _st_determinism(
+        "a.cpp",
+        "std::unordered_map<int, int> counts_;\n"
+        "void f() { for (const auto& [k, v] : counts_) use(k, v); }\n")
+    expect(len(f) == 1 and f[0].rule == "unordered-iteration",
+           "unordered range-for not flagged")
+
+    f = _st_determinism(
+        "a.cpp",
+        "std::unordered_map<int, int> counts_;\n"
+        "// dare-lint: allow(unordered-iteration) -- order-independent sum\n"
+        "void f() { for (const auto& [k, v] : counts_) total += v; }\n")
+    expect(not f, "unordered-iteration suppression ignored")
+
+    f = _st_determinism(
+        "a.cpp",
+        "std::vector<int> items_;\n"
+        "void f() { for (int i : items_) use(i); }\n")
+    expect(not f, "vector range-for wrongly flagged")
+
+    f = _st_determinism(
+        "a.cpp",
+        "// dare-lint: allow-file(banned-randomness)\n"
+        "std::mt19937 a;\nstd::mt19937 b;\n")
+    expect(not f, "allow-file suppression ignored")
+
+    f = check_no_float(Path("m.cpp"), "float total = 0;\n")
+    expect(len(f) == 1 and f[0].rule == "no-float", "float not flagged")
+
+    f = check_no_float(Path("m.cpp"), "double total = 0;  // not float\n")
+    expect(not f, "double or comment wrongly flagged")
+
+    f = check_pragma_once(Path("h.h"), "#pragma once\nstruct S {};\n")
+    expect(not f, "pragma once wrongly flagged")
+
+    f = check_pragma_once(Path("h.h"), "struct S {};\n")
+    expect(len(f) == 1 and f[0].rule == "pragma-once",
+           "missing pragma once not flagged")
+
+    if failures:
+        for what in failures:
+            print(f"dare_lint self-test FAILED: {what}", file=sys.stderr)
+        return 1
+    print("dare_lint self-test: all checks passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: this script's parent's "
+                             "parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own fixture tests")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or Path(__file__).resolve().parent.parent
+    findings = lint_repo(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"dare_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("dare_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
