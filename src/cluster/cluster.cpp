@@ -82,6 +82,15 @@ Cluster::Cluster(const ClusterOptions& options)
   }
   locator_ = std::make_unique<Locator>(*name_node_, *topology_);
   dead_.assign(workers, false);
+  declared_dead_.assign(workers, false);
+  death_time_.assign(workers, 0);
+  death_kind_.assign(workers, faults::FaultKind::kTransient);
+  fault_epoch_.assign(workers, 0);
+  blacklisted_.assign(workers, false);
+  node_task_failures_.assign(workers, 0);
+  heartbeat_event_.resize(workers);
+  next_failure_.resize(workers);
+  recover_event_.resize(workers);
   node_slowdown_.assign(workers, 1.0);
   for (auto& factor : node_slowdown_) {
     if (rng_.bernoulli(options_.profile.straggler_fraction)) {
@@ -103,6 +112,14 @@ Cluster::Cluster(const ClusterOptions& options)
 
   if (options_.enable_scarlett) {
     scarlett_ = std::make_unique<core::ScarlettPlanner>(options_.scarlett);
+  }
+
+  // Forked last, and only when enabled: configurations without stochastic
+  // churn keep the exact RNG stream (and therefore results) they had before
+  // the fault subsystem existed.
+  if (options_.faults.enabled) {
+    fault_process_ =
+        std::make_unique<faults::FaultProcess>(options_.faults, rng_);
   }
 }
 
@@ -212,12 +229,13 @@ void Cluster::start_heartbeats() {
     const SimDuration phase =
         options_.heartbeat_interval * static_cast<SimDuration>(w + 1) /
         static_cast<SimDuration>(workers);
-    sim_.after(phase, [this, w] { heartbeat(w); });
+    heartbeat_event_[w] = sim_.after(phase, [this, w] { heartbeat(w); });
   }
 }
 
 void Cluster::heartbeat(std::size_t worker) {
   if (dead_[worker]) return;  // a dead node heartbeats no more
+  name_node_->heartbeat_received(static_cast<NodeId>(worker), sim_.now());
   auto& dn = *data_nodes_[worker];
   const auto report = dn.drain_report();
   if (!report.added.empty()) {
@@ -261,9 +279,10 @@ void Cluster::heartbeat(std::size_t worker) {
                         jobs_.all_jobs().size() == workload_->jobs.size() &&
                         jobs_.all_done();
   if (!finished) {
-    sim_.after(options_.heartbeat_interval, [this, worker] {
-      heartbeat(worker);
-    });
+    heartbeat_event_[worker] =
+        sim_.after(options_.heartbeat_interval, [this, worker] {
+          heartbeat(worker);
+        });
   }
 }
 
@@ -286,7 +305,7 @@ void Cluster::try_assign_all() {
 
 void Cluster::try_assign_node(NodeId worker) {
   const auto w = static_cast<std::size_t>(worker);
-  if (dead_[w]) return;
+  if (!node_usable(w)) return;  // dead or blacklisted: no new launches
   while (free_map_slots_[w] > 0) {
     const auto selection =
         scheduler_->select_map(worker, sim_.now(), jobs_, *locator_);
@@ -454,30 +473,51 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   }
   MapTaskState& state = state_it->second;
 
-  // Locate and remove this attempt.
+  // Locate this attempt.
   const auto att_it =
       std::find_if(state.attempts.begin(), state.attempts.end(),
                    [worker](const MapAttempt& a) { return a.node == worker; });
   if (att_it == state.attempts.end()) {
     throw std::logic_error("Cluster: attempt not registered");
   }
-  const bool was_speculative = att_it->speculative;
-  state.attempts.erase(att_it);
 
   if (dead_[wi]) {
-    // The node died mid-attempt. If another attempt is still running the
-    // task survives; otherwise it goes back to the pending queue.
+    // The node died mid-attempt: its tracker never reports back, so nobody
+    // learns anything here. The attempt stays registered as a zombie until
+    // the name node detects the death via missed heartbeats and
+    // cleanup_node_attempts() requeues the task. Only the network flow is
+    // torn down (done above) — mark it released so the sweep won't double
+    // release it.
+    att_it->holds_flow = false;
+    return;
+  }
+
+  const bool was_speculative = att_it->speculative;
+  state.attempts.erase(att_it);
+  ++free_map_slots_[wi];
+
+  // Injected attempt failure (bad disk, JVM crash): the attempt completes
+  // but reports failure. Unlike a kill by node loss, this *does* count
+  // against the Hadoop retry budget.
+  if (fault_process_ && fault_process_->sample_task_failure()) {
+    ++task_attempt_failures_;
+    note_node_task_failure(worker);
+    const auto failures = ++map_attempt_failures_[key];
+    if (failures >= options_.max_task_attempts) {
+      fail_job(job);
+      return;
+    }
     if (state.attempts.empty()) {
+      // No speculative sibling still running: back to the pending queue.
       jobs_.requeue_running_map(job, map_index, state.original_locality);
       ++task_reexecutions_;
       running_maps_.erase(state_it);
-      try_assign_all();
     }
+    try_assign_all();
     return;
   }
 
   // This attempt wins the task.
-  ++free_map_slots_[wi];
   if (was_speculative) ++speculative_wins_;
   jobs_.complete_map(job, sim_.now());
   auto& [sum_s, count] = job_map_stats_[job];
@@ -501,6 +541,8 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
     }
   }
   running_maps_.erase(state_it);
+
+  if (run_finished()) cancel_pending_churn();
 
   const auto& rt = jobs_.job(job);
   if (rt.maps_done() && rt.pending_reduces > 0) {
@@ -546,7 +588,7 @@ void Cluster::speculation_tick() {
       // Find a free live slot, preferring one local to the block.
       NodeId best = kInvalidNode;
       for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-        if (dead_[w] || free_map_slots_[w] == 0) continue;
+        if (!node_usable(w) || free_map_slots_[w] == 0) continue;
         if (static_cast<NodeId>(w) == state.attempts[0].node) continue;
         const auto node = static_cast<NodeId>(w);
         if (locator_->is_local(node, state.block)) {
@@ -594,32 +636,109 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
     }
   }
 
-  sim_.after(duration, [this, job, worker, src, flows] {
-    if (flows) network_->flow_finished(src, worker);
-    const auto wi = static_cast<std::size_t>(worker);
-    if (dead_[wi]) {
-      jobs_.requeue_running_reduce(job);
-      ++task_reexecutions_;
-      try_assign_all();
-      return;
-    }
-    jobs_.complete_reduce(job, sim_.now());
-    ++free_reduce_slots_[wi];
-    try_assign_node(worker);
-  });
+  const std::uint64_t attempt_id = next_reduce_attempt_++;
+  ReduceAttempt attempt;
+  attempt.job = job;
+  attempt.node = worker;
+  attempt.holds_flow = flows;
+  attempt.flow_src = src;
+  attempt.completion =
+      sim_.after(duration, [this, attempt_id, job, worker, src, flows] {
+        if (flows) network_->flow_finished(src, worker);
+        const auto it = running_reduces_.find(attempt_id);
+        if (it == running_reduces_.end()) {
+          throw std::logic_error("Cluster: unknown reduce attempt completed");
+        }
+        const auto wi = static_cast<std::size_t>(worker);
+        if (dead_[wi]) {
+          // Zombie completion on a dead tracker: nobody hears about it.
+          // The attempt stays registered until heartbeat detection sweeps
+          // the node; only its flow (already released) is gone.
+          it->second.holds_flow = false;
+          return;
+        }
+        running_reduces_.erase(it);
+        ++free_reduce_slots_[wi];
+        if (fault_process_ && fault_process_->sample_task_failure()) {
+          ++task_attempt_failures_;
+          note_node_task_failure(worker);
+          const auto failures = ++reduce_attempt_failures_[job];
+          if (failures >= options_.max_task_attempts) {
+            fail_job(job);
+            return;
+          }
+          jobs_.requeue_running_reduce(job);
+          ++task_reexecutions_;
+          try_assign_all();
+          return;
+        }
+        jobs_.complete_reduce(job, sim_.now());
+        if (run_finished()) cancel_pending_churn();
+        try_assign_node(worker);
+      });
+  running_reduces_.emplace(attempt_id, std::move(attempt));
 }
 
-void Cluster::fail_node(NodeId worker) {
+void Cluster::fail_node(NodeId worker, faults::FaultKind kind,
+                        SimDuration downtime) {
   const auto w = static_cast<std::size_t>(worker);
-  if (dead_[w]) return;
-  if (name_node_->live_node_count() <= 1) {
+  if (dead_[w]) return;  // double-kill of an already-dead worker: no-op
+  std::size_t live_physical = 0;
+  for (std::size_t i = 0; i < dead_.size(); ++i) {
+    if (!dead_[i]) ++live_physical;
+  }
+  if (live_physical <= 1) {
     throw std::logic_error("Cluster: cannot fail the last live worker");
   }
   dead_[w] = true;
+  death_time_[w] = sim_.now();
+  death_kind_[w] = kind;
+  ++fault_epoch_[w];
   free_map_slots_[w] = 0;
   free_reduce_slots_[w] = 0;
-  // The name node notices the missed heartbeats: all replicas on the node
-  // are gone, under-replicated blocks enter the repair queue.
+  heartbeat_event_[w].cancel();
+  next_failure_[w].cancel();
+  ++node_failures_;
+  if (kind == faults::FaultKind::kPermanent) {
+    ++permanent_failures_;
+    // The disk is gone with the node; blocks only it held are lost unless
+    // another replica survives somewhere.
+    data_nodes_[w]->wipe_disk();
+  } else {
+    ++transient_failures_;
+    const std::uint64_t epoch = fault_epoch_[w];
+    recover_event_[w] =
+        sim_.after(std::max<SimDuration>(downtime, from_millis(1)),
+                   [this, worker, epoch] { recover_node(worker, epoch); });
+  }
+  // Crucially, the name node is NOT told: it finds out on its own when the
+  // node misses detection_missed_heartbeats consecutive heartbeats (see
+  // detection_tick), exactly like a real JobTracker/NameNode expiry.
+}
+
+void Cluster::detection_tick() {
+  if (run_finished()) return;  // post-run drain: stop monitoring
+  const SimDuration timeout =
+      options_.heartbeat_interval *
+      static_cast<SimDuration>(options_.detection_missed_heartbeats);
+  for (NodeId overdue : name_node_->overdue_nodes(sim_.now(), timeout)) {
+    declare_node_dead(overdue);
+  }
+  monitor_event_ =
+      sim_.after(options_.heartbeat_interval, [this] { detection_tick(); });
+}
+
+void Cluster::declare_node_dead(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (declared_dead_[w]) return;
+  DARE_INVARIANT(dead_[w],
+                 "Cluster: declaring a physically live node dead (node " +
+                     std::to_string(w) + ")");
+  declared_dead_[w] = true;
+  ++failures_detected_;
+  detection_latency_total_ += sim_.now() - death_time_[w];
+  // The name node drops every replica location on the node; blocks that
+  // fell under their replication factor enter the repair queue.
   const auto under_replicated = name_node_->node_failed(worker);
   if (options_.enable_rereplication) {
     for (BlockId bid : under_replicated) repair_queue_.push_back(bid);
@@ -629,9 +748,203 @@ void Cluster::fail_node(NodeId worker) {
                  [this] { rereplication_tick(); });
     }
   }
-  // Work stolen by the failure will be re-queued as the zombie completion
-  // events fire; give the survivors a chance to pick up queued work now.
+  // The JobTracker side of the same expiry: every attempt on the node is
+  // presumed lost and its task requeued.
+  cleanup_node_attempts(worker);
   try_assign_all();
+}
+
+void Cluster::cleanup_node_attempts(NodeId worker) {
+  // Deterministic sweep order: running_maps_ is an unordered_map, so pull
+  // the keys out and sort before touching job state.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(running_maps_.size());
+  // dare-lint: allow(unordered-iteration) -- keys are sorted before use.
+  for (const auto& [key, state] : running_maps_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const auto it = running_maps_.find(key);
+    MapTaskState& state = it->second;
+    const auto att_it = std::find_if(
+        state.attempts.begin(), state.attempts.end(),
+        [worker](const MapAttempt& a) { return a.node == worker; });
+    if (att_it == state.attempts.end()) continue;
+    // A still-pending completion is cancelled here; if it already fired as
+    // a zombie, its flow was released at fire time (holds_flow false).
+    if (att_it->completion.cancel() && att_it->holds_flow) {
+      network_->flow_finished(att_it->flow_src, att_it->node);
+    }
+    state.attempts.erase(att_it);
+    if (state.attempts.empty()) {
+      const auto job = static_cast<JobId>(key >> 20);
+      const auto map_index = static_cast<std::size_t>(key & 0xFFFFF);
+      jobs_.requeue_running_map(job, map_index, state.original_locality);
+      ++task_reexecutions_;
+      running_maps_.erase(it);
+    }
+  }
+  for (auto it = running_reduces_.begin(); it != running_reduces_.end();) {
+    if (it->second.node != worker) {
+      ++it;
+      continue;
+    }
+    if (it->second.completion.cancel() && it->second.holds_flow) {
+      network_->flow_finished(it->second.flow_src, worker);
+    }
+    jobs_.requeue_running_reduce(it->second.job);
+    ++task_reexecutions_;
+    it = running_reduces_.erase(it);
+  }
+}
+
+void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (fault_epoch_[w] != epoch || !dead_[w]) return;  // stale event
+  if (run_finished()) return;
+  dead_[w] = false;
+  ++fault_epoch_[w];
+  ++node_rejoins_;
+  auto& dn = *data_nodes_[w];
+  if (declared_dead_[w]) {
+    declared_dead_[w] = false;
+    // Full re-registration: anything the dead tracker had queued for its
+    // next block report died with the process; the disk contents are the
+    // only truth left, and the name node reconciles against them.
+    dn.clear_pending_reports();
+    std::vector<BlockId> statics;
+    for (const auto& meta : dn.static_blocks()) statics.push_back(meta.id);
+    std::sort(statics.begin(), statics.end());
+    std::vector<BlockId> dynamics = dn.dynamic_blocks();
+    std::sort(dynamics.begin(), dynamics.end());
+    const auto report = name_node_->node_rejoined(worker, statics, dynamics);
+    for (BlockId pruned : report.pruned_static) {
+      // Re-replication won the race while we were down: the stale copy is
+      // surplus now, drop it.
+      dn.remove_static_block(pruned);
+      ++overreplication_prunes_;
+    }
+    // The policy's in-memory state (recency lists, aging ring, budgets)
+    // died with the process; rebuild it from the surviving replicas.
+    policies_[w]->rebuild(dn.dynamic_block_metas());
+    blacklisted_[w] = false;
+    node_task_failures_[w] = 0;
+  } else {
+    // Blip shorter than the detection timeout: the name node never
+    // noticed, its metadata is still correct, and the disk (and policy
+    // state) is intact. But the rebooted tracker does not resume tasks —
+    // requeue whatever was running here.
+    cleanup_node_attempts(worker);
+  }
+  free_map_slots_[w] = options_.map_slots_per_node;
+  free_reduce_slots_[w] = options_.reduce_slots_per_node;
+  heartbeat(w);  // re-registration heartbeat, restarts the periodic chain
+  if (fault_process_) schedule_stochastic_failure(worker, fault_epoch_[w]);
+  try_assign_all();
+}
+
+void Cluster::schedule_stochastic_failure(NodeId worker, std::uint64_t epoch) {
+  if (!fault_process_) return;
+  const SimDuration uptime = fault_process_->sample_uptime();
+  next_failure_[static_cast<std::size_t>(worker)] =
+      sim_.after(uptime, [this, worker, epoch] {
+        const auto wi = static_cast<std::size_t>(worker);
+        if (fault_epoch_[wi] != epoch || dead_[wi]) return;  // stale
+        if (run_finished()) return;
+        const auto sample = fault_process_->sample_failure();
+        std::vector<NodeId> victims{worker};
+        if (sample.rack_correlated && topology_->rack_count() > 1) {
+          // Correlated blast radius: a switch/PDU event takes the whole
+          // rack down with the primary victim.
+          for (std::size_t v = 0; v < data_nodes_.size(); ++v) {
+            if (v == wi || dead_[v]) continue;
+            if (topology_->same_rack(worker, static_cast<NodeId>(v))) {
+              victims.push_back(static_cast<NodeId>(v));
+            }
+          }
+        }
+        const std::size_t floor = std::max<std::size_t>(
+            fault_process_->params().min_live_workers, 2);
+        for (NodeId victim : victims) {
+          std::size_t live = 0;
+          for (std::size_t i = 0; i < dead_.size(); ++i) {
+            if (!dead_[i]) ++live;
+          }
+          if (live <= floor) break;  // keep the cluster schedulable
+          if (dead_[static_cast<std::size_t>(victim)]) continue;
+          fail_node(victim, sample.kind, sample.downtime);
+        }
+        // If the floor guard spared the primary victim, re-arm its clock;
+        // otherwise recovery (transient deaths) re-arms it.
+        if (!dead_[wi]) schedule_stochastic_failure(worker, epoch);
+      });
+}
+
+void Cluster::fail_job(JobId job) {
+  // Cancel the job's in-flight map attempts (sorted key sweep for
+  // determinism — running_maps_ is unordered).
+  std::vector<std::uint64_t> keys;
+  // dare-lint: allow(unordered-iteration) -- keys are sorted before use.
+  for (const auto& [key, state] : running_maps_) {
+    if (static_cast<JobId>(key >> 20) == job) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const auto it = running_maps_.find(key);
+    for (auto& attempt : it->second.attempts) {
+      if (attempt.completion.cancel()) {
+        if (attempt.holds_flow) {
+          network_->flow_finished(attempt.flow_src, attempt.node);
+        }
+        if (!dead_[static_cast<std::size_t>(attempt.node)]) {
+          ++free_map_slots_[static_cast<std::size_t>(attempt.node)];
+        }
+      }
+      // cancel() == false: zombie on a dead node, flow already released.
+    }
+    running_maps_.erase(it);
+  }
+  for (auto it = running_reduces_.begin(); it != running_reduces_.end();) {
+    if (it->second.job != job) {
+      ++it;
+      continue;
+    }
+    if (it->second.completion.cancel()) {
+      if (it->second.holds_flow) {
+        network_->flow_finished(it->second.flow_src, it->second.node);
+      }
+      if (!dead_[static_cast<std::size_t>(it->second.node)]) {
+        ++free_reduce_slots_[static_cast<std::size_t>(it->second.node)];
+      }
+    }
+    it = running_reduces_.erase(it);
+  }
+  jobs_.fail_job(job, sim_.now());
+  ++failed_jobs_;
+  if (run_finished()) cancel_pending_churn();
+  try_assign_all();
+}
+
+void Cluster::note_node_task_failure(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  ++node_task_failures_[w];
+  if (options_.node_blacklist_threshold == 0) return;  // disabled
+  if (blacklisted_[w]) return;
+  if (node_task_failures_[w] < options_.node_blacklist_threshold) return;
+  // Never blacklist below two usable workers — the run must stay
+  // schedulable even on a sick cluster.
+  std::size_t usable = 0;
+  for (std::size_t i = 0; i < dead_.size(); ++i) {
+    if (node_usable(i)) ++usable;
+  }
+  if (usable <= 2) return;
+  blacklisted_[w] = true;
+  ++blacklisted_total_;
+}
+
+void Cluster::cancel_pending_churn() {
+  monitor_event_.cancel();
+  for (auto& handle : next_failure_) handle.cancel();
+  for (auto& handle : recover_event_) handle.cancel();
 }
 
 void Cluster::rereplication_tick() {
@@ -640,6 +953,9 @@ void Cluster::rereplication_tick() {
   while (!repair_queue_.empty() && started < options_.rereplication_batch) {
     const BlockId bid = repair_queue_.front();
     repair_queue_.pop_front();
+    // A rejoining node may have re-adopted a stale replica since this block
+    // was queued — don't copy what is no longer under-replicated.
+    if (!name_node_->is_under_replicated(bid)) continue;
     const auto& meta = name_node_->block(bid);
 
     // Source: any live holder. Destination: a live node without a copy.
@@ -671,6 +987,12 @@ void Cluster::rereplication_tick() {
       network_->flow_finished(src, dst);
       const auto d = static_cast<std::size_t>(dst);
       if (dead_[d]) return;  // destination died mid-copy; repair re-queues
+      if (!name_node_->is_under_replicated(bid)) {
+        // A rejoin beat the transfer: the in-flight copy is surplus and is
+        // discarded on arrival.
+        ++overreplication_prunes_;
+        return;
+      }
       if (name_node_->add_repair_replica(bid, dst)) {
         data_nodes_[d]->add_static_block(meta);
         ++rereplicated_blocks_;
@@ -791,15 +1113,20 @@ void Cluster::validate() const {
         if (n >= data_nodes_.size()) {
           fail("location references unknown node");
         }
-        if (dead_[n]) {
+        // Locations may legitimately reference a node that is physically
+        // down but not yet *declared* dead — the name node only learns of
+        // deaths through missed heartbeats. A declared-dead node, though,
+        // must have been scrubbed from every location list.
+        if (declared_dead_[n]) {
           fail("block " + std::to_string(bid) +
-               " location references dead node " + std::to_string(n));
+               " location references declared-dead node " + std::to_string(n));
         }
         // A registered location must be physically present — unless the
         // replica was evicted and the removal heartbeat has not fired yet;
         // in that window the block is still on disk (marked), which
-        // has_any_copy covers.
-        if (!data_nodes_[n]->has_any_copy(bid)) {
+        // has_any_copy covers. Physically-down nodes are exempt: a wiped
+        // disk (permanent failure) diverges from metadata until detection.
+        if (!dead_[n] && !data_nodes_[n]->has_any_copy(bid)) {
           fail("block " + std::to_string(bid) + " registered on node " +
                std::to_string(n) + " but not present there");
         }
@@ -825,13 +1152,20 @@ void Cluster::validate() const {
     pending_maps += rt.pending_maps.size();
     pending_reduces += rt.pending_reduces;
     running += rt.running_maps + rt.running_reduces;
-    if (rt.completed_maps + rt.running_maps + rt.pending_maps.size() !=
-        rt.total_maps()) {
+    if (!rt.failed &&
+        rt.completed_maps + rt.running_maps + rt.pending_maps.size() !=
+            rt.total_maps()) {
       fail("map accounting broken for job " + std::to_string(id));
     }
-    if (rt.completed_reduces + rt.running_reduces + rt.pending_reduces !=
-        rt.spec.reduces) {
+    if (!rt.failed &&
+        rt.completed_reduces + rt.running_reduces + rt.pending_reduces !=
+            rt.spec.reduces) {
       fail("reduce accounting broken for job " + std::to_string(id));
+    }
+    if (rt.failed &&
+        (rt.pending_maps.size() + rt.running_maps + rt.pending_reduces +
+         rt.running_reduces) != 0) {
+      fail("failed job " + std::to_string(id) + " still has live work");
     }
     if (rt.done() && rt.completion == kTimeNever) {
       fail("finished job without completion time");
@@ -871,6 +1205,7 @@ metrics::RunResult Cluster::collect_results(
     jm.local_maps = rt.local_launches;
     jm.rack_local_maps = rt.rack_local_launches;
     jm.dedicated_runtime_s = dedicated_runtime_s(rt.spec);
+    jm.failed = rt.failed;
     result.jobs.push_back(jm);
   }
 
@@ -888,6 +1223,16 @@ metrics::RunResult Cluster::collect_results(
   result.speculative_launched = speculative_launched_;
   result.speculative_wins = speculative_wins_;
   result.speculative_killed = speculative_killed_;
+  result.node_failures = node_failures_;
+  result.transient_failures = transient_failures_;
+  result.permanent_failures = permanent_failures_;
+  result.failures_detected = failures_detected_;
+  result.detection_latency_total_s = to_seconds(detection_latency_total_);
+  result.node_rejoins = node_rejoins_;
+  result.overreplication_prunes = overreplication_prunes_;
+  result.task_attempt_failures = task_attempt_failures_;
+  result.failed_jobs = failed_jobs_;
+  result.blacklisted_nodes = blacklisted_total_;
 
   // Popularity indices (Fig. 11). Block popularity = number of jobs that
   // accessed its file in this workload. "Before" uses the snapshot taken at
@@ -936,9 +1281,20 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
         static_cast<std::size_t>(failure.worker) >= data_nodes_.size()) {
       throw std::invalid_argument("Cluster: failure for unknown worker");
     }
-    sim_.at(failure.at, [this, worker = failure.worker] {
-      fail_node(worker);
+    sim_.at(failure.at, [this, failure] {
+      fail_node(failure.worker, failure.kind, failure.downtime);
     });
+  }
+  if (!options_.failures.empty() || options_.faults.enabled) {
+    // Heartbeat-expiry monitor: the only way the name node learns of
+    // deaths. Runs every heartbeat interval until the workload finishes.
+    monitor_event_ =
+        sim_.after(options_.heartbeat_interval, [this] { detection_tick(); });
+  }
+  if (options_.faults.enabled) {
+    for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+      schedule_stochastic_failure(static_cast<NodeId>(w), fault_epoch_[w]);
+    }
   }
   if (options_.enable_speculation) {
     sim_.after(options_.speculation_check, [this] { speculation_tick(); });

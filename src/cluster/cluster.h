@@ -7,7 +7,9 @@
 // instances and run them on a thread pool (see experiment.h).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "common/invariant.h"
 #include "common/rng.h"
 #include "core/replication_policy.h"
+#include "faults/fault_model.h"
 #include "metrics/run_metrics.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -74,10 +77,30 @@ class Cluster {
   void launch_reduce(NodeId worker, JobId job);
   void maybe_schedule_tick();
 
-  /// Fault injection + repair.
-  void fail_node(NodeId worker);
+  /// Fault injection + repair. A node *failing* (fail_node) and the name
+  /// node *detecting* the failure (declare_node_dead, driven by
+  /// detection_tick's missed-heartbeat scan) are separate events: no call
+  /// site learns of a death before the heartbeat timeout expires.
+  void fail_node(NodeId worker, faults::FaultKind kind, SimDuration downtime);
+  void declare_node_dead(NodeId worker);
+  void detection_tick();
+  void recover_node(NodeId worker, std::uint64_t epoch);
+  void schedule_stochastic_failure(NodeId worker, std::uint64_t epoch);
+  /// Cancel + requeue every attempt running on `worker` (its tracker died
+  /// or rebooted; either way it will not report those tasks back).
+  void cleanup_node_attempts(NodeId worker);
+  /// Kill a job whose task exhausted max_task_attempts.
+  void fail_job(JobId job);
+  void note_node_task_failure(NodeId worker);
+  /// Cancel dangling churn events (stochastic failures, recoveries, the
+  /// detection monitor) once the run is finished, so the event queue drains
+  /// without inflating the makespan.
+  void cancel_pending_churn();
   void rereplication_tick();
   bool node_alive(std::size_t worker) const { return !dead_[worker]; }
+  bool node_usable(std::size_t worker) const {
+    return !dead_[worker] && !blacklisted_[worker];
+  }
 
   /// Speculative execution.
   void speculation_tick();
@@ -119,12 +142,42 @@ class Cluster {
   std::size_t assign_rotation_ = 0;
   bool ran_ = false;
 
-  /// Fault-injection state.
+  /// Fault-injection state. `dead_` is physical truth (the node's process
+  /// is down); `declared_dead_` is the name node's belief, which lags by
+  /// the heartbeat-detection latency. A transient blip shorter than the
+  /// detection timeout never flips `declared_dead_` at all.
   std::vector<bool> dead_;
+  std::vector<bool> declared_dead_;
+  std::vector<SimTime> death_time_;
+  std::vector<faults::FaultKind> death_kind_;
+  /// Bumped on every death *and* every recovery; pending failure/recovery
+  /// events carry the epoch they were scheduled under and no-op on mismatch.
+  std::vector<std::uint64_t> fault_epoch_;
+  std::vector<bool> blacklisted_;
+  std::vector<std::size_t> node_task_failures_;
+  std::unique_ptr<faults::FaultProcess> fault_process_;
+  std::vector<sim::EventHandle> heartbeat_event_;
+  std::vector<sim::EventHandle> next_failure_;
+  std::vector<sim::EventHandle> recover_event_;
+  sim::EventHandle monitor_event_;
   std::deque<BlockId> repair_queue_;
   bool repair_tick_scheduled_ = false;
   std::uint64_t task_reexecutions_ = 0;
   std::uint64_t rereplicated_blocks_ = 0;
+  std::uint64_t node_failures_ = 0;
+  std::uint64_t transient_failures_ = 0;
+  std::uint64_t permanent_failures_ = 0;
+  std::uint64_t failures_detected_ = 0;
+  SimDuration detection_latency_total_ = 0;
+  std::uint64_t node_rejoins_ = 0;
+  std::uint64_t overreplication_prunes_ = 0;
+  std::uint64_t task_attempt_failures_ = 0;
+  std::uint64_t failed_jobs_ = 0;
+  std::uint64_t blacklisted_total_ = 0;
+  /// Failed (not killed) attempts per map task / per job's reduces — the
+  /// Hadoop retry budget (mapreduce.map.maxattempts).
+  std::unordered_map<std::uint64_t, std::size_t> map_attempt_failures_;
+  std::unordered_map<JobId, std::size_t> reduce_attempt_failures_;
 
   /// Straggler model: per-node duration multiplier (>= 1.0).
   std::vector<double> node_slowdown_;
@@ -154,6 +207,18 @@ class Cluster {
            static_cast<std::uint64_t>(map_index);
   }
   std::unordered_map<std::uint64_t, MapTaskState> running_maps_;
+  /// Running reduce attempts, keyed by a monotonic attempt id (a job can
+  /// run several reduces at once). std::map: iterated in key order when a
+  /// node death sweeps its attempts, so requeue order is deterministic.
+  struct ReduceAttempt {
+    JobId job = kInvalidJob;
+    NodeId node = kInvalidNode;
+    bool holds_flow = false;
+    NodeId flow_src = kInvalidNode;
+    sim::EventHandle completion;
+  };
+  std::map<std::uint64_t, ReduceAttempt> running_reduces_;
+  std::uint64_t next_reduce_attempt_ = 0;
   /// Per-job completed-map duration statistics (speculation estimator),
   /// with a cluster-wide fallback for jobs (e.g. single-map jobs) that have
   /// no completed sibling map to estimate from.

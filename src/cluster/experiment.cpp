@@ -73,6 +73,26 @@ ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg) {
   if (cfg.contains("fair_delay_ms")) {
     options.fair_delay = from_millis(cfg.get_double("fair_delay_ms", 500.0));
   }
+  options.faults.enabled = cfg.get_bool("faults", options.faults.enabled);
+  options.faults.mtbf_s = cfg.get_double("mtbf_s", options.faults.mtbf_s);
+  options.faults.mttr_s = cfg.get_double("mttr_s", options.faults.mttr_s);
+  options.faults.permanent_fraction =
+      cfg.get_double("permanent_fraction", options.faults.permanent_fraction);
+  options.faults.rack_correlation =
+      cfg.get_double("rack_correlation", options.faults.rack_correlation);
+  options.faults.task_failure_prob =
+      cfg.get_double("task_failure_prob", options.faults.task_failure_prob);
+  options.faults.min_live_workers = static_cast<std::size_t>(cfg.get_int(
+      "min_live_workers",
+      static_cast<std::int64_t>(options.faults.min_live_workers)));
+  options.detection_missed_heartbeats = static_cast<std::size_t>(cfg.get_int(
+      "detect_missed",
+      static_cast<std::int64_t>(options.detection_missed_heartbeats)));
+  options.max_task_attempts = static_cast<std::size_t>(cfg.get_int(
+      "max_attempts", static_cast<std::int64_t>(options.max_task_attempts)));
+  options.node_blacklist_threshold = static_cast<std::size_t>(cfg.get_int(
+      "blacklist_threshold",
+      static_cast<std::int64_t>(options.node_blacklist_threshold)));
   options.seed = static_cast<std::uint64_t>(
       cfg.get_int("seed", static_cast<std::int64_t>(options.seed)));
   return options;

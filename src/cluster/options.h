@@ -8,6 +8,7 @@
 
 #include "core/elephant_trap.h"
 #include "core/scarlett.h"
+#include "faults/fault_model.h"
 #include "net/profile.h"
 
 namespace dare::cluster {
@@ -55,15 +56,42 @@ struct ClusterOptions {
   core::ScarlettParams scarlett{};
 
   /// --- fault injection ---------------------------------------------------
-  /// Kill the given workers at the given times: the node's disk contents
-  /// are lost, its running tasks are re-queued, and the name node's
-  /// re-replication pipeline restores the replication factor of affected
-  /// blocks from the surviving copies.
+  /// Kill the given workers at the given times. A permanent failure loses
+  /// the node's disk; a transient one keeps it (stale) and the node rejoins
+  /// after `downtime`. Running tasks on the victim are re-queued once the
+  /// name node *detects* the death via missed heartbeats (no omniscient
+  /// notification), and the re-replication pipeline restores the
+  /// replication factor of affected blocks from the surviving copies.
   struct FailureEvent {
     SimTime at = 0;
     NodeId worker = kInvalidNode;
+    faults::FaultKind kind = faults::FaultKind::kPermanent;
+    /// Time until the node comes back (transient failures only; ignored for
+    /// permanent ones).
+    SimDuration downtime = 0;
   };
   std::vector<FailureEvent> failures;
+
+  /// Stochastic node churn on top of (or instead of) scripted failures:
+  /// per-node exponential uptime/downtime, mixed transient/permanent kinds,
+  /// optional rack-correlated blast radius, and injected task-attempt
+  /// failures. See faults::FaultInjectionParams for the knobs.
+  faults::FaultInjectionParams faults;
+
+  /// A worker is declared dead after this many consecutive missed
+  /// heartbeats (Hadoop's 10-minute expiry scaled to simulator time).
+  std::size_t detection_missed_heartbeats = 3;
+
+  /// A task is retried at most this many times (Hadoop's
+  /// mapreduce.map.maxattempts = 4); the next *failed* (not killed)
+  /// attempt past the limit fails the whole job. Attempts killed by node
+  /// loss do not count.
+  std::size_t max_task_attempts = 4;
+
+  /// Blacklist a worker for new launches after this many injected task
+  /// failures on it (0 = never blacklist). A node leaves the blacklist by
+  /// rejoining after a failure.
+  std::size_t node_blacklist_threshold = 3;
 
   /// Re-replication pipeline: how often the name node scans its repair
   /// queue and how many block copies it starts per scan.

@@ -16,6 +16,17 @@ ElephantTrapPolicy::ElephantTrapPolicy(storage::DataNode& node,
       rng_(rng.fork()),
       eviction_pointer_(ring_.end()) {}
 
+void ElephantTrapPolicy::rebuild(
+    const std::vector<storage::BlockMeta>& live_dynamic) {
+  ring_.clear();
+  index_.clear();
+  for (const auto& meta : live_dynamic) {
+    ring_.push_back(Entry{meta, 0});
+    index_[meta.id] = std::prev(ring_.end());
+  }
+  eviction_pointer_ = ring_.empty() ? ring_.end() : ring_.begin();
+}
+
 ElephantTrapPolicy::Ring::iterator ElephantTrapPolicy::advance(
     Ring::iterator it) {
   ++it;

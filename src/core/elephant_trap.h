@@ -37,6 +37,10 @@ class ElephantTrapPolicy final : public ReplicationPolicy {
 
   bool on_map_task(const storage::BlockMeta& block, bool local) override;
 
+  /// Crash recovery: re-ring the surviving replicas with zeroed counts and
+  /// reset the eviction pointer (aging state is lost with the process).
+  void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
   std::string name() const override { return "elephant-trap"; }
   std::uint64_t replicas_created() const override { return created_; }
 

@@ -15,6 +15,16 @@ void GreedyLruPolicy::touch(BlockId block) {
   order_.splice(order_.end(), order_, it->second);
 }
 
+void GreedyLruPolicy::rebuild(
+    const std::vector<storage::BlockMeta>& live_dynamic) {
+  order_.clear();
+  index_.clear();
+  for (const auto& meta : live_dynamic) {
+    order_.push_back(meta);
+    index_[meta.id] = std::prev(order_.end());
+  }
+}
+
 bool GreedyLruPolicy::make_room(const storage::BlockMeta& incoming) {
   // Rotating same-file victims to the MRU end is bounded: each pass either
   // evicts or rotates, and we stop after examining every entry once.

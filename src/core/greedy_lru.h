@@ -24,6 +24,11 @@ class GreedyLruPolicy final : public ReplicationPolicy {
 
   bool on_map_task(const storage::BlockMeta& block, bool local) override;
 
+  /// Crash recovery: repopulate the LRU queue from the surviving replicas
+  /// (recency is lost; the given order — block id — becomes the new LRU
+  /// order, refreshed by subsequent reads).
+  void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
   std::string name() const override { return "greedy-lru"; }
   std::uint64_t replicas_created() const override { return created_; }
 

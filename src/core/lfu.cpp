@@ -10,6 +10,14 @@ std::uint64_t GreedyLfuPolicy::frequency(BlockId block) const {
   return it == entries_.end() ? 0 : it->second.count;
 }
 
+void GreedyLfuPolicy::rebuild(
+    const std::vector<storage::BlockMeta>& live_dynamic) {
+  entries_.clear();
+  for (const auto& meta : live_dynamic) {
+    entries_[meta.id] = Entry{meta, 0, tie_counter_++};
+  }
+}
+
 bool GreedyLfuPolicy::make_room(const storage::BlockMeta& incoming) {
   while (node_->dynamic_bytes() + incoming.size > budget_) {
     // Linear victim scan: the per-node dynamic set is small (budget-bounded),

@@ -22,6 +22,10 @@ class GreedyLfuPolicy final : public ReplicationPolicy {
 
   bool on_map_task(const storage::BlockMeta& block, bool local) override;
 
+  /// Crash recovery: re-track the surviving replicas with zeroed counts
+  /// (frequency history is lost with the process).
+  void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
   std::string name() const override { return "greedy-lfu"; }
   std::uint64_t replicas_created() const override { return created_; }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "storage/block.h"
@@ -33,6 +34,15 @@ class ReplicationPolicy {
 
   /// Dynamic replicas this policy created (for blocks-created-per-job).
   virtual std::uint64_t replicas_created() const = 0;
+
+  /// Rebuild bookkeeping from the node's surviving disk contents after a
+  /// crash + rejoin: `live_dynamic` is the set of dynamic replicas still on
+  /// disk (sorted by block id; empty after a permanent failure). Any
+  /// recency/frequency/aging state accumulated before the crash is lost —
+  /// replicas restart cold. Default: stateless policies need nothing.
+  virtual void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) {
+    (void)live_dynamic;
+  }
 };
 
 /// Vanilla Hadoop: never replicates dynamically.

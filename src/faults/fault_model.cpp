@@ -1,0 +1,54 @@
+#include "faults/fault_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dare::faults {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultProcess: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultProcess::FaultProcess(const FaultInjectionParams& params, Rng& parent)
+    : params_(params), rng_(parent.fork()) {
+  if (params_.mtbf_s <= 0.0) {
+    throw std::invalid_argument("FaultProcess: mtbf_s must be positive");
+  }
+  if (params_.mttr_s <= 0.0) {
+    throw std::invalid_argument("FaultProcess: mttr_s must be positive");
+  }
+  check_probability(params_.permanent_fraction, "permanent_fraction");
+  check_probability(params_.rack_correlation, "rack_correlation");
+  check_probability(params_.task_failure_prob, "task_failure_prob");
+}
+
+SimDuration FaultProcess::sample_uptime() {
+  return std::max<SimDuration>(from_millis(1.0),
+                               from_seconds(rng_.exponential(1.0 / params_.mtbf_s)));
+}
+
+FailureSample FaultProcess::sample_failure() {
+  FailureSample sample;
+  sample.kind = rng_.bernoulli(params_.permanent_fraction)
+                    ? FaultKind::kPermanent
+                    : FaultKind::kTransient;
+  // Downtime is drawn for every failure so the draw sequence (and therefore
+  // everything downstream) does not depend on the kind chosen above.
+  sample.downtime = std::max<SimDuration>(
+      from_millis(1.0), from_seconds(rng_.exponential(1.0 / params_.mttr_s)));
+  sample.rack_correlated = rng_.bernoulli(params_.rack_correlation);
+  return sample;
+}
+
+bool FaultProcess::sample_task_failure() {
+  return rng_.bernoulli(params_.task_failure_prob);
+}
+
+}  // namespace dare::faults

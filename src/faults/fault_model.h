@@ -1,0 +1,97 @@
+// Stochastic node-churn model: when nodes fail, how they fail, and how long
+// they stay down.
+//
+// Real clusters do not fail on a script. Each worker alternates between an
+// up period (exponential, mean MTBF) and a down period (exponential, mean
+// MTTR). A failure is *transient* (the machine reboots and rejoins with its
+// disk contents stale but intact) or *permanent* (the disk is lost with the
+// node) with a configurable split, matching the recovery taxonomy used by
+// HDFS operators. Failures can optionally be rack-correlated: a sampled
+// fraction of failures takes the victim's whole rack down with it (switch
+// or PDU loss), which is the scenario HDFS's rack-aware placement defends
+// against. Independently, any completed task attempt can be failed with a
+// small probability (task JVM crashes), exercising Hadoop's attempt-retry
+// and blacklisting machinery.
+//
+// Everything is driven by a forked `Rng` stream, so enabling churn never
+// perturbs the draws of other components and every schedule is
+// bit-reproducible from the seed (this directory is covered by
+// tools/dare_lint.py's determinism rules).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dare::faults {
+
+/// How a node failure affects its disk.
+enum class FaultKind {
+  kTransient,  ///< node returns after a downtime; disk contents stale but kept
+  kPermanent,  ///< node (and its disk) is gone for good
+};
+
+struct FaultInjectionParams {
+  /// Master switch; when false no fault process is created and runs are
+  /// bit-identical to a build without this subsystem.
+  bool enabled = false;
+
+  /// Mean time between failures per node, seconds (exponential).
+  double mtbf_s = 600.0;
+
+  /// Mean time to recovery for transient failures, seconds (exponential).
+  double mttr_s = 45.0;
+
+  /// Fraction of failures that are permanent (disk lost, no rejoin).
+  double permanent_fraction = 0.15;
+
+  /// Probability that a failure takes the victim's whole rack down with it
+  /// (top-of-rack switch / PDU loss). Ignored on single-rack topologies.
+  double rack_correlation = 0.0;
+
+  /// Probability that an otherwise-successful task attempt fails on
+  /// completion (task JVM crash). Drives attempt retries and blacklisting.
+  double task_failure_prob = 0.0;
+
+  /// The injector never reduces the physically-live worker count below this
+  /// floor (a cluster with no survivors cannot finish any run).
+  std::size_t min_live_workers = 3;
+};
+
+/// One sampled node failure.
+struct FailureSample {
+  FaultKind kind = FaultKind::kTransient;
+  /// Transient only: how long the node stays down before rejoining.
+  SimDuration downtime = 0;
+  /// Whether this failure takes the victim's rack peers down too.
+  bool rack_correlated = false;
+};
+
+/// Per-cluster failure sampler. One instance serves every node (the draws
+/// interleave in event order, which is deterministic); all state lives in a
+/// forked RNG stream.
+class FaultProcess {
+ public:
+  /// Forks a child stream off `parent`. Throws std::invalid_argument when
+  /// the parameters are out of range (non-positive MTBF/MTTR, probabilities
+  /// outside [0, 1]).
+  FaultProcess(const FaultInjectionParams& params, Rng& parent);
+
+  /// Time until the next failure of a node that is up now.
+  SimDuration sample_uptime();
+
+  /// Kind, downtime, and rack correlation of a failure happening now.
+  FailureSample sample_failure();
+
+  /// One Bernoulli trial of the per-attempt task failure probability.
+  bool sample_task_failure();
+
+  const FaultInjectionParams& params() const { return params_; }
+
+ private:
+  FaultInjectionParams params_;
+  Rng rng_;
+};
+
+}  // namespace dare::faults

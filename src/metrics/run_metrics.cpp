@@ -14,7 +14,13 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s) {
   std::vector<double> turnarounds;
   turnarounds.reserve(result.jobs.size());
   double slowdown_sum = 0.0;
+  std::size_t succeeded = 0;
   for (const auto& job : result.jobs) {
+    // Failed jobs are terminally accounted (completion = kill time) but
+    // excluded from the performance aggregates: a truncated turnaround
+    // would make a churn-heavy run look artificially fast.
+    if (job.failed) continue;
+    ++succeeded;
     total_maps += job.maps;
     local_maps += job.local_maps;
     rack_maps += job.rack_local_maps;
@@ -30,8 +36,12 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s) {
                  : 0.0;
   result.gmtt_s = geometric_mean(turnarounds);
   result.mean_slowdown =
-      result.jobs.empty() ? 0.0
-                          : slowdown_sum / static_cast<double>(result.jobs.size());
+      succeeded == 0 ? 0.0 : slowdown_sum / static_cast<double>(succeeded);
+  result.mean_detection_latency_s =
+      result.failures_detected == 0
+          ? 0.0
+          : result.detection_latency_total_s /
+                static_cast<double>(result.failures_detected);
   OnlineStats map_stats;
   for (double t : map_times_s) map_stats.add(t);
   result.mean_map_time_s = map_stats.mean();
@@ -90,6 +100,7 @@ std::uint64_t fingerprint(const RunResult& result) {
     d.mix(static_cast<std::uint64_t>(job.local_maps));
     d.mix(static_cast<std::uint64_t>(job.rack_local_maps));
     d.mix(job.dedicated_runtime_s);
+    d.mix(static_cast<std::uint64_t>(job.failed ? 1 : 0));
   }
   d.mix(result.locality);
   d.mix(result.rack_locality);
@@ -103,6 +114,17 @@ std::uint64_t fingerprint(const RunResult& result) {
   d.mix(result.task_reexecutions);
   d.mix(result.rereplicated_blocks);
   d.mix(result.blocks_lost);
+  d.mix(result.node_failures);
+  d.mix(result.transient_failures);
+  d.mix(result.permanent_failures);
+  d.mix(result.failures_detected);
+  d.mix(result.detection_latency_total_s);
+  d.mix(result.mean_detection_latency_s);
+  d.mix(result.node_rejoins);
+  d.mix(result.overreplication_prunes);
+  d.mix(result.task_attempt_failures);
+  d.mix(result.failed_jobs);
+  d.mix(result.blacklisted_nodes);
   d.mix(result.speculative_launched);
   d.mix(result.speculative_wins);
   d.mix(result.speculative_killed);

@@ -29,6 +29,10 @@ struct JobMetrics {
   /// Analytic runtime on a free cluster with perfect locality (slowdown
   /// denominator).
   double dedicated_runtime_s = 0.0;
+  /// True when the job was killed after a task exhausted its retry budget;
+  /// `completion` then records the kill time, and the job is excluded from
+  /// turnaround / slowdown / locality aggregates.
+  bool failed = false;
 
   double turnaround_s() const { return to_seconds(completion - arrival); }
   double slowdown() const {
@@ -68,6 +72,23 @@ struct RunResult {
   std::uint64_t task_reexecutions = 0;   ///< tasks requeued after node loss
   std::uint64_t rereplicated_blocks = 0; ///< name-node repair copies made
   std::uint64_t blocks_lost = 0;         ///< blocks left with no live replica
+
+  /// Node-churn accounting (only nonzero with scripted or stochastic
+  /// faults; see src/faults/).
+  std::uint64_t node_failures = 0;        ///< kill events that took effect
+  std::uint64_t transient_failures = 0;   ///< failures that later recover
+  std::uint64_t permanent_failures = 0;   ///< failures that wipe the disk
+  std::uint64_t failures_detected = 0;    ///< declared via missed heartbeats
+  /// Total / mean time between a node's physical death and the name node
+  /// declaring it dead (heartbeat-timeout detection latency).
+  double detection_latency_total_s = 0.0;
+  double mean_detection_latency_s = 0.0;
+  std::uint64_t node_rejoins = 0;          ///< recoveries (blip or declared)
+  /// Surplus static replicas discarded when a repair raced a rejoin.
+  std::uint64_t overreplication_prunes = 0;
+  std::uint64_t task_attempt_failures = 0; ///< injected attempt failures
+  std::uint64_t failed_jobs = 0;           ///< jobs killed after max attempts
+  std::uint64_t blacklisted_nodes = 0;     ///< blacklist entries ever made
 
   /// Speculative-execution accounting (only nonzero when enabled).
   std::uint64_t speculative_launched = 0;  ///< backup attempts started

@@ -176,4 +176,25 @@ void JobTable::complete_reduce(JobId id, SimTime now) {
   }
 }
 
+void JobTable::fail_job(JobId id, SimTime now) {
+  JobRuntime& rt = job(id);
+  if (rt.done()) {
+    throw std::logic_error("JobTable: fail_job on a finished job");
+  }
+  // Drop the job's outstanding work from the global aggregates before
+  // zeroing the per-job counters, so pending+running+completed bookkeeping
+  // stays consistent for the jobs that remain.
+  total_pending_maps_ -= rt.pending_maps.size();
+  total_pending_reduces_ -= rt.pending_reduces;
+  total_running_ -= rt.running_maps + rt.running_reduces;
+  rt.pending_maps.clear();
+  rt.running_maps = 0;
+  rt.pending_reduces = 0;
+  rt.running_reduces = 0;
+  rt.failed = true;
+  rt.completion = now;
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  if (it != active_.end()) active_.erase(it);
+}
+
 }  // namespace dare::sched

@@ -48,6 +48,11 @@ struct JobRuntime {
 
   SimTime completion = kTimeNever;
 
+  /// Terminal failure: a task attempt exhausted its retry budget and the
+  /// whole job was killed (Hadoop semantics). `completion` records the kill
+  /// time; the job counts as terminally accounted but not successful.
+  bool failed = false;
+
   /// Locality accounting per tier.
   std::size_t local_launches = 0;       ///< node-local
   std::size_t rack_local_launches = 0;  ///< same rack, different node
@@ -64,7 +69,7 @@ struct JobRuntime {
   bool reduces_done() const {
     return completed_reduces == spec.reduces;
   }
-  bool done() const { return maps_done() && reduces_done(); }
+  bool done() const { return failed || (maps_done() && reduces_done()); }
   std::size_t total_maps() const { return spec.maps.size(); }
 };
 
@@ -119,6 +124,12 @@ class JobTable {
   /// A running reduce finished; when the job completes, record the time and
   /// retire it from the active list.
   void complete_reduce(JobId job, SimTime now);
+
+  /// Kill a job after a task attempt exhausted its retries: mark it failed,
+  /// drop its pending/running work from the aggregates, and retire it from
+  /// the active list. The caller is responsible for cancelling the job's
+  /// in-flight attempt events. Throws if the job is already done or failed.
+  void fail_job(JobId job, SimTime now);
 
   /// --- aggregates ---------------------------------------------------------
   std::size_t total_pending_maps() const { return total_pending_maps_; }

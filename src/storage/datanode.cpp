@@ -21,6 +21,23 @@ void DataNode::add_static_block(const BlockMeta& block) {
   static_bytes_ += block.size;
 }
 
+void DataNode::remove_static_block(BlockId block) {
+  const auto it = static_index_.find(block);
+  if (it == static_index_.end()) {
+    throw std::logic_error("DataNode: removing a static block not held");
+  }
+  static_index_.erase(it);
+  const auto vit = std::find_if(
+      static_blocks_.begin(), static_blocks_.end(),
+      [block](const BlockMeta& meta) { return meta.id == block; });
+  DARE_INVARIANT(vit != static_blocks_.end(),
+                 "DataNode: static index out of sync with block list for "
+                 "block " + std::to_string(block));
+  static_bytes_ -= vit->size;
+  DARE_INVARIANT(static_bytes_ >= 0, "DataNode: static bytes went negative");
+  static_blocks_.erase(vit);
+}
+
 bool DataNode::insert_dynamic(const BlockMeta& block) {
   if (static_index_.count(block.id) || dynamic_.count(block.id) ||
       marked_.count(block.id)) {
@@ -73,6 +90,32 @@ std::vector<BlockId> DataNode::dynamic_blocks() const {
   // Cluster::collect_results) see a platform-independent order.
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<BlockMeta> DataNode::dynamic_block_metas() const {
+  std::vector<BlockMeta> out;
+  out.reserve(dynamic_.size());
+  // dare-lint: allow(unordered-iteration) -- sorted before returning
+  for (const auto& [_, meta] : dynamic_) out.push_back(meta);
+  std::sort(out.begin(), out.end(),
+            [](const BlockMeta& a, const BlockMeta& b) { return a.id < b.id; });
+  return out;
+}
+
+void DataNode::wipe_disk() {
+  static_blocks_.clear();
+  static_index_.clear();
+  static_bytes_ = 0;
+  dynamic_.clear();
+  marked_.clear();
+  dynamic_bytes_ = 0;
+  pending_added_.clear();
+  pending_removed_.clear();
+}
+
+void DataNode::clear_pending_reports() {
+  pending_added_.clear();
+  pending_removed_.clear();
 }
 
 bool DataNode::has_visible_block(BlockId block) const {

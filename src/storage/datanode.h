@@ -34,6 +34,9 @@ class DataNode {
 
   /// --- static (placement-time) replicas -------------------------------
   void add_static_block(const BlockMeta& block);
+  /// Drop an authoritative copy (rejoin reconciliation pruned it as
+  /// surplus). Throws std::logic_error if the block is not held statically.
+  void remove_static_block(BlockId block);
   Bytes static_bytes() const { return static_bytes_; }
   const std::vector<BlockMeta>& static_blocks() const {
     return static_blocks_;
@@ -68,7 +71,22 @@ class DataNode {
   /// platforms and hash-map implementations).
   std::vector<BlockId> dynamic_blocks() const;
 
+  /// Full metadata of the live dynamic replicas, sorted by block id. Used
+  /// by rejoin reconciliation and by policies rebuilding their state from
+  /// the surviving disk contents.
+  std::vector<BlockMeta> dynamic_block_metas() const;
+
   std::size_t marked_count() const { return marked_.size(); }
+
+  /// --- failure handling -------------------------------------------------
+  /// The node's disk is lost (permanent failure): every block — static,
+  /// dynamic, tombstoned — and all pending report deltas vanish. The
+  /// instrumentation counters survive (they describe history, not state).
+  void wipe_disk();
+
+  /// Drop the incremental heartbeat deltas without applying them; a full
+  /// block report at rejoin supersedes anything queued before the crash.
+  void clear_pending_reports();
 
   /// --- queries ---------------------------------------------------------
   /// Does a map task on this node have local access to `block`?

@@ -15,7 +15,8 @@ NameNode::NameNode(std::size_t data_nodes, const net::Topology* topology,
       rng_(rng.fork()),
       placement_(placement ? std::move(placement)
                            : default_placement(data_nodes, topology)),
-      node_alive_(data_nodes, true) {
+      node_alive_(data_nodes, true),
+      last_heartbeat_(data_nodes, 0) {
   if (data_nodes_ == 0) {
     throw std::invalid_argument("NameNode: need at least one data node");
   }
@@ -159,10 +160,42 @@ std::size_t NameNode::live_node_count() const {
   return live;
 }
 
+void NameNode::heartbeat_received(NodeId node, SimTime now) {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
+    throw std::out_of_range("NameNode: bad node id");
+  }
+  DARE_INVARIANT(node_alive_[static_cast<std::size_t>(node)],
+                 "NameNode: heartbeat from a node declared dead (" +
+                     std::to_string(node) + ") without a rejoin");
+  last_heartbeat_[static_cast<std::size_t>(node)] = now;
+}
+
+SimTime NameNode::last_heartbeat(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
+    throw std::out_of_range("NameNode: bad node id");
+  }
+  return last_heartbeat_[static_cast<std::size_t>(node)];
+}
+
+std::vector<NodeId> NameNode::overdue_nodes(SimTime now,
+                                            SimDuration timeout) const {
+  std::vector<NodeId> overdue;
+  for (std::size_t n = 0; n < node_alive_.size(); ++n) {
+    if (!node_alive_[n]) continue;
+    if (now - last_heartbeat_[n] > timeout) {
+      overdue.push_back(static_cast<NodeId>(n));
+    }
+  }
+  return overdue;
+}
+
 std::vector<BlockId> NameNode::node_failed(NodeId node) {
   if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
     throw std::out_of_range("NameNode: bad node id");
   }
+  // Idempotent: a node can be reported dead only once per life (a scripted
+  // kill racing a stochastic one, or a repeated declaration, is a no-op).
+  if (!node_alive_[static_cast<std::size_t>(node)]) return {};
   node_alive_[static_cast<std::size_t>(node)] = false;
 
   std::vector<BlockId> under_replicated;
@@ -203,6 +236,66 @@ bool NameNode::add_repair_replica(BlockId block, NodeId node) {
   locs.push_back(node);
   static_locations_.at(block).push_back(node);
   return true;
+}
+
+NameNode::RejoinReport NameNode::node_rejoined(
+    NodeId node, const std::vector<BlockId>& static_blocks,
+    const std::vector<BlockId>& dynamic_blocks) {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_alive_.size()) {
+    throw std::out_of_range("NameNode: bad node id");
+  }
+  if (node_alive_[static_cast<std::size_t>(node)]) {
+    throw std::logic_error("NameNode: rejoin of a node never declared dead");
+  }
+  node_alive_[static_cast<std::size_t>(node)] = true;
+
+  RejoinReport report;
+  for (BlockId b : static_blocks) {
+    auto& locs = locations_.at(b);
+    auto& statics = static_locations_.at(b);
+    if (std::find(statics.begin(), statics.end(), node) != statics.end()) {
+      continue;  // already authoritative here (repeated report)
+    }
+    const auto& info = files_.at(blocks_.at(b).file);
+    const auto target =
+        static_cast<std::size_t>(std::max(info.replication, 1));
+    if (statics.size() < target) {
+      // The stale copy is still needed: re-adopt it as authoritative. This
+      // can resurrect a block whose every other replica was lost.
+      statics.push_back(node);
+      if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
+        locs.push_back(node);
+      }
+      ++report.adopted_static;
+    } else {
+      // Re-replication won the race while the node was down; the block is
+      // already back at factor, so the stale copy is surplus.
+      report.pruned_static.push_back(b);
+    }
+  }
+  for (BlockId b : dynamic_blocks) {
+    auto& locs = locations_.at(b);
+    if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
+      // DARE replicas are over-replication by design: always re-adopt (the
+      // policy's budget still bounds them on the node).
+      locs.push_back(node);
+      ++dynamic_replicas_;
+      ++report.adopted_dynamic;
+    }
+  }
+  return report;
+}
+
+bool NameNode::is_under_replicated(BlockId block) const {
+  const auto it = static_locations_.find(block);
+  if (it == static_locations_.end()) {
+    throw std::out_of_range("NameNode: unknown block");
+  }
+  const auto& info = files_.at(blocks_.at(block).file);
+  const auto target = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(info.replication, 1)),
+      live_node_count());
+  return it->second.size() < target;
 }
 
 std::size_t NameNode::lost_block_count() const {

@@ -67,15 +67,55 @@ class NameNode {
   std::size_t replica_count(BlockId block) const;
 
   /// --- failure handling --------------------------------------------------
-  /// A data node died: drop it from every block's location list (static and
-  /// dynamic replicas alike — the disk is gone). Returns the blocks that
-  /// are now under-replicated (fewer authoritative replicas than their
-  /// file's replication factor), in block-id order.
+  /// Liveness tracking input: a data node checked in at `now`. The name node
+  /// never observes deaths directly — it only ever *infers* them from the
+  /// heartbeats that stop arriving (see overdue_nodes).
+  void heartbeat_received(NodeId node, SimTime now);
+
+  /// Last recorded heartbeat time of a node (0 before the first one).
+  SimTime last_heartbeat(NodeId node) const;
+
+  /// Nodes currently considered alive whose last heartbeat is *strictly*
+  /// older than `timeout` (a live node heartbeating every interval is never
+  /// flagged at timeout == k * interval). Ascending node-id order.
+  std::vector<NodeId> overdue_nodes(SimTime now, SimDuration timeout) const;
+
+  /// A data node was declared dead: drop it from every block's location
+  /// list (static and dynamic replicas alike — the disk is unreachable).
+  /// Returns the blocks that are now under-replicated (fewer authoritative
+  /// replicas than their file's replication factor), in block-id order.
+  /// Idempotent: declaring an already-dead node returns an empty list.
   std::vector<BlockId> node_failed(NodeId node);
 
   /// Whether a node has been declared failed.
   bool is_node_alive(NodeId node) const;
   std::size_t live_node_count() const;
+
+  /// Result of reconciling a rejoining node's full block report.
+  struct RejoinReport {
+    std::size_t adopted_static = 0;   ///< stale authoritative copies kept
+    std::size_t adopted_dynamic = 0;  ///< stale DARE replicas kept
+    /// Stale authoritative copies discarded because re-replication already
+    /// restored the block's factor while the node was down (the node must
+    /// delete these from disk).
+    std::vector<BlockId> pruned_static;
+  };
+
+  /// A previously-declared-dead node re-registered and sent a full block
+  /// report (`static_blocks` / `dynamic_blocks`: the ids it still holds).
+  /// Marks the node alive and re-adopts each reported replica unless the
+  /// block is already at (or above) its replication factor, in which case
+  /// the stale copy is pruned. Throws std::logic_error if the node was
+  /// never declared dead.
+  RejoinReport node_rejoined(NodeId node,
+                             const std::vector<BlockId>& static_blocks,
+                             const std::vector<BlockId>& dynamic_blocks);
+
+  /// Whether `block` has fewer authoritative (static) replicas than its
+  /// file's replication factor, clamped to what the live cluster can hold.
+  /// The re-replication pipeline uses this to skip repairs that a node
+  /// rejoin has already made redundant.
+  bool is_under_replicated(BlockId block) const;
 
   /// Register a repair copy created by the re-replication pipeline; the
   /// copy is authoritative (counted as static). Returns false if the node
@@ -103,6 +143,7 @@ class NameNode {
   std::unordered_map<BlockId, std::vector<NodeId>> locations_;
   std::vector<FileId> file_order_;
   std::vector<bool> node_alive_;
+  std::vector<SimTime> last_heartbeat_;
   FileId next_file_ = 0;
   BlockId next_block_ = 0;
   std::size_t dynamic_replicas_ = 0;

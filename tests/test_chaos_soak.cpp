@@ -1,0 +1,198 @@
+// Chaos soak: randomized stochastic fault schedules (mixed transient,
+// permanent, and rack-correlated failures plus injected task failures)
+// across every scheduler x policy combination. Every run must finish with
+// every job terminally accounted, pass the full cross-component validation,
+// never violate a DARE_INVARIANT (a throwing handler is installed), and
+// never lose a block that still had a surviving replica.
+//
+// 24 runs = 4 seeds x {FIFO, Fair} x {Vanilla, GreedyLRU, ElephantTrap}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+#include "common/invariant.h"
+#include "metrics/run_metrics.h"
+#include "net/profile.h"
+
+namespace dare::cluster {
+namespace {
+
+[[noreturn]] void throwing_handler(const InvariantViolation& v) {
+  throw std::logic_error("invariant violated: " + v.message);
+}
+
+class ThrowOnInvariant {
+ public:
+  ThrowOnInvariant() : previous_(set_invariant_handler(&throwing_handler)) {}
+  ~ThrowOnInvariant() { set_invariant_handler(previous_); }
+
+ private:
+  InvariantHandler previous_;
+};
+
+struct SoakTotals {
+  std::uint64_t runs = 0;
+  std::uint64_t node_failures = 0;
+  std::uint64_t transient = 0;
+  std::uint64_t permanent = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t attempt_failures = 0;
+};
+
+SoakTotals& totals() {
+  static SoakTotals t;
+  return t;
+}
+
+workload::Workload soak_workload(std::uint64_t seed) {
+  workload::WorkloadOptions opts;
+  opts.num_jobs = 50;
+  opts.seed = seed;
+  opts.catalog.small_files = 16;
+  opts.catalog.large_files = 2;
+  opts.catalog.large_min_blocks = 5;
+  opts.catalog.large_max_blocks = 8;
+  return workload::make_wl1(opts);
+}
+
+ClusterOptions soak_options(SchedulerKind scheduler, PolicyKind policy,
+                            std::uint64_t seed) {
+  // ec2_profile: multi-rack, so rack-correlated failures actually take
+  // whole racks down.
+  auto opts = paper_defaults(net::ec2_profile(10), scheduler, policy, seed);
+  opts.faults.enabled = true;
+  opts.faults.mtbf_s = 60.0;
+  opts.faults.mttr_s = 20.0;
+  opts.faults.permanent_fraction = 0.25;
+  opts.faults.rack_correlation = 0.3;
+  opts.faults.task_failure_prob = 0.01;
+  opts.faults.min_live_workers = 4;
+  opts.rereplication_interval = from_seconds(2.0);
+  opts.rereplication_batch = 32;
+  return opts;
+}
+
+using SoakParam = std::tuple<SchedulerKind, PolicyKind, std::uint64_t>;
+
+class ChaosSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(ChaosSoak, RandomChurnScheduleSurvives) {
+  ThrowOnInvariant guard;
+  const auto [scheduler, policy, seed] = GetParam();
+  const auto opts = soak_options(scheduler, policy, seed);
+  const auto wl = soak_workload(seed);
+
+  Cluster cluster(opts);
+  metrics::RunResult result;
+  ASSERT_NO_THROW(result = cluster.run(wl))
+      << scheduler_name(scheduler) << "/" << policy_name(policy) << " seed "
+      << seed;
+
+  // Every job is terminally accounted: completed or cleanly failed, never
+  // dangling.
+  ASSERT_EQ(result.jobs.size(), wl.jobs.size());
+  std::size_t failed = 0;
+  for (const auto& jm : result.jobs) {
+    EXPECT_GE(jm.completion, jm.arrival);
+    if (jm.failed) ++failed;
+  }
+  EXPECT_EQ(failed, result.failed_jobs);
+
+  // Full cross-component consistency after the dust settles.
+  EXPECT_NO_THROW(cluster.validate());
+
+  // Zero lost blocks while a replica survives: a block may only be counted
+  // lost if no live node physically holds a copy.
+  const auto& nn = cluster.name_node();
+  for (FileId fid : nn.all_files()) {
+    for (BlockId bid : nn.file(fid).blocks) {
+      if (!nn.locations(bid).empty()) continue;  // not lost
+      for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+        if (!nn.is_node_alive(static_cast<NodeId>(w))) continue;
+        EXPECT_FALSE(cluster.data_node(w).has_any_copy(bid))
+            << "block " << bid << " reported lost but alive on node " << w;
+      }
+    }
+  }
+
+  // Replication budgets hold on every live node.
+  if (policy != PolicyKind::kVanilla) {
+    for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+      EXPECT_LE(cluster.data_node(w).dynamic_bytes(),
+                cluster.node_budget_bytes());
+    }
+  }
+
+  // Detection accounting is sane: every detection corresponds to a failure
+  // and took at least K-1 heartbeat intervals (a node may die right after
+  // beating, never right before being declared).
+  EXPECT_LE(result.failures_detected, result.node_failures);
+  EXPECT_GE(result.detection_latency_total_s,
+            static_cast<double>(result.failures_detected) * 2.0 * 3.0);
+  EXPECT_LE(result.node_rejoins,
+            result.transient_failures + result.failures_detected);
+  EXPECT_EQ(result.node_failures,
+            result.transient_failures + result.permanent_failures);
+
+  auto& t = totals();
+  ++t.runs;
+  t.node_failures += result.node_failures;
+  t.transient += result.transient_failures;
+  t.permanent += result.permanent_failures;
+  t.detected += result.failures_detected;
+  t.rejoins += result.node_rejoins;
+  t.attempt_failures += result.task_attempt_failures;
+}
+
+std::vector<SoakParam> soak_params() {
+  std::vector<SoakParam> params;
+  for (const auto scheduler : {SchedulerKind::kFifo, SchedulerKind::kFair}) {
+    for (const auto policy : {PolicyKind::kVanilla, PolicyKind::kGreedyLru,
+                              PolicyKind::kElephantTrap}) {
+      for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+        params.emplace_back(scheduler, policy, seed);
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak,
+                         ::testing::ValuesIn(soak_params()));
+
+// The suite itself must cover >= 20 randomized schedules (this holds even
+// under --gtest_filter, since it audits the registration, not the runs).
+TEST(ChaosSoakAggregate, SuiteCoversAtLeastTwentySchedules) {
+  EXPECT_GE(soak_params().size(), 20u);
+}
+
+// Runs after every test (global environment teardown) and audits the
+// aggregate: across the full soak the randomized schedules must actually
+// have exercised churn — transient AND permanent failures, heartbeat
+// detections, rejoins. Skipped when the suite was filtered down.
+class SoakAggregateAudit : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const auto& t = totals();
+    if (t.runs == 0) return;  // whole suite filtered out
+    EXPECT_EQ(t.runs, soak_params().size())
+        << "soak suite partially filtered; aggregate not meaningful";
+    EXPECT_GT(t.node_failures, 0u);
+    EXPECT_GT(t.transient, 0u);
+    EXPECT_GT(t.permanent, 0u);
+    EXPECT_GT(t.detected, 0u);
+    EXPECT_GT(t.rejoins, 0u);
+  }
+};
+
+const auto* const kSoakAudit =
+    ::testing::AddGlobalTestEnvironment(new SoakAggregateAudit);
+
+}  // namespace
+}  // namespace dare::cluster

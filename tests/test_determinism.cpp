@@ -58,6 +58,23 @@ TEST(Determinism, WithFailuresAndSpeculation) {
   expect_twice_identical(options);
 }
 
+TEST(Determinism, ChurnEnabled) {
+  // Stochastic node churn (transient + permanent + rack-correlated
+  // failures, injected task failures) must be exactly as reproducible as a
+  // quiet run: all fault randomness lives in one forked stream.
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kGreedyLru);
+  options.faults.enabled = true;
+  options.faults.mtbf_s = 80.0;
+  options.faults.mttr_s = 20.0;
+  options.faults.permanent_fraction = 0.2;
+  options.faults.rack_correlation = 0.2;
+  options.faults.task_failure_prob = 0.01;
+  options.faults.min_live_workers = 4;
+  options.rereplication_interval = from_seconds(2.0);
+  expect_twice_identical(options);
+}
+
 TEST(Determinism, DifferentSeedsDiffer) {
   // Sanity that the digest has discriminating power: a different seed must
   // perturb at least one metric bit. (Astronomically unlikely to collide.)

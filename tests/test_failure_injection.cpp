@@ -7,8 +7,9 @@
 #include <set>
 
 #include "cluster/cluster.h"
-#include "common/rng.h"
 #include "cluster/experiment.h"
+#include "common/rng.h"
+#include "metrics/run_metrics.h"
 
 namespace dare::cluster {
 namespace {
@@ -106,6 +107,37 @@ TEST(FailureInjection, MultipleFailuresSurvivable) {
   Cluster cluster(opts);
   const auto result = cluster.run(small_workload(120));
   EXPECT_EQ(result.jobs.size(), 120u);
+}
+
+TEST(FailureInjection, DoubleKillOfDeadWorkerIsANoOp) {
+  // Killing a worker that is already down must not re-run any of the
+  // failure machinery (no second NameNode::node_failed, no double
+  // requeueing): a run with a redundant second kill of the same victim is
+  // bit-identical to the run with a single kill.
+  const auto wl = small_workload(120);
+  auto once = failing_options(PolicyKind::kGreedyLru, 5.0);
+  auto twice = failing_options(PolicyKind::kGreedyLru, 5.0);
+  twice.failures.push_back({from_seconds(20.0), NodeId{2}});  // already dead
+
+  const auto r_once = run_once(once, wl);
+  const auto r_twice = run_once(twice, wl);
+  EXPECT_EQ(r_twice.node_failures, 1u);
+  EXPECT_EQ(r_twice.failures_detected, 1u);
+  EXPECT_EQ(metrics::fingerprint(r_once), metrics::fingerprint(r_twice));
+}
+
+TEST(FailureInjection, NameNodeNodeFailedIsIdempotent) {
+  Rng rng(5);
+  storage::NameNode nn(6, nullptr, rng);
+  const FileId fid = nn.create_file("f", 4, 64, 3, 0);
+  (void)fid;
+  const auto first = nn.node_failed(1);
+  EXPECT_FALSE(nn.is_node_alive(1));
+  // A second declaration reports nothing new and re-queues nothing.
+  const auto second = nn.node_failed(1);
+  EXPECT_TRUE(second.empty());
+  EXPECT_FALSE(nn.is_node_alive(1));
+  (void)first;
 }
 
 TEST(FailureInjection, FailingUnknownWorkerThrows) {

@@ -1,0 +1,138 @@
+// Unit tests for the stochastic fault model (src/faults/): parameter
+// validation, distribution sanity, and bit-reproducibility of the sampled
+// schedules.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "faults/fault_model.h"
+
+namespace dare::faults {
+namespace {
+
+FaultInjectionParams typical() {
+  FaultInjectionParams p;
+  p.enabled = true;
+  p.mtbf_s = 120.0;
+  p.mttr_s = 30.0;
+  p.permanent_fraction = 0.25;
+  p.rack_correlation = 0.4;
+  p.task_failure_prob = 0.05;
+  return p;
+}
+
+TEST(FaultModel, RejectsNonPositiveMtbf) {
+  Rng rng(1);
+  auto p = typical();
+  p.mtbf_s = 0.0;
+  EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+  p.mtbf_s = -5.0;
+  EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+}
+
+TEST(FaultModel, RejectsNonPositiveMttr) {
+  Rng rng(1);
+  auto p = typical();
+  p.mttr_s = 0.0;
+  EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+}
+
+TEST(FaultModel, RejectsOutOfRangeProbabilities) {
+  Rng rng(1);
+  for (double bad : {-0.1, 1.5}) {
+    auto p = typical();
+    p.permanent_fraction = bad;
+    EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+    p = typical();
+    p.rack_correlation = bad;
+    EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+    p = typical();
+    p.task_failure_prob = bad;
+    EXPECT_THROW(FaultProcess(p, rng), std::invalid_argument);
+  }
+}
+
+TEST(FaultModel, UptimeIsPositiveWithMeanNearMtbf) {
+  Rng rng(7);
+  FaultProcess proc(typical(), rng);
+  double sum_s = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const SimDuration up = proc.sample_uptime();
+    ASSERT_GT(up, 0);
+    sum_s += to_seconds(up);
+  }
+  const double mean = sum_s / kSamples;
+  // Exponential with mean 120 s; 20k samples pin the estimate well within
+  // +-10%.
+  EXPECT_NEAR(mean, 120.0, 12.0);
+}
+
+TEST(FaultModel, FailureMixMatchesConfiguredFractions) {
+  Rng rng(11);
+  FaultProcess proc(typical(), rng);
+  int permanent = 0;
+  int correlated = 0;
+  double downtime_sum_s = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const FailureSample s = proc.sample_failure();
+    ASSERT_GT(s.downtime, 0);  // drawn (and clamped) for every kind
+    if (s.kind == FaultKind::kPermanent) ++permanent;
+    if (s.rack_correlated) ++correlated;
+    downtime_sum_s += to_seconds(s.downtime);
+  }
+  EXPECT_NEAR(static_cast<double>(permanent) / kSamples, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(correlated) / kSamples, 0.4, 0.02);
+  EXPECT_NEAR(downtime_sum_s / kSamples, 30.0, 3.0);
+}
+
+TEST(FaultModel, TaskFailureRateMatchesProbability) {
+  Rng rng(13);
+  FaultProcess proc(typical(), rng);
+  int failures = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (proc.sample_task_failure()) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / kSamples, 0.05, 0.01);
+}
+
+TEST(FaultModel, SampledScheduleIsReproducible) {
+  Rng a(99);
+  Rng b(99);
+  FaultProcess pa(typical(), a);
+  FaultProcess pb(typical(), b);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(pa.sample_uptime(), pb.sample_uptime());
+    const FailureSample fa = pa.sample_failure();
+    const FailureSample fb = pb.sample_failure();
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_EQ(fa.downtime, fb.downtime);
+    EXPECT_EQ(fa.rack_correlated, fb.rack_correlated);
+    EXPECT_EQ(pa.sample_task_failure(), pb.sample_task_failure());
+  }
+}
+
+TEST(FaultModel, DrawSequenceIsKindIndependent) {
+  // The downtime is drawn even for permanent failures, so the number of RNG
+  // draws per sample_failure() call never depends on the sampled kind —
+  // otherwise two runs diverging in one coin flip would desynchronize every
+  // later draw. Verified indirectly: with permanent_fraction 0 vs 1, the
+  // *downtime* streams must still be identical.
+  auto p0 = typical();
+  p0.permanent_fraction = 0.0;
+  auto p1 = typical();
+  p1.permanent_fraction = 1.0;
+  Rng a(5);
+  Rng b(5);
+  FaultProcess pa(p0, a);
+  FaultProcess pb(p1, b);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(pa.sample_failure().downtime, pb.sample_failure().downtime);
+  }
+}
+
+}  // namespace
+}  // namespace dare::faults

@@ -10,7 +10,8 @@ level so it runs in milliseconds with no compiler dependency:
                        time(nullptr) / std::time / system_clock /
                        steady_clock / high_resolution_clock / std::mt19937 /
                        std::*_distribution inside src/sim, src/core,
-                       src/sched, src/storage. All randomness must flow
+                       src/sched, src/storage, src/faults. All randomness
+                       must flow
                        through common/rng.h (forked xoshiro streams); all
                        time must be simulation time (common/types.h).
 
@@ -47,7 +48,8 @@ import sys
 from pathlib import Path
 
 # Directories (relative to the repo root) where determinism rules apply.
-DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage")
+DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage",
+                    "src/faults")
 NO_FLOAT_DIRS = ("src/metrics",)
 
 BANNED_RANDOMNESS = [
