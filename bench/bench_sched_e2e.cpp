@@ -1,0 +1,206 @@
+// End-to-end A/B benchmark for the locality-indexed scheduler.
+//
+// Runs the full simulation — FIFO/Fair × Vanilla/GreedyLRU/ElephantTrap on
+// the CCT and EC2 profiles — twice per configuration: once with
+// use_locality_index=false (the seed's linear-scan + per-opportunity-sort
+// code, kept as the A/B baseline) and once with the inverted index +
+// incremental fair ordering + reduce-ready set. Asserts the two modes
+// produce identical metrics::fingerprint values and reports the speedup.
+//
+// Times are process-CPU time (CLOCK_PROCESS_CPUTIME_ID), min over
+// `repeats`: the simulation is single-threaded and allocation-light, so CPU
+// time equals wall time on an idle machine while staying meaningful on a
+// loaded or time-shared one, where wall clock is dominated by steal time.
+//
+// Writes the results as JSON (default BENCH_PR3.json) for the tracked perf
+// baseline. Overrides:
+//   mode=full|smoke   full: paper-scale (EC2 100 nodes / 2000 jobs);
+//                     smoke: CI-sized (finishes in seconds)
+//   repeats=<n>       timed repetitions per mode; the minimum is reported
+//   json=<path>       output path ("" to skip writing)
+//   jobs_ec2= jobs_cct= nodes_ec2= nodes_cct=   scale overrides
+#include <ctime>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "cluster/experiment.h"
+#include "metrics/run_metrics.h"
+#include "net/profile.h"
+#include "workload/workload.h"
+
+namespace dare {
+namespace {
+
+struct Row {
+  std::string profile;
+  std::size_t nodes = 0;
+  std::size_t jobs = 0;
+  std::string scheduler;
+  std::string policy;
+  double legacy_ms = 0.0;
+  double indexed_ms = 0.0;
+  std::uint64_t fingerprint = 0;
+  bool match = false;
+};
+
+double cpu_now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+double cpu_ms(const cluster::ClusterOptions& opts,
+              const workload::Workload& wl, int repeats,
+              std::uint64_t* fingerprint) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double t0 = cpu_now_ms();
+    const auto result = cluster::run_once(opts, wl);
+    const double ms = cpu_now_ms() - t0;
+    if (r == 0 || ms < best) best = ms;
+    *fingerprint = metrics::fingerprint(result);
+  }
+  return best;
+}
+
+/// The scheduling-intensive workload: many concurrent small jobs over a
+/// modest file catalog, so map-selection pressure (not data generation)
+/// dominates. Matches the profiling configuration used to pick the PR's
+/// optimization targets.
+workload::Workload heavy_workload(std::size_t jobs) {
+  workload::WorkloadOptions wopts;
+  wopts.num_jobs = jobs;
+  wopts.seed = 7;
+  wopts.small_interarrival_s = 0.002;
+  wopts.catalog.small_files = 60;
+  wopts.catalog.small_min_blocks = 2;
+  wopts.catalog.small_max_blocks = 6;
+  wopts.catalog.large_files = 12;
+  wopts.catalog.large_min_blocks = 16;
+  wopts.catalog.large_max_blocks = 48;
+  wopts.large_period = 20;
+  return workload::make_wl2(wopts);
+}
+
+}  // namespace
+}  // namespace dare
+
+int main(int argc, char** argv) {
+  using namespace dare;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::banner("Scheduler hot-path end-to-end A/B (PR3 perf baseline)",
+                "infrastructure (no paper figure); DARE Secs. 5-6 configs");
+
+  const bool smoke = cfg.get_string("mode", "full") == "smoke";
+  const int repeats =
+      static_cast<int>(cfg.get_int("repeats", smoke ? 1 : 3));
+  const auto nodes_cct = static_cast<std::size_t>(
+      cfg.get_int("nodes_cct", smoke ? 10 : 20));
+  const auto nodes_ec2 = static_cast<std::size_t>(
+      cfg.get_int("nodes_ec2", smoke ? 20 : 100));
+  const auto jobs_cct =
+      static_cast<std::size_t>(cfg.get_int("jobs_cct", smoke ? 60 : 600));
+  const auto jobs_ec2 =
+      static_cast<std::size_t>(cfg.get_int("jobs_ec2", smoke ? 100 : 2000));
+  const std::string json_path = cfg.get_string("json", "BENCH_PR3.json");
+
+  struct ProfileCase {
+    std::string name;
+    std::size_t nodes;
+    std::size_t jobs;
+  };
+  const std::vector<ProfileCase> profiles = {
+      {"cct", nodes_cct, jobs_cct},
+      {"ec2", nodes_ec2, jobs_ec2},
+  };
+  const std::vector<cluster::SchedulerKind> schedulers = {
+      cluster::SchedulerKind::kFifo, cluster::SchedulerKind::kFair};
+  const std::vector<cluster::PolicyKind> policies = {
+      cluster::PolicyKind::kVanilla, cluster::PolicyKind::kGreedyLru,
+      cluster::PolicyKind::kElephantTrap};
+
+  std::vector<Row> rows;
+  bool all_match = true;
+  std::printf("%-4s %-5s %-5s %-6s %-14s %12s %12s %9s %s\n", "prof",
+              "nodes", "jobs", "sched", "policy", "legacy_cpu_ms",
+              "indexed_cpu_ms", "speedup", "fp_match");
+  for (const auto& prof : profiles) {
+    const auto wl = heavy_workload(prof.jobs);
+    const auto profile = prof.name == "cct" ? net::cct_profile(prof.nodes)
+                                            : net::ec2_profile(prof.nodes);
+    for (const auto sched : schedulers) {
+      for (const auto pol : policies) {
+        auto opts = cluster::paper_defaults(profile, sched, pol, 42);
+        Row row;
+        row.profile = prof.name;
+        row.nodes = prof.nodes;
+        row.jobs = prof.jobs;
+        row.scheduler = cluster::scheduler_name(sched);
+        row.policy = cluster::policy_name(pol);
+
+        std::uint64_t fp_legacy = 0;
+        std::uint64_t fp_indexed = 0;
+        opts.use_locality_index = false;
+        row.legacy_ms = cpu_ms(opts, wl, repeats, &fp_legacy);
+        opts.use_locality_index = true;
+        row.indexed_ms = cpu_ms(opts, wl, repeats, &fp_indexed);
+        row.fingerprint = fp_indexed;
+        row.match = fp_legacy == fp_indexed;
+        all_match = all_match && row.match;
+
+        std::printf("%-4s %-5zu %-5zu %-6s %-14s %12.1f %12.1f %8.2fx %s\n",
+                    row.profile.c_str(), row.nodes, row.jobs,
+                    row.scheduler.c_str(), row.policy.c_str(), row.legacy_ms,
+                    row.indexed_ms, row.legacy_ms / row.indexed_ms,
+                    row.match ? "yes" : "MISMATCH");
+        std::fflush(stdout);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"bench_sched_e2e\",\n"
+        << "  \"description\": \"End-to-end A/B (process-CPU ms): legacy "
+           "scan/sort scheduler vs locality-indexed scheduler (PR3)\",\n"
+        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+        << "  \"repeats\": " << repeats << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      char fp[32];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(r.fingerprint));
+      out << "    {\"profile\": \"" << r.profile << "\", \"nodes\": "
+          << r.nodes << ", \"jobs\": " << r.jobs << ", \"scheduler\": \""
+          << r.scheduler << "\", \"policy\": \"" << r.policy
+          << "\", \"legacy_ms\": " << r.legacy_ms
+          << ", \"indexed_ms\": " << r.indexed_ms << ", \"speedup\": "
+          << (r.legacy_ms / r.indexed_ms) << ", \"fingerprint\": \"" << fp
+          << "\", \"fingerprint_match\": " << (r.match ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("[json written: %s]\n", json_path.c_str());
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: indexed mode diverged from legacy fingerprints\n");
+    return 1;
+  }
+  return 0;
+}

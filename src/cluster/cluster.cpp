@@ -81,6 +81,25 @@ Cluster::Cluster(const ClusterOptions& options)
         static_cast<NodeId>(i), options_.profile.disk, rng_));
   }
   locator_ = std::make_unique<Locator>(*name_node_, *topology_);
+  if (options_.use_locality_index) {
+    std::vector<RackId> node_rack(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      node_rack[i] = topology_->rack_of(static_cast<NodeId>(i));
+    }
+    locality_index_ = std::make_unique<sched::LocalityIndex>(
+        workers, std::move(node_rack), topology_->rack_count());
+    // Attach before load_files so the mirror sees the static placements.
+    name_node_->set_replica_observer(
+        [index = locality_index_.get()](BlockId block, NodeId node,
+                                        bool added) {
+          if (added) {
+            index->replica_added(block, node);
+          } else {
+            index->replica_removed(block, node);
+          }
+        });
+    jobs_.attach_locality_index(locality_index_.get());
+  }
   dead_.assign(workers, false);
   declared_dead_.assign(workers, false);
   death_time_.assign(workers, 0);
@@ -103,7 +122,9 @@ Cluster::Cluster(const ClusterOptions& options)
       scheduler_ = std::make_unique<sched::FifoScheduler>();
       break;
     case SchedulerKind::kFair:
-      scheduler_ = std::make_unique<sched::FairScheduler>(options_.fair_delay);
+      scheduler_ = std::make_unique<sched::FairScheduler>(
+          options_.fair_delay, options_.fair_delay,
+          options_.use_locality_index);
       break;
   }
 
@@ -560,8 +581,8 @@ bool Cluster::run_finished() const {
 }
 
 void Cluster::speculation_tick() {
-  for (JobId id : jobs_.active_jobs()) {
-    const auto& rt = jobs_.job(id);
+  for (const auto& rt : jobs_.active_jobs()) {
+    const JobId id = rt.spec.id;
     // Hadoop speculates only once a job has dispatched all its maps.
     if (!rt.pending_maps.empty() || rt.running_maps == 0) continue;
     // Estimate the expected map duration: the job's own completed maps when
@@ -1182,6 +1203,52 @@ void Cluster::validate() const {
     for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
       if (network_->active_flows(static_cast<NodeId>(w)) != 0) {
         fail("leaked network flow on node " + std::to_string(w));
+      }
+    }
+  }
+
+  // Locality index <-> name node agreement: the replica mirror must match
+  // the location map exactly, and for every active job's pending map the
+  // index's answer must match the locator's on every node.
+  if (locality_index_ != nullptr) {
+    for (FileId fid : name_node_->all_files()) {
+      for (BlockId bid : name_node_->file(fid).blocks) {
+        const auto& locs = name_node_->locations(bid);
+        if (locality_index_->replica_count(bid) != locs.size()) {
+          fail("locality index mirrors " +
+               std::to_string(locality_index_->replica_count(bid)) +
+               " replicas of block " + std::to_string(bid) + ", name node has " +
+               std::to_string(locs.size()));
+        }
+        for (NodeId node : locs) {
+          if (!locality_index_->mirrors_replica(bid, node)) {
+            fail("locality index misses replica of block " +
+                 std::to_string(bid) + " on node " + std::to_string(node));
+          }
+        }
+      }
+    }
+    for (const auto& rt : jobs_.active_jobs()) {
+      const JobId id = rt.spec.id;
+      for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+        const auto node = static_cast<NodeId>(w);
+        std::size_t expected_node = 0;
+        std::size_t expected_rack = 0;
+        for (std::size_t mi : rt.pending_maps) {
+          const BlockId block = rt.spec.maps[mi].block;
+          if (locator_->is_local(node, block)) ++expected_node;
+          if (locator_->is_rack_local(node, block)) ++expected_rack;
+        }
+        if (locality_index_->node_candidates(id, node).size() !=
+            expected_node) {
+          fail("node-candidate count diverges for job " + std::to_string(id) +
+               " on node " + std::to_string(w));
+        }
+        if (locality_index_->rack_candidates(id, node).size() !=
+            expected_rack) {
+          fail("rack-candidate count diverges for job " + std::to_string(id) +
+               " on node " + std::to_string(w));
+        }
       }
     }
   }

@@ -22,6 +22,7 @@
 #include "metrics/run_metrics.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "sched/locality_index.h"
 #include "sched/scheduler.h"
 #include "sim/simulation.h"
 #include "storage/datanode.h"
@@ -131,6 +132,9 @@ class Cluster {
   std::vector<std::unique_ptr<core::ReplicationPolicy>> policies_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<Locator> locator_;
+  /// Inverted locality index fed by the name node's replica deltas; null
+  /// when options_.use_locality_index is off (legacy scan mode).
+  std::unique_ptr<sched::LocalityIndex> locality_index_;
 
   sched::JobTable jobs_;
   std::vector<std::size_t> free_map_slots_;

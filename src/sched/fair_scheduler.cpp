@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
+
+#include "common/invariant.h"
 
 namespace dare::sched {
 
-FairScheduler::FairScheduler(SimDuration node_delay, SimDuration rack_delay)
-    : node_delay_(node_delay), rack_delay_(rack_delay) {
+FairScheduler::FairScheduler(SimDuration node_delay, SimDuration rack_delay,
+                             bool incremental)
+    : node_delay_(node_delay),
+      rack_delay_(rack_delay),
+      incremental_(incremental) {
   if (node_delay < 0 || rack_delay < 0) {
     throw std::invalid_argument("FairScheduler: delays must be >= 0");
   }
@@ -16,65 +20,131 @@ FairScheduler::FairScheduler(SimDuration node_delay, SimDuration rack_delay)
 FairScheduler::FairScheduler(SimDuration delay)
     : FairScheduler(delay, delay) {}
 
+void FairScheduler::insert_share_entry(JobId id, JobRuntime& rt) {
+  if (!rt.active || rt.pending_maps.empty()) return;
+  const ShareKey key{static_cast<double>(rt.running_maps) * rt.inv_weight,
+                     rt.arrival_seq, id, &rt};
+  share_order_.insert(key);
+  share_keys_.emplace(id, key);
+}
+
+void FairScheduler::update_share_entry(JobTable& jobs, JobId id) {
+  const auto old = share_keys_.find(id);
+  if (old != share_keys_.end()) {
+    share_order_.erase(old->second);
+    share_keys_.erase(old);
+  }
+  if (!jobs.has_job(id)) return;
+  insert_share_entry(id, jobs.job(id));
+}
+
+void FairScheduler::sync_share_order(JobTable& jobs) {
+  if (synced_table_ != &jobs) {
+    // First opportunity from this table: rebuild from scratch, then discard
+    // the journal backlog (it is subsumed by the rebuild).
+    synced_table_ = &jobs;
+    share_order_.clear();
+    share_keys_.clear();
+    jobs.consume_fair_dirty();
+    for (JobRuntime& rt : jobs.active_jobs()) {
+      insert_share_entry(rt.spec.id, rt);
+    }
+    return;
+  }
+  for (JobId id : jobs.consume_fair_dirty()) update_share_entry(jobs, id);
+}
+
+std::optional<MapSelection> FairScheduler::try_job(JobRuntime& rt, NodeId node,
+                                                   SimTime now, JobTable& jobs,
+                                                   const BlockLocator& locator) {
+  const JobId id = rt.spec.id;
+  if (const auto local = jobs.find_local_map(rt, node, locator)) {
+    rt.waiting_since = kTimeNever;
+    return MapSelection{id, *local, Locality::kNodeLocal};
+  }
+  if (rt.waiting_since == kTimeNever) {
+    // First declined opportunity: start the delay clock.
+    rt.waiting_since = now;
+    if (node_delay_ > 0) return std::nullopt;
+  }
+  const SimDuration waited = now - rt.waiting_since;
+  if (waited >= node_delay_) {
+    // Level-1 delay expired: a rack-local launch is acceptable.
+    if (const auto rack = jobs.find_rack_local_map(rt, node, locator)) {
+      rt.waiting_since = kTimeNever;
+      return MapSelection{id, *rack, Locality::kRackLocal};
+    }
+    if (waited >= node_delay_ + rack_delay_) {
+      // Level-2 delay expired too: launch anywhere rather than starve.
+      rt.waiting_since = kTimeNever;
+      return MapSelection{id, 0, Locality::kOffRack};
+    }
+  }
+  // Still within a delay window: skip this job, try the next.
+  return std::nullopt;
+}
+
 std::optional<MapSelection> FairScheduler::select_map(
     NodeId node, SimTime now, JobTable& jobs, const BlockLocator& locator) {
-  // Fair ordering: smallest weighted share (running maps / weight) first;
-  // arrival order breaks ties (active_jobs() is already in arrival order,
-  // stable_sort preserves it).
-  std::vector<JobId> order;
-  for (JobId id : jobs.active_jobs()) {
-    if (!jobs.job(id).pending_maps.empty()) order.push_back(id);
+  if (incremental_) {
+    sync_share_order(jobs);
+    // The loop body only touches waiting_since, never a share component, so
+    // iterating the set while probing jobs is safe; a returned selection is
+    // followed by a launch whose journal entry is drained next call.
+    for (const ShareKey& key : share_order_) {
+      if (auto picked = try_job(*key.rt, node, now, jobs, locator)) {
+        return picked;
+      }
+    }
+    return std::nullopt;
   }
-  const auto share = [&jobs](JobId id) {
-    const JobRuntime& rt = jobs.job(id);
-    const double weight = rt.spec.weight > 0.0 ? rt.spec.weight : 1.0;
-    return static_cast<double>(rt.running_maps) / weight;
-  };
-  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
-    return share(a) < share(b);
-  });
 
-  for (JobId id : order) {
-    JobRuntime& rt = jobs.job(id);
-    if (const auto local = jobs.find_local_map(id, node, locator)) {
-      rt.waiting_since = kTimeNever;
-      return MapSelection{id, *local, Locality::kNodeLocal};
-    }
-    if (rt.waiting_since == kTimeNever) {
-      // First declined opportunity: start the delay clock.
-      rt.waiting_since = now;
-      if (node_delay_ > 0) continue;
-    }
-    const SimDuration waited = now - rt.waiting_since;
-    if (waited >= node_delay_) {
-      // Level-1 delay expired: a rack-local launch is acceptable.
-      if (const auto rack = jobs.find_rack_local_map(id, node, locator)) {
-        rt.waiting_since = kTimeNever;
-        return MapSelection{id, *rack, Locality::kRackLocal};
-      }
-      if (waited >= node_delay_ + rack_delay_) {
-        // Level-2 delay expired too: launch anywhere rather than starve.
-        rt.waiting_since = kTimeNever;
-        const auto any = jobs.find_any_map(id);
-        return MapSelection{id, *any, Locality::kOffRack};
-      }
-    }
-    // Still within a delay window: skip this job, try the next.
+  // Legacy path (A/B baseline): collect + stable_sort every opportunity.
+  // Fair ordering: smallest weighted share (running maps * inv weight)
+  // first; arrival order breaks ties (active_jobs() is already in arrival
+  // order, stable_sort preserves it).
+  scratch_order_.clear();
+  for (JobRuntime& rt : jobs.active_jobs()) {
+    if (!rt.pending_maps.empty()) scratch_order_.push_back(&rt);
+  }
+  std::stable_sort(scratch_order_.begin(), scratch_order_.end(),
+                   [](const JobRuntime* a, const JobRuntime* b) {
+                     return static_cast<double>(a->running_maps) *
+                                a->inv_weight <
+                            static_cast<double>(b->running_maps) *
+                                b->inv_weight;
+                   });
+
+  for (JobRuntime* rt : scratch_order_) {
+    if (auto picked = try_job(*rt, node, now, jobs, locator)) return picked;
   }
   return std::nullopt;
 }
 
 std::optional<JobId> FairScheduler::select_reduce(JobTable& jobs) {
-  // Fewest running reduces first among jobs with launchable reduces.
-  std::optional<JobId> best;
-  for (JobId id : jobs.active_jobs()) {
-    const JobRuntime& rt = jobs.job(id);
+  // Fewest running reduces first among jobs with launchable reduces; the
+  // strict `<` keeps the earliest arrival among ties.
+  if (jobs.has_locality_index()) {
+    // Same scan, restricted to the ready set: it holds exactly the jobs the
+    // filter below accepts, iterated in the same arrival order.
+    const JobRuntime* best = nullptr;
+    for (const auto& [seq, rt] : jobs.reduce_ready()) {
+      if (best == nullptr || rt->running_reduces < best->running_reduces) {
+        best = rt;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->spec.id;
+  }
+  const JobRuntime* best = nullptr;
+  for (const JobRuntime& rt : jobs.active_jobs()) {
     if (!rt.maps_done() || rt.pending_reduces == 0) continue;
-    if (!best || rt.running_reduces < jobs.job(*best).running_reduces) {
-      best = id;
+    if (best == nullptr || rt.running_reduces < best->running_reduces) {
+      best = &rt;
     }
   }
-  return best;
+  if (best == nullptr) return std::nullopt;
+  return best->spec.id;
 }
 
 }  // namespace dare::sched

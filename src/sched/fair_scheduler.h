@@ -8,7 +8,19 @@
 // has waited `delay` (wall-clock simulation time since it first declined an
 // opportunity) may it launch a non-local map — the "small delay" the paper
 // refers to.
+//
+// Share ordering is maintained incrementally: a std::set keyed by
+// (running_maps * inv_weight, arrival_seq) is patched from the JobTable's
+// fair-share journal on each opportunity, replacing the seed's
+// collect + stable_sort of every active job per slot offer. The legacy sort
+// is kept behind `incremental = false` as the A/B baseline for the
+// equivalence oracle and benchmarks; both paths produce bit-identical
+// selection sequences (same share product, same tie-breaking).
 #pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "sched/scheduler.h"
 
@@ -21,7 +33,8 @@ class FairScheduler final : public Scheduler {
   /// a rack-local launch, and a further `rack_delay` before accepting an
   /// off-rack launch. Zero delays behave greedily (never wait). The
   /// single-argument form uses rack_delay = node_delay.
-  FairScheduler(SimDuration node_delay, SimDuration rack_delay);
+  FairScheduler(SimDuration node_delay, SimDuration rack_delay,
+                bool incremental = true);
   explicit FairScheduler(SimDuration delay);
 
   std::optional<MapSelection> select_map(NodeId node, SimTime now,
@@ -34,8 +47,46 @@ class FairScheduler final : public Scheduler {
   SimDuration rack_delay() const { return rack_delay_; }
 
  private:
+  /// Fair ordering key: smallest weighted share first, arrival order on
+  /// ties (arrival_seq is unique, so the comparison is a strict weak order
+  /// without consulting the id). Carries the runtime pointer so iterating
+  /// the set needs no per-job hash lookup.
+  struct ShareKey {
+    double share = 0.0;
+    std::size_t seq = 0;
+    JobId id = kInvalidJob;
+    JobRuntime* rt = nullptr;  ///< not part of the ordering
+    bool operator<(const ShareKey& other) const {
+      if (share != other.share) return share < other.share;
+      return seq < other.seq;
+    }
+  };
+
+  /// Bring share_order_ up to date with `jobs` (full rebuild on first sight
+  /// of a table, journal drain afterwards).
+  void sync_share_order(JobTable& jobs);
+  void update_share_entry(JobTable& jobs, JobId id);
+  void insert_share_entry(JobId id, JobRuntime& rt);
+  /// One job's turn at the opportunity: returns a selection, or nullopt to
+  /// move on to the next job in fair order.
+  std::optional<MapSelection> try_job(JobRuntime& rt, NodeId node, SimTime now,
+                                      JobTable& jobs,
+                                      const BlockLocator& locator);
+
   SimDuration node_delay_;
   SimDuration rack_delay_;
+  bool incremental_;
+
+  /// Incremental-mode state. Valid for one JobTable at a time; seeing a
+  /// different table triggers a rebuild (fixtures construct fresh pairs, so
+  /// in practice this fires once).
+  const JobTable* synced_table_ = nullptr;
+  std::set<ShareKey> share_order_;
+  std::unordered_map<JobId, ShareKey> share_keys_;
+
+  /// Legacy-mode scratch, reused across calls so the per-opportunity sort
+  /// at least stops allocating.
+  std::vector<JobRuntime*> scratch_order_;
 };
 
 }  // namespace dare::sched

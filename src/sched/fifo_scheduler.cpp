@@ -5,27 +5,32 @@ namespace dare::sched {
 std::optional<MapSelection> FifoScheduler::select_map(
     NodeId node, SimTime /*now*/, JobTable& jobs,
     const BlockLocator& locator) {
-  for (JobId id : jobs.active_jobs()) {
-    const JobRuntime& rt = jobs.job(id);
+  for (const JobRuntime& rt : jobs.active_jobs()) {
     if (rt.pending_maps.empty()) continue;
+    const JobId id = rt.spec.id;
     // Hadoop's tiered preference within the head job: node-local, then
     // rack-local, then any — but never wait.
-    if (const auto local = jobs.find_local_map(id, node, locator)) {
+    if (const auto local = jobs.find_local_map(rt, node, locator)) {
       return MapSelection{id, *local, Locality::kNodeLocal};
     }
-    if (const auto rack = jobs.find_rack_local_map(id, node, locator)) {
+    if (const auto rack = jobs.find_rack_local_map(rt, node, locator)) {
       return MapSelection{id, *rack, Locality::kRackLocal};
     }
-    const auto any = jobs.find_any_map(id);
-    return MapSelection{id, *any, Locality::kOffRack};
+    return MapSelection{id, 0, Locality::kOffRack};
   }
   return std::nullopt;
 }
 
 std::optional<JobId> FifoScheduler::select_reduce(JobTable& jobs) {
-  for (JobId id : jobs.active_jobs()) {
-    const JobRuntime& rt = jobs.job(id);
-    if (rt.maps_done() && rt.pending_reduces > 0) return id;
+  if (jobs.has_locality_index()) {
+    // The ready set is keyed by arrival_seq, so its first element is the
+    // oldest job with launchable reduces — what the scan below returns.
+    const auto& ready = jobs.reduce_ready();
+    if (ready.empty()) return std::nullopt;
+    return ready.begin()->second->spec.id;
+  }
+  for (const JobRuntime& rt : jobs.active_jobs()) {
+    if (rt.maps_done() && rt.pending_reduces > 0) return rt.spec.id;
   }
   return std::nullopt;
 }

@@ -3,7 +3,82 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/invariant.h"
+#include "sched/locality_index.h"
+
 namespace dare::sched {
+
+void JobTable::attach_locality_index(LocalityIndex* index) {
+  if (index == nullptr) {
+    throw std::invalid_argument("JobTable: null locality index");
+  }
+  if (!jobs_.empty()) {
+    throw std::logic_error(
+        "JobTable: locality index must attach before the first job");
+  }
+  index_ = index;
+}
+
+void JobTable::watch_pending(JobId id, const JobRuntime& rt,
+                             std::size_t map_index) {
+  if (index_ != nullptr) {
+    index_->watch_map(id, map_index, rt.spec.maps[map_index].block);
+  }
+}
+
+void JobTable::unwatch_pending(JobId id, const JobRuntime& rt,
+                               std::size_t map_index) {
+  if (index_ != nullptr) {
+    index_->unwatch_map(id, map_index, rt.spec.maps[map_index].block);
+  }
+}
+
+void JobTable::mark_fair_dirty(JobId id, JobRuntime& rt) {
+  if (!rt.fair_dirty) {
+    rt.fair_dirty = true;
+    fair_dirty_.push_back(id);
+  }
+}
+
+std::vector<JobId> JobTable::consume_fair_dirty() {
+  std::vector<JobId> drained;
+  drained.swap(fair_dirty_);
+  for (JobId id : drained) jobs_.at(id).fair_dirty = false;
+  return drained;
+}
+
+void JobTable::update_reduce_ready(JobRuntime& rt) {
+  const std::pair<std::size_t, JobRuntime*> key{rt.arrival_seq, &rt};
+  if (rt.active && rt.maps_done() && rt.pending_reduces > 0) {
+    reduce_ready_.insert(key);
+  } else {
+    reduce_ready_.erase(key);
+  }
+}
+
+void JobTable::retire_active(JobId id, JobRuntime& rt) {
+  DARE_INVARIANT(rt.active, "JobTable: retiring a job that is not active");
+  reduce_ready_.erase({rt.arrival_seq, &rt});
+  if (rt.active_prev != nullptr) {
+    rt.active_prev->active_next = rt.active_next;
+  } else {
+    active_head_ = rt.active_next;
+  }
+  if (rt.active_next != nullptr) {
+    rt.active_next->active_prev = rt.active_prev;
+  } else {
+    active_tail_ = rt.active_prev;
+  }
+  rt.active = false;
+  rt.active_prev = nullptr;
+  rt.active_next = nullptr;
+  --active_count_;
+  mark_fair_dirty(id, rt);
+  if (index_ != nullptr) {
+    index_->job_retired(id);
+    rt.locality = nullptr;
+  }
+}
 
 void JobTable::add_job(const JobSpec& spec) {
   if (spec.id == kInvalidJob) {
@@ -18,13 +93,38 @@ void JobTable::add_job(const JobSpec& spec) {
   JobRuntime rt;
   rt.spec = spec;
   rt.pending_maps.resize(spec.maps.size());
-  for (std::size_t i = 0; i < spec.maps.size(); ++i) rt.pending_maps[i] = i;
+  rt.pending_pos.resize(spec.maps.size());
+  for (std::size_t i = 0; i < spec.maps.size(); ++i) {
+    rt.pending_maps[i] = i;
+    rt.pending_pos[i] = i;
+  }
   rt.pending_reduces = spec.reduces;
+  rt.arrival_seq = order_.size();
+  rt.inv_weight = 1.0 / (spec.weight > 0.0 ? spec.weight : 1.0);
   total_pending_maps_ += rt.pending_maps.size();
   total_pending_reduces_ += rt.pending_reduces;
-  jobs_.emplace(spec.id, std::move(rt));
+
+  // Link at the tail of the active list (arrival order). Links are set
+  // after emplace so they point at the map-resident node, which is
+  // reference-stable for the job's lifetime.
+  rt.active = true;
+  auto& stored = jobs_.emplace(spec.id, std::move(rt)).first->second;
+  stored.active_prev = active_tail_;
+  stored.active_next = nullptr;
+  if (active_tail_ != nullptr) {
+    active_tail_->active_next = &stored;
+  } else {
+    active_head_ = &stored;
+  }
+  active_tail_ = &stored;
+  ++active_count_;
   order_.push_back(spec.id);
-  active_.push_back(spec.id);
+
+  mark_fair_dirty(spec.id, stored);
+  if (index_ != nullptr) stored.locality = index_->job_state_ptr(spec.id);
+  for (std::size_t i = 0; i < stored.spec.maps.size(); ++i) {
+    watch_pending(spec.id, stored, i);
+  }
 }
 
 JobRuntime& JobTable::job(JobId id) {
@@ -43,7 +143,26 @@ bool JobTable::has_job(JobId id) const { return jobs_.count(id) != 0; }
 
 std::optional<std::size_t> JobTable::find_local_map(
     JobId id, NodeId node, const BlockLocator& locator) const {
-  const JobRuntime& rt = job(id);
+  return find_local_map(job(id), node, locator);
+}
+
+std::optional<std::size_t> JobTable::find_local_map(
+    const JobRuntime& rt, NodeId node, const BlockLocator& locator) const {
+  if (index_ != nullptr && rt.locality != nullptr) {
+    // Argmin of pending position over the indexed candidates == the first
+    // match of the front-to-back scan below. (Retired jobs have a null
+    // locality pointer and fall through to the scan of their — empty —
+    // pending set.)
+    std::size_t best = JobRuntime::kNotPending;
+    for (std::uint32_t mi : index_->node_candidates(*rt.locality, node)) {
+      const std::size_t pos = rt.pending_pos[mi];
+      DARE_INVARIANT(pos != JobRuntime::kNotPending,
+                     "JobTable: locality index lists a non-pending map");
+      best = std::min(best, pos);
+    }
+    if (best == JobRuntime::kNotPending) return std::nullopt;
+    return best;
+  }
   for (std::size_t i = 0; i < rt.pending_maps.size(); ++i) {
     const MapTaskSpec& task = rt.spec.maps[rt.pending_maps[i]];
     if (locator.is_local(node, task.block)) return i;
@@ -53,7 +172,22 @@ std::optional<std::size_t> JobTable::find_local_map(
 
 std::optional<std::size_t> JobTable::find_rack_local_map(
     JobId id, NodeId node, const BlockLocator& locator) const {
-  const JobRuntime& rt = job(id);
+  return find_rack_local_map(job(id), node, locator);
+}
+
+std::optional<std::size_t> JobTable::find_rack_local_map(
+    const JobRuntime& rt, NodeId node, const BlockLocator& locator) const {
+  if (index_ != nullptr && rt.locality != nullptr) {
+    std::size_t best = JobRuntime::kNotPending;
+    for (std::uint32_t mi : index_->rack_candidates(*rt.locality, node)) {
+      const std::size_t pos = rt.pending_pos[mi];
+      DARE_INVARIANT(pos != JobRuntime::kNotPending,
+                     "JobTable: locality index lists a non-pending map");
+      best = std::min(best, pos);
+    }
+    if (best == JobRuntime::kNotPending) return std::nullopt;
+    return best;
+  }
   for (std::size_t i = 0; i < rt.pending_maps.size(); ++i) {
     const MapTaskSpec& task = rt.spec.maps[rt.pending_maps[i]];
     if (locator.is_rack_local(node, task.block)) return i;
@@ -74,9 +208,13 @@ std::size_t JobTable::launch_map(JobId id, std::size_t pending_index,
     throw std::out_of_range("JobTable: bad pending map index");
   }
   const std::size_t map_index = rt.pending_maps[pending_index];
+  unwatch_pending(id, rt, map_index);
   // Swap-erase: pending order is not semantically meaningful.
-  rt.pending_maps[pending_index] = rt.pending_maps.back();
+  const std::size_t moved = rt.pending_maps.back();
+  rt.pending_maps[pending_index] = moved;
   rt.pending_maps.pop_back();
+  rt.pending_pos[moved] = pending_index;
+  rt.pending_pos[map_index] = JobRuntime::kNotPending;
   ++rt.running_maps;
   switch (locality) {
     case Locality::kNodeLocal:
@@ -91,6 +229,7 @@ std::size_t JobTable::launch_map(JobId id, std::size_t pending_index,
   }
   --total_pending_maps_;
   ++total_running_;
+  mark_fair_dirty(id, rt);
   return map_index;
 }
 
@@ -105,6 +244,7 @@ void JobTable::requeue_running_map(JobId id, std::size_t map_index,
   }
   --rt.running_maps;
   rt.pending_maps.push_back(map_index);
+  rt.pending_pos[map_index] = rt.pending_maps.size() - 1;
   switch (locality) {
     case Locality::kNodeLocal:
       --rt.local_launches;
@@ -118,6 +258,8 @@ void JobTable::requeue_running_map(JobId id, std::size_t map_index,
   }
   ++total_pending_maps_;
   --total_running_;
+  mark_fair_dirty(id, rt);
+  watch_pending(id, rt, map_index);
 }
 
 void JobTable::requeue_running_reduce(JobId id) {
@@ -130,6 +272,8 @@ void JobTable::requeue_running_reduce(JobId id) {
   ++rt.pending_reduces;
   ++total_pending_reduces_;
   --total_running_;
+  // 0 -> 1 pending while maps_done(): the job re-enters the ready set.
+  update_reduce_ready(rt);
 }
 
 void JobTable::complete_map(JobId id, SimTime now) {
@@ -140,11 +284,15 @@ void JobTable::complete_map(JobId id, SimTime now) {
   --rt.running_maps;
   ++rt.completed_maps;
   --total_running_;
+  mark_fair_dirty(id, rt);
   if (rt.spec.reduces == 0 && rt.done()) {
     rt.completion = now;
-    const auto it = std::find(active_.begin(), active_.end(), id);
-    if (it != active_.end()) active_.erase(it);
+    retire_active(id, rt);
+    return;
   }
+  // The last map completing flips maps_done(): the job may become
+  // reduce-ready.
+  update_reduce_ready(rt);
 }
 
 void JobTable::launch_reduce(JobId id) {
@@ -159,6 +307,8 @@ void JobTable::launch_reduce(JobId id) {
   ++rt.running_reduces;
   --total_pending_reduces_;
   ++total_running_;
+  // Launching the last pending reduce drops the job from the ready set.
+  update_reduce_ready(rt);
 }
 
 void JobTable::complete_reduce(JobId id, SimTime now) {
@@ -171,8 +321,7 @@ void JobTable::complete_reduce(JobId id, SimTime now) {
   --total_running_;
   if (rt.done()) {
     rt.completion = now;
-    const auto it = std::find(active_.begin(), active_.end(), id);
-    if (it != active_.end()) active_.erase(it);
+    retire_active(id, rt);
   }
 }
 
@@ -187,14 +336,17 @@ void JobTable::fail_job(JobId id, SimTime now) {
   total_pending_maps_ -= rt.pending_maps.size();
   total_pending_reduces_ -= rt.pending_reduces;
   total_running_ -= rt.running_maps + rt.running_reduces;
+  for (std::size_t map_index : rt.pending_maps) {
+    unwatch_pending(id, rt, map_index);
+    rt.pending_pos[map_index] = JobRuntime::kNotPending;
+  }
   rt.pending_maps.clear();
   rt.running_maps = 0;
   rt.pending_reduces = 0;
   rt.running_reduces = 0;
   rt.failed = true;
   rt.completion = now;
-  const auto it = std::find(active_.begin(), active_.end(), id);
-  if (it != active_.end()) active_.erase(it);
+  retire_active(id, rt);
 }
 
 }  // namespace dare::sched

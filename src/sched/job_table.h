@@ -4,15 +4,27 @@
 // table; launching, completion, and metric accounting mutate it through the
 // methods below so invariants (pending + running + completed == total) hold
 // by construction.
+//
+// Locality queries run in one of two modes:
+//  * with a LocalityIndex attached (production), find_local_map /
+//    find_rack_local_map answer from the inverted index in O(candidates on
+//    the node) by taking the argmin of pending position — bit-identical to
+//    the scan below;
+//  * without one (unit tests with fake locators, or the A/B "legacy" mode),
+//    they scan every pending map against the BlockLocator.
 #pragma once
 
 #include <cstddef>
+#include <iterator>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "sched/job.h"
+#include "sched/locality_index.h"
 
 namespace dare::sched {
 
@@ -35,10 +47,17 @@ class BlockLocator {
 enum class Locality { kNodeLocal, kRackLocal, kOffRack };
 
 struct JobRuntime {
+  /// pending_pos value for a map task that is not currently pending.
+  static constexpr std::size_t kNotPending = static_cast<std::size_t>(-1);
+
   JobSpec spec;
 
   /// Indices into spec.maps still waiting to launch.
   std::vector<std::size_t> pending_maps;
+  /// Inverse of pending_maps: spec.maps index -> its position in
+  /// pending_maps, kNotPending while launched/completed. Lets the locality
+  /// index answer "earliest pending candidate" without scanning.
+  std::vector<std::size_t> pending_pos;
   std::size_t running_maps = 0;
   std::size_t completed_maps = 0;
 
@@ -63,6 +82,31 @@ struct JobRuntime {
   /// currently waiting.
   SimTime waiting_since = kTimeNever;
 
+  /// Submission index (position in all_jobs()); breaks fair-share ties in
+  /// arrival order without re-deriving it from the order vector.
+  std::size_t arrival_seq = 0;
+  /// Cached 1.0 / max(spec.weight, default): the fair share is computed as
+  /// running_maps * inv_weight on every comparison, so the division happens
+  /// once per job instead of once per scheduling opportunity. Both the
+  /// incremental and the legacy fair paths use this product, keeping their
+  /// floating-point results bit-identical.
+  double inv_weight = 1.0;
+
+  /// Membership + links of the intrusive active list (see active_jobs()).
+  /// Pointers, not ids: iteration must not pay a hash lookup per step
+  /// (JobRuntime nodes are reference-stable inside the unordered_map).
+  bool active = false;
+  JobRuntime* active_prev = nullptr;
+  JobRuntime* active_next = nullptr;
+
+  /// Dedup flag for the fair-share change journal.
+  bool fair_dirty = false;
+
+  /// Cached pointer to this job's LocalityIndex candidate lists (null when
+  /// no index is attached, or after retirement). Lets the find_*_map hot
+  /// path read candidates directly instead of hashing the JobId per probe.
+  LocalityIndex::JobState* locality = nullptr;
+
   bool maps_done() const {
     return pending_maps.empty() && running_maps == 0;
   }
@@ -73,8 +117,66 @@ struct JobRuntime {
   std::size_t total_maps() const { return spec.maps.size(); }
 };
 
+class JobTable;
+
+/// Forward-iterable view of the not-yet-complete jobs in arrival order,
+/// backed by an intrusive doubly-linked list threaded through JobRuntime —
+/// retirement from the middle is O(1) (the seed erased from a vector), and
+/// iteration chases pointers instead of hashing a JobId per step (the
+/// schedulers walk this list on every scheduling opportunity, so per-step
+/// lookups dominated large-run profiles).
+class ActiveJobs {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = JobRuntime;
+    using difference_type = std::ptrdiff_t;
+    using pointer = JobRuntime*;
+    using reference = JobRuntime&;
+
+    iterator() = default;
+    explicit iterator(JobRuntime* rt) : rt_(rt) {}
+
+    JobRuntime& operator*() const { return *rt_; }
+    JobRuntime* operator->() const { return rt_; }
+    iterator& operator++() {
+      rt_ = rt_->active_next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const iterator& other) const { return rt_ == other.rt_; }
+    bool operator!=(const iterator& other) const { return rt_ != other.rt_; }
+
+   private:
+    JobRuntime* rt_ = nullptr;
+  };
+
+  iterator begin() const;
+  iterator end() const { return iterator(nullptr); }
+  bool empty() const;
+  std::size_t size() const;
+  /// First (oldest) active job. Requires !empty().
+  JobId front() const;
+
+ private:
+  friend class JobTable;
+  explicit ActiveJobs(const JobTable* table) : table_(table) {}
+  const JobTable* table_;
+};
+
 class JobTable {
  public:
+  JobTable() = default;
+  /// Not copyable/movable: the active list is threaded through map-resident
+  /// JobRuntime nodes, and schedulers cache the table's address.
+  JobTable(const JobTable&) = delete;
+  JobTable& operator=(const JobTable&) = delete;
+
   /// Register an arrived job; its maps become pending, reduces blocked.
   void add_job(const JobSpec& spec);
 
@@ -83,12 +185,21 @@ class JobTable {
   bool has_job(JobId id) const;
 
   /// Ids of jobs not yet complete, in arrival (submission) order.
-  const std::vector<JobId>& active_jobs() const { return active_; }
+  ActiveJobs active_jobs() const { return ActiveJobs(this); }
 
   /// Ids of all jobs ever submitted, in arrival order.
   const std::vector<JobId>& all_jobs() const { return order_; }
 
+  /// Attach the inverted locality index; from then on every pending-map
+  /// transition is published to it and the find_*_map queries answer from
+  /// it (the BlockLocator argument is ignored). Must be attached before the
+  /// first add_job; the index must outlive the table's mutations.
+  void attach_locality_index(LocalityIndex* index);
+  bool has_locality_index() const { return index_ != nullptr; }
+
   /// Find a pending map of `job` whose block is local to `node`.
+  /// Returns the smallest matching position in pending_maps (the same
+  /// element a front-to-back scan finds first).
   std::optional<std::size_t> find_local_map(JobId job, NodeId node,
                                             const BlockLocator& locator) const;
 
@@ -99,6 +210,13 @@ class JobTable {
 
   /// Any pending map of `job` (the first pending one).
   std::optional<std::size_t> find_any_map(JobId job) const;
+
+  /// Lookup-free variants for callers already holding the runtime (the
+  /// schedulers, which iterate active_jobs()).
+  std::optional<std::size_t> find_local_map(const JobRuntime& rt, NodeId node,
+                                            const BlockLocator& locator) const;
+  std::optional<std::size_t> find_rack_local_map(
+      const JobRuntime& rt, NodeId node, const BlockLocator& locator) const;
 
   /// --- state transitions ------------------------------------------------
   /// Launch pending map `pending_index` (an index into pending_maps, not
@@ -131,21 +249,65 @@ class JobTable {
   /// in-flight attempt events. Throws if the job is already done or failed.
   void fail_job(JobId job, SimTime now);
 
+  /// --- reduce-ready set ---------------------------------------------------
+  /// Active jobs with maps_done() and pending_reduces > 0, keyed by
+  /// arrival_seq so iteration is in arrival order — exactly the subset (and
+  /// order) the seed's select_reduce scan visited, without walking jobs
+  /// still in their map phase. Maintained incrementally on the transitions
+  /// that can change membership; the schedulers use it when a locality
+  /// index is attached (the A/B legacy mode keeps the seed's full scan).
+  using ReduceReadySet = std::set<std::pair<std::size_t, JobRuntime*>>;
+  const ReduceReadySet& reduce_ready() const { return reduce_ready_; }
+
+  /// --- fair-share change journal -----------------------------------------
+  /// Jobs whose fair-share key (running maps, weight) or set membership
+  /// (active with pending maps) may have changed since the last drain, each
+  /// listed at most once. The FairScheduler drains this instead of
+  /// re-sorting every active job per scheduling opportunity.
+  std::vector<JobId> consume_fair_dirty();
+
   /// --- aggregates ---------------------------------------------------------
   std::size_t total_pending_maps() const { return total_pending_maps_; }
   std::size_t total_pending_reduces() const { return total_pending_reduces_; }
   std::size_t total_running() const { return total_running_; }
-  bool all_done() const {
-    return active_.empty();
-  }
+  bool all_done() const { return active_count_ == 0; }
 
  private:
+  friend class ActiveJobs;
+
+  /// Unlink from the active list (idempotent per job: callers retire at
+  /// most once because done() flips exactly once).
+  void retire_active(JobId id, JobRuntime& rt);
+  void mark_fair_dirty(JobId id, JobRuntime& rt);
+  /// Recompute `rt`'s reduce_ready_ membership after a transition.
+  void update_reduce_ready(JobRuntime& rt);
+  /// Publish a pending-set entry/exit to the locality index, if attached.
+  void watch_pending(JobId id, const JobRuntime& rt, std::size_t map_index);
+  void unwatch_pending(JobId id, const JobRuntime& rt, std::size_t map_index);
+
   std::unordered_map<JobId, JobRuntime> jobs_;
   std::vector<JobId> order_;
-  std::vector<JobId> active_;
+  JobRuntime* active_head_ = nullptr;
+  JobRuntime* active_tail_ = nullptr;
+  std::size_t active_count_ = 0;
+  LocalityIndex* index_ = nullptr;
+  ReduceReadySet reduce_ready_;
+  std::vector<JobId> fair_dirty_;
   std::size_t total_pending_maps_ = 0;
   std::size_t total_pending_reduces_ = 0;
   std::size_t total_running_ = 0;
 };
+
+inline ActiveJobs::iterator ActiveJobs::begin() const {
+  return iterator(table_->active_head_);
+}
+
+inline bool ActiveJobs::empty() const { return table_->active_count_ == 0; }
+
+inline std::size_t ActiveJobs::size() const { return table_->active_count_; }
+
+inline JobId ActiveJobs::front() const {
+  return table_->active_head_->spec.id;
+}
 
 }  // namespace dare::sched

@@ -1,0 +1,128 @@
+// Inverted locality index: replica location -> pending map tasks.
+//
+// The JobTracker's hottest question is "does job J have a pending map whose
+// input block has a replica on node N (or in N's rack)?". The seed answered
+// it by scanning every pending map of the job against the name node's block
+// map — O(pending maps) per job per scheduling opportunity, and the DARE
+// policies make the question *more* frequent by creating replicas that turn
+// misses into hits. This index inverts the relationship and maintains it
+// incrementally:
+//
+//   by_node[job][node] = pending map indices of `job` whose block has a
+//                        visible replica on `node`
+//   by_rack[job][rack] = pending map indices whose block has >= 1 visible
+//                        replica anywhere in `rack`
+//
+// Two event streams keep it current:
+//  * replica deltas from the NameNode (static placement at file create,
+//    dynamic DARE replicas appearing/evicting via heartbeat, node death
+//    dropping every replica on the node, rejoin re-adoption, repair copies);
+//  * watch/unwatch calls from the JobTable as maps enter and leave the
+//    pending set (job arrival, launch, failure requeue, job kill).
+//
+// Equivalence with the linear scan: the scan returns the *first* pending
+// position whose block matches, so JobTable answers queries by taking the
+// argmin of pending-position over the candidate set (see
+// JobRuntime::pending_pos). Candidate-vector order therefore never affects
+// results, which keeps the structure deterministic even though replica
+// deltas can arrive in unordered-map order from NameNode::node_failed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::sched {
+
+class LocalityIndex {
+ public:
+  /// Per-job candidate lists. Nodes live inside an unordered_map, so their
+  /// addresses are stable for the job's lifetime; the JobTable caches a
+  /// pointer in JobRuntime and queries through it without any hash lookup.
+  struct JobState {
+    /// node -> pending map indices with a replica on that node.
+    std::vector<std::vector<std::uint32_t>> by_node;
+    /// rack -> pending map indices with >= 1 replica in that rack.
+    std::vector<std::vector<std::uint32_t>> by_rack;
+  };
+
+  /// `node_rack[n]` is the rack of node n; `num_racks` bounds its values.
+  LocalityIndex(std::size_t num_nodes, std::vector<RackId> node_rack,
+                std::size_t num_racks);
+
+  /// --- replica deltas (NameNode observer) --------------------------------
+  /// A visible replica of `block` appeared / disappeared on `node`. Must
+  /// mirror the name node's location map exactly: one call per actual
+  /// mutation, never a repeat.
+  void replica_added(BlockId block, NodeId node);
+  void replica_removed(BlockId block, NodeId node);
+
+  /// --- pending-map lifecycle (JobTable) ----------------------------------
+  /// Map `map_index` of `job` (reading `block`) entered the pending set.
+  void watch_map(JobId job, std::size_t map_index, BlockId block);
+  /// ... left the pending set (launched, or dropped by a job kill).
+  void unwatch_map(JobId job, std::size_t map_index, BlockId block);
+  /// The job left the active list with no pending maps; frees its state.
+  void job_retired(JobId job);
+
+  /// --- queries ------------------------------------------------------------
+  /// Pending map indices of `job` whose block is on `node` / in `node`'s
+  /// rack. Unknown jobs (or jobs with no candidates) return an empty vector.
+  const std::vector<std::uint32_t>& node_candidates(JobId job,
+                                                    NodeId node) const;
+  const std::vector<std::uint32_t>& rack_candidates(JobId job,
+                                                    NodeId node) const;
+
+  /// Hash-free variants over a cached JobState (the scheduling hot path:
+  /// the Fair scheduler probes every active job per slot offer, so a map
+  /// lookup per probe showed up in large-run profiles).
+  const std::vector<std::uint32_t>& node_candidates(const JobState& state,
+                                                    NodeId node) const {
+    return state.by_node[node];
+  }
+  const std::vector<std::uint32_t>& rack_candidates(const JobState& state,
+                                                    NodeId node) const {
+    return state.by_rack[node_rack_[node]];
+  }
+
+  /// Create-or-get the job's candidate state. The returned pointer is
+  /// stable until job_retired(job).
+  JobState* job_state_ptr(JobId job) { return &job_state(job); }
+
+  /// --- introspection (tests / validate) -----------------------------------
+  std::size_t tracked_job_count() const { return jobs_.size(); }
+  std::size_t replica_count(BlockId block) const;
+  /// True iff the mirror believes `node` holds a replica of `block`.
+  bool mirrors_replica(BlockId block, NodeId node) const;
+
+ private:
+  /// One pending map waiting on a block's replica set. Carries the owning
+  /// job's state pointer so replica deltas touch no hash table per watcher.
+  struct Watcher {
+    JobId job;
+    std::uint32_t map_index;
+    JobState* state;
+  };
+
+  JobState& job_state(JobId job);
+  /// Replicas of `block` currently in `rack` (per the mirror).
+  std::size_t rack_replicas(BlockId block, RackId rack) const;
+  static void drop_candidate(std::vector<std::uint32_t>& candidates,
+                             std::uint32_t map_index);
+
+  std::size_t num_nodes_;
+  std::size_t num_racks_;
+  std::vector<RackId> node_rack_;
+
+  /// Mirror of NameNode::locations, maintained from deltas.
+  std::unordered_map<BlockId, std::vector<NodeId>> block_nodes_;
+  /// block -> pending maps reading it (a job may appear more than once if
+  /// several of its maps share a block).
+  std::unordered_map<BlockId, std::vector<Watcher>> watchers_;
+  std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace dare::sched

@@ -2,20 +2,36 @@
 //
 // Events at the same timestamp fire in insertion order (a strict sequence
 // number breaks ties), which keeps heartbeat/scheduling interleavings
-// deterministic. Events can be cancelled in O(1) (lazily: the heap entry is
-// tombstoned and skipped at pop time).
+// deterministic. Events can be cancelled in O(1) (lazily: the slab record is
+// tombstoned and its heap entry skipped and reclaimed at pop time).
+//
+// Storage layout (the event-engine inner loop of every simulation):
+//  * a slab of event records recycled through an intrusive freelist — the
+//    callback plus a generation counter live here, and a record is reused
+//    as soon as its heap entry has been drained;
+//  * a binary heap of 24-byte POD entries {when, seq, slot} ordered by
+//    (when, seq).
+// Scheduling therefore performs zero heap allocations in steady state
+// (callbacks small enough for InlineFunction's buffer — all of this
+// codebase's — never allocate either). The previous design paid two
+// shared_ptr control blocks plus a std::function allocation per event.
+//
+// Handles are {queue, slot, generation} triples: the generation (the
+// event's global sequence number) distinguishes the handle's event from any
+// later occupant of the recycled slot, so stale handles report !pending()
+// and refuse to cancel. Handles must not outlive their queue.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/invariant.h"
 #include "common/types.h"
+#include "sim/inline_function.h"
 
 namespace dare::sim {
+
+class EventQueue;
 
 /// Opaque handle used to cancel a scheduled event.
 class EventHandle {
@@ -23,42 +39,38 @@ class EventHandle {
   EventHandle() = default;
 
   /// True if the event has neither fired nor been cancelled.
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const;
 
   /// Cancel the event; returns true if it was still pending.
-  bool cancel() {
-    if (!pending()) return false;
-    *state_ = true;
-    if (live_) {
-      DARE_INVARIANT(*live_ > 0,
-                     "EventHandle: cancel would underflow the live count");
-      --*live_;
-    }
-    return true;
-  }
+  bool cancel();
 
  private:
   friend class EventQueue;
-  EventHandle(std::shared_ptr<bool> state, std::shared_ptr<std::size_t> live)
-      : state_(std::move(state)), live_(std::move(live)) {}
-  std::shared_ptr<bool> state_;  // true once fired or cancelled
-  std::shared_ptr<std::size_t> live_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
-  EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `cb` at absolute time `when`. Requires when >= 0.
   EventHandle schedule(SimTime when, Callback cb);
 
   /// True when no live (uncancelled) events remain.
-  bool empty() const { return *live_ == 0; }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return *live_; }
+  std::size_t size() const { return live_; }
 
   /// Timestamp of the earliest live event; kTimeNever when empty.
   SimTime next_time() const;
@@ -67,28 +79,76 @@ class EventQueue {
   /// Requires !empty().
   SimTime pop_and_run();
 
-  /// Drop everything (used when a simulation ends early).
+  /// Drop everything (used when a simulation ends early). Outstanding
+  /// handles become non-pending; the slab and heap release their memory.
   void clear();
 
- private:
-  struct Entry {
-    SimTime when = 0;
-    std::uint64_t seq = 0;
-    Callback cb;
-    std::shared_ptr<bool> done;
+  /// Slab records currently allocated (live + tombstoned awaiting drain).
+  /// Introspection for the memory-stability regression tests: with prompt
+  /// skimming this stays bounded by the peak live count, proving cancelled
+  /// events do not leak records.
+  std::size_t slab_size() const { return slab_.size(); }
 
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+ private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  struct Record {
+    Callback cb;
+    /// Sequence number of the occupying event; a mismatch against a handle
+    /// or heap entry means the slot was recycled since.
+    std::uint64_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    /// Scheduled and neither fired nor cancelled. A dead record whose heap
+    /// entry is still queued is a tombstone: it is reclaimed (returned to
+    /// the freelist) when the entry reaches the top of the heap.
+    bool live = false;
   };
 
-  /// Remove cancelled entries from the top of the heap.
+  struct HeapEntry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Min-heap order on (when, seq) via std::push_heap/pop_heap with
+  /// std::greater semantics expressed directly.
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) const;
+  /// Remove drained (cancelled) entries from the top of the heap and
+  /// reclaim their tombstoned records.
   void skim() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // skim() is logically const (it only reclaims dead storage), mirroring
+  // the previous lazily-skimming design, so the containers are mutable.
+  mutable std::vector<Record> slab_;
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
-  std::shared_ptr<std::size_t> live_;
+  std::size_t live_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  if (queue_ == nullptr || slot_ >= queue_->slab_.size()) return false;
+  const EventQueue::Record& record = queue_->slab_[slot_];
+  return record.generation == generation_ && record.live;
+}
+
+inline bool EventHandle::cancel() {
+  if (!pending()) return false;
+  EventQueue::Record& record = queue_->slab_[slot_];
+  record.live = false;
+  record.cb = nullptr;  // release captured resources immediately
+  DARE_INVARIANT(queue_->live_ > 0,
+                 "EventHandle: cancel would underflow the live count");
+  --queue_->live_;
+  return true;
+}
 
 }  // namespace dare::sim

@@ -57,6 +57,7 @@ FileId NameNode::create_file(const std::string& name, std::size_t num_blocks,
       }
     }
     locations_[bid] = placement;
+    for (NodeId n : placement) notify_replica(bid, n, /*added=*/true);
     static_locations_[bid] = std::move(placement);
     info.blocks.push_back(bid);
   }
@@ -111,6 +112,7 @@ void NameNode::report_dynamic_added(NodeId node,
           std::count(locs.begin(), locs.end(), node) == 1,
           "NameNode: duplicate location entry after dynamic add of block " +
               std::to_string(b));
+      notify_replica(b, node, /*added=*/true);
     }
   }
 }
@@ -136,6 +138,7 @@ void NameNode::report_dynamic_removed(NodeId node,
                    "block " + std::to_string(b));
     locs.erase(pos);
     --dynamic_replicas_;
+    notify_replica(b, node, /*added=*/false);
   }
 }
 
@@ -205,6 +208,7 @@ std::vector<BlockId> NameNode::node_failed(NodeId node) {
     const auto pos = std::find(locs.begin(), locs.end(), node);
     if (pos == locs.end()) continue;
     locs.erase(pos);
+    notify_replica(bid, node, /*added=*/false);
     auto& statics = static_locations_.at(bid);
     const auto spos = std::find(statics.begin(), statics.end(), node);
     if (spos != statics.end()) {
@@ -235,6 +239,7 @@ bool NameNode::add_repair_replica(BlockId block, NodeId node) {
   if (std::find(locs.begin(), locs.end(), node) != locs.end()) return false;
   locs.push_back(node);
   static_locations_.at(block).push_back(node);
+  notify_replica(block, node, /*added=*/true);
   return true;
 }
 
@@ -265,6 +270,7 @@ NameNode::RejoinReport NameNode::node_rejoined(
       statics.push_back(node);
       if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
         locs.push_back(node);
+        notify_replica(b, node, /*added=*/true);
       }
       ++report.adopted_static;
     } else {
@@ -281,6 +287,7 @@ NameNode::RejoinReport NameNode::node_rejoined(
       locs.push_back(node);
       ++dynamic_replicas_;
       ++report.adopted_dynamic;
+      notify_replica(b, node, /*added=*/true);
     }
   }
   return report;

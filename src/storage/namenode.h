@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,22 @@ class NameNode {
 
   /// Name of the placement policy in effect.
   const std::string& placement_name() const { return placement_name_; }
+
+  /// Replica-delta observer: called once per actual mutation of a block's
+  /// visible location list — static placement at create time, dynamic
+  /// replicas registered/evicted via heartbeat, node death dropping every
+  /// replica on the node, rejoin re-adoption, and repair copies.
+  /// `added` is true when `node` gained a visible replica of `block`,
+  /// false when it lost one. Exactly-once: a report that changes nothing
+  /// (duplicate add, missing remove) does not fire. The locality index
+  /// mirrors the location map from this stream.
+  using ReplicaObserver = std::function<void(BlockId, NodeId, bool added)>;
+
+  /// Install the observer (replacing any previous one). Pass before files
+  /// are created so the mirror sees the initial placements.
+  void set_replica_observer(ReplicaObserver observer) {
+    replica_observer_ = std::move(observer);
+  }
 
   /// Create a file of `num_blocks` blocks and place `replication` static
   /// replicas of each. Returns the new file's id.
@@ -132,6 +149,11 @@ class NameNode {
   std::vector<FileId> all_files() const;
 
  private:
+  void notify_replica(BlockId block, NodeId node, bool added) const {
+    if (replica_observer_) replica_observer_(block, node, added);
+  }
+
+  ReplicaObserver replica_observer_;
   std::size_t data_nodes_;
   const net::Topology* topology_;
   Rng rng_;

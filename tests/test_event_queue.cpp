@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace dare::sim {
@@ -123,6 +124,92 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   q.pop_and_run();
   EXPECT_EQ(q.size(), 0u);
   (void)h2;
+}
+
+TEST(EventQueue, StaleHandleSurvivesSlotRecycling) {
+  EventQueue q;
+  auto old = q.schedule(1, [] {});
+  q.pop_and_run();  // slot drained and returned to the freelist
+  // The next event reuses the slot; the old handle's generation no longer
+  // matches and must neither report pending nor cancel the new occupant.
+  bool ran = false;
+  auto fresh = q.schedule(2, [&] { ran = true; });
+  EXPECT_FALSE(old.pending());
+  EXPECT_FALSE(old.cancel());
+  EXPECT_TRUE(fresh.pending());
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StaleHandleSafeAfterClear) {
+  EventQueue q;
+  auto h1 = q.schedule(10, [] {});
+  auto h2 = q.schedule(20, [] {});
+  h2.cancel();
+  q.clear();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_FALSE(h1.cancel());
+  EXPECT_FALSE(h2.cancel());
+  // The queue is reusable after clear, and old handles stay inert.
+  bool ran = false;
+  q.schedule(5, [&] { ran = true; });
+  EXPECT_FALSE(h1.pending());
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CallbackMayClearQueue) {
+  // Simulation::stop() clears the queue from inside a running callback; the
+  // fired slot must already be released when the callback runs.
+  EventQueue q;
+  bool later_ran = false;
+  q.schedule(10, [&] { q.clear(); });
+  q.schedule(20, [&] { later_ran = true; });
+  q.pop_and_run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, CancelledTombstoneReclaimedBySkim) {
+  EventQueue q;
+  auto doomed = q.schedule(5, [] {});
+  q.schedule(10, [] {});
+  doomed.cancel();
+  // next_time() skims the cancelled top entry, recycling its record; the
+  // next schedule must reuse that slot instead of growing the slab.
+  EXPECT_EQ(q.next_time(), 10);
+  const std::size_t slab_before = q.slab_size();
+  q.schedule(15, [] {});
+  EXPECT_EQ(q.slab_size(), slab_before);
+}
+
+TEST(EventQueue, MillionEventChurnKeepsSlabBounded) {
+  // Regression test for tombstone leaks: schedule and cancel/fire a million
+  // events in waves. The slab must stay bounded by the per-wave live peak
+  // (records recycle) rather than growing with the total event count.
+  constexpr std::size_t kWaves = 100;
+  constexpr std::size_t kPerWave = 10000;
+  EventQueue q;
+  std::size_t fired = 0;
+  std::size_t slab_peak = 0;
+  SimTime t = 0;
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    std::vector<EventHandle> handles;
+    handles.reserve(kPerWave);
+    for (std::size_t i = 0; i < kPerWave; ++i) {
+      handles.push_back(q.schedule(++t, [&] { ++fired; }));
+    }
+    // Cancel every other event, fire the rest.
+    for (std::size_t i = 0; i < kPerWave; i += 2) handles[i].cancel();
+    while (!q.empty()) q.pop_and_run();
+    slab_peak = std::max(slab_peak, q.slab_size());
+  }
+  EXPECT_EQ(fired, kWaves * kPerWave / 2);
+  EXPECT_EQ(q.size(), 0u);
+  // 1,000,000 events passed through; the slab must hold only one wave's
+  // worth of records (plus nothing — every slot recycles).
+  EXPECT_LE(slab_peak, kPerWave);
 }
 
 }  // namespace

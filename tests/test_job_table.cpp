@@ -109,8 +109,47 @@ TEST(JobTable, ActiveJobsShrinkOnCompletion) {
   table.launch_reduce(1);
   table.complete_reduce(1, 2);
   ASSERT_EQ(table.active_jobs().size(), 1u);
-  EXPECT_EQ(table.active_jobs()[0], 2);
+  EXPECT_EQ(table.active_jobs().front(), 2);
   EXPECT_EQ(table.all_jobs().size(), 2u);
+}
+
+TEST(JobTable, ReduceReadyTracksTransitions) {
+  JobTable table;
+  table.add_job(make_job(1, 1, /*reduces=*/2));
+  table.add_job(make_job(2, 1, /*reduces=*/1));
+  EXPECT_TRUE(table.reduce_ready().empty());
+
+  // Job 2 finishes its map first but must sort after job 1 when job 1
+  // becomes ready too (arrival order).
+  table.launch_map(2, 0, Locality::kNodeLocal);
+  table.complete_map(2, 1);
+  ASSERT_EQ(table.reduce_ready().size(), 1u);
+  EXPECT_EQ(table.reduce_ready().begin()->second->spec.id, 2);
+
+  table.launch_map(1, 0, Locality::kNodeLocal);
+  table.complete_map(1, 2);
+  ASSERT_EQ(table.reduce_ready().size(), 2u);
+  EXPECT_EQ(table.reduce_ready().begin()->second->spec.id, 1);
+
+  // Launching the last pending reduce drops the job; a requeue re-adds it.
+  table.launch_reduce(2);
+  EXPECT_EQ(table.reduce_ready().size(), 1u);
+  table.requeue_running_reduce(2);
+  EXPECT_EQ(table.reduce_ready().size(), 2u);
+  table.launch_reduce(2);
+
+  // Job 1 keeps one pending reduce after the first launch, so it stays.
+  table.launch_reduce(1);
+  ASSERT_EQ(table.reduce_ready().size(), 1u);
+  EXPECT_EQ(table.reduce_ready().begin()->second->spec.id, 1);
+  table.launch_reduce(1);
+  EXPECT_TRUE(table.reduce_ready().empty());
+
+  // Retirement (here via fail) erases any residual membership.
+  table.requeue_running_reduce(1);
+  EXPECT_EQ(table.reduce_ready().size(), 1u);
+  table.fail_job(1, 9);
+  EXPECT_TRUE(table.reduce_ready().empty());
 }
 
 TEST(JobTable, FindLocalMapUsesLocator) {

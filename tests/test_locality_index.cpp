@@ -1,0 +1,410 @@
+// LocalityIndex unit tests plus a randomized equivalence oracle.
+//
+// The unit tests pin the incremental-maintenance contract for each event
+// the index must absorb: replica create/evict, node death and rejoin
+// reconciliation (via a live NameNode with the observer attached), map
+// launch/requeue, and job failure. The oracle drives two JobTables through
+// an identical randomized schedule — one answering from the index, one
+// scanning with a BlockLocator over the same replica map — and asserts
+// every single selection matches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/job_table.h"
+#include "sched/locality_index.h"
+#include "storage/namenode.h"
+
+namespace dare::sched {
+namespace {
+
+JobSpec make_job(JobId id, const std::vector<BlockId>& blocks,
+                 std::size_t reduces = 0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.reduces = reduces;
+  for (BlockId b : blocks) {
+    MapTaskSpec task;
+    task.block = b;
+    task.bytes = 1;
+    spec.maps.push_back(task);
+  }
+  return spec;
+}
+
+/// Scan-mode oracle locator over a shared replica map.
+class MapLocator final : public BlockLocator {
+ public:
+  MapLocator(const std::unordered_map<BlockId, std::set<NodeId>>* replicas,
+             const std::vector<RackId>* node_rack)
+      : replicas_(replicas), node_rack_(node_rack) {}
+
+  bool is_local(NodeId node, BlockId block) const override {
+    const auto it = replicas_->find(block);
+    return it != replicas_->end() && it->second.count(node) != 0;
+  }
+  bool is_rack_local(NodeId node, BlockId block) const override {
+    const auto it = replicas_->find(block);
+    if (it == replicas_->end()) return false;
+    for (NodeId holder : it->second) {
+      if ((*node_rack_)[static_cast<std::size_t>(holder)] ==
+          (*node_rack_)[static_cast<std::size_t>(node)]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const std::unordered_map<BlockId, std::set<NodeId>>* replicas_;
+  const std::vector<RackId>* node_rack_;
+};
+
+/// 4 nodes in 2 racks: nodes 0,1 in rack 0; nodes 2,3 in rack 1.
+class LocalityIndexTest : public ::testing::Test {
+ protected:
+  LocalityIndexTest() : index_(4, {0, 0, 1, 1}, 2) {}
+  LocalityIndex index_;
+};
+
+TEST_F(LocalityIndexTest, RejectsBadConstruction) {
+  EXPECT_THROW(LocalityIndex(0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(LocalityIndex(2, {0}, 1), std::invalid_argument);
+  EXPECT_THROW(LocalityIndex(2, {0, 5}, 2), std::invalid_argument);
+}
+
+TEST_F(LocalityIndexTest, WatchAfterReplicaSeesExistingLocations) {
+  index_.replica_added(7, 0);
+  index_.replica_added(7, 2);
+  index_.watch_map(1, 0, 7);
+  EXPECT_EQ(index_.node_candidates(1, 0).size(), 1u);
+  EXPECT_EQ(index_.node_candidates(1, 1).size(), 0u);
+  EXPECT_EQ(index_.node_candidates(1, 2).size(), 1u);
+  // Rack candidates: rack 0 via node 0, rack 1 via node 2.
+  EXPECT_EQ(index_.rack_candidates(1, 1).size(), 1u);  // node 1 -> rack 0
+  EXPECT_EQ(index_.rack_candidates(1, 3).size(), 1u);  // node 3 -> rack 1
+}
+
+TEST_F(LocalityIndexTest, ReplicaAfterWatchReachesCandidates) {
+  index_.watch_map(1, 0, 7);
+  EXPECT_TRUE(index_.node_candidates(1, 0).empty());
+  index_.replica_added(7, 0);
+  EXPECT_EQ(index_.node_candidates(1, 0).size(), 1u);
+  EXPECT_EQ(index_.rack_candidates(1, 1).size(), 1u);
+}
+
+TEST_F(LocalityIndexTest, EvictionRemovesCandidateAndRackEntryAtZero) {
+  index_.watch_map(1, 0, 7);
+  index_.replica_added(7, 0);
+  index_.replica_added(7, 1);  // second replica in rack 0
+  EXPECT_EQ(index_.rack_candidates(1, 0).size(), 1u);
+  index_.replica_removed(7, 0);  // rack 0 still holds one replica
+  EXPECT_TRUE(index_.node_candidates(1, 0).empty());
+  EXPECT_EQ(index_.node_candidates(1, 1).size(), 1u);
+  EXPECT_EQ(index_.rack_candidates(1, 0).size(), 1u);
+  index_.replica_removed(7, 1);  // rack is now empty
+  EXPECT_TRUE(index_.rack_candidates(1, 0).empty());
+  EXPECT_EQ(index_.replica_count(7), 0u);
+}
+
+TEST_F(LocalityIndexTest, UnwatchDropsAllCandidateEntries) {
+  index_.replica_added(7, 0);
+  index_.replica_added(7, 3);
+  index_.watch_map(1, 0, 7);
+  index_.watch_map(1, 1, 7);  // two maps of the same job reading block 7
+  EXPECT_EQ(index_.node_candidates(1, 0).size(), 2u);
+  index_.unwatch_map(1, 0, 7);
+  EXPECT_EQ(index_.node_candidates(1, 0).size(), 1u);
+  EXPECT_EQ(index_.node_candidates(1, 0)[0], 1u);
+  EXPECT_EQ(index_.rack_candidates(1, 2).size(), 1u);
+  index_.unwatch_map(1, 1, 7);
+  EXPECT_TRUE(index_.node_candidates(1, 0).empty());
+  EXPECT_TRUE(index_.rack_candidates(1, 2).empty());
+}
+
+TEST_F(LocalityIndexTest, JobRetirementFreesState) {
+  index_.replica_added(7, 0);
+  index_.watch_map(1, 0, 7);
+  index_.unwatch_map(1, 0, 7);
+  EXPECT_EQ(index_.tracked_job_count(), 1u);
+  index_.job_retired(1);
+  EXPECT_EQ(index_.tracked_job_count(), 0u);
+  // Unknown jobs answer empty, not throw.
+  EXPECT_TRUE(index_.node_candidates(1, 0).empty());
+}
+
+/// JobTable + index integration: the index answer must equal the legacy
+/// scan at every step of a launch/requeue/fail lifecycle.
+TEST(JobTableIndexTest, LaunchRequeueFailKeepCandidatesExact) {
+  std::unordered_map<BlockId, std::set<NodeId>> replicas;
+  std::vector<RackId> node_rack{0, 0, 1, 1};
+  MapLocator locator(&replicas, &node_rack);
+
+  LocalityIndex index(4, node_rack, 2);
+  JobTable indexed;
+  indexed.attach_locality_index(&index);
+  JobTable scanned;
+
+  const auto add_replica = [&](BlockId b, NodeId n) {
+    replicas[b].insert(n);
+    index.replica_added(b, n);
+  };
+  add_replica(10, 0);
+  add_replica(10, 2);
+  add_replica(11, 1);
+  add_replica(12, 3);
+
+  const auto spec = make_job(1, {10, 11, 12});
+  indexed.add_job(spec);
+  scanned.add_job(spec);
+
+  const auto expect_equal_everywhere = [&]() {
+    for (NodeId n = 0; n < 4; ++n) {
+      EXPECT_EQ(indexed.find_local_map(1, n, locator),
+                scanned.find_local_map(1, n, locator))
+          << "local divergence on node " << n;
+      EXPECT_EQ(indexed.find_rack_local_map(1, n, locator),
+                scanned.find_rack_local_map(1, n, locator))
+          << "rack divergence on node " << n;
+    }
+  };
+  expect_equal_everywhere();
+
+  // Launch the map local to node 0 in both tables.
+  const auto sel = indexed.find_local_map(1, 0, locator);
+  ASSERT_TRUE(sel.has_value());
+  const std::size_t launched =
+      indexed.launch_map(1, *sel, Locality::kNodeLocal);
+  EXPECT_EQ(scanned.launch_map(1, *sel, Locality::kNodeLocal), launched);
+  expect_equal_everywhere();
+  EXPECT_FALSE(indexed.find_local_map(1, 0, locator).has_value());
+
+  // Node death drops the replica; requeue puts the map back.
+  replicas[10].erase(2);
+  index.replica_removed(10, 2);
+  indexed.requeue_running_map(1, launched, Locality::kNodeLocal);
+  scanned.requeue_running_map(1, launched, Locality::kNodeLocal);
+  expect_equal_everywhere();
+  EXPECT_TRUE(indexed.find_local_map(1, 0, locator).has_value());
+  EXPECT_FALSE(indexed.find_local_map(1, 2, locator).has_value());
+
+  // Job failure drops every pending map from the index.
+  indexed.fail_job(1, 100);
+  scanned.fail_job(1, 100);
+  EXPECT_TRUE(index.node_candidates(1, 0).empty());
+  EXPECT_EQ(index.tracked_job_count(), 0u);
+}
+
+/// NameNode-driven reconciliation: the observer stream through death,
+/// rejoin (with re-adoption and pruning), dynamic reports, and repair
+/// copies keeps the index mirror identical to locations().
+TEST(LocalityIndexNameNodeTest, ObserverMirrorsEveryTransition) {
+  Rng rng(99);
+  storage::NameNode nn(4, nullptr, rng);
+  LocalityIndex index(4, {0, 0, 1, 1}, 2);
+  nn.set_replica_observer([&](BlockId b, NodeId n, bool added) {
+    if (added) {
+      index.replica_added(b, n);
+    } else {
+      index.replica_removed(b, n);
+    }
+  });
+
+  const auto expect_mirrored = [&]() {
+    for (FileId fid : nn.all_files()) {
+      for (BlockId bid : nn.file(fid).blocks) {
+        const auto& locs = nn.locations(bid);
+        ASSERT_EQ(index.replica_count(bid), locs.size()) << "block " << bid;
+        for (NodeId n : locs) {
+          EXPECT_TRUE(index.mirrors_replica(bid, n))
+              << "block " << bid << " node " << n;
+        }
+      }
+    }
+  };
+
+  const FileId fid = nn.create_file("f", 3, 1024, 2, 0);
+  expect_mirrored();
+  const BlockId b0 = nn.file(fid).blocks[0];
+
+  // Dynamic replica lifecycle on a node that does not hold b0 statically.
+  NodeId dyn_node = kInvalidNode;
+  for (NodeId n = 0; n < 4; ++n) {
+    const auto& locs = nn.locations(b0);
+    if (std::find(locs.begin(), locs.end(), n) == locs.end()) {
+      dyn_node = n;
+      break;
+    }
+  }
+  ASSERT_NE(dyn_node, kInvalidNode);
+  nn.report_dynamic_added(dyn_node, {b0});
+  nn.report_dynamic_added(dyn_node, {b0});  // duplicate: no delta
+  expect_mirrored();
+  nn.report_dynamic_removed(dyn_node, {b0});
+  nn.report_dynamic_removed(dyn_node, {b0});  // missing: no delta
+  expect_mirrored();
+
+  // Death drops every replica on the victim from the mirror.
+  const NodeId victim = nn.locations(b0).front();
+  std::vector<BlockId> victim_statics;
+  for (FileId f : nn.all_files()) {
+    for (BlockId b : nn.file(f).blocks) {
+      const auto& statics = nn.static_locations(b);
+      if (std::find(statics.begin(), statics.end(), victim) !=
+          statics.end()) {
+        victim_statics.push_back(b);
+      }
+    }
+  }
+  nn.node_failed(victim);
+  expect_mirrored();
+  EXPECT_FALSE(index.mirrors_replica(b0, victim));
+
+  // Repair one block, then rejoin: the repaired block's stale copy is
+  // pruned (no delta), the rest are re-adopted (delta per block).
+  NodeId repair_node = kInvalidNode;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (n == victim || !nn.is_node_alive(n)) continue;
+    const auto& locs = nn.locations(b0);
+    if (std::find(locs.begin(), locs.end(), n) == locs.end()) {
+      repair_node = n;
+      break;
+    }
+  }
+  ASSERT_NE(repair_node, kInvalidNode);
+  ASSERT_TRUE(nn.add_repair_replica(b0, repair_node));
+  expect_mirrored();
+
+  const auto report = nn.node_rejoined(victim, victim_statics, {});
+  expect_mirrored();
+  EXPECT_EQ(report.pruned_static.size(), 1u);
+  EXPECT_EQ(report.pruned_static[0], b0);
+  EXPECT_FALSE(index.mirrors_replica(b0, victim));
+}
+
+/// Randomized oracle: an indexed table and a scanning table driven through
+/// the same schedule must make the same selection at every opportunity.
+TEST(LocalityIndexOracleTest, RandomizedScheduleSelectsIdentically) {
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kRacks = 3;
+  constexpr std::size_t kBlocks = 40;
+  constexpr int kSteps = 4000;
+
+  std::vector<RackId> node_rack(kNodes);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    node_rack[n] = static_cast<RackId>(n % kRacks);
+  }
+  std::unordered_map<BlockId, std::set<NodeId>> replicas;
+  MapLocator locator(&replicas, &node_rack);
+
+  LocalityIndex index(kNodes, node_rack, kRacks);
+  JobTable indexed;
+  indexed.attach_locality_index(&index);
+  JobTable scanned;
+
+  Rng rng(4242);
+  JobId next_job = 0;
+  std::vector<JobId> live_jobs;
+  // Launched (job, map_index) pairs eligible for requeue/complete.
+  std::vector<std::pair<JobId, std::size_t>> running;
+
+  const auto random_block = [&]() {
+    return static_cast<BlockId>(rng.uniform_int(0, kBlocks - 1));
+  };
+  const auto random_node = [&]() {
+    return static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<int>(kNodes) - 1));
+  };
+
+  for (int step = 0; step < kSteps; ++step) {
+    const int action = rng.uniform_int(0, 9);
+    if (action <= 1) {  // add/remove a replica
+      const BlockId b = random_block();
+      const NodeId n = random_node();
+      if (replicas[b].count(n)) {
+        replicas[b].erase(n);
+        index.replica_removed(b, n);
+      } else {
+        replicas[b].insert(n);
+        index.replica_added(b, n);
+      }
+    } else if (action == 2 && live_jobs.size() < 12) {  // new job
+      std::vector<BlockId> blocks;
+      const int maps = rng.uniform_int(1, 6);
+      for (int m = 0; m < maps; ++m) blocks.push_back(random_block());
+      const auto spec = make_job(next_job, blocks);
+      indexed.add_job(spec);
+      scanned.add_job(spec);
+      live_jobs.push_back(next_job);
+      ++next_job;
+    } else if (action == 3 && !running.empty()) {  // requeue a running map
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(running.size()) - 1));
+      const auto [job, mi] = running[pick];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+      indexed.requeue_running_map(job, mi, Locality::kOffRack);
+      scanned.requeue_running_map(job, mi, Locality::kOffRack);
+    } else if (action == 4 && !running.empty()) {  // complete a running map
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(running.size()) - 1));
+      const auto [job, mi] = running[pick];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+      indexed.complete_map(job, step);
+      scanned.complete_map(job, step);
+      if (!indexed.has_job(job) || !indexed.job(job).active) {
+        live_jobs.erase(
+            std::find(live_jobs.begin(), live_jobs.end(), job));
+      }
+    } else if (action == 5 && !live_jobs.empty() &&
+               rng.uniform_int(0, 19) == 0) {  // rare: kill a job
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live_jobs.size()) - 1));
+      const JobId job = live_jobs[pick];
+      indexed.fail_job(job, step);
+      scanned.fail_job(job, step);
+      live_jobs.erase(live_jobs.begin() + static_cast<std::ptrdiff_t>(pick));
+      for (std::size_t r = running.size(); r-- > 0;) {
+        if (running[r].first == job) {
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(r));
+        }
+      }
+    } else if (!live_jobs.empty()) {  // scheduling opportunity
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(live_jobs.size()) - 1));
+      const JobId job = live_jobs[pick];
+      const NodeId node = random_node();
+
+      const auto local_a = indexed.find_local_map(job, node, locator);
+      const auto local_b = scanned.find_local_map(job, node, locator);
+      ASSERT_EQ(local_a, local_b)
+          << "local divergence at step " << step << " job " << job
+          << " node " << node;
+      const auto rack_a = indexed.find_rack_local_map(job, node, locator);
+      const auto rack_b = scanned.find_rack_local_map(job, node, locator);
+      ASSERT_EQ(rack_a, rack_b)
+          << "rack divergence at step " << step << " job " << job << " node "
+          << node;
+
+      const auto chosen = local_a ? local_a : rack_a;
+      if (chosen) {
+        const std::size_t launched = indexed.launch_map(
+            job, *chosen,
+            local_a ? Locality::kNodeLocal : Locality::kRackLocal);
+        const std::size_t launched_b = scanned.launch_map(
+            job, *chosen,
+            local_a ? Locality::kNodeLocal : Locality::kRackLocal);
+        ASSERT_EQ(launched, launched_b);
+        running.emplace_back(job, launched);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dare::sched

@@ -49,7 +49,7 @@ from pathlib import Path
 
 # Directories (relative to the repo root) where determinism rules apply.
 DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage",
-                    "src/faults")
+                    "src/faults", "src/cluster")
 NO_FLOAT_DIRS = ("src/metrics",)
 
 BANNED_RANDOMNESS = [
