@@ -19,11 +19,15 @@
 //   repeats=<n>       timed repetitions per mode; the minimum is reported
 //   json=<path>       output path ("" to skip writing)
 //   jobs_ec2= jobs_cct= nodes_ec2= nodes_cct=   scale overrides
+//   profile=1         after the A/B table, re-run the largest indexed config
+//                     with the PhaseProfiler attached and print the per-phase
+//                     CPU attribution (separate pass: timings stay untouched)
 #include <ctime>
 
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,7 @@
 #include "cluster/experiment.h"
 #include "metrics/run_metrics.h"
 #include "net/profile.h"
+#include "obs/phase_profiler.h"
 #include "workload/workload.h"
 
 namespace dare {
@@ -164,6 +169,26 @@ int main(int argc, char** argv) {
         rows.push_back(row);
       }
     }
+  }
+
+  if (cfg.get_int("profile", 0) != 0) {
+    // Phase attribution for the heaviest configuration. Runs after (and
+    // apart from) the timed A/B passes so the scoped clock reads cannot
+    // contaminate legacy_ms/indexed_ms.
+    const auto& prof = profiles.back();
+    auto opts = cluster::paper_defaults(
+        prof.name == "cct" ? net::cct_profile(prof.nodes)
+                           : net::ec2_profile(prof.nodes),
+        cluster::SchedulerKind::kFair, cluster::PolicyKind::kElephantTrap,
+        42);
+    opts.use_locality_index = true;
+    obs::PhaseProfiler phase_profiler;
+    opts.profiler = &phase_profiler;
+    cluster::run_once(opts, heavy_workload(prof.jobs));
+    std::printf("\nphase attribution (%s, %zu nodes, %zu jobs, "
+                "Fair/elephant-trap, indexed):\n",
+                prof.name.c_str(), prof.nodes, prof.jobs);
+    phase_profiler.write_report(std::cout);
   }
 
   if (!json_path.empty()) {

@@ -9,6 +9,8 @@
 #include "common/stats.h"
 #include "core/greedy_lru.h"
 #include "core/lfu.h"
+#include "obs/phase_profiler.h"
+#include "obs/trace_collector.h"
 #include "sched/fair_scheduler.h"
 #include "sched/fifo_scheduler.h"
 
@@ -142,6 +144,17 @@ Cluster::Cluster(const ClusterOptions& options)
     fault_process_ =
         std::make_unique<faults::FaultProcess>(options_.faults, rng_);
   }
+
+  // Observability wiring: the tracer fans out to every instrumented
+  // component (policies get theirs in create_policies, after construction).
+  tracer_ = options_.tracer;
+  profiler_ = options_.profiler;
+  if (tracer_ != nullptr) {
+    tracer_->set_clock([this] { return sim_.now(); });
+    name_node_->set_tracer(tracer_);
+    for (auto& dn : data_nodes_) dn->set_tracer(tracer_);
+    scheduler_->set_tracer(tracer_);
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -174,15 +187,15 @@ void Cluster::load_files(const workload::Workload& workload) {
   // Snapshot the initial-placement popularity indices now: repair copies
   // created after failures later mutate the static block sets.
   const auto counts = workload.file_access_counts();
-  std::unordered_map<FileId, double> file_popularity;
+  file_popularity_.clear();
   for (std::size_t i = 0; i < catalog_file_ids_.size(); ++i) {
-    file_popularity[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
+    file_popularity_[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
   }
   cv_before_samples_.clear();
   for (const auto& dn : data_nodes_) {
     double pi = 0.0;
     for (const auto& meta : dn->static_blocks()) {
-      pi += static_cast<double>(meta.size) * file_popularity[meta.file];
+      pi += static_cast<double>(meta.size) * popularity_of(meta.file);
     }
     cv_before_samples_.push_back(pi);
   }
@@ -215,6 +228,9 @@ void Cluster::create_policies() {
         break;
     }
   }
+  if (tracer_ != nullptr) {
+    for (auto& policy : policies_) policy->set_tracer(tracer_);
+  }
 }
 
 void Cluster::schedule_arrivals(const workload::Workload& workload) {
@@ -237,6 +253,9 @@ void Cluster::schedule_arrivals(const workload::Workload& workload) {
     spec.reduce_cpu = tmpl.reduce_cpu;
     spec.shuffle_bytes = tmpl.shuffle_bytes;
     sim_.at(tmpl.arrival, [this, spec] {
+      if (tracer_ != nullptr) {
+        tracer_->job_submitted(spec.id, spec.maps.size(), spec.reduces);
+      }
       jobs_.add_job(spec);
       try_assign_all();
     });
@@ -256,6 +275,7 @@ void Cluster::start_heartbeats() {
 
 void Cluster::heartbeat(std::size_t worker) {
   if (dead_[worker]) return;  // a dead node heartbeats no more
+  obs::PhaseScope prof(profiler_, obs::Phase::kHeartbeat);
   name_node_->heartbeat_received(static_cast<NodeId>(worker), sim_.now());
   auto& dn = *data_nodes_[worker];
   const auto report = dn.drain_report();
@@ -317,6 +337,9 @@ void Cluster::maybe_schedule_tick() {
 }
 
 void Cluster::try_assign_all() {
+  // Profiled per sweep, not per node: this is the hottest path in the
+  // simulator and a per-node scope would dominate the cost it measures.
+  obs::PhaseScope prof(profiler_, obs::Phase::kSchedule);
   const std::size_t n = data_nodes_.size();
   const std::size_t start = assign_rotation_++ % n;
   for (std::size_t k = 0; k < n; ++k) {
@@ -373,6 +396,11 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
       jobs_.job(selection.job).spec.maps[map_index];
   const storage::BlockMeta meta = name_node_->block(task.block);
   --free_map_slots_[w];
+  if (tracer_ != nullptr) {
+    tracer_->map_launched(worker, selection.job, map_index,
+                          static_cast<int>(selection.locality),
+                          /*speculative=*/false);
+  }
 
   const bool node_local = selection.node_local();
   SimDuration duration = options_.map_setup + task.cpu;
@@ -404,7 +432,10 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
 
   // The DARE hook: the block is streaming through this node anyway, so the
   // policy may capture it (remote case) or refresh its bookkeeping (local).
-  policies_[w]->on_map_task(meta, node_local);
+  {
+    obs::PhaseScope prof(profiler_, obs::Phase::kReplication);
+    policies_[w]->on_map_task(meta, node_local);
+  }
   if (scarlett_) scarlett_->record_access(meta.file);
   if (options_.record_access_trace) {
     access_trace_.events.push_back({meta.file, sim_.now()});
@@ -440,6 +471,14 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
   ++speculative_launched_;
 
   const bool node_local = locator_->is_local(worker, task.block);
+  if (tracer_ != nullptr) {
+    const auto loc = node_local ? sched::Locality::kNodeLocal
+                     : locator_->is_rack_local(worker, task.block)
+                         ? sched::Locality::kRackLocal
+                         : sched::Locality::kOffRack;
+    tracer_->map_launched(worker, job, map_index, static_cast<int>(loc),
+                          /*speculative=*/true);
+  }
   SimDuration duration = options_.map_setup + task.cpu;
   NodeId src = worker;
   bool remote_flow = false;
@@ -464,7 +503,10 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
                                       node_slowdown_[w]);
   // The backup attempt reads the block through this node too — the DARE
   // hook applies exactly as for a regular attempt.
-  policies_[w]->on_map_task(meta, node_local);
+  {
+    obs::PhaseScope prof(profiler_, obs::Phase::kReplication);
+    policies_[w]->on_map_task(meta, node_local);
+  }
 
   const double duration_s = to_seconds(duration);
   auto& state = running_maps_[task_key(job, map_index)];
@@ -522,6 +564,10 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   // against the Hadoop retry budget.
   if (fault_process_ && fault_process_->sample_task_failure()) {
     ++task_attempt_failures_;
+    if (tracer_ != nullptr) {
+      tracer_->task_attempt_fault(worker, job,
+                                  static_cast<std::int64_t>(map_index));
+    }
     note_node_task_failure(worker);
     const auto failures = ++map_attempt_failures_[key];
     if (failures >= options_.max_task_attempts) {
@@ -530,6 +576,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
     }
     if (state.attempts.empty()) {
       // No speculative sibling still running: back to the pending queue.
+      if (tracer_ != nullptr) tracer_->map_requeued(worker, job, map_index);
       jobs_.requeue_running_map(job, map_index, state.original_locality);
       ++task_reexecutions_;
       running_maps_.erase(state_it);
@@ -540,7 +587,14 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
 
   // This attempt wins the task.
   if (was_speculative) ++speculative_wins_;
+  if (tracer_ != nullptr) {
+    tracer_->map_finished(worker, job, map_index, duration_s, was_speculative);
+  }
   jobs_.complete_map(job, sim_.now());
+  if (tracer_ != nullptr && jobs_.job(job).done()) {
+    tracer_->job_finished(
+        job, to_seconds(sim_.now() - jobs_.job(job).spec.arrival));
+  }
   auto& [sum_s, count] = job_map_stats_[job];
   sum_s += duration_s;
   ++count;
@@ -553,6 +607,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   for (auto& other : state.attempts) {
     if (other.completion.cancel()) {
       ++speculative_killed_;
+      if (tracer_ != nullptr) tracer_->map_killed(other.node, job, map_index);
       if (other.holds_flow) {
         network_->flow_finished(other.flow_src, other.node);
       }
@@ -658,13 +713,18 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
   }
 
   const std::uint64_t attempt_id = next_reduce_attempt_++;
+  if (tracer_ != nullptr) {
+    tracer_->reduce_launched(worker, job,
+                             static_cast<std::int64_t>(attempt_id));
+  }
+  const double duration_s = to_seconds(duration);
   ReduceAttempt attempt;
   attempt.job = job;
   attempt.node = worker;
   attempt.holds_flow = flows;
   attempt.flow_src = src;
-  attempt.completion =
-      sim_.after(duration, [this, attempt_id, job, worker, src, flows] {
+  attempt.completion = sim_.after(
+      duration, [this, attempt_id, job, worker, src, flows, duration_s] {
         if (flows) network_->flow_finished(src, worker);
         const auto it = running_reduces_.find(attempt_id);
         if (it == running_reduces_.end()) {
@@ -682,18 +742,34 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
         ++free_reduce_slots_[wi];
         if (fault_process_ && fault_process_->sample_task_failure()) {
           ++task_attempt_failures_;
+          if (tracer_ != nullptr) {
+            tracer_->task_attempt_fault(
+                worker, job, static_cast<std::int64_t>(attempt_id));
+          }
           note_node_task_failure(worker);
           const auto failures = ++reduce_attempt_failures_[job];
           if (failures >= options_.max_task_attempts) {
             fail_job(job);
             return;
           }
+          if (tracer_ != nullptr) {
+            tracer_->reduce_requeued(worker, job,
+                                     static_cast<std::int64_t>(attempt_id));
+          }
           jobs_.requeue_running_reduce(job);
           ++task_reexecutions_;
           try_assign_all();
           return;
         }
+        if (tracer_ != nullptr) {
+          tracer_->reduce_finished(
+              worker, job, static_cast<std::int64_t>(attempt_id), duration_s);
+        }
         jobs_.complete_reduce(job, sim_.now());
+        if (tracer_ != nullptr && jobs_.job(job).done()) {
+          tracer_->job_finished(
+              job, to_seconds(sim_.now() - jobs_.job(job).spec.arrival));
+        }
         if (run_finished()) cancel_pending_churn();
         try_assign_node(worker);
       });
@@ -710,6 +786,10 @@ void Cluster::fail_node(NodeId worker, faults::FaultKind kind,
   }
   if (live_physical <= 1) {
     throw std::logic_error("Cluster: cannot fail the last live worker");
+  }
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
+  if (tracer_ != nullptr) {
+    tracer_->node_failed(worker, static_cast<int>(kind), to_seconds(downtime));
   }
   dead_[w] = true;
   death_time_[w] = sim_.now();
@@ -739,6 +819,7 @@ void Cluster::fail_node(NodeId worker, faults::FaultKind kind,
 
 void Cluster::detection_tick() {
   if (run_finished()) return;  // post-run drain: stop monitoring
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
   const SimDuration timeout =
       options_.heartbeat_interval *
       static_cast<SimDuration>(options_.detection_missed_heartbeats);
@@ -795,10 +876,15 @@ void Cluster::cleanup_node_attempts(NodeId worker) {
     if (att_it->completion.cancel() && att_it->holds_flow) {
       network_->flow_finished(att_it->flow_src, att_it->node);
     }
+    if (tracer_ != nullptr) {
+      tracer_->map_killed(worker, static_cast<JobId>(key >> 20),
+                          static_cast<std::size_t>(key & 0xFFFFF));
+    }
     state.attempts.erase(att_it);
     if (state.attempts.empty()) {
       const auto job = static_cast<JobId>(key >> 20);
       const auto map_index = static_cast<std::size_t>(key & 0xFFFFF);
+      if (tracer_ != nullptr) tracer_->map_requeued(worker, job, map_index);
       jobs_.requeue_running_map(job, map_index, state.original_locality);
       ++task_reexecutions_;
       running_maps_.erase(it);
@@ -812,6 +898,10 @@ void Cluster::cleanup_node_attempts(NodeId worker) {
     if (it->second.completion.cancel() && it->second.holds_flow) {
       network_->flow_finished(it->second.flow_src, worker);
     }
+    if (tracer_ != nullptr) {
+      tracer_->reduce_requeued(worker, it->second.job,
+                               static_cast<std::int64_t>(it->first));
+    }
     jobs_.requeue_running_reduce(it->second.job);
     ++task_reexecutions_;
     it = running_reduces_.erase(it);
@@ -822,6 +912,7 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
   const auto w = static_cast<std::size_t>(worker);
   if (fault_epoch_[w] != epoch || !dead_[w]) return;  // stale event
   if (run_finished()) return;
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
   dead_[w] = false;
   ++fault_epoch_[w];
   ++node_rejoins_;
@@ -853,7 +944,11 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
     // Blip shorter than the detection timeout: the name node never
     // noticed, its metadata is still correct, and the disk (and policy
     // state) is intact. But the rebooted tracker does not resume tasks —
-    // requeue whatever was running here.
+    // requeue whatever was running here. (The name node never saw this
+    // rejoin, so the tracer event comes from the cluster glue.)
+    if (tracer_ != nullptr) {
+      tracer_->node_rejoined(worker, /*full_reregistration=*/false);
+    }
     cleanup_node_attempts(worker);
   }
   free_map_slots_[w] = options_.map_slots_per_node;
@@ -913,6 +1008,10 @@ void Cluster::fail_job(JobId job) {
     const auto it = running_maps_.find(key);
     for (auto& attempt : it->second.attempts) {
       if (attempt.completion.cancel()) {
+        if (tracer_ != nullptr) {
+          tracer_->map_killed(attempt.node, job,
+                              static_cast<std::size_t>(key & 0xFFFFF));
+        }
         if (attempt.holds_flow) {
           network_->flow_finished(attempt.flow_src, attempt.node);
         }
@@ -930,6 +1029,10 @@ void Cluster::fail_job(JobId job) {
       continue;
     }
     if (it->second.completion.cancel()) {
+      if (tracer_ != nullptr) {
+        tracer_->reduce_requeued(it->second.node, job,
+                                 static_cast<std::int64_t>(it->first));
+      }
       if (it->second.holds_flow) {
         network_->flow_finished(it->second.flow_src, it->second.node);
       }
@@ -941,6 +1044,7 @@ void Cluster::fail_job(JobId job) {
   }
   jobs_.fail_job(job, sim_.now());
   ++failed_jobs_;
+  if (tracer_ != nullptr) tracer_->job_failed(job);
   if (run_finished()) cancel_pending_churn();
   try_assign_all();
 }
@@ -966,10 +1070,14 @@ void Cluster::cancel_pending_churn() {
   monitor_event_.cancel();
   for (auto& handle : next_failure_) handle.cancel();
   for (auto& handle : recover_event_) handle.cancel();
+  // The gauge sampler must die with the run too: a sample event left in the
+  // queue would fire after the last job and inflate the makespan.
+  sampler_event_.cancel();
 }
 
 void Cluster::rereplication_tick() {
   repair_tick_scheduled_ = false;
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
   std::size_t started = 0;
   while (!repair_queue_.empty() && started < options_.rereplication_batch) {
     const BlockId bid = repair_queue_.front();
@@ -1024,6 +1132,62 @@ void Cluster::rereplication_tick() {
     repair_tick_scheduled_ = true;
     sim_.after(options_.rereplication_interval,
                [this] { rereplication_tick(); });
+  }
+}
+
+std::vector<double> Cluster::live_node_popularity() const {
+  std::vector<double> pis;
+  pis.reserve(data_nodes_.size());
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (dead_[w]) continue;
+    const auto& dn = data_nodes_[w];
+    double pi = 0.0;
+    for (const auto& meta : dn->static_blocks()) {
+      pi += static_cast<double>(meta.size) * popularity_of(meta.file);
+    }
+    for (BlockId bid : dn->dynamic_blocks()) {
+      const auto& meta = name_node_->block(bid);
+      pi += static_cast<double>(meta.size) * popularity_of(meta.file);
+    }
+    pis.push_back(pi);
+  }
+  return pis;
+}
+
+void Cluster::sample_tick() {
+  obs::PhaseScope prof(profiler_, obs::Phase::kSampling);
+  obs::TimeSeriesSample s;
+  s.t = sim_.now();
+  s.pending_maps = jobs_.total_pending_maps();
+  s.pending_reduces = jobs_.total_pending_reduces();
+  s.running_tasks = jobs_.total_running();
+  std::size_t total_slots = 0;
+  std::size_t busy_slots = 0;
+  std::size_t live = 0;
+  Bytes dynamic_bytes = 0;
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (dead_[w]) continue;
+    ++live;
+    total_slots +=
+        options_.map_slots_per_node + options_.reduce_slots_per_node;
+    busy_slots += (options_.map_slots_per_node - free_map_slots_[w]) +
+                  (options_.reduce_slots_per_node - free_reduce_slots_[w]);
+    dynamic_bytes += data_nodes_[w]->dynamic_bytes();
+  }
+  if (total_slots > 0) {
+    s.slot_utilization =
+        static_cast<double>(busy_slots) / static_cast<double>(total_slots);
+  }
+  if (node_budget_bytes_ > 0 && live > 0) {
+    s.budget_occupancy =
+        static_cast<double>(dynamic_bytes) /
+        (static_cast<double>(node_budget_bytes_) * static_cast<double>(live));
+  }
+  s.popularity_cv = coefficient_of_variation(live_node_popularity());
+  tracer_->series().add(s);
+  if (!run_finished()) {
+    sampler_event_ = sim_.after(options_.trace_sample_interval,
+                                [this] { sample_tick(); });
   }
 }
 
@@ -1255,7 +1419,7 @@ void Cluster::validate() const {
 }
 
 metrics::RunResult Cluster::collect_results(
-    const workload::Workload& workload) {
+    const workload::Workload& /*workload*/) {
   metrics::RunResult result;
 
   // Per-job metrics.
@@ -1302,29 +1466,11 @@ metrics::RunResult Cluster::collect_results(
   result.blacklisted_nodes = blacklisted_total_;
 
   // Popularity indices (Fig. 11). Block popularity = number of jobs that
-  // accessed its file in this workload. "Before" uses the snapshot taken at
-  // load time; "after" reflects the final placement on live nodes.
-  const auto counts = workload.file_access_counts();
-  std::unordered_map<FileId, double> file_popularity;
-  for (std::size_t i = 0; i < catalog_file_ids_.size(); ++i) {
-    file_popularity[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
-  }
-  std::vector<double> pi_after;
-  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-    if (dead_[w]) continue;
-    const auto& dn = data_nodes_[w];
-    double after = 0.0;
-    for (const auto& meta : dn->static_blocks()) {
-      after += static_cast<double>(meta.size) * file_popularity[meta.file];
-    }
-    for (BlockId bid : dn->dynamic_blocks()) {
-      const auto& meta = name_node_->block(bid);
-      after += static_cast<double>(meta.size) * file_popularity[meta.file];
-    }
-    pi_after.push_back(after);
-  }
+  // accessed its file in this workload (snapshot taken at load time).
+  // "Before" uses the static placement; "after" reflects the final
+  // placement on live nodes.
   result.cv_before = coefficient_of_variation(cv_before_samples_);
-  result.cv_after = coefficient_of_variation(pi_after);
+  result.cv_after = coefficient_of_variation(live_node_popularity());
 
   result.makespan = sim_.now();
   metrics::finalize(result, map_times_s_);
@@ -1366,8 +1512,15 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
   if (options_.enable_speculation) {
     sim_.after(options_.speculation_check, [this] { speculation_tick(); });
   }
+  if (tracer_ != nullptr && options_.trace_sample_interval > 0) {
+    sampler_event_ = sim_.after(options_.trace_sample_interval,
+                                [this] { sample_tick(); });
+  }
 
-  sim_.run();
+  {
+    obs::PhaseScope prof(profiler_, obs::Phase::kEventLoop);
+    sim_.run();
+  }
 
   if (!jobs_.all_done() ||
       jobs_.all_jobs().size() != workload.jobs.size()) {

@@ -119,6 +119,19 @@ class Cluster {
 
   void scarlett_epoch();
 
+  /// Time-series gauge sampler (observability): runs every
+  /// options_.trace_sample_interval while a tracer is attached, cancelled
+  /// via cancel_pending_churn() the moment the run finishes.
+  void sample_tick();
+  /// Popularity index of every live node (sum of block size x file access
+  /// count), in node-id order — the quantity behind cv_after and the
+  /// sampler's popularity_cv gauge.
+  std::vector<double> live_node_popularity() const;
+  double popularity_of(FileId file) const {
+    const auto it = file_popularity_.find(file);
+    return it == file_popularity_.end() ? 0.0 : it->second;
+  }
+
   metrics::RunResult collect_results(const workload::Workload& workload);
 
   ClusterOptions options_;
@@ -234,7 +247,15 @@ class Cluster {
 
   std::vector<double> map_times_s_;
   std::vector<double> cv_before_samples_;  ///< static-placement node PIs
+  /// Initial-placement file popularity (accesses per file in the workload),
+  /// snapshot at load time; shared by collect_results and the sampler.
+  std::unordered_map<FileId, double> file_popularity_;
   workload::AccessTrace access_trace_;
+
+  /// Observability (borrowed from options_; null = disabled).
+  obs::TraceCollector* tracer_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  sim::EventHandle sampler_event_;
 
   // Scarlett state.
   std::unique_ptr<core::ScarlettPlanner> scarlett_;

@@ -11,6 +11,11 @@
 #include "faults/fault_model.h"
 #include "net/profile.h"
 
+namespace dare::obs {
+class PhaseProfiler;
+class TraceCollector;
+}
+
 namespace dare::cluster {
 
 enum class SchedulerKind { kFifo, kFair };
@@ -119,6 +124,21 @@ struct ClusterOptions {
   bool enable_speculation = false;
   double speculation_threshold = 1.7;
   SimDuration speculation_check = from_seconds(1.0);
+
+  /// --- observability ------------------------------------------------------
+  /// Structured event tracer (src/obs). Borrowed pointer, must outlive the
+  /// run; null (the default) disables tracing entirely — every emission
+  /// site is a single `if (tracer)` branch, and the run is bit-identical
+  /// (same metrics::fingerprint) with tracing on or off.
+  obs::TraceCollector* tracer = nullptr;
+  /// Scoped process-CPU phase profiler. Borrowed, null = disabled. CPU
+  /// readings never enter events, RunResult, or fingerprints.
+  obs::PhaseProfiler* profiler = nullptr;
+  /// Cadence of the cluster-wide time-series sampler (queue depth, slot
+  /// utilization, budget occupancy, popularity-index cv) when a tracer is
+  /// attached; 0 disables sampling. The sampling event is cancelled at run
+  /// finish, so it never extends the makespan.
+  SimDuration trace_sample_interval = from_seconds(1.0);
 
   std::uint64_t seed = 42;
 };

@@ -1,9 +1,22 @@
 #include "common/csv.h"
 
-#include <sstream>
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 namespace dare {
+
+std::string format_double(double d) {
+  // Shortest form that parses back to the same bits; never uses the global
+  // locale, so a comma decimal point or thousands grouping cannot corrupt
+  // the field (ostringstream formatting did both).
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  if (res.ec != std::errc{}) {
+    throw std::runtime_error("format_double: to_chars failed");
+  }
+  return std::string(buf, res.ptr);
+}
 
 std::string csv_escape(const std::string& field) {
   const bool needs_quotes =
@@ -42,12 +55,7 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
 void CsvWriter::row(const std::vector<double>& cells) {
   std::vector<std::string> text;
   text.reserve(cells.size());
-  for (double d : cells) {
-    std::ostringstream ss;
-    ss.precision(17);
-    ss << d;
-    text.push_back(ss.str());
-  }
+  for (double d : cells) text.push_back(format_double(d));
   row(text);
 }
 

@@ -35,4 +35,9 @@ class CsvWriter {
 /// Quote a single CSV field if it contains a comma, quote, or newline.
 std::string csv_escape(const std::string& field);
 
+/// Shortest round-trip decimal form of `d`, locale-independent
+/// (std::to_chars): a grouping/comma-decimal global locale must never leak
+/// separators into machine-read output. Shared by CSV and JSON emitters.
+std::string format_double(double d);
+
 }  // namespace dare

@@ -50,7 +50,8 @@ double OnlineStats::cv() const {
   return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
 }
 
-double geometric_mean(const std::vector<double>& values) {
+double geometric_mean(const std::vector<double>& values,
+                      std::size_t* skipped) {
   double log_sum = 0.0;
   std::size_t n = 0;
   for (double v : values) {
@@ -59,6 +60,7 @@ double geometric_mean(const std::vector<double>& values) {
       ++n;
     }
   }
+  if (skipped != nullptr) *skipped = values.size() - n;
   return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
 }
 
@@ -87,14 +89,23 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  // Validate before any arithmetic on the arguments: the old code divided
+  // (hi - lo) / bins in the member-initializer list, so bins == 0 divided by
+  // zero before the check below could reject it.
   if (bins == 0 || !(hi > lo)) {
     throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
   }
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.resize(bins);
 }
 
 void Histogram::add(double x) {
+  if (!std::isfinite(x)) {
+    // NaN/±inf: the index cast below would be UB; count, don't bin.
+    ++dropped_;
+    return;
+  }
   auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
   idx = std::clamp<std::ptrdiff_t>(
       idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
@@ -112,6 +123,34 @@ double Histogram::bin_center(std::size_t i) const {
   return lo_ + (static_cast<double>(i) + 0.5) * width_;
 }
 
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf& other) {
+  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  data_ = other.data_;
+  sorted_ = other.sorted_;
+}
+
+EmpiricalCdf::EmpiricalCdf(EmpiricalCdf&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  data_ = std::move(other.data_);
+  sorted_ = other.sorted_;
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mutex_, other.sort_mutex_);
+  data_ = other.data_;
+  sorted_ = other.sorted_;
+  return *this;
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(EmpiricalCdf&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mutex_, other.sort_mutex_);
+  data_ = std::move(other.data_);
+  sorted_ = other.sorted_;
+  return *this;
+}
+
 void EmpiricalCdf::add(double x) {
   data_.push_back(x);
   sorted_ = false;
@@ -123,6 +162,9 @@ void EmpiricalCdf::add_all(const std::vector<double>& xs) {
 }
 
 void EmpiricalCdf::ensure_sorted() const {
+  // Lazy sort under const: guarded so concurrent const queries (e.g. two
+  // run_parallel workers sharing one CDF) don't race on data_/sorted_.
+  std::lock_guard<std::mutex> lock(sort_mutex_);
   if (!sorted_) {
     std::sort(data_.begin(), data_.end());
     sorted_ = true;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,10 +38,13 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
-/// Geometric mean of strictly positive values; values <= 0 are skipped
-/// (matching GMTT over turnaround times, which are always positive).
+/// Geometric mean of strictly positive values. Values <= 0 cannot enter the
+/// log-domain mean and are skipped; when `skipped` is non-null the number of
+/// skipped values is reported there so callers can account for them (a
+/// zero-turnaround job silently dropped from GMTT inflates the mean).
 /// Returns 0 when no positive values are present.
-double geometric_mean(const std::vector<double>& values);
+double geometric_mean(const std::vector<double>& values,
+                      std::size_t* skipped = nullptr);
 
 /// Coefficient of variation of a sample (population stddev / |mean|),
 /// the paper's uniformity measure for Fig. 11. Returns 0 for empty input or
@@ -50,10 +54,14 @@ double coefficient_of_variation(const std::vector<double>& values);
 /// Linear-interpolated percentile, q in [0, 100]. Sorts a copy.
 double percentile(std::vector<double> values, double q);
 
-/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
-/// samples are clamped into the edge buckets.
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; finite
+/// out-of-range samples are clamped into the edge buckets. Non-finite
+/// samples (NaN, ±inf) cannot be binned — casting their bin index is
+/// undefined behaviour — so they are counted in `dropped()` instead.
 class Histogram {
  public:
+  /// Throws std::invalid_argument unless bins > 0 and hi > lo (validated
+  /// before any arithmetic uses the arguments).
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
@@ -61,21 +69,33 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// Number of non-finite samples rejected by add(); never part of total().
+  std::size_t dropped() const { return dropped_; }
   /// Fraction of samples in bin i (0 when empty).
   double proportion(std::size_t i) const;
   /// Midpoint value of bin i.
   double bin_center(std::size_t i) const;
 
  private:
-  double lo_;
-  double width_;
+  double lo_ = 0.0;
+  double width_ = 0.0;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 /// Empirical CDF: collect samples, then query F(x) or the quantiles.
+/// Const queries are thread-safe: the lazy sort behind them is guarded by a
+/// mutex, so one CDF may be shared read-only across a run_parallel sweep.
+/// Mutation (add/add_all) is not synchronized against queries.
 class EmpiricalCdf {
  public:
+  EmpiricalCdf() = default;
+  EmpiricalCdf(const EmpiricalCdf& other);
+  EmpiricalCdf(EmpiricalCdf&& other) noexcept;
+  EmpiricalCdf& operator=(const EmpiricalCdf& other);
+  EmpiricalCdf& operator=(EmpiricalCdf&& other) noexcept;
+
   void add(double x);
   void add_all(const std::vector<double>& xs);
 
@@ -85,12 +105,13 @@ class EmpiricalCdf {
   /// q-th quantile with linear interpolation, q in [0,1].
   double quantile(double q) const;
 
-  std::size_t count() const { return sorted_ ? data_.size() : data_.size(); }
+  std::size_t count() const { return data_.size(); }
   const std::vector<double>& sorted_values() const;
 
  private:
   void ensure_sorted() const;
 
+  mutable std::mutex sort_mutex_;
   mutable std::vector<double> data_;
   mutable bool sorted_ = true;
 };

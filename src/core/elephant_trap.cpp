@@ -3,8 +3,17 @@
 #include <string>
 
 #include "common/invariant.h"
+#include "obs/trace_collector.h"
 
 namespace dare::core {
+
+namespace {
+double budget_occupancy(const storage::DataNode& node, Bytes budget) {
+  return budget ? static_cast<double>(node.dynamic_bytes()) /
+                      static_cast<double>(budget)
+                : 0.0;
+}
+}  // namespace
 
 ElephantTrapPolicy::ElephantTrapPolicy(storage::DataNode& node,
                                        Bytes budget_bytes,
@@ -64,6 +73,10 @@ bool ElephantTrapPolicy::mark_block_for_deletion(
   DARE_INVARIANT(it->block.file != evicting.file,
                  "ElephantTrap: evicting a block of the inserting file " +
                      std::to_string(evicting.file));
+  if (tracer_ != nullptr) {
+    tracer_->replica_evicted(node_->id(), it->block.id,
+                             static_cast<double>(it->count), steps);
+  }
   node_->mark_for_deletion(it->block.id);
   index_.erase(it->block.id);
   auto next = std::next(it);
@@ -78,7 +91,16 @@ bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
                                      bool local) {
   // The single coin gates everything: replication of non-local reads and
   // count refreshes of local reads (probabilistic aging, Section IV-B).
-  if (!rng_.bernoulli(params_.p)) return false;
+  // Tracing must never add draws — the emitters below only observe the
+  // outcome of this one bernoulli.
+  if (!rng_.bernoulli(params_.p)) {
+    if (tracer_ != nullptr && !local) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kCoinFailed,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
 
   if (local) {
     const auto it = index_.find(block.id);
@@ -90,14 +112,40 @@ bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
     // Already trapped here (replica exists but was not yet visible to the
     // scheduler); count the access instead of re-inserting.
     ++it->second->count;
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
     return false;
   }
-  if (block.size > budget_) return false;
+  if (block.size > budget_) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kTooLarge,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
 
   while (node_->dynamic_bytes() + block.size > budget_) {
-    if (!mark_block_for_deletion(block)) return false;
+    if (!mark_block_for_deletion(block)) {
+      if (tracer_ != nullptr) {
+        tracer_->replica_skipped(node_->id(), block.id,
+                                 obs::SkipReason::kNoVictim,
+                                 budget_occupancy(*node_, budget_));
+      }
+      return false;
+    }
   }
-  if (!node_->insert_dynamic(block)) return false;
+  if (!node_->insert_dynamic(block)) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
   DARE_INVARIANT(node_->dynamic_bytes() <= budget_,
                  "ElephantTrap: budget exceeded after insert on node " +
                      std::to_string(node_->id()));
@@ -113,6 +161,10 @@ bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
   }
   index_[block.id] = pos;
   ++created_;
+  if (tracer_ != nullptr) {
+    tracer_->replica_adopted(node_->id(), block.id,
+                             budget_occupancy(*node_, budget_));
+  }
   return true;
 }
 

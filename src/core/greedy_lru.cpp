@@ -3,8 +3,17 @@
 #include <string>
 
 #include "common/invariant.h"
+#include "obs/trace_collector.h"
 
 namespace dare::core {
+
+namespace {
+double budget_occupancy(const storage::DataNode& node, Bytes budget) {
+  return budget ? static_cast<double>(node.dynamic_bytes()) /
+                      static_cast<double>(budget)
+                : 0.0;
+}
+}  // namespace
 
 GreedyLruPolicy::GreedyLruPolicy(storage::DataNode& node, Bytes budget_bytes)
     : node_(&node), budget_(budget_bytes) {}
@@ -42,6 +51,10 @@ bool GreedyLruPolicy::make_room(const storage::BlockMeta& incoming) {
     order_.pop_front();
     index_.erase(victim.id);
     node_->mark_for_deletion(victim.id);
+    if (tracer_ != nullptr) {
+      // LRU keeps no access counts; `examined` plays the aging-pass role.
+      tracer_->replica_evicted(node_->id(), victim.id, 0.0, examined);
+    }
   }
   return node_->dynamic_bytes() + incoming.size <= budget_;
 }
@@ -53,21 +66,51 @@ bool GreedyLruPolicy::on_map_task(const storage::BlockMeta& block,
     touch(block.id);
     return false;
   }
-  if (block.size > budget_) return false;  // can never fit
+  if (block.size > budget_) {  // can never fit
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kTooLarge,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
   if (index_.count(block.id) != 0) {
     // Already dynamically replicated here (e.g. replica not yet visible to
     // the scheduler); just refresh its recency.
     touch(block.id);
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
     return false;
   }
-  if (!make_room(block)) return false;
-  if (!node_->insert_dynamic(block)) return false;
+  if (!make_room(block)) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kNoVictim,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
+  if (!node_->insert_dynamic(block)) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
   DARE_INVARIANT(node_->dynamic_bytes() <= budget_,
                  "GreedyLRU: budget exceeded after insert on node " +
                      std::to_string(node_->id()));
   order_.push_back(block);
   index_[block.id] = std::prev(order_.end());
   ++created_;
+  if (tracer_ != nullptr) {
+    tracer_->replica_adopted(node_->id(), block.id,
+                             budget_occupancy(*node_, budget_));
+  }
   return true;
 }
 

@@ -1,6 +1,16 @@
 #include "core/lfu.h"
 
+#include "obs/trace_collector.h"
+
 namespace dare::core {
+
+namespace {
+double budget_occupancy(const storage::DataNode& node, Bytes budget) {
+  return budget ? static_cast<double>(node.dynamic_bytes()) /
+                      static_cast<double>(budget)
+                : 0.0;
+}
+}  // namespace
 
 GreedyLfuPolicy::GreedyLfuPolicy(storage::DataNode& node, Bytes budget_bytes)
     : node_(&node), budget_(budget_bytes) {}
@@ -35,6 +45,11 @@ bool GreedyLfuPolicy::make_room(const storage::BlockMeta& incoming) {
     }
     if (victim == nullptr) return false;
     const BlockId victim_id = victim->block.id;
+    if (tracer_ != nullptr) {
+      // LFU has no aging passes; the victim's frequency count is the story.
+      tracer_->replica_evicted(node_->id(), victim_id,
+                               static_cast<double>(victim->count), 0);
+    }
     node_->mark_for_deletion(victim_id);
     entries_.erase(victim_id);
   }
@@ -45,14 +60,44 @@ bool GreedyLfuPolicy::on_map_task(const storage::BlockMeta& block,
                                   bool local) {
   if (const auto it = entries_.find(block.id); it != entries_.end()) {
     ++it->second.count;
+    if (tracer_ != nullptr && !local) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
     return false;
   }
   if (local) return false;
-  if (block.size > budget_) return false;
-  if (!make_room(block)) return false;
-  if (!node_->insert_dynamic(block)) return false;
+  if (block.size > budget_) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kTooLarge,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
+  if (!make_room(block)) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kNoVictim,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
+  if (!node_->insert_dynamic(block)) {
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kAlreadyPresent,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
   entries_[block.id] = Entry{block, 1, tie_counter_++};
   ++created_;
+  if (tracer_ != nullptr) {
+    tracer_->replica_adopted(node_->id(), block.id,
+                             budget_occupancy(*node_, budget_));
+  }
   return true;
 }
 

@@ -17,11 +17,21 @@
 #include "storage/block.h"
 #include "storage/datanode.h"
 
+namespace dare::obs {
+class TraceCollector;
+}
+
 namespace dare::core {
 
 class ReplicationPolicy {
  public:
   virtual ~ReplicationPolicy() = default;
+
+  /// Attach the structured tracer (null = tracing disabled, the default).
+  /// Borrowed pointer; must outlive the policy. Policies emit adopt/skip/
+  /// evict decision events through it — observation only, decisions (and
+  /// especially RNG draws) are bit-identical with and without it.
+  void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
 
   /// Called once per map task scheduled on this node.
   /// `local` is true when the node already held a visible replica of
@@ -43,6 +53,9 @@ class ReplicationPolicy {
   virtual void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) {
     (void)live_dynamic;
   }
+
+ protected:
+  obs::TraceCollector* tracer_ = nullptr;
 };
 
 /// Vanilla Hadoop: never replicates dynamically.

@@ -34,7 +34,9 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s) {
       total_maps ? static_cast<double>(local_maps + rack_maps) /
                        static_cast<double>(total_maps)
                  : 0.0;
-  result.gmtt_s = geometric_mean(turnarounds);
+  std::size_t gmtt_skipped = 0;
+  result.gmtt_s = geometric_mean(turnarounds, &gmtt_skipped);
+  result.gmtt_skipped_jobs = static_cast<std::uint64_t>(gmtt_skipped);
   result.mean_slowdown =
       succeeded == 0 ? 0.0 : slowdown_sum / static_cast<double>(succeeded);
   result.mean_detection_latency_s =
@@ -105,6 +107,10 @@ std::uint64_t fingerprint(const RunResult& result) {
   d.mix(result.locality);
   d.mix(result.rack_locality);
   d.mix(result.gmtt_s);
+  // Mixed only when nonzero: digests recorded before this field existed
+  // (BENCH_PR3.json) stay valid for runs where no turnaround is skipped,
+  // while any run that does skip jobs is distinguishable.
+  if (result.gmtt_skipped_jobs != 0) d.mix(result.gmtt_skipped_jobs);
   d.mix(result.mean_slowdown);
   d.mix(result.mean_map_time_s);
   d.mix(result.dynamic_replicas_created);

@@ -55,6 +55,10 @@ struct RunResult {
   double rack_locality = 0.0;
   /// Geometric mean turnaround time, seconds.
   double gmtt_s = 0.0;
+  /// Jobs whose turnaround was non-positive (completion == arrival, e.g. a
+  /// trivially-retried job under churn) and therefore could not enter the
+  /// log-domain GMTT. Nonzero means gmtt_s averages fewer jobs than ran.
+  std::uint64_t gmtt_skipped_jobs = 0;
   /// Mean slowdown across jobs.
   double mean_slowdown = 0.0;
   /// Mean map-task completion time, seconds (Section V-C).

@@ -1,0 +1,64 @@
+#include "obs/phase_profiler.h"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+namespace dare::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSchedule: return "schedule";
+    case Phase::kReplication: return "replication";
+    case Phase::kHeartbeat: return "heartbeat";
+    case Phase::kChurn: return "churn";
+    case Phase::kSampling: return "sampling";
+    case Phase::kEventLoop: return "event_loop";
+    case Phase::kPhaseCount: break;
+  }
+  return "unknown";
+}
+
+void PhaseProfiler::add(Phase phase, std::int64_t cpu_ns) {
+  auto& bucket = buckets_[static_cast<std::size_t>(phase)];
+  bucket.ns += cpu_ns;
+  ++bucket.calls;
+}
+
+std::int64_t PhaseProfiler::total_ns(Phase phase) const {
+  return buckets_[static_cast<std::size_t>(phase)].ns;
+}
+
+std::uint64_t PhaseProfiler::calls(Phase phase) const {
+  return buckets_[static_cast<std::size_t>(phase)].calls;
+}
+
+void PhaseProfiler::reset() { buckets_ = {}; }
+
+void PhaseProfiler::write_report(std::ostream& out) const {
+  out << "phase         calls        cpu_ms      ns/call\n";
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    const Bucket& b = buckets_[i];
+    const double ms = static_cast<double>(b.ns) * 1e-6;
+    const double per_call =
+        b.calls ? static_cast<double>(b.ns) / static_cast<double>(b.calls)
+                : 0.0;
+    char line[128];
+    std::snprintf(line, sizeof line, "%-12s %6llu %13.3f %12.1f\n",
+                  phase_name(static_cast<Phase>(i)),
+                  static_cast<unsigned long long>(b.calls), ms, per_call);
+    out << line;
+  }
+}
+
+std::int64_t PhaseProfiler::process_cpu_ns() {
+  timespec ts{};
+  // CPU cost attribution, not event time: this reading never reaches a
+  // TraceEvent, RunResult, or fingerprint — the one sanctioned real clock.
+  // dare-lint: allow(banned-randomness)
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+         static_cast<std::int64_t>(ts.tv_nsec);
+}
+
+}  // namespace dare::obs

@@ -1,0 +1,81 @@
+// PhaseProfiler: scoped process-CPU timers attributing simulator cost to
+// phases (scheduling, replication, heartbeats, churn, sampling, the event
+// loop as a whole).
+//
+// This is the ONE place in the instrumented stack allowed to read a real
+// clock, and its readings never enter trace events, RunResult, or
+// metrics::fingerprint — they exist purely for bench reporting. Event
+// timestamps stay sim-time-only (enforced by dare_lint over src/obs).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace dare::obs {
+
+enum class Phase : std::uint8_t {
+  kSchedule = 0,  ///< map/reduce selection + launch (try_assign_all)
+  kReplication,   ///< policy on_map_task: adopt/skip/evict decisions
+  kHeartbeat,     ///< heartbeat processing + dynamic-report reconciliation
+  kChurn,         ///< failure injection, detection ticks, repair, rejoin
+  kSampling,      ///< time-series gauge collection
+  kEventLoop,     ///< the whole Simulation::run drain (superset of above)
+  kPhaseCount,    ///< sentinel
+};
+
+const char* phase_name(Phase phase);
+
+class PhaseProfiler {
+ public:
+  static constexpr std::size_t kPhases =
+      static_cast<std::size_t>(Phase::kPhaseCount);
+
+  void add(Phase phase, std::int64_t cpu_ns);
+
+  std::int64_t total_ns(Phase phase) const;
+  std::uint64_t calls(Phase phase) const;
+  void reset();
+
+  /// Human-readable table: one line per phase with calls, total CPU ms,
+  /// and mean ns/call.
+  void write_report(std::ostream& out) const;
+
+  /// Current process-CPU time in nanoseconds
+  /// (clock_gettime(CLOCK_PROCESS_CPUTIME_ID) — same clock as the tracked
+  /// bench baseline, immune to wall-clock steal on shared machines).
+  static std::int64_t process_cpu_ns();
+
+ private:
+  struct Bucket {
+    std::int64_t ns = 0;
+    std::uint64_t calls = 0;
+  };
+  std::array<Bucket, kPhases> buckets_{};
+};
+
+/// RAII scope crediting its lifetime to `phase`. A null profiler makes the
+/// scope a no-op that never reads the clock, so instrumented code pays one
+/// predicted branch when profiling is off.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProfiler* profiler, Phase phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ns_ = PhaseProfiler::process_cpu_ns();
+  }
+  ~PhaseScope() {
+    if (profiler_ != nullptr) {
+      profiler_->add(phase_, PhaseProfiler::process_cpu_ns() - start_ns_);
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace dare::obs

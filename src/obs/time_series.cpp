@@ -1,0 +1,24 @@
+#include "obs/time_series.h"
+
+#include <ostream>
+
+#include "common/csv.h"
+
+namespace dare::obs {
+
+void TimeSeries::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"t_s", "pending_maps", "pending_reduces", "running_tasks",
+              "slot_utilization", "budget_occupancy", "popularity_cv"});
+  for (const TimeSeriesSample& s : samples_) {
+    csv.row({format_double(to_seconds(s.t)),
+             std::to_string(s.pending_maps),
+             std::to_string(s.pending_reduces),
+             std::to_string(s.running_tasks),
+             format_double(s.slot_utilization),
+             format_double(s.budget_occupancy),
+             format_double(s.popularity_cv)});
+  }
+}
+
+}  // namespace dare::obs

@@ -1,0 +1,46 @@
+// Periodic cluster-wide gauge samples: the curve behind the end-of-run
+// aggregates (queue depth behind makespan, budget occupancy behind Fig. 9,
+// per-node popularity-index cv behind Fig. 11's endpoint).
+//
+// Samples are taken by a simulation event the cluster schedules every
+// `ClusterOptions::trace_sample_interval` while a tracer is attached; the
+// sampling event is cancelled the moment the run finishes so it can never
+// extend the makespan or perturb the fingerprint.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::obs {
+
+/// One sample of the cluster-wide gauges.
+struct TimeSeriesSample {
+  SimTime t = 0;                  ///< simulation time, microseconds
+  std::size_t pending_maps = 0;   ///< backlog across active jobs
+  std::size_t pending_reduces = 0;
+  std::size_t running_tasks = 0;  ///< maps + reduces currently executing
+  double slot_utilization = 0.0;  ///< busy slots / total slots, live nodes
+  double budget_occupancy = 0.0;  ///< mean dynamic bytes / budget, live nodes
+  double popularity_cv = 0.0;     ///< cv of per-node popularity indices
+};
+
+class TimeSeries {
+ public:
+  void add(const TimeSeriesSample& sample) { samples_.push_back(sample); }
+
+  const std::vector<TimeSeriesSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  void clear() { samples_.clear(); }
+
+  /// Flat CSV (header + one row per sample), locale-independent round-trip
+  /// doubles. Deterministic: same run, byte-identical output.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TimeSeriesSample> samples_;
+};
+
+}  // namespace dare::obs

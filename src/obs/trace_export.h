@@ -1,0 +1,27 @@
+// Exporters for a collected trace.
+//
+//  * write_chrome_trace — Chrome trace-event JSON ("traceEvents" array),
+//    loadable in chrome://tracing and https://ui.perfetto.dev. One timeline
+//    track per worker node plus dedicated scheduler and namenode tracks;
+//    task executions become duration ("X") slices by pairing launch and
+//    finish/kill events, everything else is an instant ("i") event.
+//    Timestamps are the events' simulation-time microseconds verbatim.
+//
+//  * write_events_csv — flat CSV of every event (one row each) for the
+//    analysis library and ad-hoc tooling.
+//
+// Both exporters are deterministic functions of the collected events: two
+// traced runs of the same seed produce byte-identical output.
+#pragma once
+
+#include <iosfwd>
+
+namespace dare::obs {
+
+class TraceCollector;
+
+void write_chrome_trace(const TraceCollector& trace, std::ostream& out);
+
+void write_events_csv(const TraceCollector& trace, std::ostream& out);
+
+}  // namespace dare::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/invariant.h"
+#include "obs/trace_collector.h"
 
 namespace dare::sched {
 
@@ -59,23 +60,44 @@ std::optional<MapSelection> FairScheduler::try_job(JobRuntime& rt, NodeId node,
                                                    const BlockLocator& locator) {
   const JobId id = rt.spec.id;
   if (const auto local = jobs.find_local_map(rt, node, locator)) {
+    if (tracer_ != nullptr) {
+      const double waited_s =
+          rt.waiting_since == kTimeNever
+              ? 0.0
+              : to_seconds(now - rt.waiting_since);
+      tracer_->scheduler_decision(
+          node, id, static_cast<int>(Locality::kNodeLocal), waited_s);
+    }
     rt.waiting_since = kTimeNever;
     return MapSelection{id, *local, Locality::kNodeLocal};
   }
   if (rt.waiting_since == kTimeNever) {
     // First declined opportunity: start the delay clock.
     rt.waiting_since = now;
-    if (node_delay_ > 0) return std::nullopt;
+    if (node_delay_ > 0) {
+      if (tracer_ != nullptr) tracer_->delay_wait(node, id);
+      return std::nullopt;
+    }
   }
   const SimDuration waited = now - rt.waiting_since;
   if (waited >= node_delay_) {
     // Level-1 delay expired: a rack-local launch is acceptable.
     if (const auto rack = jobs.find_rack_local_map(rt, node, locator)) {
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(node, id,
+                                    static_cast<int>(Locality::kRackLocal),
+                                    to_seconds(waited));
+      }
       rt.waiting_since = kTimeNever;
       return MapSelection{id, *rack, Locality::kRackLocal};
     }
     if (waited >= node_delay_ + rack_delay_) {
       // Level-2 delay expired too: launch anywhere rather than starve.
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(node, id,
+                                    static_cast<int>(Locality::kOffRack),
+                                    to_seconds(waited));
+      }
       rt.waiting_since = kTimeNever;
       return MapSelection{id, 0, Locality::kOffRack};
     }

@@ -1,5 +1,7 @@
 #include "sched/fifo_scheduler.h"
 
+#include "obs/trace_collector.h"
+
 namespace dare::sched {
 
 std::optional<MapSelection> FifoScheduler::select_map(
@@ -11,10 +13,22 @@ std::optional<MapSelection> FifoScheduler::select_map(
     // Hadoop's tiered preference within the head job: node-local, then
     // rack-local, then any — but never wait.
     if (const auto local = jobs.find_local_map(rt, node, locator)) {
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(
+            node, id, static_cast<int>(Locality::kNodeLocal), 0.0);
+      }
       return MapSelection{id, *local, Locality::kNodeLocal};
     }
     if (const auto rack = jobs.find_rack_local_map(rt, node, locator)) {
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(
+            node, id, static_cast<int>(Locality::kRackLocal), 0.0);
+      }
       return MapSelection{id, *rack, Locality::kRackLocal};
+    }
+    if (tracer_ != nullptr) {
+      tracer_->scheduler_decision(
+          node, id, static_cast<int>(Locality::kOffRack), 0.0);
     }
     return MapSelection{id, 0, Locality::kOffRack};
   }

@@ -12,6 +12,10 @@
 #include "common/types.h"
 #include "sched/job_table.h"
 
+namespace dare::obs {
+class TraceCollector;
+}
+
 namespace dare::sched {
 
 /// A map-task selection for a particular node.
@@ -37,6 +41,14 @@ class Scheduler {
   virtual std::optional<JobId> select_reduce(JobTable& jobs) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Attach the structured tracer (null = tracing disabled, the default).
+  /// Borrowed pointer; must outlive the scheduler. Tracing only observes —
+  /// selections are bit-identical with and without it.
+  void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
+
+ protected:
+  obs::TraceCollector* tracer_ = nullptr;
 };
 
 }  // namespace dare::sched

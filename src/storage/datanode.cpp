@@ -6,6 +6,7 @@
 
 #include "common/invariant.h"
 #include "net/measurement.h"
+#include "obs/trace_collector.h"
 
 namespace dare::storage {
 
@@ -78,6 +79,7 @@ bool DataNode::mark_for_deletion(BlockId block) {
 std::size_t DataNode::reclaim_marked() {
   const std::size_t n = marked_.size();
   marked_.clear();
+  if (tracer_ != nullptr && n > 0) tracer_->disk_reclaim(id_, n);
   return n;
 }
 

@@ -24,6 +24,10 @@
 #include "net/profile.h"
 #include "storage/block.h"
 
+namespace dare::obs {
+class TraceCollector;
+}
+
 namespace dare::storage {
 
 class DataNode {
@@ -31,6 +35,10 @@ class DataNode {
   DataNode(NodeId id, const net::DiskProfile& disk, Rng& rng);
 
   NodeId id() const { return id_; }
+
+  /// Attach the structured tracer (null = disabled, the default; borrowed,
+  /// must outlive the node). Emits physical-disk events (lazy reclaim).
+  void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
 
   /// --- static (placement-time) replicas -------------------------------
   void add_static_block(const BlockMeta& block);
@@ -123,6 +131,7 @@ class DataNode {
   NodeId id_;
   net::DiskProfile disk_;
   Rng rng_;
+  obs::TraceCollector* tracer_ = nullptr;
 
   std::vector<BlockMeta> static_blocks_;
   std::unordered_set<BlockId> static_index_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/invariant.h"
+#include "obs/trace_collector.h"
 
 namespace dare::storage {
 
@@ -171,6 +172,7 @@ void NameNode::heartbeat_received(NodeId node, SimTime now) {
                  "NameNode: heartbeat from a node declared dead (" +
                      std::to_string(node) + ") without a rejoin");
   last_heartbeat_[static_cast<std::size_t>(node)] = now;
+  if (tracer_ != nullptr) tracer_->heartbeat(node);
 }
 
 SimTime NameNode::last_heartbeat(NodeId node) const {
@@ -200,6 +202,7 @@ std::vector<BlockId> NameNode::node_failed(NodeId node) {
   // kill racing a stochastic one, or a repeated declaration, is a no-op).
   if (!node_alive_[static_cast<std::size_t>(node)]) return {};
   node_alive_[static_cast<std::size_t>(node)] = false;
+  if (tracer_ != nullptr) tracer_->node_declared_dead(node);
 
   std::vector<BlockId> under_replicated;
   // dare-lint: allow(unordered-iteration) -- per-block updates commute and
@@ -240,6 +243,7 @@ bool NameNode::add_repair_replica(BlockId block, NodeId node) {
   locs.push_back(node);
   static_locations_.at(block).push_back(node);
   notify_replica(block, node, /*added=*/true);
+  if (tracer_ != nullptr) tracer_->block_repaired(node, block);
   return true;
 }
 
@@ -253,6 +257,9 @@ NameNode::RejoinReport NameNode::node_rejoined(
     throw std::logic_error("NameNode: rejoin of a node never declared dead");
   }
   node_alive_[static_cast<std::size_t>(node)] = true;
+  if (tracer_ != nullptr) {
+    tracer_->node_rejoined(node, /*full_reregistration=*/true);
+  }
 
   RejoinReport report;
   for (BlockId b : static_blocks) {

@@ -24,6 +24,10 @@
 #include "storage/block.h"
 #include "storage/placement.h"
 
+namespace dare::obs {
+class TraceCollector;
+}
+
 namespace dare::storage {
 
 class NameNode {
@@ -54,6 +58,11 @@ class NameNode {
   void set_replica_observer(ReplicaObserver observer) {
     replica_observer_ = std::move(observer);
   }
+
+  /// Attach the structured tracer (null = disabled, the default; borrowed,
+  /// must outlive the name node). Emits heartbeat-processing, failure-
+  /// declaration, rejoin, and repair events.
+  void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
 
   /// Create a file of `num_blocks` blocks and place `replication` static
   /// replicas of each. Returns the new file's id.
@@ -154,6 +163,7 @@ class NameNode {
   }
 
   ReplicaObserver replica_observer_;
+  obs::TraceCollector* tracer_ = nullptr;
   std::size_t data_nodes_;
   const net::Topology* topology_;
   Rng rng_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
 
 #include "common/csv.h"
@@ -41,6 +42,37 @@ TEST(Csv, DoubleRoundTripPrecision) {
   csv.row(std::vector<double>{1.0 / 3.0});
   const double parsed = std::stod(out.str());
   EXPECT_DOUBLE_EQ(parsed, 1.0 / 3.0);
+}
+
+/// Comma decimal point, dot thousands separator, 3-digit grouping — the
+/// de_DE-style facet that used to corrupt numeric CSV cells.
+class GroupingNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(Csv, NumericRowsAreLocaleIndependent) {
+  // Regression: row(vector<double>) used to format via an ostringstream
+  // that inherits the stream's locale, so a grouping locale turned
+  // 1234567.25 into "1.234.567,25" — a row with extra separators and a
+  // decimal comma, silently corrupting every downstream parse. Formatting
+  // now goes through std::to_chars and must ignore the imbued locale.
+  std::ostringstream out;
+  out.imbue(std::locale(out.getloc(), new GroupingNumpunct));
+  CsvWriter csv(out);
+  csv.header({"big", "frac"});
+  csv.row(std::vector<double>{1234567.25, 0.5});
+  EXPECT_EQ(out.str(), "big,frac\n1234567.25,0.5\n");
+}
+
+TEST(Csv, FormatDoubleShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(-2.25), "-2.25");
+  EXPECT_EQ(format_double(0.0), "0");
+  const double third = 1.0 / 3.0;
+  EXPECT_DOUBLE_EQ(std::stod(format_double(third)), third);
 }
 
 TEST(Table, AlignsColumnsAndPrintsSeparator) {

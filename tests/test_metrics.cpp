@@ -45,6 +45,40 @@ TEST(Finalize, AggregatesAcrossJobs) {
   EXPECT_DOUBLE_EQ(result.blocks_created_per_job, 3.0);
 }
 
+TEST(Finalize, CountsJobsSkippedFromGmtt) {
+  // A job whose completion equals its arrival has zero turnaround: it
+  // cannot enter the log-domain geometric mean and used to vanish without
+  // a trace, silently inflating GMTT. The skip count must surface it.
+  RunResult result;
+  result.jobs.push_back(job(1, 5.0, 5.0, 1, 1, 1.0));   // TT 0 -> skipped
+  result.jobs.push_back(job(2, 0.0, 10.0, 1, 1, 5.0));  // TT 10
+  finalize(result, {1.0});
+  EXPECT_EQ(result.gmtt_skipped_jobs, 1u);
+  EXPECT_NEAR(result.gmtt_s, 10.0, 1e-9);  // only job 2 enters the mean
+
+  RunResult clean;
+  clean.jobs.push_back(job(1, 0.0, 10.0, 1, 1, 5.0));
+  finalize(clean, {1.0});
+  EXPECT_EQ(clean.gmtt_skipped_jobs, 0u);
+}
+
+TEST(Fingerprint, SkippedJobsChangeDigestOnlyWhenPresent) {
+  // Digest-compatibility contract: runs with no skipped jobs keep the
+  // digest they had before the field existed (the committed BENCH_PR3.json
+  // baselines), while a nonzero skip count must be visible in the digest.
+  RunResult a;
+  a.jobs.push_back(job(1, 0.0, 10.0, 1, 1, 5.0));
+  finalize(a, {1.0});
+  ASSERT_EQ(a.gmtt_skipped_jobs, 0u);
+  const auto base = fingerprint(a);
+
+  RunResult b = a;
+  b.gmtt_skipped_jobs = 2;  // forced: same metrics, nonzero skip count
+  EXPECT_NE(fingerprint(b), base);
+  b.gmtt_skipped_jobs = 0;
+  EXPECT_EQ(fingerprint(b), base);
+}
+
 TEST(Finalize, EmptyRunIsSafe) {
   RunResult result;
   finalize(result, {});

@@ -1,0 +1,214 @@
+// Unit tests for the observability layer: TraceCollector event recording,
+// the Chrome-trace / CSV exporters, the time series, and the PhaseProfiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/phase_profiler.h"
+#include "obs/time_series.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_event.h"
+#include "obs/trace_export.h"
+
+namespace dare::obs {
+namespace {
+
+TEST(TraceCollector, StampsEventsWithInjectedClock) {
+  SimTime now = 0;
+  TraceCollector trace([&now] { return now; });
+  trace.job_submitted(7, 4, 2);
+  now = from_seconds(1.5);
+  trace.map_launched(3, 7, 0, 1, /*speculative=*/false);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].t, 0);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kJobSubmitted);
+  EXPECT_EQ(trace.events()[0].detail, 4);  // maps
+  EXPECT_EQ(trace.events()[1].t, from_seconds(1.5));
+  EXPECT_EQ(trace.events()[1].kind, EventKind::kMapLaunched);
+  EXPECT_EQ(trace.events()[1].node, 3);
+  EXPECT_EQ(trace.events()[1].detail, 1);  // locality tier
+}
+
+TEST(TraceCollector, DefaultConstructedClockReadsZeroUntilRebound) {
+  TraceCollector trace;
+  trace.heartbeat(0);
+  EXPECT_EQ(trace.events().back().t, 0);
+  SimTime now = from_seconds(2.0);
+  trace.set_clock([&now] { return now; });
+  trace.heartbeat(1);
+  EXPECT_EQ(trace.events().back().t, from_seconds(2.0));
+  EXPECT_THROW(trace.set_clock(nullptr), std::invalid_argument);
+}
+
+TEST(TraceCollector, NullClockThrows) {
+  EXPECT_THROW(TraceCollector(TraceCollector::Clock{}),
+               std::invalid_argument);
+}
+
+TEST(TraceCollector, SpeculativeLaunchUsesItsOwnKind) {
+  TraceCollector trace([] { return SimTime{0}; });
+  trace.map_launched(1, 2, 3, 0, /*speculative=*/true);
+  EXPECT_EQ(trace.events().back().kind, EventKind::kMapSpeculated);
+}
+
+TEST(TraceCollector, ClearDropsEventsAndSamples) {
+  TraceCollector trace([] { return SimTime{0}; });
+  trace.heartbeat(0);
+  trace.series().add(TimeSeriesSample{});
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.series().size(), 0u);
+}
+
+TEST(TraceEvent, KindNamesAreStableAndExhaustive) {
+  EXPECT_STREQ(kind_name(EventKind::kMapLaunched), "map_launched");
+  EXPECT_STREQ(kind_name(EventKind::kReplicaSkipped), "replica_skipped");
+  EXPECT_STREQ(kind_name(EventKind::kDelayWait), "delay_wait");
+  for (int k = 0; k < static_cast<int>(EventKind::kKindCount); ++k) {
+    EXPECT_STRNE(kind_name(static_cast<EventKind>(k)), "unknown");
+  }
+  EXPECT_STREQ(skip_reason_name(SkipReason::kCoinFailed), "coin_failed");
+}
+
+TEST(TraceEvent, TrackMapping) {
+  EXPECT_EQ(kind_track(EventKind::kJobSubmitted), Track::kScheduler);
+  EXPECT_EQ(kind_track(EventKind::kSchedulerDecision), Track::kScheduler);
+  EXPECT_EQ(kind_track(EventKind::kHeartbeat), Track::kNameNode);
+  EXPECT_EQ(kind_track(EventKind::kNodeDeclaredDead), Track::kNameNode);
+  EXPECT_EQ(kind_track(EventKind::kMapLaunched), Track::kNode);
+  EXPECT_EQ(kind_track(EventKind::kReplicaEvicted), Track::kNode);
+}
+
+/// A tiny hand-built trace: one job, one map that finishes, one map still
+/// running at export time, a heartbeat, and one gauge sample.
+TraceCollector make_sample_trace() {
+  SimTime now = 0;
+  TraceCollector trace;
+  trace.set_clock([&now] { return now; });
+  trace.job_submitted(1, 2, 0);
+  trace.map_launched(0, 1, 0, 0, false);
+  trace.map_launched(2, 1, 1, 2, false);  // never finishes
+  now = from_seconds(1.0);
+  trace.heartbeat(0);
+  now = from_seconds(2.0);
+  trace.map_finished(0, 1, 0, 2.0, false);
+  trace.job_finished(1, 2.0);
+  TimeSeriesSample s;
+  s.t = from_seconds(1.0);
+  s.pending_maps = 1;
+  s.slot_utilization = 0.25;
+  trace.series().add(s);
+  return trace;
+}
+
+TEST(ChromeTraceExport, PairsLaunchAndFinishIntoSlices) {
+  const auto trace = make_sample_trace();
+  std::ostringstream out;
+  write_chrome_trace(trace, out);
+  const std::string json = out.str();
+  // The completed map becomes an X slice of the full duration...
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":" + std::to_string(from_seconds(2.0))),
+            std::string::npos);
+  // ...the never-finished one is flushed as an instant, not lost.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Tracks: scheduler + namenode metadata plus both node tracks.
+  EXPECT_NE(json.find("\"name\":\"scheduler\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"namenode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node-2\""), std::string::npos);
+  // Gauges export as counter events.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"pending_maps\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceExport, DeterministicAcrossCalls) {
+  const auto trace = make_sample_trace();
+  std::ostringstream a;
+  std::ostringstream b;
+  write_chrome_trace(trace, a);
+  write_chrome_trace(trace, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(EventsCsvExport, OneRowPerEventWithHeader) {
+  const auto trace = make_sample_trace();
+  std::ostringstream out;
+  write_events_csv(trace, out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("t_us,kind,node,job,task,detail,value\n", 0), 0u);
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + trace.size());
+  EXPECT_NE(csv.find("map_finished"), std::string::npos);
+}
+
+TEST(TimeSeries, CsvHasHeaderAndSeconds) {
+  TimeSeries series;
+  TimeSeriesSample s;
+  s.t = from_seconds(2.5);
+  s.pending_maps = 3;
+  s.budget_occupancy = 0.5;
+  series.add(s);
+  std::ostringstream out;
+  series.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("t_s,", 0), 0u);
+  EXPECT_NE(csv.find("2.5,3,"), std::string::npos);
+  EXPECT_NE(csv.find("0.5"), std::string::npos);
+}
+
+TEST(PhaseProfiler, AccumulatesPerPhase) {
+  PhaseProfiler prof;
+  prof.add(Phase::kSchedule, 100);
+  prof.add(Phase::kSchedule, 50);
+  prof.add(Phase::kChurn, 7);
+  EXPECT_EQ(prof.total_ns(Phase::kSchedule), 150);
+  EXPECT_EQ(prof.calls(Phase::kSchedule), 2u);
+  EXPECT_EQ(prof.total_ns(Phase::kChurn), 7);
+  EXPECT_EQ(prof.total_ns(Phase::kSampling), 0);
+  prof.reset();
+  EXPECT_EQ(prof.total_ns(Phase::kSchedule), 0);
+  EXPECT_EQ(prof.calls(Phase::kSchedule), 0u);
+}
+
+TEST(PhaseProfiler, ScopeCreditsElapsedCpu) {
+  PhaseProfiler prof;
+  {
+    PhaseScope scope(&prof, Phase::kEventLoop);
+    // Burn a little CPU so the scope has something to measure.
+    volatile double x = 1.0;
+    for (int i = 0; i < 10000; ++i) x = x * 1.0000001 + 0.5;
+  }
+  EXPECT_EQ(prof.calls(Phase::kEventLoop), 1u);
+  EXPECT_GE(prof.total_ns(Phase::kEventLoop), 0);
+}
+
+TEST(PhaseProfiler, NullScopeIsNoop) {
+  PhaseScope scope(nullptr, Phase::kSchedule);  // must not crash or read clocks
+  SUCCEED();
+}
+
+TEST(PhaseProfiler, ReportListsEveryPhase) {
+  PhaseProfiler prof;
+  prof.add(Phase::kHeartbeat, 1000);
+  std::ostringstream out;
+  prof.write_report(out);
+  const std::string report = out.str();
+  for (std::size_t p = 0; p < PhaseProfiler::kPhases; ++p) {
+    EXPECT_NE(report.find(phase_name(static_cast<Phase>(p))),
+              std::string::npos);
+  }
+}
+
+TEST(PhaseProfiler, ProcessCpuClockIsMonotonic) {
+  const auto a = PhaseProfiler::process_cpu_ns();
+  volatile double x = 1.0;
+  for (int i = 0; i < 10000; ++i) x = x * 1.0000001 + 0.5;
+  const auto b = PhaseProfiler::process_cpu_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace dare::obs

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace dare {
@@ -76,6 +79,27 @@ TEST(GeometricMean, SkipsNonPositive) {
   EXPECT_EQ(geometric_mean({0.0}), 0.0);
 }
 
+TEST(GeometricMean, ReportsSkippedCount) {
+  std::size_t skipped = 99;
+  EXPECT_NEAR(geometric_mean({0.0, -5.0, 4.0, 4.0}, &skipped), 4.0, 1e-12);
+  EXPECT_EQ(skipped, 2u);
+  geometric_mean({1.0, 2.0}, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  geometric_mean({}, &skipped);
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(GeometricMean, ZeroIsOnTheSkippedSideOfTheBoundary) {
+  // Exactly 0 cannot enter the log-domain mean; the smallest positive
+  // double can. The skip counter must agree with the value handling.
+  std::size_t skipped = 99;
+  EXPECT_EQ(geometric_mean({0.0}, &skipped), 0.0);
+  EXPECT_EQ(skipped, 1u);
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  EXPECT_GT(geometric_mean({tiny}, &skipped), 0.0);
+  EXPECT_EQ(skipped, 0u);
+}
+
 TEST(GeometricMean, DominatedLessByOutliersThanArithmetic) {
   const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 1000.0};
   const double gm = geometric_mean(xs);
@@ -140,6 +164,31 @@ TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(10.0, 0.0, 5), std::invalid_argument);
 }
 
+TEST(HistogramTest, ValidatesBeforeComputingWidth) {
+  // Regression: the constructor used to compute (hi - lo) / bins in the
+  // member initializer list, i.e. *before* rejecting bins == 0 (integer
+  // context would be UB; here a double division by zero) and hi <= lo.
+  // Validation must win for every bad-argument combination, including the
+  // ones whose width computation would "work".
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, std::nan(""), 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreCountedNotBinned) {
+  // Regression: add() used to clamp and cast any sample; casting NaN or
+  // ±inf to an integer bin index is undefined behaviour.
+  Histogram h(0.0, 10.0, 2);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.dropped(), 3u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bin_count(0) + h.bin_count(1), 1u);
+  EXPECT_DOUBLE_EQ(h.proportion(1), 1.0);  // dropped samples not in the base
+}
+
 TEST(EmpiricalCdfTest, FractionAtOrBelow) {
   EmpiricalCdf cdf;
   cdf.add_all({1.0, 2.0, 3.0, 4.0});
@@ -162,6 +211,47 @@ TEST(EmpiricalCdfTest, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5.0), 1.0);
   cdf.add(1.0);  // forces re-sort on next query
   EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.5);
+}
+
+TEST(EmpiricalCdfTest, ConcurrentConstQueriesAreSafe) {
+  // Regression: the lazy sort behind const queries used to mutate data_
+  // unguarded, so two threads querying the same freshly-filled CDF raced
+  // (caught by TSan; this test drives exactly that pattern). The first
+  // query of each thread lands on the unsorted state simultaneously.
+  EmpiricalCdf cdf;
+  for (int i = 999; i >= 0; --i) cdf.add(static_cast<double>(i));
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cdf, t] {
+      for (int q = 0; q < 64; ++q) {
+        const double x = static_cast<double>((q * 16 + t) % 1000);
+        const double f = cdf.fraction_at_or_below(x);
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(999.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, CopyAndMoveKeepSamples) {
+  // The sort mutex makes the class non-trivially copyable; analysis code
+  // returns CDFs by value, so the custom copy/move ops must carry the data.
+  EmpiricalCdf a;
+  a.add_all({3.0, 1.0, 2.0});
+  EmpiricalCdf b(a);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.quantile(1.0), 3.0);
+  EmpiricalCdf c;
+  c = b;
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1.0), 1.0 / 3.0);
+  EmpiricalCdf d(std::move(b));
+  EXPECT_EQ(d.count(), 3u);
+  a = std::move(d);
+  EXPECT_EQ(a.count(), 3u);
 }
 
 TEST(Summarize, ProducesPaperStyleRow) {

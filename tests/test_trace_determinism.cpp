@@ -1,0 +1,142 @@
+// The observability layer's core contract, enforced end-to-end:
+//
+//  1. Tracing only observes. Attaching a TraceCollector (and PhaseProfiler)
+//     to a run must leave metrics::fingerprint bit-identical to the same
+//     seeded run without them — for the CCT and EC2 profiles, and under
+//     stochastic churn. A tracer that consumed an RNG draw, perturbed float
+//     summation order, or extended the event horizon would show up here.
+//
+//  2. Traced runs are themselves deterministic: two same-seed runs export
+//     byte-identical Chrome-trace JSON and events CSV (timestamps are
+//     sim-time only; dare_lint bans wall clocks in src/obs).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/experiment.h"
+#include "metrics/run_metrics.h"
+#include "obs/phase_profiler.h"
+#include "obs/trace_collector.h"
+#include "obs/trace_export.h"
+
+namespace dare::cluster {
+namespace {
+
+constexpr std::size_t kNodes = 10;
+constexpr std::size_t kJobs = 60;
+
+std::uint64_t untraced_digest(const ClusterOptions& options,
+                              const workload::Workload& wl) {
+  return metrics::fingerprint(run_once(options, wl));
+}
+
+std::uint64_t traced_digest(ClusterOptions options,
+                            const workload::Workload& wl,
+                            obs::TraceCollector* tracer,
+                            obs::PhaseProfiler* profiler = nullptr) {
+  options.tracer = tracer;
+  options.profiler = profiler;
+  return metrics::fingerprint(run_once(options, wl));
+}
+
+void expect_tracing_is_pure(const ClusterOptions& options) {
+  const auto wl = standard_wl1(kNodes, kJobs);
+  const auto bare = untraced_digest(options, wl);
+
+  obs::TraceCollector tracer;
+  obs::PhaseProfiler profiler;
+  EXPECT_EQ(traced_digest(options, wl, &tracer, &profiler), bare)
+      << "attaching the tracer changed the metrics fingerprint";
+  EXPECT_GT(tracer.size(), 0u) << "tracer attached but saw no events";
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbFingerprintCct) {
+  expect_tracing_is_pure(paper_defaults(net::cct_profile(kNodes),
+                                        SchedulerKind::kFair,
+                                        PolicyKind::kElephantTrap));
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbFingerprintEc2) {
+  expect_tracing_is_pure(paper_defaults(net::ec2_profile(kNodes),
+                                        SchedulerKind::kFifo,
+                                        PolicyKind::kGreedyLru));
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbFingerprintUnderChurn) {
+  // Churn exercises the remaining emitters (node_failed, declared-dead,
+  // rejoin, repair, attempt faults) — and is the likeliest place for an
+  // accidental extra RNG draw to hide.
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kGreedyLru);
+  options.faults.enabled = true;
+  options.faults.mtbf_s = 80.0;
+  options.faults.mttr_s = 20.0;
+  options.faults.permanent_fraction = 0.2;
+  options.faults.rack_correlation = 0.2;
+  options.faults.task_failure_prob = 0.01;
+  options.faults.min_live_workers = 4;
+  options.rereplication_interval = from_seconds(2.0);
+  expect_tracing_is_pure(options);
+}
+
+TEST(TraceDeterminism, SampledGaugesDoNotPerturbFingerprint) {
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kElephantTrap);
+  options.trace_sample_interval = from_seconds(1.0);
+  const auto wl = standard_wl1(kNodes, kJobs);
+  const auto bare = untraced_digest(options, wl);
+
+  obs::TraceCollector tracer;
+  EXPECT_EQ(traced_digest(options, wl, &tracer), bare)
+      << "the gauge sampler changed the metrics fingerprint";
+  EXPECT_GT(tracer.series().size(), 0u) << "sampler scheduled but never ran";
+}
+
+struct Export {
+  std::string json;
+  std::string events_csv;
+  std::string series_csv;
+  std::uint64_t digest = 0;
+};
+
+Export traced_export(const ClusterOptions& base,
+                     const workload::Workload& wl) {
+  auto options = base;
+  obs::TraceCollector tracer;
+  options.tracer = &tracer;
+  Export e;
+  e.digest = metrics::fingerprint(run_once(options, wl));
+  std::ostringstream json;
+  obs::write_chrome_trace(tracer, json);
+  e.json = json.str();
+  std::ostringstream csv;
+  obs::write_events_csv(tracer, csv);
+  e.events_csv = csv.str();
+  std::ostringstream series;
+  tracer.series().write_csv(series);
+  e.series_csv = series.str();
+  return e;
+}
+
+TEST(TraceDeterminism, SameSeedExportsAreByteIdentical) {
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kElephantTrap);
+  options.trace_sample_interval = from_seconds(1.0);
+  const auto wl = standard_wl1(kNodes, kJobs);
+
+  const auto first = traced_export(options, wl);
+  const auto second = traced_export(options, wl);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.json, second.json)
+      << "same seed, different Chrome-trace bytes";
+  EXPECT_EQ(first.events_csv, second.events_csv)
+      << "same seed, different events CSV";
+  EXPECT_EQ(first.series_csv, second.series_csv)
+      << "same seed, different time-series CSV";
+  EXPECT_FALSE(first.json.empty());
+  EXPECT_NE(first.events_csv.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dare::cluster

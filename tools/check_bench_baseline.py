@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sched_e2e JSON against the committed perf baseline.
+
+Two checks, in order of severity:
+
+  1. Fingerprints (hard fail, no tolerance). Every configuration's
+     metrics::fingerprint must equal the committed baseline's, and the
+     fresh run's own legacy/indexed A/B must agree (fingerprint_match).
+     A mismatch means simulation *behavior* changed — e.g. an
+     "observability" hook that consumed an RNG draw or reordered a float
+     sum — which silently invalidates every recorded figure.
+
+  2. CPU time (tolerance, default 5%). The summed indexed_ms across all
+     configurations must not exceed the baseline's sum by more than
+     --cpu-tolerance. The sum (not per-row deltas) is compared because
+     individual rows are noisy on shared runners while the aggregate is
+     stable; getting faster never fails.
+
+Rows are keyed by (profile, scheduler, policy); scale fields (nodes, jobs)
+must match the baseline exactly, otherwise neither fingerprints nor timings
+are comparable and the script refuses to judge.
+
+Usage:
+  python3 tools/check_bench_baseline.py \
+      --baseline BENCH_PR3.json --fresh build/BENCH_FRESH.json \
+      [--cpu-tolerance 0.05]
+
+Exit codes: 0 ok, 1 check failed, 2 inputs unusable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+
+
+def key(row: dict) -> tuple:
+    return (row["profile"], row["scheduler"], row["policy"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_PR3.json",
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced bench_sched_e2e JSON")
+    parser.add_argument("--cpu-tolerance", type=float, default=0.05,
+                        help="allowed relative increase of summed indexed_ms "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    base_rows = {key(r): r for r in baseline.get("results", [])}
+    fresh_rows = {key(r): r for r in fresh.get("results", [])}
+    if not base_rows:
+        print(f"error: {args.baseline} has no results", file=sys.stderr)
+        return 2
+    if baseline.get("mode") != fresh.get("mode"):
+        print(f"error: mode mismatch (baseline={baseline.get('mode')!r}, "
+              f"fresh={fresh.get('mode')!r}): runs are not comparable",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for k, base in sorted(base_rows.items()):
+        row = fresh_rows.get(k)
+        label = "/".join(k)
+        if row is None:
+            failures.append(f"{label}: missing from fresh run")
+            continue
+        for scale in ("nodes", "jobs"):
+            if row[scale] != base[scale]:
+                print(f"error: {label}: {scale} differs "
+                      f"(baseline={base[scale]}, fresh={row[scale]}): "
+                      f"runs are not comparable", file=sys.stderr)
+                return 2
+        if not row.get("fingerprint_match", False):
+            failures.append(f"{label}: fresh legacy/indexed fingerprints "
+                            f"diverged")
+        if row["fingerprint"] != base["fingerprint"]:
+            failures.append(
+                f"{label}: fingerprint {row['fingerprint']} != baseline "
+                f"{base['fingerprint']} (simulation behavior changed)")
+
+    extra = sorted(set(fresh_rows) - set(base_rows))
+    for k in extra:
+        print(f"note: {'/'.join(k)}: new configuration not in baseline "
+              f"(not judged)")
+
+    base_ms = sum(r["indexed_ms"] for r in base_rows.values())
+    fresh_ms = sum(fresh_rows[k]["indexed_ms"]
+                   for k in base_rows if k in fresh_rows)
+    ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+    budget = 1.0 + args.cpu_tolerance
+    print(f"indexed CPU: baseline {base_ms:.1f} ms, fresh {fresh_ms:.1f} ms "
+          f"({ratio:.3f}x, budget {budget:.2f}x)")
+    if ratio > budget:
+        failures.append(
+            f"summed indexed_ms regressed {ratio:.3f}x > {budget:.2f}x "
+            f"budget ({fresh_ms:.1f} ms vs {base_ms:.1f} ms)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(base_rows)} configurations match the baseline "
+          f"fingerprints; CPU within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,17 @@ level so it runs in milliseconds with no compiler dependency:
 
   banned-randomness    std::rand / srand / std::random_device /
                        time(nullptr) / std::time / system_clock /
-                       steady_clock / high_resolution_clock / std::mt19937 /
+                       steady_clock / high_resolution_clock /
+                       clock_gettime / gettimeofday / std::mt19937 /
                        std::*_distribution inside src/sim, src/core,
-                       src/sched, src/storage, src/faults. All randomness
-                       must flow
+                       src/sched, src/storage, src/faults, src/cluster,
+                       src/obs. All randomness must flow
                        through common/rng.h (forked xoshiro streams); all
-                       time must be simulation time (common/types.h).
+                       time — including trace-event timestamps — must be
+                       simulation time (common/types.h). The only sanctioned
+                       real clock is PhaseProfiler::process_cpu_ns (CPU cost
+                       attribution, never an event timestamp), which carries
+                       an explicit allow().
 
   unordered-iteration  Range-for over a variable declared as
                        std::unordered_map/set/multimap/multiset in the same
@@ -49,7 +54,7 @@ from pathlib import Path
 
 # Directories (relative to the repo root) where determinism rules apply.
 DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage",
-                    "src/faults", "src/cluster")
+                    "src/faults", "src/cluster", "src/obs")
 NO_FLOAT_DIRS = ("src/metrics",)
 
 BANNED_RANDOMNESS = [
@@ -61,6 +66,8 @@ BANNED_RANDOMNESS = [
     (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
     (re.compile(r"\bhigh_resolution_clock\b"),
      "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bclock_gettime\s*\(|\bgettimeofday\s*\("),
+     "wall/CPU clock (clock_gettime/gettimeofday)"),
     (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
     (re.compile(r"\bstd::(uniform_int|uniform_real|normal|bernoulli|"
                 r"exponential|poisson|geometric)_distribution\b"),
@@ -271,6 +278,16 @@ def self_test() -> int:
 
     f = _st_determinism("a.cpp", "std::mt19937 gen(42);\n")
     expect(len(f) == 1, "mt19937 not flagged")
+
+    f = _st_determinism("a.cpp", "clock_gettime(CLOCK_MONOTONIC, &ts);\n")
+    expect(len(f) == 1 and f[0].rule == "banned-randomness",
+           "clock_gettime not flagged")
+
+    f = _st_determinism(
+        "a.cpp",
+        "// dare-lint: allow(banned-randomness)\n"
+        "clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);\n")
+    expect(not f, "clock_gettime suppression ignored")
 
     f = _st_determinism(
         "a.cpp",
