@@ -5,16 +5,47 @@
 //
 // Usage: churn_run [jobs=N] [nodes=N] [mtbf_s=S] [mttr_s=S]
 //                  [plus cluster overrides: policy=, scheduler=, seed=, ...]
+#include <algorithm>
 #include <iostream>
 
 #include "cluster/experiment.h"
 #include "common/config.h"
 #include "common/table.h"
 
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: churn_run [jobs=N] [nodes=N] [mtbf_s=S] [mttr_s=S]\n"
+    "                 [plus cluster overrides: policy=, scheduler=, seed=,\n"
+    "                  corruption=, bitrot_per_gb=, sector_mtbf_s=, ...]\n"
+    "Arguments are key=value tokens; anything else is rejected.\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dare;
   std::vector<std::string> args(argv + 1, argv + argc);
-  const Config cfg = Config::from_args(args);
+  std::vector<std::string> positional;
+  const Config cfg = Config::from_args(args, &positional);
+
+  // A typo'd knob must fail loudly, not silently run the default config.
+  const std::vector<std::string> local_keys = {"jobs", "nodes"};
+  std::vector<std::string> unknown = positional;
+  for (const auto& key : cfg.keys()) {
+    const auto& shared = cluster::override_keys();
+    if (std::find(shared.begin(), shared.end(), key) != shared.end()) continue;
+    if (std::find(local_keys.begin(), local_keys.end(), key) !=
+        local_keys.end()) {
+      continue;
+    }
+    unknown.push_back(key + "=...");
+  }
+  if (!unknown.empty()) {
+    std::cerr << "error: unrecognized argument(s):";
+    for (const auto& u : unknown) std::cerr << ' ' << u;
+    std::cerr << '\n' << kUsage;
+    return 1;
+  }
 
   const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 20));
   const auto jobs = static_cast<std::size_t>(cfg.get_int("jobs", 300));
@@ -36,7 +67,8 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"configuration", "locality", "GMTT (s)", "failures",
                     "detected", "mean detect (s)", "rejoins", "re-executed",
-                    "repaired", "pruned", "failed jobs"});
+                    "repaired", "pruned", "corrupt reads", "data loss",
+                    "unavail (s)", "failed jobs"});
   for (const bool with_churn : {false, true}) {
     auto options = base;
     options.faults.enabled = with_churn;
@@ -50,6 +82,9 @@ int main(int argc, char** argv) {
                    std::to_string(result.task_reexecutions),
                    std::to_string(result.rereplicated_blocks),
                    std::to_string(result.overreplication_prunes),
+                   std::to_string(result.corrupt_reads),
+                   std::to_string(result.data_loss_events),
+                   fmt_fixed(result.unavailability_total_s, 1),
                    std::to_string(result.failed_jobs)});
   }
   table.print(std::cout,

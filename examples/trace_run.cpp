@@ -15,6 +15,7 @@
 // Usage: trace_run [jobs=N] [nodes=N] [out=trace.json] [churn=0|1]
 //                  [sample_s=1.0 gauge-sampling period, 0 disables]
 //                  [plus cluster overrides: policy=, scheduler=, seed=, ...]
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -25,10 +26,42 @@
 #include "obs/trace_collector.h"
 #include "obs/trace_export.h"
 
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: trace_run [jobs=N] [nodes=N] [out=trace.json] [churn=0|1]\n"
+    "                 [sample_s=1.0 gauge-sampling period, 0 disables]\n"
+    "                 [plus cluster overrides: policy=, scheduler=, seed=,\n"
+    "                  corruption=, bitrot_per_gb=, sector_mtbf_s=, ...]\n"
+    "Arguments are key=value tokens; anything else is rejected.\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dare;
   std::vector<std::string> args(argv + 1, argv + argc);
-  const Config cfg = Config::from_args(args);
+  std::vector<std::string> positional;
+  const Config cfg = Config::from_args(args, &positional);
+
+  // A typo'd knob must fail loudly, not silently run the default config.
+  const std::vector<std::string> local_keys = {"churn", "jobs", "nodes",
+                                               "out", "sample_s"};
+  std::vector<std::string> unknown = positional;
+  for (const auto& key : cfg.keys()) {
+    const auto& shared = cluster::override_keys();
+    if (std::find(shared.begin(), shared.end(), key) != shared.end()) continue;
+    if (std::find(local_keys.begin(), local_keys.end(), key) !=
+        local_keys.end()) {
+      continue;
+    }
+    unknown.push_back(key + "=...");
+  }
+  if (!unknown.empty()) {
+    std::cerr << "error: unrecognized argument(s):";
+    for (const auto& u : unknown) std::cerr << ' ' << u;
+    std::cerr << '\n' << kUsage;
+    return 1;
+  }
 
   const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 20));
   const auto jobs = static_cast<std::size_t>(cfg.get_int("jobs", 120));

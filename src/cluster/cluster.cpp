@@ -69,6 +69,11 @@ Cluster::Cluster(const ClusterOptions& options)
     throw std::invalid_argument("Cluster: need a master plus >= 1 worker");
   }
   const std::size_t workers = options_.profile.topology.nodes - 1;
+  // Reject malformed injection knobs up front (NaN rates, fractions outside
+  // [0,1], an unreachable live-worker floor) instead of letting them warp a
+  // long run silently.
+  faults::validate_fault_params(options_.faults, workers);
+  faults::validate_corruption_params(options_.corruption);
 
   net::TopologyOptions topo = options_.profile.topology;
   topo.nodes = workers;
@@ -83,6 +88,10 @@ Cluster::Cluster(const ClusterOptions& options)
         static_cast<NodeId>(i), options_.profile.disk, rng_));
   }
   locator_ = std::make_unique<Locator>(*name_node_, *topology_);
+  track_unavailability_ = options_.faults.enabled ||
+                          !options_.failures.empty() ||
+                          options_.corruption.enabled ||
+                          !options_.corruption_events.empty();
   if (options_.use_locality_index) {
     std::vector<RackId> node_rack(workers);
     for (std::size_t i = 0; i < workers; ++i) {
@@ -90,17 +99,16 @@ Cluster::Cluster(const ClusterOptions& options)
     }
     locality_index_ = std::make_unique<sched::LocalityIndex>(
         workers, std::move(node_rack), topology_->rack_count());
-    // Attach before load_files so the mirror sees the static placements.
-    name_node_->set_replica_observer(
-        [index = locality_index_.get()](BlockId block, NodeId node,
-                                        bool added) {
-          if (added) {
-            index->replica_added(block, node);
-          } else {
-            index->replica_removed(block, node);
-          }
-        });
     jobs_.attach_locality_index(locality_index_.get());
+  }
+  if (locality_index_ != nullptr || track_unavailability_) {
+    // Attach before load_files so the mirror sees the static placements.
+    // One observer serves both consumers (the name node supports a single
+    // one); on_replica_delta fans out.
+    name_node_->set_replica_observer(
+        [this](BlockId block, NodeId node, bool added) {
+          on_replica_delta(block, node, added);
+        });
   }
   dead_.assign(workers, false);
   declared_dead_.assign(workers, false);
@@ -144,6 +152,15 @@ Cluster::Cluster(const ClusterOptions& options)
     fault_process_ =
         std::make_unique<faults::FaultProcess>(options_.faults, rng_);
   }
+  // Same contract as the fault stream, forked after it: the corruption
+  // stream only exists (and only draws) when the stochastic process is on.
+  // Scripted corruption events alone need checksum verification but no RNG.
+  if (options_.corruption.enabled) {
+    corruption_ = std::make_unique<faults::CorruptionProcess>(
+        options_.corruption, rng_);
+  }
+  verify_reads_ =
+      corruption_ != nullptr || !options_.corruption_events.empty();
 
   // Observability wiring: the tracer fans out to every instrumented
   // component (policies get theirs in create_policies, after construction).
@@ -387,6 +404,112 @@ NodeId Cluster::pick_source(NodeId reader, BlockId block) const {
   return best;  // kInvalidNode when no live replica exists anywhere else
 }
 
+bool Cluster::checksum_fails(NodeId holder, BlockId block, Bytes bytes) {
+  // Exactly one draw per verified read when the stochastic process is on,
+  // regardless of the replica's current state — the draw count must never
+  // depend on earlier corruption outcomes.
+  if (corruption_ != nullptr && corruption_->sample_read_corruption(bytes)) {
+    mark_replica_corrupt(holder, block);
+  }
+  return data_nodes_[static_cast<std::size_t>(holder)]->is_corrupt(block);
+}
+
+void Cluster::mark_replica_corrupt(NodeId holder, BlockId block) {
+  if (data_nodes_[static_cast<std::size_t>(holder)]->corrupt_replica(block)) {
+    ++corrupt_replicas_injected_;
+    if (tracer_ != nullptr) tracer_->replica_corrupted(holder, block);
+  }
+}
+
+void Cluster::record_data_loss(BlockId block) {
+  // One loss event per block: repeated reads of the same corrupt last copy
+  // must not inflate the count.
+  if (!data_loss_blocks_.insert(block).second) return;
+  ++data_loss_events_;
+  if (tracer_ != nullptr) tracer_->data_loss(block);
+}
+
+storage::NameNode::BadBlockResult Cluster::handle_bad_block(BlockId block,
+                                                            NodeId holder) {
+  ++corrupt_reads_;
+  if (tracer_ != nullptr) tracer_->checksum_failed(holder, block);
+  const auto verdict = name_node_->report_bad_block(block, holder);
+  switch (verdict) {
+    case storage::NameNode::BadBlockResult::kQuarantined: {
+      const auto h = static_cast<std::size_t>(holder);
+      data_nodes_[h]->quarantine_replica(block);
+      policies_[h]->on_replica_dropped(block);
+      ++replicas_quarantined_;
+      if (options_.enable_rereplication &&
+          name_node_->is_under_replicated(block)) {
+        queue_repair(block);
+      }
+      break;
+    }
+    case storage::NameNode::BadBlockResult::kLastReplica:
+      // Last-good-replica protection: the final copy is never deleted, even
+      // corrupt — surface the loss and leave it for archival restore.
+      record_data_loss(block);
+      break;
+    case storage::NameNode::BadBlockResult::kStaleReport:
+      break;
+  }
+  return verdict;
+}
+
+Cluster::ReadPlan Cluster::plan_read(NodeId worker, BlockId block, Bytes bytes,
+                                     bool node_local) {
+  const auto w = static_cast<std::size_t>(worker);
+  ReadPlan plan;
+  plan.src = worker;
+  if (node_local) {
+    plan.duration += data_nodes_[w]->read_duration(bytes);
+    if (!verify_reads_ || !checksum_fails(worker, block, bytes)) return plan;
+    // The local copy failed its checksum: report it (quarantining the
+    // replica) and re-read from another holder. The wasted local read stays
+    // charged to the attempt.
+    handle_bad_block(block, worker);
+  }
+  for (;;) {
+    const NodeId src = pick_source(worker, block);
+    if (src == kInvalidNode) {
+      // Every other replica is on a dead node or burned by quarantine:
+      // restore from the (simulated) archival tier — a fixed, painful
+      // penalty. This keeps jobs with genuinely lost blocks finishable
+      // instead of deadlocking the run.
+      plan.duration += from_seconds(60.0);
+      plan.src = worker;
+      plan.remote_flow = false;
+      return plan;
+    }
+    // A remote read is bounded by both source disk and network path.
+    const SimDuration disk =
+        data_nodes_[static_cast<std::size_t>(src)]->read_duration(bytes);
+    const SimDuration net = network_->transfer_duration(src, worker, bytes);
+    plan.duration += std::max(disk, net);
+    if (verify_reads_ && checksum_fails(src, block, bytes)) {
+      // The fetched copy failed its checksum; its transfer time stays
+      // charged but no flow is held for the wasted leg (modeling
+      // simplification). Retry from the next surviving replica —
+      // kQuarantined removed this location, so the loop terminates.
+      if (handle_bad_block(block, src) ==
+          storage::NameNode::BadBlockResult::kLastReplica) {
+        // The only remaining copy is corrupt (kept, never deleted): fall
+        // back to the archival tier.
+        plan.duration += from_seconds(60.0);
+        plan.src = worker;
+        plan.remote_flow = false;
+        return plan;
+      }
+      continue;
+    }
+    network_->flow_started(src, worker);
+    plan.src = src;
+    plan.remote_flow = true;
+    return plan;
+  }
+}
+
 void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
   const auto w = static_cast<std::size_t>(worker);
   const std::size_t map_index =
@@ -403,35 +526,18 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
   }
 
   const bool node_local = selection.node_local();
-  SimDuration duration = options_.map_setup + task.cpu;
-  NodeId src = worker;
-  bool remote_flow = false;
-  if (node_local) {
-    duration += data_nodes_[w]->read_duration(task.bytes);
-  } else {
-    src = pick_source(worker, task.block);
-    if (src == kInvalidNode) {
-      // Every other replica is on a dead node: restore from the (simulated)
-      // archival tier — a fixed, painful penalty. This keeps jobs with
-      // genuinely lost blocks finishable instead of deadlocking the run.
-      duration += from_seconds(60.0);
-    } else {
-      // A remote read is bounded by both source disk and network path.
-      const SimDuration disk =
-          data_nodes_[static_cast<std::size_t>(src)]->read_duration(
-              task.bytes);
-      const SimDuration net =
-          network_->transfer_duration(src, worker, task.bytes);
-      duration += std::max(disk, net);
-      network_->flow_started(src, worker);
-      remote_flow = true;
-    }
-  }
+  const ReadPlan plan = plan_read(worker, task.block, task.bytes, node_local);
+  SimDuration duration = options_.map_setup + task.cpu + plan.duration;
+  const NodeId src = plan.src;
+  const bool remote_flow = plan.remote_flow;
   duration = static_cast<SimDuration>(static_cast<double>(duration) *
                                       node_slowdown_[w]);
 
   // The DARE hook: the block is streaming through this node anyway, so the
   // policy may capture it (remote case) or refresh its bookkeeping (local).
+  // `node_local` is the scheduler's view at launch — kept even when a
+  // checksum failure rerouted the read, so the policy draw sequence is
+  // independent of corruption outcomes.
   {
     obs::PhaseScope prof(profiler_, obs::Phase::kReplication);
     policies_[w]->on_map_task(meta, node_local);
@@ -479,26 +585,10 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
     tracer_->map_launched(worker, job, map_index, static_cast<int>(loc),
                           /*speculative=*/true);
   }
-  SimDuration duration = options_.map_setup + task.cpu;
-  NodeId src = worker;
-  bool remote_flow = false;
-  if (node_local) {
-    duration += data_nodes_[w]->read_duration(task.bytes);
-  } else {
-    src = pick_source(worker, task.block);
-    if (src == kInvalidNode) {
-      duration += from_seconds(60.0);
-    } else {
-      const SimDuration disk =
-          data_nodes_[static_cast<std::size_t>(src)]->read_duration(
-              task.bytes);
-      const SimDuration net =
-          network_->transfer_duration(src, worker, task.bytes);
-      duration += std::max(disk, net);
-      network_->flow_started(src, worker);
-      remote_flow = true;
-    }
-  }
+  const ReadPlan plan = plan_read(worker, task.block, task.bytes, node_local);
+  SimDuration duration = options_.map_setup + task.cpu + plan.duration;
+  const NodeId src = plan.src;
+  const bool remote_flow = plan.remote_flow;
   duration = static_cast<SimDuration>(static_cast<double>(duration) *
                                       node_slowdown_[w]);
   // The backup attempt reads the block through this node too — the DARE
@@ -843,12 +933,7 @@ void Cluster::declare_node_dead(NodeId worker) {
   // fell under their replication factor enter the repair queue.
   const auto under_replicated = name_node_->node_failed(worker);
   if (options_.enable_rereplication) {
-    for (BlockId bid : under_replicated) repair_queue_.push_back(bid);
-    if (!repair_queue_.empty() && !repair_tick_scheduled_) {
-      repair_tick_scheduled_ = true;
-      sim_.after(options_.rereplication_interval,
-                 [this] { rereplication_tick(); });
-    }
+    for (BlockId bid : under_replicated) queue_repair(bid);
   }
   // The JobTracker side of the same expiry: every attempt on the node is
   // presumed lost and its task requeued.
@@ -923,6 +1008,21 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
     // next block report died with the process; the disk contents are the
     // only truth left, and the name node reconciles against them.
     dn.clear_pending_reports();
+    // Disk scrub on re-registration: a corrupt copy is only offered back to
+    // the name node when it is the last copy anywhere (resurrecting a lost
+    // block beats deleting its final bytes); otherwise quarantine it
+    // locally. The name node scrubbed this node's locations at declaration,
+    // so any remaining location is another live holder.
+    for (BlockId b : dn.corrupt_blocks()) {
+      if (name_node_->locations(b).empty()) {
+        record_data_loss(b);
+      } else if (dn.quarantine_replica(b)) {
+        ++replicas_quarantined_;
+        // The name node holds no location for this copy, so the tracer
+        // event comes from the cluster glue.
+        if (tracer_ != nullptr) tracer_->replica_quarantined(worker, b);
+      }
+    }
     std::vector<BlockId> statics;
     for (const auto& meta : dn.static_blocks()) statics.push_back(meta.id);
     std::sort(statics.begin(), statics.end());
@@ -1070,9 +1170,80 @@ void Cluster::cancel_pending_churn() {
   monitor_event_.cancel();
   for (auto& handle : next_failure_) handle.cancel();
   for (auto& handle : recover_event_) handle.cancel();
+  latent_event_.cancel();
   // The gauge sampler must die with the run too: a sample event left in the
   // queue would fire after the last job and inflate the makespan.
   sampler_event_.cancel();
+}
+
+void Cluster::queue_repair(BlockId block) {
+  repair_queue_.push_back(block);
+  // First enqueue wins: repair latency measures first queue entry to
+  // repair-copy registration (emplace is a no-op for a re-queued block).
+  repair_enqueue_time_.emplace(block, sim_.now());
+  if (!repair_tick_scheduled_) {
+    repair_tick_scheduled_ = true;
+    sim_.after(options_.rereplication_interval,
+               [this] { rereplication_tick(); });
+  }
+}
+
+void Cluster::on_replica_delta(BlockId block, NodeId node, bool added) {
+  if (locality_index_ != nullptr) {
+    if (added) {
+      locality_index_->replica_added(block, node);
+    } else {
+      locality_index_->replica_removed(block, node);
+    }
+  }
+  if (!track_unavailability_) return;
+  // Unavailability windows: a block with zero visible locations is
+  // unreadable (short of the archival penalty) until a rejoin or repair
+  // restores a location. The observer fires after every mutation, so the
+  // location list reflects the new state.
+  if (added) {
+    const auto it = unavail_open_.find(block);
+    if (it != unavail_open_.end()) {
+      ++unavailability_windows_;
+      unavailability_total_ += sim_.now() - it->second;
+      unavail_open_.erase(it);
+    }
+  } else if (name_node_->locations(block).empty()) {
+    unavail_open_.emplace(block, sim_.now());
+  }
+}
+
+void Cluster::schedule_latent_corruption() {
+  latent_event_ = sim_.after(corruption_->sample_latent_interval(), [this] {
+    if (run_finished()) return;
+    // Fixed two draws per strike (node pick, replica pick) regardless of
+    // the outcome, so the corruption stream stays aligned no matter how
+    // the cluster state evolves.
+    const double node_u = corruption_->pick_fraction();
+    const double replica_u = corruption_->pick_fraction();
+    const std::size_t w = std::min(
+        data_nodes_.size() - 1,
+        static_cast<std::size_t>(node_u *
+                                 static_cast<double>(data_nodes_.size())));
+    if (!dead_[w]) {
+      const auto& dn = *data_nodes_[w];
+      // Deterministic victim order: statics in placement order, then
+      // dynamics sorted by id.
+      std::vector<BlockId> victims;
+      for (const auto& meta : dn.static_blocks()) victims.push_back(meta.id);
+      std::vector<BlockId> dynamics = dn.dynamic_blocks();
+      std::sort(dynamics.begin(), dynamics.end());
+      victims.insert(victims.end(), dynamics.begin(), dynamics.end());
+      if (!victims.empty()) {
+        const std::size_t pick = std::min(
+            victims.size() - 1,
+            static_cast<std::size_t>(
+                replica_u * static_cast<double>(victims.size())));
+        mark_replica_corrupt(static_cast<NodeId>(w), victims[pick]);
+      }
+    }
+    schedule_latent_corruption();
+  });
 }
 
 void Cluster::rereplication_tick() {
@@ -1084,7 +1255,10 @@ void Cluster::rereplication_tick() {
     repair_queue_.pop_front();
     // A rejoining node may have re-adopted a stale replica since this block
     // was queued — don't copy what is no longer under-replicated.
-    if (!name_node_->is_under_replicated(bid)) continue;
+    if (!name_node_->is_under_replicated(bid)) {
+      repair_enqueue_time_.erase(bid);
+      continue;
+    }
     const auto& meta = name_node_->block(bid);
 
     // Source: any live holder. Destination: a live node without a copy.
@@ -1094,7 +1268,22 @@ void Cluster::rereplication_tick() {
       }
       return kInvalidNode;
     }();
-    if (src == kInvalidNode) continue;  // block truly lost, nothing to copy
+    if (src == kInvalidNode) {
+      // Block truly lost, nothing to copy; abandon the repair.
+      repair_enqueue_time_.erase(bid);
+      continue;
+    }
+    if (verify_reads_ && checksum_fails(src, bid, meta.size)) {
+      // The repair read discovered its source corrupt. kQuarantined
+      // re-queues the block via handle_bad_block (a different source gets
+      // tried next tick); kLastReplica abandons the repair — re-queuing
+      // would spin on the same corrupt final copy.
+      if (handle_bad_block(bid, src) !=
+          storage::NameNode::BadBlockResult::kQuarantined) {
+        repair_enqueue_time_.erase(bid);
+      }
+      continue;
+    }
 
     NodeId dst = kInvalidNode;
     for (std::size_t attempt = 0; attempt < 4 * data_nodes_.size();
@@ -1106,7 +1295,12 @@ void Cluster::rereplication_tick() {
         break;
       }
     }
-    if (dst == kInvalidNode) continue;  // every live node already has it
+    if (dst == kInvalidNode) {
+      // Every live node already has a copy; abandon (a location scrub will
+      // re-queue if it matters again).
+      repair_enqueue_time_.erase(bid);
+      continue;
+    }
 
     const SimDuration transfer =
         network_->transfer_duration(src, dst, meta.size);
@@ -1120,11 +1314,17 @@ void Cluster::rereplication_tick() {
         // A rejoin beat the transfer: the in-flight copy is surplus and is
         // discarded on arrival.
         ++overreplication_prunes_;
+        repair_enqueue_time_.erase(bid);
         return;
       }
       if (name_node_->add_repair_replica(bid, dst)) {
         data_nodes_[d]->add_static_block(meta);
         ++rereplicated_blocks_;
+        const auto stamp = repair_enqueue_time_.find(bid);
+        if (stamp != repair_enqueue_time_.end()) {
+          repair_latency_total_ += sim_.now() - stamp->second;
+          repair_enqueue_time_.erase(stamp);
+        }
       }
     });
   }
@@ -1315,6 +1515,13 @@ void Cluster::validate() const {
           fail("block " + std::to_string(bid) + " registered on node " +
                std::to_string(n) + " but not present there");
         }
+        // Quarantined replicas must never be visible: report_bad_block
+        // removes the location before the data node drops the copy.
+        if (!dead_[n] && data_nodes_[n]->is_quarantined(bid)) {
+          fail("block " + std::to_string(bid) +
+               " location references a quarantined replica on node " +
+               std::to_string(n));
+        }
       }
       for (NodeId node : statics) {
         if (std::find(locs.begin(), locs.end(), node) == locs.end()) {
@@ -1465,6 +1672,23 @@ metrics::RunResult Cluster::collect_results(
   result.failed_jobs = failed_jobs_;
   result.blacklisted_nodes = blacklisted_total_;
 
+  // Data-integrity accounting. Windows still open at run end close at the
+  // makespan so unavailability_total_s never undercounts.
+  result.corrupt_reads = corrupt_reads_;
+  result.corrupt_replicas = corrupt_replicas_injected_;
+  result.replicas_quarantined = replicas_quarantined_;
+  result.data_loss_events = data_loss_events_;
+  result.repair_latency_total_s = to_seconds(repair_latency_total_);
+  // dare-lint: allow(unordered-iteration) -- commutative summation; the
+  // result is independent of iteration order.
+  for (const auto& [block, opened] : unavail_open_) {
+    ++unavailability_windows_;
+    unavailability_total_ += sim_.now() - opened;
+  }
+  unavail_open_.clear();
+  result.unavailability_windows = unavailability_windows_;
+  result.unavailability_total_s = to_seconds(unavailability_total_);
+
   // Popularity indices (Fig. 11). Block popularity = number of jobs that
   // accessed its file in this workload (snapshot taken at load time).
   // "Before" uses the static placement; "after" reflects the final
@@ -1497,6 +1721,29 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
     sim_.at(failure.at, [this, failure] {
       fail_node(failure.worker, failure.kind, failure.downtime);
     });
+  }
+  for (const auto& ev : options_.corruption_events) {
+    if (ev.node != kInvalidNode &&
+        (ev.node < 0 ||
+         static_cast<std::size_t>(ev.node) >= data_nodes_.size())) {
+      throw std::invalid_argument(
+          "Cluster: corruption event for unknown worker");
+    }
+    sim_.at(ev.at, [this, ev] {
+      if (ev.node == kInvalidNode) {
+        // Forced last-good-replica scenario: strike every currently
+        // visible copy at once. (Corruption is silent — no location
+        // mutates here, so iterating the list directly is safe.)
+        for (NodeId holder : name_node_->locations(ev.block)) {
+          mark_replica_corrupt(holder, ev.block);
+        }
+      } else {
+        mark_replica_corrupt(ev.node, ev.block);
+      }
+    });
+  }
+  if (corruption_ != nullptr && options_.corruption.sector_mtbf_s > 0.0) {
+    schedule_latent_corruption();
   }
   if (!options_.failures.empty() || options_.faults.enabled) {
     // Heartbeat-expiry monitor: the only way the name node learns of

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/options.h"
@@ -115,6 +116,43 @@ class Cluster {
   /// fewest active flows, then lowest id (deterministic).
   NodeId pick_source(NodeId reader, BlockId block) const;
 
+  /// --- data integrity (checksums, quarantine, repair accounting) ---------
+  /// The read leg of a map attempt. `src` is the replica actually read
+  /// (== worker for a local or archival read); `remote_flow` says whether a
+  /// network flow was started and must be released on completion.
+  struct ReadPlan {
+    SimDuration duration = 0;
+    NodeId src = kInvalidNode;
+    bool remote_flow = false;
+  };
+  /// Compute the read duration for `block`, verifying checksums when the
+  /// corruption subsystem is active. A failed local read falls back to a
+  /// remote replica; failed remote reads retry from the next surviving
+  /// replica (the wasted transfer time stays charged to the attempt). When
+  /// no good copy remains, the archival-restore penalty applies. With the
+  /// subsystem off this reproduces the pre-checksum read path draw for draw.
+  ReadPlan plan_read(NodeId worker, BlockId block, Bytes bytes,
+                     bool node_local);
+  /// One checksum verification of `holder`'s copy of `block`. Draws exactly
+  /// one corruption sample per call when the stochastic process is on,
+  /// independent of the replica's current state.
+  bool checksum_fails(NodeId holder, BlockId block, Bytes bytes);
+  /// Hadoop-style reportBadBlock: tell the name node, quarantine the copy,
+  /// and queue a repair — unless it was the last replica (data loss; the
+  /// copy is never deleted).
+  storage::NameNode::BadBlockResult handle_bad_block(BlockId block,
+                                                     NodeId holder);
+  void queue_repair(BlockId block);
+  void record_data_loss(BlockId block);
+  void mark_replica_corrupt(NodeId holder, BlockId block);
+  /// Background sector-loss process: periodically corrupt one replica on
+  /// one live node (silently — a later read discovers it).
+  void schedule_latent_corruption();
+  /// Single replica-delta observer: feeds the locality index (when built)
+  /// and tracks block unavailability windows (when faults or corruption are
+  /// configured).
+  void on_replica_delta(BlockId block, NodeId node, bool added);
+
   double dedicated_runtime_s(const sched::JobSpec& spec) const;
 
   void scarlett_epoch();
@@ -179,6 +217,26 @@ class Cluster {
   sim::EventHandle monitor_event_;
   std::deque<BlockId> repair_queue_;
   bool repair_tick_scheduled_ = false;
+  /// Data-integrity state. `corruption_` is forked only when the stochastic
+  /// process is enabled (zero draws otherwise); `verify_reads_` also covers
+  /// scripted corruption events. Unavailability windows are tracked from
+  /// the replica-delta observer whenever faults or corruption are in play.
+  std::unique_ptr<faults::CorruptionProcess> corruption_;
+  bool verify_reads_ = false;
+  bool track_unavailability_ = false;
+  sim::EventHandle latent_event_;
+  std::uint64_t corrupt_reads_ = 0;
+  std::uint64_t corrupt_replicas_injected_ = 0;
+  std::uint64_t replicas_quarantined_ = 0;
+  std::uint64_t data_loss_events_ = 0;
+  std::unordered_set<BlockId> data_loss_blocks_;
+  /// First time each block entered the repair queue (erased when the repair
+  /// lands or is abandoned); feeds repair_latency_total_.
+  std::unordered_map<BlockId, SimTime> repair_enqueue_time_;
+  SimDuration repair_latency_total_ = 0;
+  std::unordered_map<BlockId, SimTime> unavail_open_;
+  std::uint64_t unavailability_windows_ = 0;
+  SimDuration unavailability_total_ = 0;
   std::uint64_t task_reexecutions_ = 0;
   std::uint64_t rereplicated_blocks_ = 0;
   std::uint64_t node_failures_ = 0;

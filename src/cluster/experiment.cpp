@@ -36,6 +36,20 @@ PolicyKind parse_policy(const std::string& name) {
   throw std::invalid_argument("unknown policy: " + name);
 }
 
+const std::vector<std::string>& override_keys() {
+  static const std::vector<std::string> keys = {
+      "bitrot_per_gb",  "blacklist_threshold", "budget",
+      "corruption",     "detect_missed",       "fair_delay_ms",
+      "faults",         "heartbeat_s",         "map_slots",
+      "max_attempts",   "min_live_workers",    "mtbf_s",
+      "mttr_s",         "nodes",               "p",
+      "permanent_fraction", "policy",          "profile",
+      "rack_correlation",   "reduce_slots",    "scheduler",
+      "sector_mtbf_s",      "seed",            "task_failure_prob",
+      "threshold"};
+  return keys;
+}
+
 ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg) {
   if (cfg.contains("profile") || cfg.contains("nodes")) {
     const std::string profile =
@@ -85,6 +99,12 @@ ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg) {
   options.faults.min_live_workers = static_cast<std::size_t>(cfg.get_int(
       "min_live_workers",
       static_cast<std::int64_t>(options.faults.min_live_workers)));
+  options.corruption.enabled =
+      cfg.get_bool("corruption", options.corruption.enabled);
+  options.corruption.bitrot_per_gb =
+      cfg.get_double("bitrot_per_gb", options.corruption.bitrot_per_gb);
+  options.corruption.sector_mtbf_s =
+      cfg.get_double("sector_mtbf_s", options.corruption.sector_mtbf_s);
   options.detection_missed_heartbeats = static_cast<std::size_t>(cfg.get_int(
       "detect_missed",
       static_cast<std::int64_t>(options.detection_missed_heartbeats)));

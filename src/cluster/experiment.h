@@ -27,9 +27,18 @@ ClusterOptions paper_defaults(const net::ClusterProfile& profile,
 ///   p=<0..1>                 threshold=<n>       budget=<0..1>
 ///   map_slots=<n>            reduce_slots=<n>
 ///   heartbeat_s=<sec>        fair_delay_ms=<ms>
+///   faults=0|1 mtbf_s= mttr_s= permanent_fraction= rack_correlation=
+///   task_failure_prob= min_live_workers= detect_missed= max_attempts=
+///   blacklist_threshold=
+///   corruption=0|1           bitrot_per_gb=<rate> sector_mtbf_s=<sec>
 /// Unknown keys are ignored (they may belong to the workload or harness).
 /// Throws std::invalid_argument on unparsable values for known keys.
 ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg);
+
+/// Every key apply_overrides recognizes, sorted. Example binaries check
+/// their command line against this (plus their own keys) so a typo'd knob
+/// fails loudly instead of being silently ignored.
+const std::vector<std::string>& override_keys();
 
 /// Parse the scheduler / policy names used by apply_overrides.
 SchedulerKind parse_scheduler(const std::string& name);

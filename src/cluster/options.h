@@ -90,6 +90,26 @@ struct ClusterOptions {
   /// failures. See faults::FaultInjectionParams for the knobs.
   faults::FaultInjectionParams faults;
 
+  /// --- data integrity ----------------------------------------------------
+  /// Stochastic silent corruption: per-GB bit rot discovered when a read
+  /// verifies its checksum, plus latent whole-replica sector loss striking
+  /// idle copies in the background. Like `faults`, driven by its own forked
+  /// RNG stream — disabled runs are bit-identical to a build without the
+  /// subsystem. See faults::CorruptionParams.
+  faults::CorruptionParams corruption;
+
+  /// Scripted corruption on top of (or instead of) the stochastic process:
+  /// at `at`, silently corrupt the replica of `block` held by `node` —
+  /// or every currently visible replica when `node` is kInvalidNode (the
+  /// forced last-good-replica scenario). The damage surfaces when a read
+  /// verifies the copy.
+  struct CorruptionEvent {
+    SimTime at = 0;
+    BlockId block = kInvalidBlock;
+    NodeId node = kInvalidNode;  ///< kInvalidNode = all current holders
+  };
+  std::vector<CorruptionEvent> corruption_events;
+
   /// A worker is declared dead after this many consecutive missed
   /// heartbeats (Hadoop's 10-minute expiry scaled to simulator time).
   std::size_t detection_missed_heartbeats = 3;

@@ -30,10 +30,26 @@ void ElephantTrapPolicy::rebuild(
   ring_.clear();
   index_.clear();
   for (const auto& meta : live_dynamic) {
+    if (node_->is_quarantined(meta.id)) continue;
     ring_.push_back(Entry{meta, 0});
     index_[meta.id] = std::prev(ring_.end());
   }
   eviction_pointer_ = ring_.empty() ? ring_.end() : ring_.begin();
+}
+
+void ElephantTrapPolicy::on_replica_dropped(BlockId block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;
+  const auto pos = it->second;
+  index_.erase(it);
+  const auto next = std::next(pos);
+  const bool was_pointer = eviction_pointer_ == pos;
+  ring_.erase(pos);
+  if (was_pointer) {
+    eviction_pointer_ = ring_.empty()
+                            ? ring_.end()
+                            : (next == ring_.end() ? ring_.begin() : next);
+  }
 }
 
 ElephantTrapPolicy::Ring::iterator ElephantTrapPolicy::advance(
@@ -105,6 +121,18 @@ bool ElephantTrapPolicy::on_map_task(const storage::BlockMeta& block,
   if (local) {
     const auto it = index_.find(block.id);
     if (it != index_.end()) ++it->second->count;
+    return false;
+  }
+
+  if (node_->is_quarantined(block.id)) {
+    // A checksum failure burned this node's copy; adoption stays banned
+    // until a fresh authoritative copy arrives via re-replication. Checked
+    // after the coin so the draw sequence is independent of quarantines.
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kQuarantined,
+                               budget_occupancy(*node_, budget_));
+    }
     return false;
   }
 

@@ -39,7 +39,11 @@ class ElephantTrapPolicy final : public ReplicationPolicy {
 
   /// Crash recovery: re-ring the surviving replicas with zeroed counts and
   /// reset the eviction pointer (aging state is lost with the process).
+  /// Quarantined blocks are dropped.
   void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
+  /// Forget a replica the name node quarantined out from under us.
+  void on_replica_dropped(BlockId block) override;
 
   std::string name() const override { return "elephant-trap"; }
   std::uint64_t replicas_created() const override { return created_; }

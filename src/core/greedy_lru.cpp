@@ -29,9 +29,17 @@ void GreedyLruPolicy::rebuild(
   order_.clear();
   index_.clear();
   for (const auto& meta : live_dynamic) {
+    if (node_->is_quarantined(meta.id)) continue;
     order_.push_back(meta);
     index_[meta.id] = std::prev(order_.end());
   }
+}
+
+void GreedyLruPolicy::on_replica_dropped(BlockId block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
 }
 
 bool GreedyLruPolicy::make_room(const storage::BlockMeta& incoming) {
@@ -64,6 +72,16 @@ bool GreedyLruPolicy::on_map_task(const storage::BlockMeta& block,
   if (local) {
     // The usage queue is refreshed on every read.
     touch(block.id);
+    return false;
+  }
+  if (node_->is_quarantined(block.id)) {
+    // A checksum failure burned this node's copy; adoption stays banned
+    // until a fresh authoritative copy arrives via re-replication.
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kQuarantined,
+                               budget_occupancy(*node_, budget_));
+    }
     return false;
   }
   if (block.size > budget_) {  // can never fit

@@ -26,8 +26,11 @@ class GreedyLruPolicy final : public ReplicationPolicy {
 
   /// Crash recovery: repopulate the LRU queue from the surviving replicas
   /// (recency is lost; the given order — block id — becomes the new LRU
-  /// order, refreshed by subsequent reads).
+  /// order, refreshed by subsequent reads). Quarantined blocks are dropped.
   void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
+  /// Forget a replica the name node quarantined out from under us.
+  void on_replica_dropped(BlockId block) override;
 
   std::string name() const override { return "greedy-lru"; }
   std::uint64_t replicas_created() const override { return created_; }

@@ -24,8 +24,13 @@ void GreedyLfuPolicy::rebuild(
     const std::vector<storage::BlockMeta>& live_dynamic) {
   entries_.clear();
   for (const auto& meta : live_dynamic) {
+    if (node_->is_quarantined(meta.id)) continue;
     entries_[meta.id] = Entry{meta, 0, tie_counter_++};
   }
+}
+
+void GreedyLfuPolicy::on_replica_dropped(BlockId block) {
+  entries_.erase(block);
 }
 
 bool GreedyLfuPolicy::make_room(const storage::BlockMeta& incoming) {
@@ -68,6 +73,16 @@ bool GreedyLfuPolicy::on_map_task(const storage::BlockMeta& block,
     return false;
   }
   if (local) return false;
+  if (node_->is_quarantined(block.id)) {
+    // A checksum failure burned this node's copy; adoption stays banned
+    // until a fresh authoritative copy arrives via re-replication.
+    if (tracer_ != nullptr) {
+      tracer_->replica_skipped(node_->id(), block.id,
+                               obs::SkipReason::kQuarantined,
+                               budget_occupancy(*node_, budget_));
+    }
+    return false;
+  }
   if (block.size > budget_) {
     if (tracer_ != nullptr) {
       tracer_->replica_skipped(node_->id(), block.id,

@@ -23,8 +23,12 @@ class GreedyLfuPolicy final : public ReplicationPolicy {
   bool on_map_task(const storage::BlockMeta& block, bool local) override;
 
   /// Crash recovery: re-track the surviving replicas with zeroed counts
-  /// (frequency history is lost with the process).
+  /// (frequency history is lost with the process). Quarantined blocks are
+  /// dropped.
   void rebuild(const std::vector<storage::BlockMeta>& live_dynamic) override;
+
+  /// Forget a replica the name node quarantined out from under us.
+  void on_replica_dropped(BlockId block) override;
 
   std::string name() const override { return "greedy-lfu"; }
   std::uint64_t replicas_created() const override { return created_; }

@@ -54,6 +54,13 @@ class ReplicationPolicy {
     (void)live_dynamic;
   }
 
+  /// A replica the policy may be tracking was dropped behind its back (the
+  /// name node quarantined it after a failed checksum). The policy must
+  /// forget any bookkeeping for `block`; re-adoption stays banned by the
+  /// data node's quarantine until a fresh authoritative copy arrives.
+  /// Default: stateless policies track nothing.
+  virtual void on_replica_dropped(BlockId block) { (void)block; }
+
  protected:
   obs::TraceCollector* tracer_ = nullptr;
 };

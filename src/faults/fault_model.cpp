@@ -1,7 +1,9 @@
 #include "faults/fault_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace dare::faults {
 
@@ -14,7 +16,57 @@ void check_probability(double p, const char* what) {
   }
 }
 
+// Negated comparisons so NaN (which fails every comparison) is rejected by
+// the same branch as an out-of-range value.
+void require_positive(double x, const char* field) {
+  if (!(x > 0.0)) {
+    throw std::invalid_argument(std::string(field) + " must be positive");
+  }
+}
+
+void require_nonnegative(double x, const char* field) {
+  if (!(x >= 0.0)) {
+    throw std::invalid_argument(std::string(field) + " must be non-negative");
+  }
+}
+
+void require_fraction(double p, const char* field) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string(field) + " must be in [0, 1]");
+  }
+}
+
 }  // namespace
+
+void validate_fault_params(const FaultInjectionParams& params,
+                           std::size_t worker_count) {
+  require_positive(params.mtbf_s, "FaultInjectionParams.mtbf_s");
+  require_positive(params.mttr_s, "FaultInjectionParams.mttr_s");
+  require_fraction(params.permanent_fraction,
+                   "FaultInjectionParams.permanent_fraction");
+  require_fraction(params.rack_correlation,
+                   "FaultInjectionParams.rack_correlation");
+  require_fraction(params.task_failure_prob,
+                   "FaultInjectionParams.task_failure_prob");
+  // The floor only bites when the injector actually runs; small test
+  // clusters routinely carry the default floor with churn disabled.
+  if (params.enabled && params.min_live_workers >= worker_count) {
+    throw std::invalid_argument(
+        "FaultInjectionParams.min_live_workers must be below the worker "
+        "count (the injector could otherwise never fire)");
+  }
+}
+
+void validate_corruption_params(const CorruptionParams& params) {
+  require_nonnegative(params.bitrot_per_gb, "CorruptionParams.bitrot_per_gb");
+  require_nonnegative(params.sector_mtbf_s, "CorruptionParams.sector_mtbf_s");
+  if (params.enabled && !(params.bitrot_per_gb > 0.0) &&
+      !(params.sector_mtbf_s > 0.0)) {
+    throw std::invalid_argument(
+        "CorruptionParams.enabled requires bitrot_per_gb or sector_mtbf_s "
+        "to be positive");
+  }
+}
 
 FaultProcess::FaultProcess(const FaultInjectionParams& params, Rng& parent)
     : params_(params), rng_(parent.fork()) {
@@ -50,5 +102,27 @@ FailureSample FaultProcess::sample_failure() {
 bool FaultProcess::sample_task_failure() {
   return rng_.bernoulli(params_.task_failure_prob);
 }
+
+CorruptionProcess::CorruptionProcess(const CorruptionParams& params,
+                                     Rng& parent)
+    : params_(params), rng_(parent.fork()) {
+  validate_corruption_params(params_);
+}
+
+bool CorruptionProcess::sample_read_corruption(Bytes bytes) {
+  // P(at least one flipped bit over `bytes` scanned) under a Poisson rate of
+  // bitrot_per_gb events per GB; expm1 keeps tiny rates exact.
+  const double p =
+      -std::expm1(-params_.bitrot_per_gb * static_cast<double>(bytes) / 1e9);
+  return rng_.bernoulli(p);
+}
+
+SimDuration CorruptionProcess::sample_latent_interval() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.sector_mtbf_s)));
+}
+
+double CorruptionProcess::pick_fraction() { return rng_.uniform(); }
 
 }  // namespace dare::faults

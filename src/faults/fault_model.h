@@ -59,6 +59,36 @@ struct FaultInjectionParams {
   std::size_t min_live_workers = 3;
 };
 
+/// Silent data-corruption model: per-replica bit rot discovered on read plus
+/// latent whole-replica sector loss striking idle copies in the background.
+struct CorruptionParams {
+  /// Master switch; when false no corruption process is created and runs are
+  /// bit-identical to a build without this subsystem.
+  bool enabled = false;
+
+  /// Expected checksum failures per gigabyte scanned. Each verified read of
+  /// `bytes` flips its replica corrupt with probability
+  /// 1 - exp(-bitrot_per_gb * bytes / 1e9).
+  double bitrot_per_gb = 0.0;
+
+  /// Mean time between latent sector-loss events cluster-wide, seconds
+  /// (exponential). Each event silently corrupts one replica on one random
+  /// live node; the damage surfaces only when a read verifies the copy.
+  /// Zero disables the latent process (bit rot only).
+  double sector_mtbf_s = 0.0;
+};
+
+/// Throws std::invalid_argument naming the offending field when `params`
+/// is out of range: NaN or non-positive rates, fractions outside [0, 1],
+/// or (when enabled) a live-worker floor at or above the worker count.
+void validate_fault_params(const FaultInjectionParams& params,
+                           std::size_t worker_count);
+
+/// Throws std::invalid_argument naming the offending field when `params`
+/// is out of range: NaN/negative rates (sector_mtbf_s may be zero to
+/// disable the latent process, but not negative).
+void validate_corruption_params(const CorruptionParams& params);
+
 /// One sampled node failure.
 struct FailureSample {
   FaultKind kind = FaultKind::kTransient;
@@ -91,6 +121,36 @@ class FaultProcess {
 
  private:
   FaultInjectionParams params_;
+  Rng rng_;
+};
+
+/// Per-cluster corruption sampler. All state lives in a forked RNG stream so
+/// enabling corruption never perturbs the draws of other components.
+class CorruptionProcess {
+ public:
+  /// Forks a child stream off `parent`. Throws std::invalid_argument (via
+  /// validate_corruption_params) when the parameters are out of range.
+  CorruptionProcess(const CorruptionParams& params, Rng& parent);
+
+  /// One Bernoulli trial: does scanning `bytes` of a replica detect fresh
+  /// bit rot? Always draws exactly once, so the stream position is
+  /// independent of the outcome.
+  bool sample_read_corruption(Bytes bytes);
+
+  /// Time until the next latent sector-loss event. Only meaningful when
+  /// sector_mtbf_s > 0.
+  SimDuration sample_latent_interval();
+
+  /// Uniform draw in [0, 1) used to pick the victim node/replica of a
+  /// latent event. Kept as a raw fraction so the caller can map it onto
+  /// whatever candidate list exists at event time without burning a
+  /// variable number of draws.
+  double pick_fraction();
+
+  const CorruptionParams& params() const { return params_; }
+
+ private:
+  CorruptionParams params_;
   Rng rng_;
 };
 

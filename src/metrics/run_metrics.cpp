@@ -44,6 +44,11 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s) {
           ? 0.0
           : result.detection_latency_total_s /
                 static_cast<double>(result.failures_detected);
+  result.mean_repair_latency_s =
+      result.rereplicated_blocks == 0
+          ? 0.0
+          : result.repair_latency_total_s /
+                static_cast<double>(result.rereplicated_blocks);
   OnlineStats map_stats;
   for (double t : map_times_s) map_stats.add(t);
   result.mean_map_time_s = map_stats.mean();
@@ -131,6 +136,21 @@ std::uint64_t fingerprint(const RunResult& result) {
   d.mix(result.task_attempt_failures);
   d.mix(result.failed_jobs);
   d.mix(result.blacklisted_nodes);
+  // Data-integrity fields follow the gmtt_skipped_jobs convention: mixed
+  // only when nonzero so the no-corruption digests committed in
+  // BENCH_PR3.json stay valid, while any corrupted run is distinguishable.
+  if (result.corrupt_reads != 0) d.mix(result.corrupt_reads);
+  if (result.corrupt_replicas != 0) d.mix(result.corrupt_replicas);
+  if (result.replicas_quarantined != 0) d.mix(result.replicas_quarantined);
+  if (result.data_loss_events != 0) d.mix(result.data_loss_events);
+  if (result.repair_latency_total_s != 0.0) {
+    d.mix(result.repair_latency_total_s);
+  }
+  if (result.mean_repair_latency_s != 0.0) d.mix(result.mean_repair_latency_s);
+  if (result.unavailability_windows != 0) d.mix(result.unavailability_windows);
+  if (result.unavailability_total_s != 0.0) {
+    d.mix(result.unavailability_total_s);
+  }
   d.mix(result.speculative_launched);
   d.mix(result.speculative_wins);
   d.mix(result.speculative_killed);

@@ -94,6 +94,24 @@ struct RunResult {
   std::uint64_t failed_jobs = 0;           ///< jobs killed after max attempts
   std::uint64_t blacklisted_nodes = 0;     ///< blacklist entries ever made
 
+  /// Data-integrity accounting (only nonzero when corruption is injected;
+  /// see src/faults/ CorruptionParams).
+  std::uint64_t corrupt_reads = 0;        ///< checksum failures on read
+  std::uint64_t corrupt_replicas = 0;     ///< replicas silently corrupted
+  std::uint64_t replicas_quarantined = 0; ///< bad-block reports that dropped
+                                          ///< a replica from the location list
+  std::uint64_t data_loss_events = 0;     ///< blocks whose only remaining
+                                          ///< replica is corrupt (kept, never
+                                          ///< deleted)
+  /// Total / mean time between a repair entering the re-replication queue
+  /// and the repair copy registering at the name node.
+  double repair_latency_total_s = 0.0;
+  double mean_repair_latency_s = 0.0;
+  /// Completed windows during which a block had zero visible replicas
+  /// (opened by death/quarantine, closed by rejoin/repair or run end).
+  std::uint64_t unavailability_windows = 0;
+  double unavailability_total_s = 0.0;
+
   /// Speculative-execution accounting (only nonzero when enabled).
   std::uint64_t speculative_launched = 0;  ///< backup attempts started
   std::uint64_t speculative_wins = 0;      ///< backups that finished first

@@ -29,6 +29,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::kBlockRepaired: return "block_repaired";
     case EventKind::kSchedulerDecision: return "scheduler_decision";
     case EventKind::kDelayWait: return "delay_wait";
+    case EventKind::kReplicaCorrupted: return "replica_corrupted";
+    case EventKind::kChecksumFailed: return "checksum_failed";
+    case EventKind::kReplicaQuarantined: return "replica_quarantined";
+    case EventKind::kDataLoss: return "data_loss";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -41,6 +45,7 @@ const char* skip_reason_name(SkipReason reason) {
     case SkipReason::kAlreadyPresent: return "already_present";
     case SkipReason::kNoVictim: return "no_victim";
     case SkipReason::kBelowThreshold: return "below_threshold";
+    case SkipReason::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -57,6 +62,8 @@ Track kind_track(EventKind kind) {
     case EventKind::kNodeDeclaredDead:
     case EventKind::kNodeRejoined:
     case EventKind::kBlockRepaired:
+    case EventKind::kReplicaQuarantined:
+    case EventKind::kDataLoss:
       return Track::kNameNode;
     default:
       return Track::kNode;
@@ -199,6 +206,22 @@ void TraceCollector::node_rejoined(NodeId node, bool full_reregistration) {
 
 void TraceCollector::block_repaired(NodeId node, BlockId block) {
   record(EventKind::kBlockRepaired, node, kInvalidJob, block);
+}
+
+void TraceCollector::replica_corrupted(NodeId node, BlockId block) {
+  record(EventKind::kReplicaCorrupted, node, kInvalidJob, block);
+}
+
+void TraceCollector::checksum_failed(NodeId node, BlockId block) {
+  record(EventKind::kChecksumFailed, node, kInvalidJob, block);
+}
+
+void TraceCollector::replica_quarantined(NodeId node, BlockId block) {
+  record(EventKind::kReplicaQuarantined, node, kInvalidJob, block);
+}
+
+void TraceCollector::data_loss(BlockId block) {
+  record(EventKind::kDataLoss, kInvalidNode, kInvalidJob, block);
 }
 
 void TraceCollector::scheduler_decision(NodeId node, JobId job, int locality,

@@ -73,6 +73,12 @@ class TraceCollector {
   void node_rejoined(NodeId node, bool full_reregistration);
   void block_repaired(NodeId node, BlockId block);
 
+  // --- data integrity -----------------------------------------------------
+  void replica_corrupted(NodeId node, BlockId block);
+  void checksum_failed(NodeId node, BlockId block);
+  void replica_quarantined(NodeId node, BlockId block);
+  void data_loss(BlockId block);
+
   // --- scheduler ----------------------------------------------------------
   void scheduler_decision(NodeId node, JobId job, int locality,
                           double waited_s);

@@ -52,6 +52,12 @@ enum class EventKind : std::uint8_t {
                        ///< value = delay-scheduling wait (s)
   kDelayWait,          ///< job declined `node` and started its delay clock
 
+  // Data integrity (corruption process, checksum reads, quarantine).
+  kReplicaCorrupted,   ///< task = block silently corrupted on `node`
+  kChecksumFailed,     ///< task = block whose read on `node` failed verify
+  kReplicaQuarantined, ///< task = block dropped from `node`'s location list
+  kDataLoss,           ///< task = block with no clean replica left
+
   kKindCount,          ///< sentinel, not a real kind
 };
 
@@ -63,6 +69,7 @@ enum class SkipReason : std::uint8_t {
   kAlreadyPresent,   ///< replica already on disk (or adoption in flight)
   kNoVictim,         ///< eviction could not free enough budget
   kBelowThreshold,   ///< trap count below the promotion threshold
+  kQuarantined,      ///< block is locally quarantined after a bad-block report
 };
 
 /// Stable display name, e.g. "map_launched". Never localized.

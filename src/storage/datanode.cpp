@@ -20,6 +20,10 @@ void DataNode::add_static_block(const BlockMeta& block) {
   static_blocks_.push_back(block);
   static_index_.insert(block.id);
   static_bytes_ += block.size;
+  // A fresh authoritative copy lifts a standing quarantine (re-replication
+  // repaired the block here) and is clean by construction.
+  quarantined_.erase(block.id);
+  corrupt_.erase(block.id);
 }
 
 void DataNode::remove_static_block(BlockId block) {
@@ -37,6 +41,7 @@ void DataNode::remove_static_block(BlockId block) {
   static_bytes_ -= vit->size;
   DARE_INVARIANT(static_bytes_ >= 0, "DataNode: static bytes went negative");
   static_blocks_.erase(vit);
+  corrupt_.erase(block);
 }
 
 bool DataNode::insert_dynamic(const BlockMeta& block) {
@@ -44,6 +49,9 @@ bool DataNode::insert_dynamic(const BlockMeta& block) {
       marked_.count(block.id)) {
     return false;
   }
+  // Quarantined blocks are adoption-banned until a fresh authoritative copy
+  // arrives (backstop; the policies check before calling).
+  if (quarantined_.count(block.id)) return false;
   DARE_INVARIANT(block.size >= 0, "DataNode: dynamic block with negative size");
   dynamic_.emplace(block.id, block);
   dynamic_bytes_ += block.size;
@@ -78,9 +86,51 @@ bool DataNode::mark_for_deletion(BlockId block) {
 
 std::size_t DataNode::reclaim_marked() {
   const std::size_t n = marked_.size();
+  // dare-lint: allow(unordered-iteration) -- erasing from an unordered set,
+  // no observable order
+  for (const auto& [id, _] : marked_) corrupt_.erase(id);
   marked_.clear();
   if (tracer_ != nullptr && n > 0) tracer_->disk_reclaim(id_, n);
   return n;
+}
+
+bool DataNode::corrupt_replica(BlockId block) {
+  if (!has_any_copy(block)) return false;
+  return corrupt_.insert(block).second;
+}
+
+bool DataNode::is_corrupt(BlockId block) const {
+  return corrupt_.count(block) != 0;
+}
+
+bool DataNode::quarantine_replica(BlockId block) {
+  bool dropped = false;
+  if (static_index_.count(block) != 0) {
+    remove_static_block(block);
+    dropped = true;
+  } else if (const auto it = dynamic_.find(block); it != dynamic_.end()) {
+    dynamic_bytes_ -= it->second.size;
+    DARE_INVARIANT(dynamic_bytes_ >= 0,
+                   "DataNode: live dynamic bytes went negative");
+    dynamic_.erase(it);
+    dropped = true;
+  } else if (marked_.erase(block) != 0) {
+    dropped = true;
+  }
+  if (!dropped) return false;
+  corrupt_.erase(block);
+  quarantined_.insert(block);
+  return true;
+}
+
+bool DataNode::is_quarantined(BlockId block) const {
+  return quarantined_.count(block) != 0;
+}
+
+std::vector<BlockId> DataNode::corrupt_blocks() const {
+  std::vector<BlockId> out(corrupt_.begin(), corrupt_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<BlockId> DataNode::dynamic_blocks() const {
@@ -111,6 +161,8 @@ void DataNode::wipe_disk() {
   dynamic_.clear();
   marked_.clear();
   dynamic_bytes_ = 0;
+  corrupt_.clear();
+  quarantined_.clear();
   pending_added_.clear();
   pending_removed_.clear();
 }

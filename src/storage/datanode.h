@@ -86,6 +86,30 @@ class DataNode {
 
   std::size_t marked_count() const { return marked_.size(); }
 
+  /// --- data integrity ---------------------------------------------------
+  /// Silently flip a physical copy (static, dynamic, or tombstoned) to
+  /// corrupt; the damage surfaces when a read verifies its checksum.
+  /// Returns false if no physical copy is held or it is already corrupt.
+  bool corrupt_replica(BlockId block);
+
+  /// Is the held copy of `block` corrupt? (false when not held at all)
+  bool is_corrupt(BlockId block) const;
+
+  /// Physically drop the local copy of `block` (any lifecycle state) after
+  /// the NameNode quarantined the replica, and remember the quarantine so
+  /// the replication policy refuses to re-adopt the block until a fresh
+  /// authoritative copy arrives via add_static_block. Does NOT queue a
+  /// heartbeat delta: the NameNode already removed the location when it
+  /// processed the bad-block report. Returns false if no copy was held.
+  bool quarantine_replica(BlockId block);
+
+  /// Is `block` locally quarantined (dynamic adoption banned)?
+  bool is_quarantined(BlockId block) const;
+
+  /// Corrupt block ids, sorted. Used by rejoin reconciliation to surface
+  /// damage that accrued while the node was offline.
+  std::vector<BlockId> corrupt_blocks() const;
+
   /// --- failure handling -------------------------------------------------
   /// The node's disk is lost (permanent failure): every block — static,
   /// dynamic, tombstoned — and all pending report deltas vanish. The
@@ -141,6 +165,9 @@ class DataNode {
   std::unordered_map<BlockId, BlockMeta> marked_;   // tombstoned, on disk
   Bytes dynamic_bytes_ = 0;
   Bytes audited_budget_ = -1;  // < 0: no budget audit installed
+
+  std::unordered_set<BlockId> corrupt_;      // physical copies with bad checksums
+  std::unordered_set<BlockId> quarantined_;  // adoption-banned after bad-block report
 
   std::vector<BlockId> pending_added_;
   std::vector<BlockId> pending_removed_;

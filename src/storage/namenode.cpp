@@ -312,6 +312,40 @@ bool NameNode::is_under_replicated(BlockId block) const {
   return it->second.size() < target;
 }
 
+NameNode::BadBlockResult NameNode::report_bad_block(BlockId block,
+                                                    NodeId node) {
+  auto it = locations_.find(block);
+  if (it == locations_.end()) {
+    throw std::out_of_range("NameNode: bad-block report for unknown block");
+  }
+  auto& locs = it->second;
+  const auto pos = std::find(locs.begin(), locs.end(), node);
+  if (pos == locs.end()) {
+    // The location is already gone (node died, replica evicted, or a repeat
+    // report) — nothing to quarantine.
+    return BadBlockResult::kStaleReport;
+  }
+  if (locs.size() == 1) {
+    // Last-replica protection: never delete the only remaining copy, corrupt
+    // or not. The caller surfaces this as a data-loss event.
+    return BadBlockResult::kLastReplica;
+  }
+  locs.erase(pos);
+  auto& statics = static_locations_.at(block);
+  const auto spos = std::find(statics.begin(), statics.end(), node);
+  if (spos != statics.end()) {
+    statics.erase(spos);
+  } else {
+    DARE_INVARIANT(dynamic_replicas_ > 0,
+                   "NameNode: dynamic replica counter underflow quarantining "
+                   "block " + std::to_string(block));
+    --dynamic_replicas_;  // the corrupt copy was a DARE replica
+  }
+  notify_replica(block, node, /*added=*/false);
+  if (tracer_ != nullptr) tracer_->replica_quarantined(node, block);
+  return BadBlockResult::kQuarantined;
+}
+
 std::size_t NameNode::lost_block_count() const {
   std::size_t lost = 0;
   // dare-lint: allow(unordered-iteration) -- order-independent count

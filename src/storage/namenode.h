@@ -148,6 +148,24 @@ class NameNode {
   /// already holds the block.
   bool add_repair_replica(BlockId block, NodeId node);
 
+  /// --- data integrity ----------------------------------------------------
+  /// Outcome of a Hadoop-style reportBadBlock.
+  enum class BadBlockResult {
+    kQuarantined,  ///< replica removed from the visible location list
+    kLastReplica,  ///< only copy left — kept (corrupt beats lost)
+    kStaleReport,  ///< the node no longer holds a visible replica
+  };
+
+  /// A reader found `node`'s replica of `block` failing its checksum.
+  /// Quarantines the replica: drops it from the visible location list (and
+  /// from the authoritative set if it was a static holder), firing the
+  /// replica observer so the locality index and schedulers never offer it
+  /// again. Last-good-replica protection: when the corrupt copy is the
+  /// block's only remaining replica, nothing is mutated and kLastReplica is
+  /// returned — a corrupt copy is still better than no copy. Unknown blocks
+  /// throw std::out_of_range.
+  BadBlockResult report_bad_block(BlockId block, NodeId node);
+
   /// Blocks with no live replica at all (data loss).
   std::size_t lost_block_count() const;
 

@@ -5,10 +5,19 @@
 // never violate a DARE_INVARIANT (a throwing handler is installed), and
 // never lose a block that still had a surviving replica.
 //
-// 24 runs = 4 seeds x {FIFO, Fair} x {Vanilla, GreedyLRU, ElephantTrap}.
+// A second suite layers silent data corruption (bit rot + latent sector
+// loss) on top of the churn and additionally audits the integrity pipeline
+// (detection, quarantine, repair, last-good-replica protection).
+//
+// 24 runs per suite = 4 seeds x {FIFO, Fair} x {Vanilla, GreedyLRU,
+// ElephantTrap}. The nightly CI job extends the seed list via the
+// DARE_SOAK_SEEDS environment variable (number of extra seeds to append);
+// failing runs print their scheduler/policy/seed triple in the assertion
+// message, so a red soak is reproducible locally with --gtest_filter.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <tuple>
 #include <vector>
@@ -48,6 +57,20 @@ struct SoakTotals {
 SoakTotals& totals() {
   static SoakTotals t;
   return t;
+}
+
+/// Soak seeds: four fixed ones for CI's smoke slice, plus DARE_SOAK_SEEDS
+/// extra ones for the scheduled long soak (the nightly job sets it to a
+/// count; seeds are derived deterministically so any failure reproduces).
+std::vector<std::uint64_t> soak_seeds() {
+  std::vector<std::uint64_t> seeds = {101, 202, 303, 404};
+  if (const char* extra = std::getenv("DARE_SOAK_SEEDS")) {
+    const long n = std::strtol(extra, nullptr, 10);
+    for (long i = 0; i < n; ++i) {
+      seeds.push_back(1000u + 97u * static_cast<std::uint64_t>(i));
+    }
+  }
+  return seeds;
 }
 
 workload::Workload soak_workload(std::uint64_t seed) {
@@ -155,7 +178,7 @@ std::vector<SoakParam> soak_params() {
   for (const auto scheduler : {SchedulerKind::kFifo, SchedulerKind::kFair}) {
     for (const auto policy : {PolicyKind::kVanilla, PolicyKind::kGreedyLru,
                               PolicyKind::kElephantTrap}) {
-      for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+      for (std::uint64_t seed : soak_seeds()) {
         params.emplace_back(scheduler, policy, seed);
       }
     }
@@ -165,6 +188,150 @@ std::vector<SoakParam> soak_params() {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak,
                          ::testing::ValuesIn(soak_params()));
+
+// --- corruption soak -------------------------------------------------------
+// Same randomized churn, plus silent corruption: per-read bit rot and
+// latent sector loss. Every run must additionally keep the integrity
+// pipeline honest — quarantined replicas invisible, repairs restoring
+// replication, and the last copy of a block never deleted.
+
+struct CorruptionTotals {
+  std::uint64_t runs = 0;
+  std::uint64_t corrupt_replicas = 0;
+  std::uint64_t corrupt_reads = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t data_loss = 0;
+};
+
+CorruptionTotals& corruption_totals() {
+  static CorruptionTotals t;
+  return t;
+}
+
+ClusterOptions corruption_soak_options(SchedulerKind scheduler,
+                                       PolicyKind policy,
+                                       std::uint64_t seed) {
+  auto opts = soak_options(scheduler, policy, seed);
+  opts.corruption.enabled = true;
+  opts.corruption.bitrot_per_gb = 1.0;
+  opts.corruption.sector_mtbf_s = 45.0;
+  return opts;
+}
+
+class CorruptionSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(CorruptionSoak, ChurnPlusCorruptionSurvives) {
+  ThrowOnInvariant guard;
+  const auto [scheduler, policy, seed] = GetParam();
+  const auto opts = corruption_soak_options(scheduler, policy, seed);
+  const auto wl = soak_workload(seed);
+
+  Cluster cluster(opts);
+  metrics::RunResult result;
+  ASSERT_NO_THROW(result = cluster.run(wl))
+      << scheduler_name(scheduler) << "/" << policy_name(policy) << " seed "
+      << seed;
+
+  // Terminal accounting and cross-component consistency, as in ChaosSoak.
+  ASSERT_EQ(result.jobs.size(), wl.jobs.size());
+  for (const auto& jm : result.jobs) EXPECT_GE(jm.completion, jm.arrival);
+  EXPECT_NO_THROW(cluster.validate());
+
+  // Integrity accounting is internally consistent: every quarantine came
+  // from a checksum-failed read or a rejoin scrub of an already-corrupt
+  // copy, and repairs only happen for quarantine/death-induced holes.
+  EXPECT_LE(result.replicas_quarantined,
+            result.corrupt_replicas + result.corrupt_reads);
+  if (result.rereplicated_blocks > 0) {
+    EXPECT_GT(result.mean_repair_latency_s, 0.0);
+  }
+
+  // Last-good-replica protection, globally: a block the name node still
+  // advertises must have a physical copy wherever the advertised holder is
+  // alive; a block advertised nowhere may only have copies on dead nodes.
+  const auto& nn = cluster.name_node();
+  for (FileId fid : nn.all_files()) {
+    for (BlockId bid : nn.file(fid).blocks) {
+      if (!nn.locations(bid).empty()) continue;
+      for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+        if (!nn.is_node_alive(static_cast<NodeId>(w))) continue;
+        EXPECT_FALSE(cluster.data_node(w).has_any_copy(bid))
+            << "block " << bid << " unadvertised but alive on node " << w
+            << " (" << scheduler_name(scheduler) << "/"
+            << policy_name(policy) << " seed " << seed << ")";
+      }
+    }
+  }
+
+  auto& t = corruption_totals();
+  ++t.runs;
+  t.corrupt_replicas += result.corrupt_replicas;
+  t.corrupt_reads += result.corrupt_reads;
+  t.quarantined += result.replicas_quarantined;
+  t.repaired += result.rereplicated_blocks;
+  t.data_loss += result.data_loss_events;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, CorruptionSoak,
+                         ::testing::ValuesIn(soak_params()));
+
+// Forced last-good-replica scenario under churn: every replica of block 0
+// is struck at once, so detection must quarantine down to — and then
+// protect — the final corrupt copy, while stochastic failures rage on.
+TEST(CorruptionSoakLastReplica, QuarantineNeverDeletesFinalCopy) {
+  ThrowOnInvariant guard;
+  for (std::uint64_t seed : {606u, 707u, 808u}) {
+    auto opts = soak_options(SchedulerKind::kFair, PolicyKind::kElephantTrap,
+                             seed);
+    opts.corruption_events.push_back(
+        {from_seconds(0.5), BlockId{0}, kInvalidNode});
+
+    // Every job reads the single block 0, so the corrupt copies are
+    // discovered early and repeatedly.
+    workload::Workload wl;
+    wl.name = "one-block-soak";
+    wl.catalog.push_back({"f0", 1});
+    for (std::size_t i = 0; i < 12; ++i) {
+      workload::JobTemplate job;
+      job.arrival = from_seconds(1.0 + 2.0 * static_cast<double>(i));
+      job.map_cpu = from_seconds(1.0);
+      job.reduce_cpu = from_seconds(0.2);
+      wl.jobs.push_back(job);
+    }
+
+    Cluster cluster(opts);
+    metrics::RunResult result;
+    ASSERT_NO_THROW(result = cluster.run(wl)) << "seed " << seed;
+    ASSERT_EQ(result.jobs.size(), wl.jobs.size());
+    EXPECT_NO_THROW(cluster.validate());
+
+    // All three copies were struck; the loss was surfaced, and quarantine
+    // stopped short of the final copy.
+    EXPECT_EQ(result.corrupt_replicas, 3u) << "seed " << seed;
+    EXPECT_GE(result.data_loss_events, 1u) << "seed " << seed;
+
+    const auto& nn = cluster.name_node();
+    std::size_t copies = 0;
+    for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+      if (cluster.data_node(w).has_any_copy(0)) ++copies;
+    }
+    if (!nn.locations(0).empty()) {
+      // The advertised final copy physically exists: quarantine never
+      // deleted it, no matter how often its bad checksum was re-reported.
+      EXPECT_GE(copies, 1u) << "seed " << seed;
+    } else {
+      // Only a node death may take the final copy off the books — any
+      // surviving physical copy must belong to a currently-dead node.
+      for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+        if (cluster.data_node(w).has_any_copy(0)) {
+          EXPECT_FALSE(nn.is_node_alive(static_cast<NodeId>(w)))
+              << "seed " << seed << " node " << w;
+        }
+      }
+    }
+  }
+}
 
 // The suite itself must cover >= 20 randomized schedules (this holds even
 // under --gtest_filter, since it audits the registration, not the runs).
@@ -188,6 +355,17 @@ class SoakAggregateAudit : public ::testing::Environment {
     EXPECT_GT(t.permanent, 0u);
     EXPECT_GT(t.detected, 0u);
     EXPECT_GT(t.rejoins, 0u);
+
+    // The corruption soak must actually have injected, detected, and
+    // repaired damage somewhere across the suite.
+    const auto& c = corruption_totals();
+    if (c.runs == 0) return;  // corruption suite filtered out
+    EXPECT_EQ(c.runs, soak_params().size())
+        << "corruption soak partially filtered; aggregate not meaningful";
+    EXPECT_GT(c.corrupt_replicas, 0u);
+    EXPECT_GT(c.corrupt_reads, 0u);
+    EXPECT_GT(c.quarantined, 0u);
+    EXPECT_GT(c.repaired, 0u);
   }
 };
 

@@ -75,6 +75,25 @@ TEST(Determinism, ChurnEnabled) {
   expect_twice_identical(options);
 }
 
+TEST(Determinism, CorruptionEnabled) {
+  // Silent corruption (per-read bit rot + latent sector loss) on top of
+  // churn must stay bit-reproducible: the corruption process draws from
+  // its own forked stream, and detection/quarantine/repair all run in
+  // deterministic event order.
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kElephantTrap);
+  options.faults.enabled = true;
+  options.faults.mtbf_s = 80.0;
+  options.faults.mttr_s = 20.0;
+  options.faults.permanent_fraction = 0.2;
+  options.faults.min_live_workers = 4;
+  options.corruption.enabled = true;
+  options.corruption.bitrot_per_gb = 1.0;
+  options.corruption.sector_mtbf_s = 30.0;
+  options.rereplication_interval = from_seconds(2.0);
+  expect_twice_identical(options);
+}
+
 TEST(Determinism, DifferentSeedsDiffer) {
   // Sanity that the digest has discriminating power: a different seed must
   // perturb at least one metric bit. (Astronomically unlikely to collide.)

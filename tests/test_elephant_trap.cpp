@@ -133,6 +133,53 @@ TEST_F(ElephantTrapTest, SameFileVictimBlocksReplication) {
   EXPECT_TRUE(node_.has_dynamic_block(1));
 }
 
+TEST_F(ElephantTrapTest, SameFileGuardHoldsUnderFullBudgetAging) {
+  // Algorithm-2 regression: with the budget exactly full and every resident
+  // replica belonging to the incoming block's file, repeated insert
+  // attempts must never evict — even though each failed attempt's aging
+  // scan keeps halving the residents' counts all the way to zero (which
+  // would make them eviction candidates were it not for the guard).
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 1), rng_);
+  ASSERT_TRUE(policy.on_map_task(blk(1, 7), false));
+  ASSERT_TRUE(policy.on_map_task(blk(2, 7), false));
+  for (int i = 0; i < 4; ++i) {
+    policy.on_map_task(blk(1, 7), true);
+    policy.on_map_task(blk(2, 7), true);
+  }
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_FALSE(policy.on_map_task(blk(3, 7), false)) << "round " << round;
+    EXPECT_TRUE(node_.has_dynamic_block(1));
+    EXPECT_TRUE(node_.has_dynamic_block(2));
+  }
+  EXPECT_EQ(policy.replicas_created(), 2u);
+}
+
+TEST_F(ElephantTrapTest, SameFileGuardHoldsAcrossLazyDeletion) {
+  // The guard interacts with lazy deletion: an evicted victim is only
+  // tombstoned (still on disk) until reclaim, and during that window the
+  // same-file rule must keep holding for the survivors.
+  ElephantTrapPolicy policy(node_, 200, params(1.0, 1), rng_);
+  ASSERT_TRUE(policy.on_map_task(blk(1, 10), false));
+  ASSERT_TRUE(policy.on_map_task(blk(2, 7), false));
+  // Budget full; block 1 (file 10) is the only legal victim for an
+  // incoming file-7 block — block 2 shares the file and must survive.
+  ASSERT_TRUE(policy.on_map_task(blk(3, 7), false));
+  EXPECT_FALSE(node_.has_dynamic_block(1));
+  EXPECT_TRUE(node_.has_any_copy(1));  // tombstoned, not yet reclaimed
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+  EXPECT_TRUE(node_.has_dynamic_block(3));
+  // The ring is now entirely file-7 and the budget full again: no file-7
+  // insert may evict, across repeated aging rounds.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_FALSE(policy.on_map_task(blk(4, 7), false)) << "round " << round;
+  }
+  EXPECT_TRUE(node_.has_dynamic_block(2));
+  EXPECT_TRUE(node_.has_dynamic_block(3));
+  // Reclaim finishes the lazy deletion; only then do the bytes leave disk.
+  node_.reclaim_marked();
+  EXPECT_FALSE(node_.has_any_copy(1));
+}
+
 TEST_F(ElephantTrapTest, HigherThresholdEvictsWarmBlocks) {
   ElephantTrapPolicy policy(node_, 200, params(1.0, 5), rng_);
   policy.on_map_task(blk(1, 10), false);
