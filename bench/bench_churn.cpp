@@ -8,7 +8,7 @@
 // counts, mean heartbeat detection latency, repair and reconciliation
 // traffic, and terminal job accounting under task-attempt retry limits.
 //
-// Overrides: jobs=<n> nodes=<n> seed=<n> mtbf_s=<s> mttr_s=<s>
+// Overrides: jobs=<n> nodes=<n> seed=<n> mtbf_s=<s> mttr_s=<s> progress=1
 //            permanent_fraction=<p> rack_correlation=<p>
 //            task_failure_prob=<p>
 #include "bench_common.h"
@@ -67,7 +67,8 @@ int run(const Config& cfg) {
       return cluster::run_once(options, wl);
     });
   }
-  const auto results = cluster::run_parallel(runs);
+  const auto results =
+      cluster::run_parallel(runs, 0, bench::progress_meter(cfg));
 
   AsciiTable table({"configuration", "locality %", "GMTT (s)", "failures",
                     "detected", "mean detect (s)", "rejoins", "repaired",

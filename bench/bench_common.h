@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/experiment.h"
 #include "common/config.h"
 #include "common/table.h"
 
@@ -27,6 +28,17 @@ inline void banner(const std::string& experiment,
             << experiment << '\n'
             << "Reproduces: " << paper_reference << '\n'
             << "==============================================================\n";
+}
+
+/// `progress=1`: live completed/total meter on stderr for run_parallel
+/// sweeps (stderr so redirected table output stays clean). The callback is
+/// serialized by run_parallel's annotated mutex; see cluster::SweepProgress.
+inline cluster::SweepProgress progress_meter(const Config& cfg) {
+  if (!cfg.get_bool("progress", false)) return {};
+  return [](std::size_t done, std::size_t total) {
+    std::cerr << "\r[sweep " << done << '/' << total << ']'
+              << (done == total ? "\n" : "") << std::flush;
+  };
 }
 
 /// If the run was given `csv=<dir-or-prefix>`, also write `table` as

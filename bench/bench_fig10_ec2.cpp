@@ -6,7 +6,7 @@
 // bandwidth ratio is lower, so the same locality gain buys a larger
 // improvement in turnaround and slowdown (paper: 19 % and 25 %).
 //
-// Overrides: jobs=<n> nodes=<n> seed=<n>
+// Overrides: jobs=<n> nodes=<n> seed=<n> progress=1
 #include "bench_common.h"
 #include "cluster/experiment.h"
 
@@ -49,7 +49,8 @@ int run(const Config& cfg) {
       }
     }
   }
-  const auto results = cluster::run_parallel(runs);
+  const auto results =
+      cluster::run_parallel(runs, 0, bench::progress_meter(cfg));
 
   struct Cell {
     double locality = 0.0;

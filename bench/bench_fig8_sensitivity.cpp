@@ -3,7 +3,7 @@
 // (p=0.9, budget=0.5), on workload wl2 under both schedulers. Reports data
 // locality and the average number of blocks dynamically created per job.
 //
-// Overrides: jobs=<n> nodes=<n> seed=<n>
+// Overrides: jobs=<n> nodes=<n> seed=<n> progress=1
 #include "bench_common.h"
 #include "cluster/experiment.h"
 
@@ -61,7 +61,8 @@ int run(const Config& cfg) {
       }
     }
   }
-  const auto results = cluster::run_parallel(runs);
+  const auto results =
+      cluster::run_parallel(runs, 0, bench::progress_meter(cfg));
 
   AsciiTable ptable({"p", "FIFO locality %", "FIFO blocks/job",
                      "Fair locality %", "Fair blocks/job"});

@@ -78,6 +78,8 @@ std::size_t minimal_window_slots(const std::vector<SimTime>& times,
   }
   const auto n_slots = static_cast<std::size_t>(max_bucket) + 1;
   std::vector<std::size_t> counts(n_slots, 0);
+  // Each bucket writes its own slot; visit order cannot matter.
+  // dare-lint: allow(unordered-iteration)
   for (const auto& [b, c] : buckets) {
     counts[static_cast<std::size_t>(b)] = c;
   }
@@ -118,6 +120,9 @@ std::vector<ConcurrencyEntry> peak_concurrency(
 
   std::vector<ConcurrencyEntry> entries;
   entries.reserve(per_file.size());
+  // Entries are fully re-sorted below (total order: accesses desc, file asc),
+  // so the hash-map visit order never reaches the result.
+  // dare-lint: allow(unordered-iteration)
   for (auto& [file, times] : per_file) {
     std::sort(times.begin(), times.end());
     entries.push_back(
@@ -145,6 +150,9 @@ WindowDistribution burst_window_distribution(
   // all in-interval accesses.
   std::vector<std::pair<FileId, std::size_t>> ranked;
   std::size_t total_accesses = 0;
+  // Order-independent: the sum commutes and `ranked` is re-sorted with a
+  // total order (count desc, file asc) right below.
+  // dare-lint: allow(unordered-iteration)
   for (const auto& [file, times] : per_file) {
     ranked.emplace_back(file, times.size());
     total_accesses += times.size();
@@ -187,6 +195,8 @@ WindowDistribution burst_window_distribution(
   dist.files_considered = big.size();
   dist.fraction.assign(max_window + 1, 0.0);
   if (total_weight > 0.0) {
+    // Each window size writes its own fraction slot; order cannot matter.
+    // dare-lint: allow(unordered-iteration)
     for (const auto& [w, wt] : weight_at_window) {
       dist.fraction[w] = wt / total_weight;
     }

@@ -63,6 +63,9 @@ class Cluster::Locator final : public sched::BlockLocator {
   const net::Topology* topo_;
 };
 
+// Root stream: the cluster owns the run's seed; every component stream is
+// forked from rng_ below, never seeded directly.
+// dare-lint: allow(rng-stream-discipline)
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options), rng_(options.seed) {
   if (options_.profile.topology.nodes < 2) {
@@ -148,6 +151,7 @@ Cluster::Cluster(const ClusterOptions& options)
   // Forked last, and only when enabled: configurations without stochastic
   // churn keep the exact RNG stream (and therefore results) they had before
   // the fault subsystem existed.
+  // dare-lint: allow(rng-stream-discipline)
   if (options_.faults.enabled) {
     fault_process_ =
         std::make_unique<faults::FaultProcess>(options_.faults, rng_);
@@ -155,6 +159,7 @@ Cluster::Cluster(const ClusterOptions& options)
   // Same contract as the fault stream, forked after it: the corruption
   // stream only exists (and only draws) when the stochastic process is on.
   // Scripted corruption events alone need checksum verification but no RNG.
+  // dare-lint: allow(rng-stream-discipline)
   if (options_.corruption.enabled) {
     corruption_ = std::make_unique<faults::CorruptionProcess>(
         options_.corruption, rng_);

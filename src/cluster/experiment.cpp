@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace dare::cluster {
@@ -126,12 +127,31 @@ metrics::RunResult run_once(const ClusterOptions& options,
 
 std::vector<metrics::RunResult> run_parallel(
     const std::vector<std::function<metrics::RunResult()>>& runs,
-    std::size_t threads) {
+    std::size_t threads, SweepProgress progress) {
+  // Shared only by the progress path; results flow through per-run futures.
+  struct ProgressState {
+    Mutex mutex;
+    std::size_t completed DARE_GUARDED_BY(mutex) = 0;
+  } state;
+  const std::size_t total = runs.size();
+
   ThreadPool pool(threads);
   std::vector<std::future<metrics::RunResult>> futures;
   futures.reserve(runs.size());
   for (const auto& run : runs) {
-    futures.push_back(pool.submit(run));
+    if (progress) {
+      futures.push_back(pool.submit([&run, &progress, &state, total] {
+        metrics::RunResult result = run();
+        {
+          MutexLock lock(state.mutex);
+          ++state.completed;
+          progress(state.completed, total);
+        }
+        return result;
+      }));
+    } else {
+      futures.push_back(pool.submit(run));
+    }
   }
   std::vector<metrics::RunResult> results;
   results.reserve(runs.size());

@@ -48,12 +48,19 @@ PolicyKind parse_policy(const std::string& name);
 metrics::RunResult run_once(const ClusterOptions& options,
                             const workload::Workload& workload);
 
+/// Progress observer for run_parallel: invoked once per completed run with
+/// (completed_so_far, total). Calls are serialized under an internal mutex
+/// (clang thread-safety annotated) but arrive on pool worker threads in
+/// completion order, which is nondeterministic — observers must only report
+/// progress, never feed results (result order is preserved separately).
+using SweepProgress = std::function<void(std::size_t, std::size_t)>;
+
 /// Run a batch of independent simulations on a thread pool, preserving
 /// result order. Each factory must be self-contained (simulations are
 /// deterministic and share no state).
 std::vector<metrics::RunResult> run_parallel(
     const std::vector<std::function<metrics::RunResult()>>& runs,
-    std::size_t threads = 0);
+    std::size_t threads = 0, SweepProgress progress = {});
 
 /// Standard workloads at paper scale for a given cluster size: arrival
 /// rates are scaled so per-worker load stays comparable between the 20-node

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace dare {
 
@@ -23,9 +24,12 @@ const char* log_level_name(LogLevel level) {
 }
 
 struct Logger::Impl {
+  // level is lock-free (read on every DARE_LOG macro expansion); only the
+  // sink — swapped by tests while sweep workers may be logging — needs the
+  // mutex.
   std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
-  std::mutex mutex;
-  Sink sink;
+  Mutex mutex;
+  Sink sink DARE_GUARDED_BY(mutex);
 };
 
 Logger::Logger() : impl_(new Impl) {}
@@ -44,12 +48,12 @@ LogLevel Logger::level() const {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->sink = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   if (impl_->sink) {
     impl_->sink(level, message);
   } else {

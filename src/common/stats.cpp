@@ -124,20 +124,20 @@ double Histogram::bin_center(std::size_t i) const {
 }
 
 EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf& other) {
-  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  MutexLock lock(other.sort_mutex_);
   data_ = other.data_;
   sorted_ = other.sorted_;
 }
 
 EmpiricalCdf::EmpiricalCdf(EmpiricalCdf&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.sort_mutex_);
+  MutexLock lock(other.sort_mutex_);
   data_ = std::move(other.data_);
   sorted_ = other.sorted_;
 }
 
 EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(sort_mutex_, other.sort_mutex_);
+  DualMutexLock lock(sort_mutex_, other.sort_mutex_);
   data_ = other.data_;
   sorted_ = other.sorted_;
   return *this;
@@ -145,26 +145,28 @@ EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
 
 EmpiricalCdf& EmpiricalCdf::operator=(EmpiricalCdf&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(sort_mutex_, other.sort_mutex_);
+  DualMutexLock lock(sort_mutex_, other.sort_mutex_);
   data_ = std::move(other.data_);
   sorted_ = other.sorted_;
   return *this;
 }
 
 void EmpiricalCdf::add(double x) {
+  MutexLock lock(sort_mutex_);
   data_.push_back(x);
   sorted_ = false;
 }
 
 void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  MutexLock lock(sort_mutex_);
   data_.insert(data_.end(), xs.begin(), xs.end());
   sorted_ = false;
 }
 
-void EmpiricalCdf::ensure_sorted() const {
-  // Lazy sort under const: guarded so concurrent const queries (e.g. two
-  // run_parallel workers sharing one CDF) don't race on data_/sorted_.
-  std::lock_guard<std::mutex> lock(sort_mutex_);
+void EmpiricalCdf::ensure_sorted_locked() const {
+  // Lazy sort under const: the caller already holds sort_mutex_ (enforced by
+  // DARE_REQUIRES), so concurrent queries and adds cannot race on
+  // data_/sorted_.
   if (!sorted_) {
     std::sort(data_.begin(), data_.end());
     sorted_ = true;
@@ -172,16 +174,18 @@ void EmpiricalCdf::ensure_sorted() const {
 }
 
 double EmpiricalCdf::fraction_at_or_below(double x) const {
+  MutexLock lock(sort_mutex_);
   if (data_.empty()) return 0.0;
-  ensure_sorted();
+  ensure_sorted_locked();
   const auto it = std::upper_bound(data_.begin(), data_.end(), x);
   return static_cast<double>(it - data_.begin()) /
          static_cast<double>(data_.size());
 }
 
 double EmpiricalCdf::quantile(double q) const {
+  MutexLock lock(sort_mutex_);
   if (data_.empty()) return 0.0;
-  ensure_sorted();
+  ensure_sorted_locked();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(data_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -190,8 +194,14 @@ double EmpiricalCdf::quantile(double q) const {
   return data_[lo] + frac * (data_[hi] - data_[lo]);
 }
 
+std::size_t EmpiricalCdf::count() const {
+  MutexLock lock(sort_mutex_);
+  return data_.size();
+}
+
 const std::vector<double>& EmpiricalCdf::sorted_values() const {
-  ensure_sorted();
+  MutexLock lock(sort_mutex_);
+  ensure_sorted_locked();
   return data_;
 }
 

@@ -5,9 +5,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dare {
 
@@ -85,9 +86,11 @@ class Histogram {
 };
 
 /// Empirical CDF: collect samples, then query F(x) or the quantiles.
-/// Const queries are thread-safe: the lazy sort behind them is guarded by a
-/// mutex, so one CDF may be shared read-only across a run_parallel sweep.
-/// Mutation (add/add_all) is not synchronized against queries.
+/// Fully synchronized: every member — mutation and the lazy sort behind
+/// const queries alike — holds sort_mutex_, so one CDF may be shared across
+/// run_parallel workers that interleave add() with queries. (Queries used
+/// to read data_ before taking the lock, and add() never took it at all;
+/// the clang thread-safety annotations below are what flagged that.)
 class EmpiricalCdf {
  public:
   EmpiricalCdf() = default;
@@ -105,15 +108,18 @@ class EmpiricalCdf {
   /// q-th quantile with linear interpolation, q in [0,1].
   double quantile(double q) const;
 
-  std::size_t count() const { return data_.size(); }
+  std::size_t count() const;
+
+  /// Reference to the sorted sample vector. The reference outlives the
+  /// internal lock: do not call concurrently with mutation of this CDF.
   const std::vector<double>& sorted_values() const;
 
  private:
-  void ensure_sorted() const;
+  void ensure_sorted_locked() const DARE_REQUIRES(sort_mutex_);
 
-  mutable std::mutex sort_mutex_;
-  mutable std::vector<double> data_;
-  mutable bool sorted_ = true;
+  mutable Mutex sort_mutex_;
+  mutable std::vector<double> data_ DARE_GUARDED_BY(sort_mutex_);
+  mutable bool sorted_ DARE_GUARDED_BY(sort_mutex_) = true;
 };
 
 /// min/mean/max/stddev row, formatted like the paper's Tables I and II.

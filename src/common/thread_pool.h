@@ -10,10 +10,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dare {
 
@@ -41,7 +42,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
@@ -63,10 +64,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ DARE_GUARDED_BY(mutex_);
+  // condition_variable_any waits on the annotated lock wrapper directly
+  // (see UniqueMutexLock); notified with the mutex released.
+  std::condition_variable_any cv_;
+  bool stopping_ DARE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dare

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/invariant.h"
+
 namespace dare::obs {
 
 const char* kind_name(EventKind kind) {
@@ -88,6 +90,15 @@ void TraceCollector::set_clock(Clock clock) {
 void TraceCollector::record(EventKind kind, NodeId node, JobId job,
                             std::int64_t task, std::int64_t detail,
                             double value) {
+#if DARE_INVARIANTS_ENABLED
+  // Single-writer contract (see header): tsan only catches a cross-thread
+  // collector share when a racy interleaving happens to occur; this pins the
+  // owner on first use so the misuse aborts deterministically.
+  if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+  DARE_INVARIANT(owner_ == std::this_thread::get_id(),
+                 "TraceCollector shared across simulation threads; attach "
+                 "one collector per run (or clear() between runs)");
+#endif
   events_.push_back(TraceEvent{clock_(), kind, node, job, task, detail,
                                value});
 }
@@ -95,6 +106,7 @@ void TraceCollector::record(EventKind kind, NodeId node, JobId job,
 void TraceCollector::clear() {
   events_.clear();
   series_.clear();
+  owner_ = std::thread::id{};
 }
 
 void TraceCollector::job_submitted(JobId job, std::size_t maps,

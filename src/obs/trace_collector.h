@@ -7,11 +7,20 @@
 // Timestamps come from a clock callback (the simulation's now()) injected at
 // construction, so emitters never need a Simulation reference and events can
 // never carry a wall clock.
+//
+// Deliberately unsynchronized: one collector belongs to one simulation
+// thread (run_parallel sweeps attach one collector per run), so the hot
+// record() path carries no mutex. That single-writer contract is enforced —
+// not just documented — in invariant-enabled builds: the first record()
+// pins the owning thread and any record() from another thread aborts with
+// context. clear() unpins, so drivers may reuse a collector across runs
+// that land on different pool workers.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/types.h"
@@ -97,6 +106,9 @@ class TraceCollector {
   Clock clock_;
   std::vector<TraceEvent> events_;
   TimeSeries series_;
+  /// First thread to record(); default-constructed means unpinned. Checked
+  /// only in invariant-enabled builds (see header comment).
+  std::thread::id owner_;
 };
 
 }  // namespace dare::obs

@@ -31,12 +31,16 @@ class InlineFunction {
   static constexpr std::size_t kInlineBytes = 64;
 
   InlineFunction() = default;
+  // Implicit by design, mirroring std::function's nullptr conversion so
+  // `callback = nullptr;` keeps working at call sites.
   InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // Implicit by design, mirroring std::function's converting constructor:
+  // schedule_at(..., [this] { ... }) must work without a cast.
   InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (kStoredInline<Fn>) {

@@ -19,6 +19,8 @@ Workload import_swim(std::istream& in, const SwimImportOptions& options) {
   wl.catalog_spec = CatalogSpec{};
   wl.catalog_spec.block_size = options.block_size;
 
+  // Root stream: the importer is a top-level entry point seeded from its
+  // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
   // Jobs with the same input size map to the same catalog file.
   std::map<std::size_t, std::size_t> blocks_to_file;

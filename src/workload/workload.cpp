@@ -55,6 +55,8 @@ Workload make_wl1(const WorkloadOptions& options) {
   Workload wl;
   wl.name = "wl1";
   wl.catalog_spec = options.catalog;
+  // Root stream: the generator is a top-level entry point seeded from its
+  // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
   wl.catalog = build_catalog(options.catalog, rng);
   const DiscreteDistribution popularity =
@@ -78,6 +80,8 @@ Workload make_wl2(const WorkloadOptions& options) {
   Workload wl;
   wl.name = "wl2";
   wl.catalog_spec = options.catalog;
+  // Root stream: the generator is a top-level entry point seeded from its
+  // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
   wl.catalog = build_catalog(options.catalog, rng);
   const DiscreteDistribution popularity =

@@ -39,6 +39,8 @@ AccessTrace generate_yahoo_trace(const YahooTraceOptions& options) {
   if (options.files == 0 || options.total_accesses == 0) {
     throw std::invalid_argument("YahooTrace: need files and accesses");
   }
+  // Root stream: the generator is a top-level entry point seeded from its
+  // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
   AccessTrace trace;
   trace.span = options.span;

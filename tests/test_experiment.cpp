@@ -119,5 +119,36 @@ TEST(RunParallel, PreservesOrderAndValues) {
   }
 }
 
+TEST(RunParallel, ProgressObserverIsSerializedAndComplete) {
+  std::vector<std::function<metrics::RunResult()>> runs;
+  for (int i = 0; i < 8; ++i) {
+    runs.push_back([i] {
+      metrics::RunResult r;
+      r.makespan = i;
+      return r;
+    });
+  }
+  // The observer runs on pool worker threads but under run_parallel's
+  // mutex, so plain (unsynchronized) locals are safe to mutate here — that
+  // serialization is the contract under test.
+  std::vector<std::size_t> seen;
+  std::size_t reported_total = 0;
+  const auto results =
+      run_parallel(runs, 4, [&](std::size_t done, std::size_t total) {
+        seen.push_back(done);
+        reported_total = total;
+      });
+  ASSERT_EQ(results.size(), 8u);
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_EQ(reported_total, 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    // Strictly increasing 1..8: each completion reports once, in order.
+    EXPECT_EQ(seen[i], i + 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].makespan, i);
+  }
+}
+
 }  // namespace
 }  // namespace dare::cluster

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "common/invariant.h"
 #include "obs/phase_profiler.h"
 #include "obs/time_series.h"
 #include "obs/trace_collector.h"
@@ -60,6 +63,36 @@ TEST(TraceCollector, ClearDropsEventsAndSamples) {
   EXPECT_EQ(trace.size(), 0u);
   EXPECT_EQ(trace.series().size(), 0u);
 }
+
+#if DARE_INVARIANTS_ENABLED
+TEST(TraceCollector, RecordFromSecondThreadTripsOwnerInvariant) {
+  // The collector is deliberately lock-free (one simulation == one thread);
+  // sharing one across sweep workers is a misuse tsan only catches under an
+  // unlucky interleaving. The owner-pin invariant makes it deterministic.
+  const auto prev = set_invariant_handler(
+      [](const InvariantViolation& violation) -> void {
+        throw std::logic_error(violation.message);
+      });
+  TraceCollector trace([] { return SimTime{0}; });
+  trace.heartbeat(0);  // pins this thread as owner
+  bool threw = false;
+  std::thread other([&trace, &threw] {
+    try {
+      trace.heartbeat(1);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  // clear() unpins: a fresh run may legally record from a new thread.
+  trace.clear();
+  std::thread fresh([&trace] { trace.heartbeat(2); });
+  fresh.join();
+  EXPECT_EQ(trace.size(), 1u);
+  set_invariant_handler(prev);
+}
+#endif
 
 TEST(TraceEvent, KindNamesAreStableAndExhaustive) {
   EXPECT_STREQ(kind_name(EventKind::kMapLaunched), "map_launched");

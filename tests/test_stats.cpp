@@ -237,6 +237,37 @@ TEST(EmpiricalCdfTest, ConcurrentConstQueriesAreSafe) {
   EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
 }
 
+TEST(EmpiricalCdfTest, ConcurrentAddAndQueryAreSafe) {
+  // Regression: add() used to skip the sort mutex entirely and queries read
+  // data_.empty() before taking it, so a writer thread could race a reader's
+  // lazy sort (flagged by the clang thread-safety annotations, visible to
+  // TSan). Writers and readers now serialize on the same mutex.
+  EmpiricalCdf cdf;
+  cdf.add(0.5);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cdf, t] {
+      for (int i = 0; i < 256; ++i) {
+        cdf.add(static_cast<double>((i * 7 + t) % 100));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cdf] {
+      for (int q = 0; q < 256; ++q) {
+        const double f =
+            cdf.fraction_at_or_below(static_cast<double>(q % 100));
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cdf.count(), 513u);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 99.0);
+}
+
 TEST(EmpiricalCdfTest, CopyAndMoveKeepSamples) {
   // The sort mutex makes the class non-trivially copyable; analysis code
   // returns CDFs by value, so the custom copy/move ops must carry the data.

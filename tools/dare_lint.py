@@ -35,9 +35,23 @@ level so it runs in milliseconds with no compiler dependency:
 
   pragma-once          Every .h under src/ must contain `#pragma once`.
 
+  suppression-hygiene  Every suppression — `// dare-lint: allow(...)`,
+                       `// dare-lint: allow-file(...)`, `// NOLINT(...)`,
+                       `// NOLINTNEXTLINE(...)`, and the
+                       DARE_NO_THREAD_SAFETY_ANALYSIS opt-out — must carry a
+                       justification: explanatory text on the same line or a
+                       non-directive `//` comment line in the contiguous
+                       comment block directly above. A bare suppression hides
+                       a finding without recording why that is safe. Applies
+                       across src/, tests/, bench/, examples/, tools/.
+
 Suppressions:
   // dare-lint: allow(<rule>)        on the offending line or the line above
   // dare-lint: allow-file(<rule>)   anywhere: suppresses for the whole file
+
+The AST companion (tools/dare_lint_ast.py) reuses the same rule names and
+suppression syntax for its type-resolved variants, so one justified allow()
+silences both passes.
 
 Usage:
   dare_lint.py [--root REPO_ROOT] [--self-test]
@@ -54,8 +68,11 @@ from pathlib import Path
 
 # Directories (relative to the repo root) where determinism rules apply.
 DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage",
-                    "src/faults", "src/cluster", "src/obs")
+                    "src/faults", "src/cluster", "src/obs", "src/metrics",
+                    "src/net", "src/workload", "src/analysis")
 NO_FLOAT_DIRS = ("src/metrics",)
+# Directories where suppression-hygiene applies (recursively).
+HYGIENE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
 BANNED_RANDOMNESS = [
     (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
@@ -80,6 +97,9 @@ RANGE_FOR = re.compile(r"\bfor\s*\([^;:)]*:\s*([^)]*)\)")
 FLOAT_TOKEN = re.compile(r"\bfloat\b")
 ALLOW_LINE = re.compile(r"//\s*dare-lint:\s*allow\(([\w-]+)\)")
 ALLOW_FILE = re.compile(r"//\s*dare-lint:\s*allow-file\(([\w-]+)\)")
+NOLINT_DIRECTIVE = re.compile(
+    r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b(?:\(([^)]*)\))?")
+TSA_OPTOUT = re.compile(r"\bDARE_NO_THREAD_SAFETY_ANALYSIS\b")
 
 STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)'")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -215,6 +235,62 @@ def check_no_float(path: Path, text: str) -> list[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------
+# suppression-hygiene: a suppression with no recorded reason is a latent bug
+# report nobody can audit. "Justified" means the directive line's comment has
+# text beyond the directive itself, or a non-directive comment line exists in
+# the contiguous run of // lines directly above.
+# --------------------------------------------------------------------------
+
+def _comment_part(line: str) -> str:
+    """The trailing // comment of a line (string literals masked first)."""
+    no_strings = STRING_OR_CHAR.sub('""', line)
+    m = re.search(r"//.*$", no_strings)
+    return m.group(0) if m else ""
+
+
+def _residual_comment_text(comment: str) -> str:
+    """Comment text left once suppression directives and filler are removed."""
+    s = ALLOW_LINE.sub("", comment)
+    s = ALLOW_FILE.sub("", s)
+    s = NOLINT_DIRECTIVE.sub("", s)
+    s = s.replace("dare-lint:", "")
+    return s.strip("/ \t*-:;.")
+
+
+def _has_justification(raw_lines: list[str], idx: int) -> bool:
+    if _residual_comment_text(_comment_part(raw_lines[idx])):
+        return True
+    probe = idx - 1
+    while probe >= 0 and raw_lines[probe].lstrip().startswith("//"):
+        if _residual_comment_text(raw_lines[probe].strip()):
+            return True
+        probe -= 1
+    return False
+
+
+def check_suppression_hygiene(path: Path, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    for idx, line in enumerate(raw_lines):
+        if line.lstrip().startswith("#"):
+            continue  # preprocessor lines define the macros, not suppressions
+        comment = _comment_part(line)
+        directive = None
+        if ALLOW_LINE.search(comment) or ALLOW_FILE.search(comment):
+            directive = "dare-lint allow()"
+        elif NOLINT_DIRECTIVE.search(comment):
+            directive = "NOLINT"
+        elif TSA_OPTOUT.search(strip_code(line)):
+            directive = "DARE_NO_THREAD_SAFETY_ANALYSIS"
+        if directive and not _has_justification(raw_lines, idx):
+            findings.append(Finding(
+                path, idx + 1, "suppression-hygiene",
+                f"{directive} suppression lacks a justification; add "
+                "explanatory text on the line or in the comment block above"))
+    return findings
+
+
 def check_pragma_once(path: Path, text: str) -> list[Finding]:
     if "#pragma once" in text:
         return []
@@ -245,6 +321,14 @@ def lint_repo(root: Path) -> list[Finding]:
     for path in sorted(src.rglob("*.h")):
         text = path.read_text(encoding="utf-8", errors="replace")
         findings.extend(check_pragma_once(path, text))
+
+    for rel in HYGIENE_DIRS:
+        base = root / rel
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.h")) + sorted(base.rglob("*.cpp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(check_suppression_hygiene(path, text))
 
     return findings
 
@@ -344,6 +428,50 @@ def self_test() -> int:
     f = check_pragma_once(Path("h.h"), "struct S {};\n")
     expect(len(f) == 1 and f[0].rule == "pragma-once",
            "missing pragma once not flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.cpp"), "int x = g();  // dare-lint: allow(no-float)\n")
+    expect(len(f) == 1 and f[0].rule == "suppression-hygiene",
+           "bare allow() not flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.cpp"),
+        "int x = g();  // dare-lint: allow(no-float) -- trace format is f32\n")
+    expect(not f, "same-line justified allow() flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.cpp"),
+        "// CPU clock attributes cost, never an event timestamp.\n"
+        "// dare-lint: allow(banned-randomness)\n"
+        "clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);\n")
+    expect(not f, "block-above justified allow() flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.cpp"),
+        "operator T() const { return v; }  // NOLINT(google-explicit)\n")
+    expect(len(f) == 1 and f[0].rule == "suppression-hygiene",
+           "bare NOLINT not flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.cpp"),
+        "// Implicit by design: mirrors std::function's converting ctor.\n"
+        "operator T() const { return v; }  // NOLINT(google-explicit)\n")
+    expect(not f, "justified NOLINT flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.h"), "void lock() DARE_NO_THREAD_SAFETY_ANALYSIS {}\n")
+    expect(len(f) == 1, "bare DARE_NO_THREAD_SAFETY_ANALYSIS not flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.h"),
+        "// Analysis off: cv wait relocks via BasicLockable, not RAII.\n"
+        "void lock() DARE_NO_THREAD_SAFETY_ANALYSIS {}\n")
+    expect(not f, "justified DARE_NO_THREAD_SAFETY_ANALYSIS flagged")
+
+    f = check_suppression_hygiene(
+        Path("s.h"),
+        "#define DARE_NO_THREAD_SAFETY_ANALYSIS __attribute__((x))\n")
+    expect(not f, "macro definition wrongly flagged as suppression")
 
     if failures:
         for what in failures:

@@ -1,0 +1,593 @@
+#!/usr/bin/env python3
+"""dare_lint_ast: type-resolved determinism analysis for DARE via libclang.
+
+The regex pass (tools/dare_lint.py) catches literal spellings; this pass
+resolves types and the cross-TU call graph through clang's AST, driven by the
+compile_commands.json every build exports. It catches what regexes cannot:
+aliases (`using Clock = std::chrono::steady_clock`), `auto`, member typedefs,
+and values that flow between translation units.
+
+Rules (shared names mean one justified allow() silences both passes):
+
+  banned-randomness      Variables, calls, and temporaries whose *canonical*
+                         type or referenced declaration is a std random
+                         engine/distribution/random_device or a wall clock
+                         (std::chrono::{system,steady,high_resolution}_clock,
+                         time, clock_gettime, gettimeofday), in the
+                         determinism directories. Canonicalization sees
+                         through `auto` and any chain of typedefs.
+
+  unordered-iteration    Range-for whose range expression's canonical type is
+                         a std::unordered_* container, in the determinism
+                         directories — regardless of how the container is
+                         spelled at the loop (auto&, alias, member of a
+                         member, function return value).
+
+  rng-stream-discipline  Every `dare::Rng` constructed in the determinism
+                         directories must originate from a fork() call chain
+                         (local variables and constructor member-inits are
+                         checked). Additionally, an Rng must not be touched —
+                         drawn from, forked, or passed mutably — inside an
+                         `if` guarded by an enabled-style flag: conditional
+                         draws shift every later consumer's stream when the
+                         flag flips. Draw unconditionally and discard, or
+                         fork last with a justified allow (the documented
+                         contract in cluster.cpp).
+
+  fingerprint-taint      A range-for over an unordered container whose body
+                         calls (transitively, across TUs) into the metrics
+                         digest surface (dare::metrics::fingerprint or any
+                         mix/digest/hash helper in dare::metrics) feeds
+                         hash-order-dependent values into the run
+                         fingerprint. The sorted-copy idiom is naturally
+                         clean: the digest loop walks a vector. Suppressed by
+                         allow(fingerprint-taint) or — since its
+                         justification subsumes this rule — by an existing
+                         allow(unordered-iteration).
+
+Suppressions use the shared syntax (see dare_lint.py). Because AST findings
+can sit on one line of a multi-line statement, an allow() is honored on the
+finding line, in the contiguous comment block above it, or above the first
+line of any enclosing statement (so the documented contract block above an
+`if` covers the whole guarded statement).
+
+Degradation: when the python clang bindings or a loadable libclang are
+absent, the tool prints why and exits 77 (the CTest skip code) — a clear
+skip, never a false pass. CI installs pinned LLVM and runs the real thing.
+
+Usage:
+  dare_lint_ast.py [--root ROOT] [--build-dir DIR] [--libclang PATH]
+                   [--self-test]
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error, 77 skipped
+(libclang unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shlex
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import dare_lint  # noqa: E402  (shared suppression machinery + dirs)
+
+EXIT_SKIP = 77
+
+BANNED_NAME_RE = re.compile(
+    r"\bstd::(mersenne_twister_engine|linear_congruential_engine|"
+    r"subtract_with_carry_engine|discard_block_engine|"
+    r"independent_bits_engine|shuffle_order_engine|random_device|"
+    r"\w+_distribution)\b"
+    r"|\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)\b")
+BANNED_FUNCS = frozenset({
+    "rand", "srand", "std::rand", "std::srand",
+    "time", "std::time", "clock", "std::clock",
+    "clock_gettime", "gettimeofday", "timespec_get", "std::timespec_get",
+})
+RNG_TYPE_RE = re.compile(r"^(const\s+)?dare::Rng$")
+RNG_REF_RE = re.compile(r"\bdare::Rng\b")
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+SINK_RE = re.compile(r"\b(fingerprint|mix|digest|hash)\w*$")
+EXPECT_RE = re.compile(r"//\s*expect\(([\w\s,-]+)\)")
+
+
+def load_cindex(explicit: str | None):
+    """Import clang.cindex and make sure a libclang actually loads.
+
+    Returns (cindex module, None) on success, (None, reason) otherwise.
+    """
+    try:
+        from clang import cindex
+    except ImportError:
+        return None, "python clang bindings not installed (clang.cindex)"
+
+    candidates = [explicit] if explicit else [None]
+    if not explicit:
+        import ctypes.util
+        found = ctypes.util.find_library("clang")
+        if found:
+            candidates.append(found)
+        for pattern in ("libclang-*.so*", "llvm-*/lib/libclang.so*"):
+            for base in (Path("/usr/lib"), Path("/usr/lib/x86_64-linux-gnu"),
+                         Path("/usr/local/lib")):
+                candidates.extend(str(p) for p in sorted(base.glob(pattern)))
+
+    last_error = "no libclang candidates found"
+    for cand in candidates:
+        try:
+            if cand is not None:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            return cindex, None
+        except Exception as e:  # cindex raises LibclangError subclasses
+            last_error = str(e).splitlines()[0] if str(e) else repr(e)
+    return None, f"libclang not loadable: {last_error}"
+
+
+class Analyzer:
+    """Walks TUs, emits per-TU findings, and accumulates the cross-TU call
+    graph needed for fingerprint-taint (resolved in finish())."""
+
+    FUNC_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+                  "CONVERSION_FUNCTION", "FUNCTION_TEMPLATE")
+
+    def __init__(self, cindex, root: Path, determinism_dirs: list[Path]):
+        self.cx = cindex
+        self.root = root.resolve()
+        self.det_dirs = [d.resolve() for d in determinism_dirs]
+        self.index = cindex.Index.create()
+        self.findings: dict[tuple[str, int, str], str] = {}
+        self.call_graph: dict[str, set[str]] = {}
+        self.sinks: set[str] = set()
+        # (path, line, stmt_lines, callee USRs) per unordered loop body.
+        self.loops: list[tuple[Path, int, tuple[int, ...], set[str]]] = []
+        self._file_cache: dict[str, tuple[list[str], set[str]]] = {}
+        # filename -> (resolved str, in_root, in_det); resolving per AST node
+        # would dominate the runtime on real TUs.
+        self._path_cache: dict[str, tuple[str, bool, bool]] = {}
+        self.parse_errors: list[str] = []
+
+    # -- path helpers ------------------------------------------------------
+
+    def _under(self, path: Path, bases: list[Path]) -> bool:
+        for base in bases:
+            try:
+                path.relative_to(base)
+                return True
+            except ValueError:
+                continue
+        return False
+
+    def _classify(self, filename: str) -> tuple[str, bool, bool]:
+        cached = self._path_cache.get(filename)
+        if cached is None:
+            path = Path(filename).resolve()
+            cached = (str(path), self._under(path, [self.root]),
+                      self._under(path, self.det_dirs))
+            self._path_cache[filename] = cached
+        return cached
+
+    # -- suppression (shared semantics with dare_lint.py) ------------------
+
+    def _file_lines(self, path: str) -> tuple[list[str], set[str]]:
+        cached = self._file_cache.get(path)
+        if cached is None:
+            text = Path(path).read_text(encoding="utf-8", errors="replace")
+            lines = text.splitlines()
+            cached = (lines, dare_lint.file_allow_rules(lines))
+            self._file_cache[path] = cached
+        return cached
+
+    def _suppressed(self, path: str, line: int, rules: tuple[str, ...],
+                    stmt_lines: tuple[int, ...]) -> bool:
+        lines, file_allows = self._file_lines(path)
+        for rule in rules:
+            for probe in {line, *stmt_lines}:
+                if dare_lint.suppressed(rule, lines, probe - 1, file_allows):
+                    return True
+        return False
+
+    def _report(self, cursor, rule: str, message: str,
+                stmt_lines: tuple[int, ...],
+                also: tuple[str, ...] = ()) -> None:
+        loc = cursor.location
+        path = self._classify(loc.file.name)[0]
+        if self._suppressed(path, loc.line, (rule,) + also, stmt_lines):
+            return
+        self.findings.setdefault((path, loc.line, rule), message)
+
+    # -- clang helpers -----------------------------------------------------
+
+    def _qualified(self, cursor) -> str:
+        parts = []
+        c = cursor
+        while c is not None and c.kind.name != "TRANSLATION_UNIT":
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _canonical(self, ctype) -> str:
+        try:
+            return ctype.get_canonical().spelling
+        except Exception:
+            return ""
+
+    def _is_rng_value(self, ctype) -> bool:
+        return bool(RNG_TYPE_RE.match(self._canonical(ctype).strip()))
+
+    def _contains_fork(self, node) -> bool:
+        if node.kind.name == "CALL_EXPR" and node.spelling == "fork":
+            ref = node.referenced
+            if ref is not None and RNG_REF_RE.search(
+                    self._canonical(ref.semantic_parent.type)
+                    if ref.semantic_parent is not None else ""):
+                return True
+            if ref is not None and ref.semantic_parent is not None and \
+                    ref.semantic_parent.spelling == "Rng":
+                return True
+        return any(self._contains_fork(c) for c in node.get_children())
+
+    def _mentions_enabled(self, node) -> bool:
+        if node.kind.name in ("DECL_REF_EXPR", "MEMBER_REF_EXPR") and \
+                "enabl" in node.spelling.lower():
+            return True
+        return any(self._mentions_enabled(c) for c in node.get_children())
+
+    def _is_sink_name(self, qualified: str) -> bool:
+        if not qualified.startswith("dare::metrics::"):
+            return False
+        return bool(SINK_RE.search(qualified.rsplit("::", 1)[-1]))
+
+    # -- parsing -----------------------------------------------------------
+
+    def parse(self, path: Path, args: list[str]) -> bool:
+        try:
+            tu = self.index.parse(str(path), args=args)
+        except Exception as e:
+            self.parse_errors.append(f"{path}: {e}")
+            return False
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            self.parse_errors.append(f"{path}: {fatal[0].spelling}")
+            return False
+        self._walk(tu.cursor, fn=None, guard=0, stmts=(), loops=[])
+        return True
+
+    def _walk(self, node, fn: str | None, guard: int,
+              stmts: tuple[int, ...], loops: list[set[str]]) -> None:
+        kind = node.kind.name
+        loc = node.location
+        if loc.file is None:
+            in_det = False
+        else:
+            _, in_root, in_det = self._classify(loc.file.name)
+            if not in_root:
+                return  # prune system headers entirely
+
+        if kind.endswith("_STMT") or kind in self.FUNC_KINDS:
+            stmts = stmts + (node.extent.start.line,)
+
+        if kind in self.FUNC_KINDS and node.is_definition():
+            fn = node.get_usr()
+            self.call_graph.setdefault(fn, set())
+            if self._is_sink_name(self._qualified(node)):
+                self.sinks.add(fn)
+
+        if kind == "CALL_EXPR":
+            ref = node.referenced
+            if ref is not None:
+                usr = ref.get_usr()
+                qualified = self._qualified(ref)
+                if fn is not None and usr:
+                    self.call_graph.setdefault(fn, set()).add(usr)
+                if self._is_sink_name(qualified):
+                    self.sinks.add(usr)
+                for loop_callees in loops:
+                    loop_callees.add(usr)
+                if in_det and (qualified in BANNED_FUNCS or
+                               BANNED_NAME_RE.search(qualified)):
+                    self._report(
+                        node, "banned-randomness",
+                        f"call to '{qualified}' is banned here; use "
+                        "common/rng.h streams and simulation time", stmts)
+
+        if in_det and kind in ("DECL_REF_EXPR", "MEMBER_REF_EXPR"):
+            if guard > 0 and self._is_rng_value(node.type):
+                self._report(
+                    node, "rng-stream-discipline",
+                    f"Rng '{node.spelling}' touched under an enabled-style "
+                    "guard; conditional draws/forks shift every later "
+                    "consumer's stream when the flag flips — draw "
+                    "unconditionally and discard, or fork last and justify",
+                    stmts)
+
+        if in_det and kind == "VAR_DECL" and self._is_rng_value(node.type):
+            if not self._contains_fork(node):
+                self._report(
+                    node, "rng-stream-discipline",
+                    f"Rng '{node.spelling}' is not derived from a fork() "
+                    "chain; construct it as parent.fork() (or justify a "
+                    "root stream)", stmts)
+
+        if kind == "CONSTRUCTOR" and node.is_definition() and in_det:
+            kids = list(node.get_children())
+            for i, kid in enumerate(kids):
+                if kid.kind.name != "MEMBER_REF" or kid.referenced is None:
+                    continue
+                if not self._is_rng_value(kid.referenced.type):
+                    continue
+                init = kids[i + 1] if i + 1 < len(kids) else None
+                if init is None or not self._contains_fork(init):
+                    self._report(
+                        kid, "rng-stream-discipline",
+                        f"member '{kid.spelling}' is not initialized from a "
+                        "fork() chain; fork from the parent stream (or "
+                        "justify a root stream)", stmts)
+
+        if kind == "VAR_DECL" and in_det and not self._is_rng_value(node.type):
+            canonical = self._canonical(node.type)
+            if BANNED_NAME_RE.search(canonical):
+                self._report(
+                    node, "banned-randomness",
+                    f"'{node.spelling}' has banned canonical type "
+                    f"'{canonical}'; use common/rng.h streams and "
+                    "simulation time", stmts)
+
+        if kind == "CXX_FOR_RANGE_STMT":
+            kids = list(node.get_children())
+            body = kids[-1] if kids else None
+            unordered = None
+            for kid in kids[:-1]:
+                if kid.kind.is_expression():
+                    canonical = self._canonical(kid.type)
+                    if UNORDERED_RE.search(canonical):
+                        unordered = canonical
+                        break
+            if unordered is not None:
+                if in_det:
+                    self._report(
+                        node, "unordered-iteration",
+                        "range-for over a container whose canonical type is "
+                        f"'{unordered}' has implementation-defined order; "
+                        "sort first or justify", stmts)
+                if loc.file is not None:
+                    callees: set[str] = set()
+                    self.loops.append(
+                        (Path(self._classify(loc.file.name)[0]), loc.line,
+                         stmts, callees))
+                    if body is not None:
+                        self._walk(body, fn, guard, stmts, loops + [callees])
+                    for kid in kids[:-1]:
+                        self._walk(kid, fn, guard, stmts, loops)
+                    return
+
+        if kind == "IF_STMT":
+            kids = list(node.get_children())
+            cond = kids[0] if kids else None
+            if cond is not None and self._mentions_enabled(cond):
+                for kid in kids:
+                    self._walk(kid, fn, guard + 1, stmts, loops)
+                return
+
+        for kid in node.get_children():
+            self._walk(kid, fn, guard, stmts, loops)
+
+    # -- cross-TU resolution ----------------------------------------------
+
+    def finish(self) -> list[str]:
+        reached = set(self.sinks)
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in self.call_graph.items():
+                if caller not in reached and callees & reached:
+                    reached.add(caller)
+                    changed = True
+        for path, line, stmts, callees in self.loops:
+            if not callees & reached:
+                continue
+            if self._suppressed(str(path), line,
+                                ("fingerprint-taint", "unordered-iteration"),
+                                stmts):
+                continue
+            self.findings.setdefault(
+                (str(path), line, "fingerprint-taint"),
+                "unordered-container iteration feeds the metrics digest "
+                "surface (dare::metrics fingerprint/mix); iterate a sorted "
+                "copy or justify order-independence")
+        out = []
+        for (path, line, rule), message in sorted(self.findings.items()):
+            out.append(f"{path}:{line}: [{rule}] {message}")
+        return out
+
+
+# --------------------------------------------------------------------------
+# compile_commands.json plumbing
+# --------------------------------------------------------------------------
+
+def tu_args(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        tokens = list(entry["arguments"])[1:]
+    else:
+        tokens = shlex.split(entry["command"])[1:]
+    args: list[str] = []
+    skip = False
+    for tok in tokens:
+        if skip:
+            skip = False
+            continue
+        if tok in ("-c",):
+            continue
+        if tok == "-o":
+            skip = True
+            continue
+        if tok.endswith((".cpp", ".cc", ".cxx", ".o")):
+            continue
+        args.append(tok)
+    directory = entry.get("directory")
+    if directory:
+        fixed = []
+        expect_path = False
+        for tok in args:
+            if expect_path:
+                fixed.append(str((Path(directory) / tok).resolve()))
+                expect_path = False
+            elif tok in ("-I", "-isystem"):
+                fixed.append(tok)
+                expect_path = True
+            elif tok.startswith("-I") and not Path(tok[2:]).is_absolute():
+                fixed.append("-I" + str((Path(directory) / tok[2:]).resolve()))
+            else:
+                fixed.append(tok)
+        args = fixed
+    return args
+
+
+def find_build_dir(root: Path, explicit: Path | None) -> Path | None:
+    if explicit is not None:
+        return explicit if (explicit / "compile_commands.json").is_file() \
+            else None
+    for name in ("build", "build-analyze", "build-debug", "build-asan",
+                 "build-tsan"):
+        cand = root / name
+        if (cand / "compile_commands.json").is_file():
+            return cand
+    return None
+
+
+def lint_repo(cindex, root: Path, build_dir: Path) -> int:
+    entries = json.loads(
+        (build_dir / "compile_commands.json").read_text(encoding="utf-8"))
+    det_dirs = [root / d for d in dare_lint.DETERMINISM_DIRS]
+    analyzer = Analyzer(cindex, root, det_dirs)
+    parsed = 0
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = (Path(entry.get("directory", ".")) / src).resolve()
+        try:
+            src.relative_to(root)
+        except ValueError:
+            continue
+        try:
+            src.relative_to(root / "tests")
+            continue  # test TUs add parse time, not determinism surface
+        except ValueError:
+            pass
+        if analyzer.parse(src, tu_args(entry)):
+            parsed += 1
+    for err in analyzer.parse_errors:
+        print(f"dare_lint_ast: parse error: {err}", file=sys.stderr)
+    if parsed == 0:
+        print("dare_lint_ast: no translation units parsed", file=sys.stderr)
+        return 2
+    findings = analyzer.finish()
+    for finding in findings:
+        print(finding)
+    if analyzer.parse_errors:
+        return 2
+    if findings:
+        print(f"dare_lint_ast: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"dare_lint_ast: clean ({parsed} TUs)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test: a fixture corpus under tools/lint_fixtures/ with `// expect(...)`
+# markers on the lines that must fire (comma-separated when several rules
+# fire on one line). Suppressed and clean snippets expect nothing.
+# --------------------------------------------------------------------------
+
+def collect_expectations(fixture_dir: Path) -> set[tuple[str, int, str]]:
+    expected = set()
+    for path in sorted(fixture_dir.glob("*.cpp")):
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    expected.add((str(path.resolve()), lineno, rule.strip()))
+    return expected
+
+
+def self_test(cindex) -> int:
+    fixture_dir = Path(__file__).resolve().parent / "lint_fixtures"
+    if not fixture_dir.is_dir():
+        print(f"dare_lint_ast: missing fixtures at {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    analyzer = Analyzer(cindex, fixture_dir, [fixture_dir])
+    args = ["-std=c++20", "-I", str(fixture_dir)]
+    for path in sorted(fixture_dir.glob("*.cpp")):
+        analyzer.parse(path, args)
+    for err in analyzer.parse_errors:
+        print(f"dare_lint_ast self-test: parse error: {err}", file=sys.stderr)
+    if analyzer.parse_errors:
+        return 1
+    got = set()
+    for finding in analyzer.finish():
+        m = re.match(r"(.+?):(\d+): \[([\w-]+)\]", finding)
+        if m:
+            got.add((m.group(1), int(m.group(2)), m.group(3)))
+    expected = collect_expectations(fixture_dir)
+    if not expected:
+        print("dare_lint_ast self-test: no expectations found (corpus "
+              "missing markers?)", file=sys.stderr)
+        return 1
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"dare_lint_ast self-test: MISSED {miss[0]}:{miss[1]} "
+              f"[{miss[2]}]", file=sys.stderr)
+        ok = False
+    for spur in sorted(got - expected):
+        print(f"dare_lint_ast self-test: SPURIOUS {spur[0]}:{spur[1]} "
+              f"[{spur[2]}]", file=sys.stderr)
+        ok = False
+    if not ok:
+        return 1
+    print(f"dare_lint_ast self-test: all checks passed "
+          f"({len(expected)} expected findings matched)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: this script's parent's "
+                             "parent)")
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: autodetect build*/)")
+    parser.add_argument("--libclang", default=None,
+                        help="explicit libclang shared object to load")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer against tools/lint_fixtures/")
+    args = parser.parse_args()
+
+    cindex, reason = load_cindex(args.libclang)
+    if cindex is None:
+        print(f"dare_lint_ast: SKIPPED — {reason}", file=sys.stderr)
+        return EXIT_SKIP
+
+    if args.self_test:
+        return self_test(cindex)
+
+    root = (args.root or Path(__file__).resolve().parent.parent).resolve()
+    build_dir = find_build_dir(root, args.build_dir)
+    if build_dir is None:
+        print("dare_lint_ast: no compile_commands.json found (configure "
+              "with CMake first; exports are on by default)", file=sys.stderr)
+        return 2
+    return lint_repo(cindex, root, build_dir)
+
+
+if __name__ == "__main__":
+    sys.setrecursionlimit(10000)
+    sys.exit(main())

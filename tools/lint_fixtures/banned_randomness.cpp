@@ -1,0 +1,43 @@
+// Fixture: banned-randomness, type-resolved. Every positive case here is
+// invisible to the regex pass — the banned name never appears at the use
+// site; only canonical-type / referenced-decl resolution sees it.
+#include <chrono>
+#include <ctime>
+#include <random>
+#include <vector>
+
+namespace fx {
+
+using Clock = std::chrono::steady_clock;
+
+namespace wrapped {
+using Engine = std::mt19937;
+using Dist = std::uniform_int_distribution<int>;
+}  // namespace wrapped
+
+void positives() {
+  auto now = Clock::now();       // expect(banned-randomness)
+  wrapped::Engine gen(42);       // expect(banned-randomness)
+  wrapped::Dist die(1, 6);       // expect(banned-randomness)
+  auto stamp = std::time(nullptr);  // expect(banned-randomness)
+  (void)now;
+  (void)gen;
+  (void)die;
+  (void)stamp;
+}
+
+void suppressed() {
+  // CPU-cost attribution needs a real clock; never used as an event time.
+  // dare-lint: allow(banned-randomness)
+  auto t0 = Clock::now();
+  (void)t0;
+}
+
+int clean() {
+  std::vector<int> values{3, 1, 2};
+  int sum = 0;
+  for (int v : values) sum += v;
+  return sum;
+}
+
+}  // namespace fx

@@ -1,0 +1,57 @@
+// Fixture: fingerprint-taint. A range-for over an unordered container whose
+// body reaches the dare::metrics digest surface — directly or through local
+// helpers resolved across the call graph — feeds hash-order-dependent values
+// into the run fingerprint. The sorted-copy idiom is naturally clean.
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fixture_support.h"
+
+namespace dare {
+
+// Reaches the digest surface only through this helper: the finding depends
+// on call-graph reachability, not on a name match at the loop.
+unsigned long long fold(unsigned long long h, int v) {
+  return metrics::mix_value(h, static_cast<double>(v));
+}
+
+unsigned long long digest_direct(const std::unordered_map<int, int>& m) {
+  unsigned long long h = 0;
+  for (const auto& [k, v] : m) {  // expect(fingerprint-taint, unordered-iteration)
+    h = fold(h, v);
+  }
+  return h;
+}
+
+unsigned long long digest_sorted(const std::unordered_map<int, int>& m) {
+  std::vector<std::pair<int, int>> items(m.begin(), m.end());
+  std::sort(items.begin(), items.end());
+  unsigned long long h = 0;
+  for (const auto& p : items) {
+    h = fold(h, p.second);
+  }
+  return h;
+}
+
+unsigned long long digest_justified(const std::unordered_map<int, int>& m) {
+  unsigned long long h = 0;
+  // Mixing here is commutative, so visit order cannot reach the digest.
+  // dare-lint: allow(fingerprint-taint)
+  // dare-lint: allow(unordered-iteration)
+  for (const auto& [k, v] : m) {
+    h += fold(0, v);
+  }
+  return h;
+}
+
+int sum_values(const std::unordered_map<int, int>& m) {
+  int n = 0;
+  for (const auto& [k, v] : m) {  // expect(unordered-iteration)
+    n += v;
+  }
+  return n;
+}
+
+}  // namespace dare

@@ -1,0 +1,28 @@
+// Minimal mocks mirroring the real qualified names the AST analyzer
+// resolves: dare::Rng and the dare::metrics digest surface. Fixtures include
+// this instead of repo headers so the corpus parses standalone with just
+// `-std=c++20 -I <this dir>`.
+#pragma once
+
+namespace dare {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed = 1);
+  unsigned long long next();
+  double uniform();
+  bool bernoulli(double p);
+  Rng fork();
+};
+
+namespace metrics {
+
+struct RunResult {
+  double makespan;
+};
+
+unsigned long long fingerprint(const RunResult& result);
+unsigned long long mix_value(unsigned long long h, double v);
+
+}  // namespace metrics
+}  // namespace dare

@@ -1,0 +1,50 @@
+// Fixture: rng-stream-discipline. Streams must originate from fork() (local
+// variables and constructor member-inits are checked), and an Rng must never
+// be touched under an enabled-style guard — conditional draws shift every
+// later consumer's stream when the flag flips.
+#include "fixture_support.h"
+
+namespace dare {
+
+struct Component {
+  Component(Rng& parent, bool enabled)
+      : rng_(parent.fork()), enabled_(enabled) {}
+
+  void step() {
+    // Unconditional draw: the stream position is flag-independent.
+    const double draw = rng_.uniform();
+    if (enabled_) {
+      consume(draw);
+    }
+  }
+
+  void bad_step() {
+    if (enabled_) {
+      consume(rng_.uniform());  // expect(rng-stream-discipline)
+    }
+  }
+
+  void consume(double value);
+
+  Rng rng_;
+  bool enabled_;
+};
+
+struct BadComponent {
+  explicit BadComponent(unsigned long long seed)
+      : rng_(seed) {}  // expect(rng-stream-discipline)
+  Rng rng_;
+};
+
+void streams(Rng& parent) {
+  Rng child = parent.fork();
+  Rng reseeded(1234);  // expect(rng-stream-discipline)
+  // Root stream of this fixture translation unit, seeded exactly once.
+  // dare-lint: allow(rng-stream-discipline)
+  Rng root(99);
+  (void)child;
+  (void)reseeded;
+  (void)root;
+}
+
+}  // namespace dare

@@ -1,0 +1,43 @@
+// Fixture: unordered-iteration, type-resolved. The container type is hidden
+// behind an alias and a member — the regex pass cannot connect the range-for
+// to the unordered declaration; canonical-type resolution can.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+using NodeIndex = std::unordered_map<int, std::vector<int>>;
+
+struct Catalog {
+  NodeIndex by_node_;
+  std::map<int, int> ordered_;
+
+  int total_unordered() const {
+    int sum = 0;
+    for (const auto& [node, files] : by_node_) {  // expect(unordered-iteration)
+      sum += static_cast<int>(files.size());
+    }
+    return sum;
+  }
+
+  int total_justified() const {
+    int sum = 0;
+    // Sum is commutative; hash order cannot reach the result.
+    // dare-lint: allow(unordered-iteration)
+    for (const auto& [node, files] : by_node_) {
+      sum += static_cast<int>(files.size());
+    }
+    return sum;
+  }
+
+  int total_ordered() const {
+    int sum = 0;
+    for (const auto& [key, value] : ordered_) {
+      sum += value + key;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fx
