@@ -77,6 +77,25 @@ Cluster::Cluster(const ClusterOptions& options)
   // long run silently.
   faults::validate_fault_params(options_.faults, workers);
   faults::validate_corruption_params(options_.corruption);
+  faults::validate_straggler_params(options_.stragglers);
+  if (!(options_.clone_budget_fraction >= 0.0 &&
+        options_.clone_budget_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "ClusterOptions.clone_budget_fraction must be in [0, 1]");
+  }
+  if (!(options_.straggler_detect_ratio >= 1.0)) {
+    throw std::invalid_argument(
+        "ClusterOptions.straggler_detect_ratio must be at least 1");
+  }
+  if (!(options_.straggler_detect_ewma_alpha > 0.0 &&
+        options_.straggler_detect_ewma_alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "ClusterOptions.straggler_detect_ewma_alpha must be in (0, 1]");
+  }
+  if (options_.straggler_backoff <= 0) {
+    throw std::invalid_argument(
+        "ClusterOptions.straggler_backoff must be positive");
+  }
 
   net::TopologyOptions topo = options_.profile.topology;
   topo.nodes = workers;
@@ -129,6 +148,19 @@ Cluster::Cluster(const ClusterOptions& options)
       factor = options_.profile.straggler_slowdown;
     }
   }
+  degraded_.assign(workers, false);
+  degrade_event_.resize(workers);
+  progress_ewma_.assign(workers, 0.0);
+  progress_samples_.assign(workers, 0);
+  detected_slow_.assign(workers, false);
+  slow_until_.assign(workers, 0);
+  slow_strikes_.assign(workers, 0);
+  if (options_.enable_task_cloning && options_.clone_budget_fraction > 0.0) {
+    clone_budget_slots_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               options_.clone_budget_fraction *
+               static_cast<double>(workers * options_.map_slots_per_node)));
+  }
 
   switch (options_.scheduler) {
     case SchedulerKind::kFifo:
@@ -163,6 +195,14 @@ Cluster::Cluster(const ClusterOptions& options)
   if (options_.corruption.enabled) {
     corruption_ = std::make_unique<faults::CorruptionProcess>(
         options_.corruption, rng_);
+  }
+  // Straggler stream: forked after the corruption stream, and only when the
+  // process is enabled, for the same reason — disabled runs keep the exact
+  // stream positions (and fingerprints) they had before stragglers existed.
+  // dare-lint: allow(rng-stream-discipline)
+  if (options_.stragglers.enabled) {
+    straggler_process_ = std::make_unique<faults::StragglerProcess>(
+        options_.stragglers, rng_);
   }
   verify_reads_ =
       corruption_ != nullptr || !options_.corruption_events.empty();
@@ -338,6 +378,12 @@ void Cluster::heartbeat(std::size_t worker) {
   // Lazy physical deletion happens at idle time; the heartbeat is our proxy.
   dn.reclaim_marked();
 
+  // Straggler verdicts ride the heartbeat, mirroring how a real JobTracker
+  // folds slow-node bookkeeping into tracker reports.
+  if (options_.enable_straggler_detection) {
+    straggler_decision(static_cast<NodeId>(worker));
+  }
+
   const bool finished = workload_ != nullptr &&
                         jobs_.all_jobs().size() == workload_->jobs.size() &&
                         jobs_.all_done();
@@ -371,7 +417,9 @@ void Cluster::try_assign_all() {
 
 void Cluster::try_assign_node(NodeId worker) {
   const auto w = static_cast<std::size_t>(worker);
-  if (!node_usable(w)) return;  // dead or blacklisted: no new launches
+  // Dead, blacklisted, or detected-slow: no new launches. A detected-slow
+  // node keeps its running work (graceful degradation, not eviction).
+  if (!node_open_for_launch(w)) return;
   while (free_map_slots_[w] > 0) {
     const auto selection =
         scheduler_->select_map(worker, sim_.now(), jobs_, *locator_);
@@ -391,17 +439,26 @@ void Cluster::try_assign_node(NodeId worker) {
 NodeId Cluster::pick_source(NodeId reader, BlockId block) const {
   const auto& locs = name_node_->locations(block);
   NodeId best = kInvalidNode;
+  bool best_slow = false;
   int best_hops = 0;
   int best_flows = 0;
   for (NodeId cand : locs) {
     if (cand == reader) continue;  // metadata race; never a usable source
     if (dead_[static_cast<std::size_t>(cand)]) continue;
+    // Graceful degradation: detected-slow holders rank strictly below every
+    // healthy one (deprioritized, never excluded — a slow copy still beats
+    // the archival tier). With detection off this bit is always false and
+    // the ordering is unchanged.
+    const bool slow = detected_slow_[static_cast<std::size_t>(cand)];
     const int hops = topology_->hops(reader, cand);
     const int flows = network_->active_flows(cand);
-    if (best == kInvalidNode || hops < best_hops ||
-        (hops == best_hops &&
-         (flows < best_flows || (flows == best_flows && cand < best)))) {
+    if (best == kInvalidNode || (!slow && best_slow) ||
+        (slow == best_slow &&
+         (hops < best_hops ||
+          (hops == best_hops &&
+           (flows < best_flows || (flows == best_flows && cand < best)))))) {
       best = cand;
+      best_slow = slow;
       best_hops = hops;
       best_flows = flows;
     }
@@ -468,7 +525,15 @@ Cluster::ReadPlan Cluster::plan_read(NodeId worker, BlockId block, Bytes bytes,
   ReadPlan plan;
   plan.src = worker;
   if (node_local) {
-    plan.duration += data_nodes_[w]->read_duration(bytes);
+    SimDuration local_disk = data_nodes_[w]->read_duration(bytes);
+    // Degraded-mode disk penalty: a limping holder serves reads slower.
+    // `degraded_` is all-false unless the straggler process is enabled, so
+    // the integer path is untouched in disabled runs.
+    if (degraded_[w]) {
+      local_disk = static_cast<SimDuration>(
+          static_cast<double>(local_disk) * options_.stragglers.disk_slowdown);
+    }
+    plan.duration += local_disk;
     if (!verify_reads_ || !checksum_fails(worker, block, bytes)) return plan;
     // The local copy failed its checksum: report it (quarantining the
     // replica) and re-read from another holder. The wasted local read stays
@@ -488,8 +553,12 @@ Cluster::ReadPlan Cluster::plan_read(NodeId worker, BlockId block, Bytes bytes,
       return plan;
     }
     // A remote read is bounded by both source disk and network path.
-    const SimDuration disk =
+    SimDuration disk =
         data_nodes_[static_cast<std::size_t>(src)]->read_duration(bytes);
+    if (degraded_[static_cast<std::size_t>(src)]) {
+      disk = static_cast<SimDuration>(static_cast<double>(disk) *
+                                      options_.stragglers.disk_slowdown);
+    }
     const SimDuration net = network_->transfer_duration(src, worker, bytes);
     plan.duration += std::max(disk, net);
     if (verify_reads_ && checksum_fails(src, block, bytes)) {
@@ -532,7 +601,9 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
 
   const bool node_local = selection.node_local();
   const ReadPlan plan = plan_read(worker, task.block, task.bytes, node_local);
-  SimDuration duration = options_.map_setup + task.cpu + plan.duration;
+  const SimDuration compute =
+      straggler_compute(worker, options_.map_setup + task.cpu);
+  SimDuration duration = compute + plan.duration;
   const NodeId src = plan.src;
   const bool remote_flow = plan.remote_flow;
   duration = static_cast<SimDuration>(static_cast<double>(duration) *
@@ -571,6 +642,9 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
                                 duration_s);
       });
   state.attempts.push_back(std::move(attempt));
+  // Proactive cloning fires at launch time, not on a timer: the clone runs
+  // from the start, hedging against a slow node before any evidence exists.
+  maybe_clone(job, map_index, worker);
 }
 
 void Cluster::launch_speculative(NodeId worker, JobId job,
@@ -591,7 +665,9 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
                           /*speculative=*/true);
   }
   const ReadPlan plan = plan_read(worker, task.block, task.bytes, node_local);
-  SimDuration duration = options_.map_setup + task.cpu + plan.duration;
+  const SimDuration compute =
+      straggler_compute(worker, options_.map_setup + task.cpu);
+  SimDuration duration = compute + plan.duration;
   const NodeId src = plan.src;
   const bool remote_flow = plan.remote_flow;
   duration = static_cast<SimDuration>(static_cast<double>(duration) *
@@ -617,6 +693,159 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
                                 duration_s);
       });
   state.attempts.push_back(std::move(attempt));
+}
+
+SimDuration Cluster::straggler_compute(NodeId worker, SimDuration compute) {
+  if (straggler_process_ == nullptr) return compute;
+  const auto w = static_cast<std::size_t>(worker);
+  double scaled = static_cast<double>(compute);
+  if (degraded_[w]) scaled *= options_.stragglers.compute_slowdown;
+  // One inflation draw per launch regardless of node state or outcome: the
+  // straggler stream position never depends on which node runs the task.
+  const double factor = straggler_process_->sample_task_inflation();
+  if (factor > 1.0) {
+    ++tail_inflations_;
+    scaled *= factor;
+  }
+  return static_cast<SimDuration>(scaled);
+}
+
+void Cluster::note_attempt_progress(NodeId worker, double duration_s) {
+  if (!options_.enable_straggler_detection) return;
+  // The reference is the cluster-mean completed-attempt duration *before*
+  // this completion was folded in; with nothing completed yet there is no
+  // baseline and the sample is discarded.
+  if (global_map_stats_.second == 0) return;
+  const double mean_s =
+      global_map_stats_.first / static_cast<double>(global_map_stats_.second);
+  if (!(mean_s > 0.0)) return;
+  const auto w = static_cast<std::size_t>(worker);
+  const double ratio = duration_s / mean_s;
+  const double alpha = options_.straggler_detect_ewma_alpha;
+  progress_ewma_[w] = progress_samples_[w] == 0
+                          ? ratio
+                          : alpha * ratio + (1.0 - alpha) * progress_ewma_[w];
+  ++progress_samples_[w];
+}
+
+void Cluster::straggler_decision(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (detected_slow_[w]) {
+    if (sim_.now() < slow_until_[w]) return;
+    // Probation re-admission: forget the old EWMA so the node earns its
+    // standing back from fresh observations instead of its history.
+    detected_slow_[w] = false;
+    progress_ewma_[w] = 0.0;
+    progress_samples_[w] = 0;
+    ++straggler_readmissions_;
+    if (tracer_ != nullptr) tracer_->straggler_cleared(worker);
+    try_assign_node(worker);
+    return;
+  }
+  if (progress_samples_[w] < options_.straggler_detect_min_samples) return;
+  if (progress_ewma_[w] < options_.straggler_detect_ratio) return;
+  // Never sideline below two open workers: mitigation must not make the
+  // cluster unschedulable (same floor as blacklisting).
+  std::size_t open = 0;
+  for (std::size_t i = 0; i < dead_.size(); ++i) {
+    if (node_open_for_launch(i)) ++open;
+  }
+  if (open <= 2) return;
+  detected_slow_[w] = true;
+  ++slow_strikes_[w];
+  // Exponential backoff: each repeat offense doubles the timeout, capped at
+  // 16x so a recovered node is not sidelined forever.
+  const auto shift = std::min<std::size_t>(slow_strikes_[w] - 1, 4);
+  slow_until_[w] = sim_.now() + (options_.straggler_backoff << shift);
+  ++stragglers_detected_;
+  if (tracer_ != nullptr) {
+    tracer_->straggler_detected(worker, progress_ewma_[w]);
+  }
+}
+
+void Cluster::maybe_clone(JobId job, std::size_t map_index, NodeId original) {
+  if (!options_.enable_task_cloning) return;
+  if (running_clones_ >= clone_budget_slots_) return;
+  if (options_.clone_job_max_maps != 0 &&
+      jobs_.job(job).total_maps() > options_.clone_job_max_maps) {
+    return;  // cloning is reserved for small jobs (the cheap-to-hedge ones)
+  }
+  const auto it = running_maps_.find(task_key(job, map_index));
+  if (it == running_maps_.end()) return;
+  const MapTaskState& state = it->second;
+  if (state.attempts.size() != 1) return;
+  // Same target scan as speculation: a free open slot, preferring one local
+  // to the block; detected-slow nodes are never clone targets.
+  NodeId best = kInvalidNode;
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (!node_open_for_launch(w) || free_map_slots_[w] == 0) continue;
+    if (static_cast<NodeId>(w) == original) continue;
+    const auto node = static_cast<NodeId>(w);
+    if (locator_->is_local(node, state.block)) {
+      best = node;
+      break;
+    }
+    if (best == kInvalidNode) best = node;
+  }
+  if (best == kInvalidNode) return;
+  launch_clone(best, job, map_index);
+}
+
+void Cluster::launch_clone(NodeId worker, JobId job, std::size_t map_index) {
+  const auto w = static_cast<std::size_t>(worker);
+  const sched::MapTaskSpec task = jobs_.job(job).spec.maps[map_index];
+  const storage::BlockMeta meta = name_node_->block(task.block);
+  --free_map_slots_[w];
+  ++clones_launched_;
+  ++running_clones_;
+  jobs_.launch_clone(job);
+
+  const bool node_local = locator_->is_local(worker, task.block);
+  if (tracer_ != nullptr) {
+    const auto loc = node_local ? sched::Locality::kNodeLocal
+                     : locator_->is_rack_local(worker, task.block)
+                         ? sched::Locality::kRackLocal
+                         : sched::Locality::kOffRack;
+    tracer_->clone_launched(worker, job, map_index, static_cast<int>(loc));
+  }
+  const ReadPlan plan = plan_read(worker, task.block, task.bytes, node_local);
+  const SimDuration compute =
+      straggler_compute(worker, options_.map_setup + task.cpu);
+  SimDuration duration = compute + plan.duration;
+  const NodeId src = plan.src;
+  const bool remote_flow = plan.remote_flow;
+  duration = static_cast<SimDuration>(static_cast<double>(duration) *
+                                      node_slowdown_[w]);
+  // The clone streams the block through this node too — the DARE hook
+  // applies exactly as for any other attempt.
+  {
+    obs::PhaseScope prof(profiler_, obs::Phase::kReplication);
+    policies_[w]->on_map_task(meta, node_local);
+  }
+
+  const double duration_s = to_seconds(duration);
+  auto& state = running_maps_[task_key(job, map_index)];
+  MapAttempt attempt;
+  attempt.node = worker;
+  attempt.started = sim_.now();
+  attempt.speculative = false;
+  attempt.clone = true;
+  attempt.holds_flow = remote_flow;
+  attempt.flow_src = src;
+  attempt.completion = sim_.after(
+      duration, [this, job, map_index, worker, remote_flow, src, duration_s] {
+        on_map_attempt_finished(job, map_index, worker, remote_flow, src,
+                                duration_s);
+      });
+  state.attempts.push_back(std::move(attempt));
+}
+
+void Cluster::retire_clone(JobId job) {
+  if (running_clones_ == 0) {
+    throw std::logic_error("Cluster: retire_clone with none running");
+  }
+  --running_clones_;
+  jobs_.finish_clone(job);
 }
 
 void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
@@ -651,8 +880,12 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   }
 
   const bool was_speculative = att_it->speculative;
+  const bool was_clone = att_it->clone;
   state.attempts.erase(att_it);
   ++free_map_slots_[wi];
+  // A clone's budget is returned the moment it reports back, win or fail —
+  // the erase above is the one place every self-finishing clone passes.
+  if (was_clone) retire_clone(job);
 
   // Injected attempt failure (bad disk, JVM crash): the attempt completes
   // but reports failure. Unlike a kill by node loss, this *does* count
@@ -662,6 +895,13 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
     if (tracer_ != nullptr) {
       tracer_->task_attempt_fault(worker, job,
                                   static_cast<std::int64_t>(map_index));
+    }
+    if (was_clone) {
+      // For the wins + killed == launched ledger a faulted clone counts as
+      // killed; its whole runtime was wasted.
+      ++clones_killed_;
+      clone_wasted_work_ += from_seconds(duration_s);
+      if (tracer_ != nullptr) tracer_->clone_killed(worker, job, map_index);
     }
     note_node_task_failure(worker);
     const auto failures = ++map_attempt_failures_[key];
@@ -682,9 +922,13 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
 
   // This attempt wins the task.
   if (was_speculative) ++speculative_wins_;
+  if (was_clone) ++clone_wins_;
   if (tracer_ != nullptr) {
     tracer_->map_finished(worker, job, map_index, duration_s, was_speculative);
   }
+  // Feed the straggler detector before folding this completion into the
+  // stats it normalizes against.
+  note_attempt_progress(worker, duration_s);
   jobs_.complete_map(job, sim_.now());
   if (tracer_ != nullptr && jobs_.job(job).done()) {
     tracer_->job_finished(
@@ -700,9 +944,20 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   // network flows they held, and free their slots now (Hadoop sends a kill
   // to the slower attempt).
   for (auto& other : state.attempts) {
-    if (other.completion.cancel()) {
-      ++speculative_killed_;
-      if (tracer_ != nullptr) tracer_->map_killed(other.node, job, map_index);
+    const bool cancelled = other.completion.cancel();
+    if (other.clone) {
+      // A losing clone retires here whether its completion was still
+      // pending (a real kill) or already fired as a zombie on a dead node —
+      // the erase below destroys it either way, unseen by any later sweep.
+      ++clones_killed_;
+      clone_wasted_work_ += sim_.now() - other.started;
+      if (tracer_ != nullptr) tracer_->clone_killed(other.node, job, map_index);
+      retire_clone(job);
+    } else if (cancelled && tracer_ != nullptr) {
+      tracer_->map_killed(other.node, job, map_index);
+    }
+    if (cancelled) {
+      if (!other.clone) ++speculative_killed_;
       if (other.holds_flow) {
         network_->flow_finished(other.flow_src, other.node);
       }
@@ -756,10 +1011,12 @@ void Cluster::speculation_tick() {
       if (state.attempts.size() != 1) continue;  // already speculated
       const double age_s = to_seconds(sim_.now() - state.attempts[0].started);
       if (age_s < options_.speculation_threshold * mean_s) continue;
-      // Find a free live slot, preferring one local to the block.
+      // Find a free open slot, preferring one local to the block. A
+      // detected-slow node is never a backup target — launching the hedge
+      // on a suspect defeats its purpose.
       NodeId best = kInvalidNode;
       for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-        if (!node_usable(w) || free_map_slots_[w] == 0) continue;
+        if (!node_open_for_launch(w) || free_map_slots_[w] == 0) continue;
         if (static_cast<NodeId>(w) == state.attempts[0].node) continue;
         const auto node = static_cast<NodeId>(w);
         if (locator_->is_local(node, state.block)) {
@@ -782,7 +1039,10 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
   --free_reduce_slots_[w];
   const auto& spec = jobs_.job(job).spec;
 
-  SimDuration duration = options_.reduce_setup + spec.reduce_cpu;
+  // Reduces suffer degraded-mode compute and tail inflation exactly like
+  // maps (the shuffle leg below is network-bound and stays untouched).
+  SimDuration duration =
+      straggler_compute(worker, options_.reduce_setup + spec.reduce_cpu);
   const Bytes shuffle =
       spec.reduces > 0 ? spec.shuffle_bytes / static_cast<Bytes>(spec.reduces)
                        : 0;
@@ -961,14 +1221,23 @@ void Cluster::cleanup_node_attempts(NodeId worker) {
         state.attempts.begin(), state.attempts.end(),
         [worker](const MapAttempt& a) { return a.node == worker; });
     if (att_it == state.attempts.end()) continue;
+    const auto sweep_job = static_cast<JobId>(key >> 20);
+    const auto sweep_index = static_cast<std::size_t>(key & 0xFFFFF);
     // A still-pending completion is cancelled here; if it already fired as
     // a zombie, its flow was released at fire time (holds_flow false).
     if (att_it->completion.cancel() && att_it->holds_flow) {
       network_->flow_finished(att_it->flow_src, att_it->node);
     }
-    if (tracer_ != nullptr) {
-      tracer_->map_killed(worker, static_cast<JobId>(key >> 20),
-                          static_cast<std::size_t>(key & 0xFFFFF));
+    if (att_it->clone) {
+      // The node died with the clone on it: its budget comes back here.
+      ++clones_killed_;
+      clone_wasted_work_ += sim_.now() - att_it->started;
+      if (tracer_ != nullptr) {
+        tracer_->clone_killed(worker, sweep_job, sweep_index);
+      }
+      retire_clone(sweep_job);
+    } else if (tracer_ != nullptr) {
+      tracer_->map_killed(worker, sweep_job, sweep_index);
     }
     state.attempts.erase(att_it);
     if (state.attempts.empty()) {
@@ -1100,6 +1369,53 @@ void Cluster::schedule_stochastic_failure(NodeId worker, std::uint64_t epoch) {
       });
 }
 
+void Cluster::schedule_degrade_onset(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  degrade_event_[w] =
+      sim_.after(straggler_process_->sample_degrade_uptime(), [this, worker] {
+        if (run_finished()) return;
+        // Fixed draws per onset regardless of node state, so the straggler
+        // stream position never depends on who is currently dead or
+        // degraded.
+        const auto sample = straggler_process_->sample_degrade();
+        begin_degrade(worker, sample.duration, sample.rack_correlated);
+        if (sample.rack_correlated && topology_->rack_count() > 1) {
+          // The shared cause (overloaded switch, hot aisle) co-degrades the
+          // whole rack and supersedes each peer's own pending onset.
+          for (std::size_t v = 0; v < data_nodes_.size(); ++v) {
+            const auto peer = static_cast<NodeId>(v);
+            if (peer == worker || degraded_[v]) continue;
+            if (!topology_->same_rack(worker, peer)) continue;
+            degrade_event_[v].cancel();
+            begin_degrade(peer, sample.duration, true);
+          }
+        }
+      });
+}
+
+void Cluster::begin_degrade(NodeId worker, SimDuration duration,
+                            bool rack_correlated) {
+  const auto w = static_cast<std::size_t>(worker);
+  if (degraded_[w]) return;
+  degraded_[w] = true;
+  ++degraded_onsets_;
+  if (tracer_ != nullptr) {
+    tracer_->node_degraded(worker, rack_correlated,
+                           options_.stragglers.compute_slowdown);
+  }
+  degrade_event_[w] =
+      sim_.after(duration, [this, worker] { end_degrade(worker); });
+}
+
+void Cluster::end_degrade(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  degraded_[w] = false;
+  ++degraded_recoveries_;
+  if (tracer_ != nullptr) tracer_->node_degrade_ended(worker);
+  if (run_finished()) return;
+  schedule_degrade_onset(worker);  // the chain continues until the run ends
+}
+
 void Cluster::fail_job(JobId job) {
   // Cancel the job's in-flight map attempts (sorted key sweep for
   // determinism — running_maps_ is unordered).
@@ -1112,11 +1428,21 @@ void Cluster::fail_job(JobId job) {
   for (const std::uint64_t key : keys) {
     const auto it = running_maps_.find(key);
     for (auto& attempt : it->second.attempts) {
-      if (attempt.completion.cancel()) {
+      const auto map_index = static_cast<std::size_t>(key & 0xFFFFF);
+      const bool cancelled = attempt.completion.cancel();
+      if (attempt.clone) {
+        // Clone retirement must happen for zombies too (cancel() == false):
+        // the erase below destroys the attempt unseen by any later sweep.
+        ++clones_killed_;
+        clone_wasted_work_ += sim_.now() - attempt.started;
         if (tracer_ != nullptr) {
-          tracer_->map_killed(attempt.node, job,
-                              static_cast<std::size_t>(key & 0xFFFFF));
+          tracer_->clone_killed(attempt.node, job, map_index);
         }
+        retire_clone(job);
+      } else if (cancelled && tracer_ != nullptr) {
+        tracer_->map_killed(attempt.node, job, map_index);
+      }
+      if (cancelled) {
         if (attempt.holds_flow) {
           network_->flow_finished(attempt.flow_src, attempt.node);
         }
@@ -1175,6 +1501,7 @@ void Cluster::cancel_pending_churn() {
   monitor_event_.cancel();
   for (auto& handle : next_failure_) handle.cancel();
   for (auto& handle : recover_event_) handle.cancel();
+  for (auto& handle : degrade_event_) handle.cancel();
   latent_event_.cancel();
   // The gauge sampler must die with the run too: a sample event left in the
   // queue would fire after the last job and inflate the makespan.
@@ -1266,12 +1593,18 @@ void Cluster::rereplication_tick() {
     }
     const auto& meta = name_node_->block(bid);
 
-    // Source: any live holder. Destination: a live node without a copy.
+    // Source: a live holder, preferring one not detected slow (graceful
+    // degradation — a limping disk makes a poor repair source, but it still
+    // beats abandoning the repair). Destination: a live node without a copy.
     const NodeId src = [&]() -> NodeId {
+      NodeId fallback = kInvalidNode;
       for (NodeId cand : name_node_->locations(bid)) {
-        if (!dead_[static_cast<std::size_t>(cand)]) return cand;
+        const auto c = static_cast<std::size_t>(cand);
+        if (dead_[c]) continue;
+        if (!detected_slow_[c]) return cand;
+        if (fallback == kInvalidNode) fallback = cand;
       }
-      return kInvalidNode;
+      return fallback;
     }();
     if (src == kInvalidNode) {
       // Block truly lost, nothing to copy; abandon the repair.
@@ -1574,13 +1907,46 @@ void Cluster::validate() const {
     fail("job table aggregate counters diverge from per-job state");
   }
 
-  // With no work in flight, every network flow must have been released.
+  // With no work in flight, every network flow must have been released and
+  // every live node must have every slot back — a missing slot means some
+  // attempt-removal path forgot its ++free_*_slots_ (the speculation /
+  // cloning first-finisher-wins paths are the usual suspects).
   if (jobs_.all_done()) {
     for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
       if (network_->active_flows(static_cast<NodeId>(w)) != 0) {
         fail("leaked network flow on node " + std::to_string(w));
       }
+      if (dead_[w]) continue;
+      if (free_map_slots_[w] != options_.map_slots_per_node ||
+          free_reduce_slots_[w] != options_.reduce_slots_per_node) {
+        fail("node " + std::to_string(w) +
+             " has unreturned task slots after the last job finished");
+      }
     }
+  }
+
+  // Clone accounting: every clone-flagged running attempt holds exactly one
+  // unit of the cluster budget and one unit of its job's count.
+  std::size_t clone_attempts = 0;
+  // dare-lint: allow(unordered-iteration) -- commutative count.
+  for (const auto& [key, state] : running_maps_) {
+    for (const auto& att : state.attempts) {
+      if (att.clone) ++clone_attempts;
+    }
+  }
+  if (clone_attempts != running_clones_) {
+    fail("clone attempts in flight (" + std::to_string(clone_attempts) +
+         ") diverge from the cluster clone count (" +
+         std::to_string(running_clones_) + ")");
+  }
+  std::size_t job_clones = 0;
+  for (JobId id : jobs_.all_jobs()) {
+    job_clones += jobs_.job(id).running_clones;
+  }
+  if (job_clones != running_clones_) {
+    fail("per-job clone counts (" + std::to_string(job_clones) +
+         ") diverge from the cluster clone count (" +
+         std::to_string(running_clones_) + ")");
   }
 
   // Locality index <-> name node agreement: the replica mirror must match
@@ -1666,6 +2032,15 @@ metrics::RunResult Cluster::collect_results(
   result.speculative_launched = speculative_launched_;
   result.speculative_wins = speculative_wins_;
   result.speculative_killed = speculative_killed_;
+  result.degraded_onsets = degraded_onsets_;
+  result.degraded_recoveries = degraded_recoveries_;
+  result.tail_inflations = tail_inflations_;
+  result.stragglers_detected = stragglers_detected_;
+  result.straggler_readmissions = straggler_readmissions_;
+  result.clones_launched = clones_launched_;
+  result.clone_wins = clone_wins_;
+  result.clones_killed = clones_killed_;
+  result.clone_wasted_work_s = to_seconds(clone_wasted_work_);
   result.node_failures = node_failures_;
   result.transient_failures = transient_failures_;
   result.permanent_failures = permanent_failures_;
@@ -1759,6 +2134,11 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
   if (options_.faults.enabled) {
     for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
       schedule_stochastic_failure(static_cast<NodeId>(w), fault_epoch_[w]);
+    }
+  }
+  if (straggler_process_ != nullptr) {
+    for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+      schedule_degrade_onset(static_cast<NodeId>(w));
     }
   }
   if (options_.enable_speculation) {

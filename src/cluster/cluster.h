@@ -112,6 +112,44 @@ class Cluster {
                                double duration_s);
   bool run_finished() const;
 
+  /// --- stragglers: injection (physical truth) -----------------------------
+  /// Degraded-mode state machine, mirroring the stochastic-churn epoch
+  /// pattern: each node alternates nominal/degraded on its own chain of
+  /// events driven by the straggler process's forked stream. Degradation
+  /// only changes task physics (compute + disk multipliers); no mitigation
+  /// decision ever reads `degraded_` directly.
+  void schedule_degrade_onset(NodeId worker);
+  void begin_degrade(NodeId worker, SimDuration duration,
+                     bool rack_correlated);
+  void end_degrade(NodeId worker);
+  /// Compute-side duration adjustment for an attempt launching on `worker`:
+  /// the degraded-mode compute multiplier plus one heavy-tailed inflation
+  /// draw (a fixed draw per launch whenever the process is enabled).
+  SimDuration straggler_compute(NodeId worker, SimDuration compute);
+
+  /// --- stragglers: detection (name-node belief) ---------------------------
+  /// The name node's progress-rate view: per-node EWMA of observed attempt
+  /// duration over the cluster-mean attempt duration, fed only by completed
+  /// attempts (never by the injected state). Evaluated in the heartbeat
+  /// path; a detected-slow node is excluded from launches and deprioritized
+  /// as a read/repair source until its backoff expires.
+  void note_attempt_progress(NodeId worker, double duration_s);
+  void straggler_decision(NodeId worker);
+  /// Launch-eligibility gate: usable and not currently detected-slow.
+  bool node_open_for_launch(std::size_t worker) const {
+    return node_usable(worker) && !detected_slow_[worker];
+  }
+
+  /// --- proactive task cloning ---------------------------------------------
+  /// Launch a budgeted clone of the map just launched on `original`, if the
+  /// budget, job filter, and a free slot on another open node allow it.
+  void maybe_clone(JobId job, std::size_t map_index, NodeId original);
+  void launch_clone(NodeId worker, JobId job, std::size_t map_index);
+  /// Exactly-once clone retirement: decrements the cluster-wide and per-job
+  /// running-clone counts. Called from every path that removes a clone
+  /// attempt (self-finish, winner kill, node-loss sweep, job failure).
+  void retire_clone(JobId job);
+
   /// Pick the replica source for a remote read: same rack first, then
   /// fewest active flows, then lowest id (deterministic).
   NodeId pick_source(NodeId reader, BlockId block) const;
@@ -254,8 +292,40 @@ class Cluster {
   std::unordered_map<std::uint64_t, std::size_t> map_attempt_failures_;
   std::unordered_map<JobId, std::size_t> reduce_attempt_failures_;
 
-  /// Straggler model: per-node duration multiplier (>= 1.0).
+  /// Static straggler model: per-node duration multiplier (>= 1.0), drawn
+  /// at construction from the profile knobs.
   std::vector<double> node_slowdown_;
+
+  /// Stochastic straggler subsystem. `degraded_` is physical truth (the
+  /// node is limping); the detection state below is the name node's belief,
+  /// inferred from observed attempt durations only.
+  std::unique_ptr<faults::StragglerProcess> straggler_process_;
+  std::vector<bool> degraded_;
+  /// Pending onset *or* recovery event of each node's degrade chain (one in
+  /// flight per node); cancelled wholesale once the run finishes.
+  std::vector<sim::EventHandle> degrade_event_;
+  std::uint64_t degraded_onsets_ = 0;
+  std::uint64_t degraded_recoveries_ = 0;
+  std::uint64_t tail_inflations_ = 0;
+
+  /// Straggler-detection state (see note_attempt_progress /
+  /// straggler_decision).
+  std::vector<double> progress_ewma_;
+  std::vector<std::size_t> progress_samples_;
+  std::vector<bool> detected_slow_;
+  std::vector<SimTime> slow_until_;
+  std::vector<std::size_t> slow_strikes_;
+  std::uint64_t stragglers_detected_ = 0;
+  std::uint64_t straggler_readmissions_ = 0;
+
+  /// Cloning state. The budget caps how many clone attempts run at once
+  /// cluster-wide; per-job counts live in JobRuntime::running_clones.
+  std::size_t clone_budget_slots_ = 0;
+  std::size_t running_clones_ = 0;
+  std::uint64_t clones_launched_ = 0;
+  std::uint64_t clone_wins_ = 0;
+  std::uint64_t clones_killed_ = 0;
+  SimDuration clone_wasted_work_ = 0;
 
   /// Speculative-execution state: one entry per map task with >= 1 running
   /// attempt. Key = (job << 20) | map_index.
@@ -264,6 +334,9 @@ class Cluster {
     SimTime started = 0;
     sim::EventHandle completion;
     bool speculative = false;
+    /// Proactive clone (budgeted duplicate launched with the original);
+    /// mutually exclusive with `speculative`.
+    bool clone = false;
     /// Remote-read flow held by this attempt (released on completion or on
     /// kill — a cancelled completion event can no longer release it).
     bool holds_flow = false;

@@ -39,15 +39,20 @@ PolicyKind parse_policy(const std::string& name) {
 
 const std::vector<std::string>& override_keys() {
   static const std::vector<std::string> keys = {
-      "bitrot_per_gb",  "blacklist_threshold", "budget",
-      "corruption",     "detect_missed",       "fair_delay_ms",
+      "backoff_s",      "bitrot_per_gb",       "blacklist_threshold",
+      "budget",         "clone_budget",        "clone_max_maps",
+      "cloning",        "compute_slowdown",    "corruption",
+      "degrade_duration_s", "degrade_mtbf_s",  "degrade_rack_correlation",
+      "detect_min_samples", "detect_missed",   "detect_ratio",
+      "detect_stragglers",  "disk_slowdown",   "fair_delay_ms",
       "faults",         "heartbeat_s",         "map_slots",
       "max_attempts",   "min_live_workers",    "mtbf_s",
       "mttr_s",         "nodes",               "p",
       "permanent_fraction", "policy",          "profile",
       "rack_correlation",   "reduce_slots",    "scheduler",
-      "sector_mtbf_s",      "seed",            "task_failure_prob",
-      "threshold"};
+      "sector_mtbf_s",      "seed",            "stragglers",
+      "tail_alpha",     "tail_cap",            "tail_prob",
+      "task_failure_prob",  "threshold"};
   return keys;
 }
 
@@ -106,6 +111,42 @@ ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg) {
       cfg.get_double("bitrot_per_gb", options.corruption.bitrot_per_gb);
   options.corruption.sector_mtbf_s =
       cfg.get_double("sector_mtbf_s", options.corruption.sector_mtbf_s);
+  options.stragglers.enabled =
+      cfg.get_bool("stragglers", options.stragglers.enabled);
+  options.stragglers.degrade_mtbf_s =
+      cfg.get_double("degrade_mtbf_s", options.stragglers.degrade_mtbf_s);
+  options.stragglers.degrade_duration_s = cfg.get_double(
+      "degrade_duration_s", options.stragglers.degrade_duration_s);
+  options.stragglers.compute_slowdown =
+      cfg.get_double("compute_slowdown", options.stragglers.compute_slowdown);
+  options.stragglers.disk_slowdown =
+      cfg.get_double("disk_slowdown", options.stragglers.disk_slowdown);
+  options.stragglers.rack_correlation = cfg.get_double(
+      "degrade_rack_correlation", options.stragglers.rack_correlation);
+  options.stragglers.tail_prob =
+      cfg.get_double("tail_prob", options.stragglers.tail_prob);
+  options.stragglers.tail_alpha =
+      cfg.get_double("tail_alpha", options.stragglers.tail_alpha);
+  options.stragglers.tail_cap =
+      cfg.get_double("tail_cap", options.stragglers.tail_cap);
+  options.enable_straggler_detection = cfg.get_bool(
+      "detect_stragglers", options.enable_straggler_detection);
+  options.straggler_detect_ratio =
+      cfg.get_double("detect_ratio", options.straggler_detect_ratio);
+  options.straggler_detect_min_samples = static_cast<std::size_t>(cfg.get_int(
+      "detect_min_samples",
+      static_cast<std::int64_t>(options.straggler_detect_min_samples)));
+  if (cfg.contains("backoff_s")) {
+    options.straggler_backoff =
+        from_seconds(cfg.get_double("backoff_s", 30.0));
+  }
+  options.enable_task_cloning =
+      cfg.get_bool("cloning", options.enable_task_cloning);
+  options.clone_budget_fraction =
+      cfg.get_double("clone_budget", options.clone_budget_fraction);
+  options.clone_job_max_maps = static_cast<std::size_t>(cfg.get_int(
+      "clone_max_maps",
+      static_cast<std::int64_t>(options.clone_job_max_maps)));
   options.detection_missed_heartbeats = static_cast<std::size_t>(cfg.get_int(
       "detect_missed",
       static_cast<std::int64_t>(options.detection_missed_heartbeats)));

@@ -31,6 +31,11 @@ ClusterOptions paper_defaults(const net::ClusterProfile& profile,
 ///   task_failure_prob= min_live_workers= detect_missed= max_attempts=
 ///   blacklist_threshold=
 ///   corruption=0|1           bitrot_per_gb=<rate> sector_mtbf_s=<sec>
+///   stragglers=0|1 degrade_mtbf_s= degrade_duration_s= compute_slowdown=
+///   disk_slowdown= degrade_rack_correlation= tail_prob= tail_alpha=
+///   tail_cap=
+///   detect_stragglers=0|1 detect_ratio= detect_min_samples= backoff_s=
+///   cloning=0|1 clone_budget=<0..1> clone_max_maps=<n>
 /// Unknown keys are ignored (they may belong to the workload or harness).
 /// Throws std::invalid_argument on unparsable values for known keys.
 ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg);

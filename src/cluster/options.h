@@ -136,6 +136,45 @@ struct ClusterOptions {
   /// of the HDFS audit logs the paper analyzes in Section III.
   bool record_access_trace = false;
 
+  /// --- stragglers & degraded nodes ----------------------------------------
+  /// Stochastic degraded-mode injection (persistent compute/disk slowdowns
+  /// with exponential onset/recovery, optionally rack-correlated) plus
+  /// per-attempt heavy-tailed service-time inflation. Like `faults` and
+  /// `corruption`, driven by its own forked RNG stream — disabled runs are
+  /// bit-identical to a build without the subsystem. See
+  /// faults::StragglerParams.
+  faults::StragglerParams stragglers;
+
+  /// Progress-rate straggler detection in the name-node heartbeat path. The
+  /// name node keeps a per-node EWMA of (observed attempt duration /
+  /// cluster-mean attempt duration) fed only by completed attempts — it
+  /// never reads the injected degradation state. A node whose EWMA crosses
+  /// `straggler_detect_ratio` after at least `straggler_detect_min_samples`
+  /// observations is *detected-slow*: excluded from new task launches and
+  /// deprioritized as a read/repair source until a backoff (doubling per
+  /// repeat offence) expires and the node is re-admitted on probation.
+  bool enable_straggler_detection = false;
+  double straggler_detect_ratio = 1.8;
+  std::size_t straggler_detect_min_samples = 3;
+  /// EWMA smoothing factor in (0, 1]; 1 = latest sample only.
+  double straggler_detect_ewma_alpha = 0.3;
+  /// Base re-admission backoff; doubles per consecutive detection (capped).
+  SimDuration straggler_backoff = from_seconds(30.0);
+
+  /// --- proactive task cloning ---------------------------------------------
+  /// Budgeted task cloning (arXiv 1501.02330): every map launch may
+  /// immediately receive a full clone on a different node, first finisher
+  /// wins and the loser is killed. Unlike speculation this needs no
+  /// progress estimate, at the price of duplicated work bounded by the
+  /// clone budget.
+  bool enable_task_cloning = false;
+  /// Clone budget as a fraction of total map slots; clones never occupy
+  /// more than this share of the cluster at once.
+  double clone_budget_fraction = 0.1;
+  /// Only clone maps of jobs with at most this many map tasks (cloning pays
+  /// off for small jobs, per the paper); 0 = clone any job.
+  std::size_t clone_job_max_maps = 0;
+
   /// --- speculative execution ----------------------------------------------
   /// Hadoop-style backup tasks: once a job has no pending maps, a running
   /// map whose age exceeds `speculation_threshold` times the job's mean

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/distributions.h"
+
 namespace dare::faults {
 
 namespace {
@@ -33,6 +35,13 @@ void require_nonnegative(double x, const char* field) {
 void require_fraction(double p, const char* field) {
   if (!(p >= 0.0 && p <= 1.0)) {
     throw std::invalid_argument(std::string(field) + " must be in [0, 1]");
+  }
+}
+
+void require_at_least(double x, double lo, const char* field) {
+  if (!(x >= lo)) {
+    throw std::invalid_argument(std::string(field) + " must be at least " +
+                                std::to_string(static_cast<int>(lo)));
   }
 }
 
@@ -66,6 +75,26 @@ void validate_corruption_params(const CorruptionParams& params) {
         "CorruptionParams.enabled requires bitrot_per_gb or sector_mtbf_s "
         "to be positive");
   }
+}
+
+void validate_straggler_params(const StragglerParams& params) {
+  require_positive(params.degrade_mtbf_s, "StragglerParams.degrade_mtbf_s");
+  require_positive(params.degrade_duration_s,
+                   "StragglerParams.degrade_duration_s");
+  require_at_least(params.compute_slowdown, 1.0,
+                   "StragglerParams.compute_slowdown");
+  require_at_least(params.disk_slowdown, 1.0, "StragglerParams.disk_slowdown");
+  require_fraction(params.rack_correlation,
+                   "StragglerParams.rack_correlation");
+  require_fraction(params.tail_prob, "StragglerParams.tail_prob");
+  require_positive(params.tail_alpha, "StragglerParams.tail_alpha");
+  // The Pareto lower bound is pinned at 1 (no deflation), so the cap must
+  // sit strictly above it for the sampler to have any support.
+  if (!(params.tail_cap > 1.0)) {
+    throw std::invalid_argument(
+        "StragglerParams.tail_cap must be greater than 1");
+  }
+  require_positive(params.tail_sigma, "StragglerParams.tail_sigma");
 }
 
 FaultProcess::FaultProcess(const FaultInjectionParams& params, Rng& parent)
@@ -124,5 +153,42 @@ SimDuration CorruptionProcess::sample_latent_interval() {
 }
 
 double CorruptionProcess::pick_fraction() { return rng_.uniform(); }
+
+StragglerProcess::StragglerProcess(const StragglerParams& params, Rng& parent)
+    : params_(params), rng_(parent.fork()) {
+  validate_straggler_params(params_);
+}
+
+SimDuration StragglerProcess::sample_degrade_uptime() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.degrade_mtbf_s)));
+}
+
+DegradeSample StragglerProcess::sample_degrade() {
+  DegradeSample sample;
+  // Both fields are drawn on every call so the draw sequence (and therefore
+  // everything downstream) never depends on how a sample is used.
+  sample.duration = std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.degrade_duration_s)));
+  sample.rack_correlated = rng_.bernoulli(params_.rack_correlation);
+  return sample;
+}
+
+double StragglerProcess::sample_task_inflation() {
+  const bool tail = rng_.bernoulli(params_.tail_prob);
+  // The factor is drawn whether or not the coin hit (fixed draw count per
+  // call; see sample_failure for the same rule on the churn stream).
+  double factor;
+  if (params_.tail_lognormal) {
+    factor = std::clamp(Lognormal(0.0, params_.tail_sigma).sample(rng_), 1.0,
+                        params_.tail_cap);
+  } else {
+    factor =
+        BoundedPareto(1.0, params_.tail_cap, params_.tail_alpha).sample(rng_);
+  }
+  return tail ? factor : 1.0;
+}
 
 }  // namespace dare::faults

@@ -78,6 +78,60 @@ struct CorruptionParams {
   double sector_mtbf_s = 0.0;
 };
 
+/// Straggler / degraded-mode model: nodes that limp rather than fail.
+///
+/// Two independent mechanisms, both on the same forked stream:
+///  - *Persistent degradation*: each node alternates between nominal speed
+///    and a degraded mode (exponential onset/recovery) during which its
+///    compute and disk are slowed by constant factors. Optionally
+///    rack-correlated (a shared switch or PDU limps, dragging the victim's
+///    rack peers into degradation with it).
+///  - *Heavy-tailed task inflation*: any launched task attempt can have its
+///    service time multiplied by a bounded-Pareto (or clamped lognormal)
+///    factor, reproducing the heavy-tailed attempt durations that motivate
+///    proactive cloning (arXiv 1501.02330).
+struct StragglerParams {
+  /// Master switch; when false no straggler process is created and runs are
+  /// bit-identical to a build without this subsystem.
+  bool enabled = false;
+
+  /// Mean time between degraded-mode onsets per node, seconds (exponential).
+  double degrade_mtbf_s = 240.0;
+
+  /// Mean length of a degraded episode, seconds (exponential).
+  double degrade_duration_s = 60.0;
+
+  /// Compute-time multiplier while a node is degraded (>= 1).
+  double compute_slowdown = 3.0;
+
+  /// Disk-read multiplier while a replica holder is degraded (>= 1). Slows
+  /// both local reads on the degraded node and the disk leg of remote reads
+  /// served from it.
+  double disk_slowdown = 2.0;
+
+  /// Probability that a degraded-mode onset drags the victim's rack peers
+  /// into the same episode (limping top-of-rack switch). Ignored on
+  /// single-rack topologies.
+  double rack_correlation = 0.0;
+
+  /// Per-attempt probability of heavy-tailed service-time inflation.
+  double tail_prob = 0.0;
+
+  /// Bounded-Pareto shape of the inflation factor (smaller = heavier tail).
+  double tail_alpha = 1.5;
+
+  /// Upper bound of the inflation factor; the factor is drawn from
+  /// [1, tail_cap]. Must be greater than 1.
+  double tail_cap = 10.0;
+
+  /// When true the inflation factor is a Lognormal(0, tail_sigma) draw
+  /// clamped to [1, tail_cap] instead of a bounded Pareto.
+  bool tail_lognormal = false;
+
+  /// Sigma of the underlying normal for the lognormal tail variant.
+  double tail_sigma = 0.75;
+};
+
 /// Throws std::invalid_argument naming the offending field when `params`
 /// is out of range: NaN or non-positive rates, fractions outside [0, 1],
 /// or (when enabled) a live-worker floor at or above the worker count.
@@ -88,6 +142,11 @@ void validate_fault_params(const FaultInjectionParams& params,
 /// is out of range: NaN/negative rates (sector_mtbf_s may be zero to
 /// disable the latent process, but not negative).
 void validate_corruption_params(const CorruptionParams& params);
+
+/// Throws std::invalid_argument naming the offending field when `params`
+/// is out of range: NaN or non-positive rates, slowdowns below 1,
+/// probabilities outside [0, 1], or a tail cap at or below 1.
+void validate_straggler_params(const StragglerParams& params);
 
 /// One sampled node failure.
 struct FailureSample {
@@ -151,6 +210,43 @@ class CorruptionProcess {
 
  private:
   CorruptionParams params_;
+  Rng rng_;
+};
+
+/// One sampled degraded-mode onset.
+struct DegradeSample {
+  /// How long the episode lasts before the node recovers nominal speed.
+  SimDuration duration = 0;
+  /// Whether this onset drags the victim's rack peers into degradation too.
+  bool rack_correlated = false;
+};
+
+/// Per-cluster straggler sampler. One instance serves every node (the draws
+/// interleave in event order, which is deterministic); all state lives in a
+/// forked RNG stream so enabling stragglers never perturbs the draws of
+/// other components.
+class StragglerProcess {
+ public:
+  /// Forks a child stream off `parent`. Throws std::invalid_argument (via
+  /// validate_straggler_params) when the parameters are out of range.
+  StragglerProcess(const StragglerParams& params, Rng& parent);
+
+  /// Time until the next degraded-mode onset of a node running at nominal
+  /// speed now.
+  SimDuration sample_degrade_uptime();
+
+  /// Duration and rack correlation of a degraded episode starting now.
+  DegradeSample sample_degrade();
+
+  /// Per-attempt service-time inflation factor (>= 1; exactly 1 when the
+  /// tail coin misses). The heavy-tailed factor is drawn on every call so
+  /// the stream position is independent of the coin's outcome.
+  double sample_task_inflation();
+
+  const StragglerParams& params() const { return params_; }
+
+ private:
+  StragglerParams params_;
   Rng rng_;
 };
 

@@ -154,6 +154,20 @@ std::uint64_t fingerprint(const RunResult& result) {
   d.mix(result.speculative_launched);
   d.mix(result.speculative_wins);
   d.mix(result.speculative_killed);
+  // Straggler and cloning fields follow the same only-when-nonzero rule:
+  // digests committed before this subsystem existed stay valid for runs
+  // that never degrade, detect, or clone.
+  if (result.degraded_onsets != 0) d.mix(result.degraded_onsets);
+  if (result.degraded_recoveries != 0) d.mix(result.degraded_recoveries);
+  if (result.tail_inflations != 0) d.mix(result.tail_inflations);
+  if (result.stragglers_detected != 0) d.mix(result.stragglers_detected);
+  if (result.straggler_readmissions != 0) {
+    d.mix(result.straggler_readmissions);
+  }
+  if (result.clones_launched != 0) d.mix(result.clones_launched);
+  if (result.clone_wins != 0) d.mix(result.clone_wins);
+  if (result.clones_killed != 0) d.mix(result.clones_killed);
+  if (result.clone_wasted_work_s != 0.0) d.mix(result.clone_wasted_work_s);
   d.mix(result.cv_before);
   d.mix(result.cv_after);
   d.mix_i(result.makespan);

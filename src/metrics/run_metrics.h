@@ -117,6 +117,23 @@ struct RunResult {
   std::uint64_t speculative_wins = 0;      ///< backups that finished first
   std::uint64_t speculative_killed = 0;    ///< attempts cancelled by a winner
 
+  /// Straggler / degraded-mode accounting (only nonzero when the straggler
+  /// process or straggler detection is enabled; see faults::StragglerParams
+  /// and ClusterOptions::enable_straggler_detection).
+  std::uint64_t degraded_onsets = 0;       ///< degraded episodes started
+  std::uint64_t degraded_recoveries = 0;   ///< episodes that ended in-run
+  std::uint64_t tail_inflations = 0;       ///< attempts hit by tail inflation
+  std::uint64_t stragglers_detected = 0;   ///< detected-slow declarations
+  std::uint64_t straggler_readmissions = 0; ///< backoff expiries (probation)
+
+  /// Proactive-cloning accounting (only nonzero when task cloning is
+  /// enabled). Every launched clone terminally either wins or is killed.
+  std::uint64_t clones_launched = 0;       ///< clone attempts started
+  std::uint64_t clone_wins = 0;            ///< clones that finished first
+  std::uint64_t clones_killed = 0;         ///< clones cancelled or swept
+  /// Runtime burned by clones that did not win, seconds (budget overhead).
+  double clone_wasted_work_s = 0.0;
+
   /// Fig. 11 uniformity: cv of node popularity indices with the initial
   /// (static) placement and with the final placement.
   double cv_before = 0.0;

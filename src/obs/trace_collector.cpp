@@ -35,6 +35,12 @@ const char* kind_name(EventKind kind) {
     case EventKind::kChecksumFailed: return "checksum_failed";
     case EventKind::kReplicaQuarantined: return "replica_quarantined";
     case EventKind::kDataLoss: return "data_loss";
+    case EventKind::kNodeDegraded: return "node_degraded";
+    case EventKind::kNodeDegradeEnded: return "node_degrade_ended";
+    case EventKind::kStragglerDetected: return "straggler_detected";
+    case EventKind::kStragglerCleared: return "straggler_cleared";
+    case EventKind::kCloneLaunched: return "clone_launched";
+    case EventKind::kCloneKilled: return "clone_killed";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -66,6 +72,8 @@ Track kind_track(EventKind kind) {
     case EventKind::kBlockRepaired:
     case EventKind::kReplicaQuarantined:
     case EventKind::kDataLoss:
+    case EventKind::kStragglerDetected:
+    case EventKind::kStragglerCleared:
       return Track::kNameNode;
     default:
       return Track::kNode;
@@ -234,6 +242,36 @@ void TraceCollector::replica_quarantined(NodeId node, BlockId block) {
 
 void TraceCollector::data_loss(BlockId block) {
   record(EventKind::kDataLoss, kInvalidNode, kInvalidJob, block);
+}
+
+void TraceCollector::node_degraded(NodeId node, bool rack_correlated,
+                                   double compute_slowdown) {
+  record(EventKind::kNodeDegraded, node, kInvalidJob, -1,
+         rack_correlated ? 1 : 0, compute_slowdown);
+}
+
+void TraceCollector::node_degrade_ended(NodeId node) {
+  record(EventKind::kNodeDegradeEnded, node);
+}
+
+void TraceCollector::straggler_detected(NodeId node, double ewma_ratio) {
+  record(EventKind::kStragglerDetected, node, kInvalidJob, -1, 0, ewma_ratio);
+}
+
+void TraceCollector::straggler_cleared(NodeId node) {
+  record(EventKind::kStragglerCleared, node);
+}
+
+void TraceCollector::clone_launched(NodeId node, JobId job,
+                                    std::size_t map_index, int locality) {
+  record(EventKind::kCloneLaunched, node, job,
+         static_cast<std::int64_t>(map_index), locality);
+}
+
+void TraceCollector::clone_killed(NodeId node, JobId job,
+                                  std::size_t map_index) {
+  record(EventKind::kCloneKilled, node, job,
+         static_cast<std::int64_t>(map_index));
 }
 
 void TraceCollector::scheduler_decision(NodeId node, JobId job, int locality,

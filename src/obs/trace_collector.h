@@ -88,6 +88,16 @@ class TraceCollector {
   void replica_quarantined(NodeId node, BlockId block);
   void data_loss(BlockId block);
 
+  // --- stragglers & cloning -----------------------------------------------
+  void node_degraded(NodeId node, bool rack_correlated,
+                     double compute_slowdown);
+  void node_degrade_ended(NodeId node);
+  void straggler_detected(NodeId node, double ewma_ratio);
+  void straggler_cleared(NodeId node);
+  void clone_launched(NodeId node, JobId job, std::size_t map_index,
+                      int locality);
+  void clone_killed(NodeId node, JobId job, std::size_t map_index);
+
   // --- scheduler ----------------------------------------------------------
   void scheduler_decision(NodeId node, JobId job, int locality,
                           double waited_s);

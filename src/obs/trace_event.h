@@ -58,6 +58,16 @@ enum class EventKind : std::uint8_t {
   kReplicaQuarantined, ///< task = block dropped from `node`'s location list
   kDataLoss,           ///< task = block with no clean replica left
 
+  // Stragglers & cloning (straggler process, detection, clone lifecycle).
+  kNodeDegraded,       ///< degraded-mode onset; detail = 1 rack-correlated,
+                       ///< value = compute slowdown factor
+  kNodeDegradeEnded,   ///< node recovered nominal speed
+  kStragglerDetected,  ///< NameNode flagged `node` slow; value = EWMA ratio
+  kStragglerCleared,   ///< backoff expired, node re-admitted on probation
+  kCloneLaunched,      ///< proactive clone attempt; fields as kMapLaunched
+  kCloneKilled,        ///< clone attempt cancelled (lost the race, swept by
+                       ///< node loss, or its job failed)
+
   kKindCount,          ///< sentinel, not a real kind
 };
 

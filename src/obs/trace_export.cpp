@@ -36,6 +36,7 @@ int event_tid(const TraceEvent& e) {
 bool is_open_kind(EventKind kind) {
   return kind == EventKind::kMapLaunched ||
          kind == EventKind::kMapSpeculated ||
+         kind == EventKind::kCloneLaunched ||
          kind == EventKind::kReduceLaunched;
 }
 
@@ -43,6 +44,7 @@ bool is_open_kind(EventKind kind) {
 bool is_close_kind(EventKind kind) {
   return kind == EventKind::kMapFinished ||
          kind == EventKind::kMapKilled ||
+         kind == EventKind::kCloneKilled ||
          kind == EventKind::kTaskAttemptFault ||
          kind == EventKind::kReduceFinished ||
          kind == EventKind::kReduceRequeued;
@@ -58,6 +60,7 @@ bool is_reduce_kind(EventKind kind) {
 const char* slice_name(EventKind open_kind) {
   switch (open_kind) {
     case EventKind::kMapSpeculated: return "map (speculative)";
+    case EventKind::kCloneLaunched: return "map (clone)";
     case EventKind::kReduceLaunched: return "reduce";
     default: return "map";
   }

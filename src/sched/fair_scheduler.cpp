@@ -23,8 +23,7 @@ FairScheduler::FairScheduler(SimDuration delay)
 
 void FairScheduler::insert_share_entry(JobId id, JobRuntime& rt) {
   if (!rt.active || rt.pending_maps.empty()) return;
-  const ShareKey key{static_cast<double>(rt.running_maps) * rt.inv_weight,
-                     rt.arrival_seq, id, &rt};
+  const ShareKey key{rt.fair_share(), rt.arrival_seq, id, &rt};
   share_order_.insert(key);
   share_keys_.emplace(id, key);
 }
@@ -122,19 +121,16 @@ std::optional<MapSelection> FairScheduler::select_map(
   }
 
   // Legacy path (A/B baseline): collect + stable_sort every opportunity.
-  // Fair ordering: smallest weighted share (running maps * inv weight)
-  // first; arrival order breaks ties (active_jobs() is already in arrival
-  // order, stable_sort preserves it).
+  // Fair ordering: smallest weighted share (running maps + clones, times
+  // inv weight) first; arrival order breaks ties (active_jobs() is already
+  // in arrival order, stable_sort preserves it).
   scratch_order_.clear();
   for (JobRuntime& rt : jobs.active_jobs()) {
     if (!rt.pending_maps.empty()) scratch_order_.push_back(&rt);
   }
   std::stable_sort(scratch_order_.begin(), scratch_order_.end(),
                    [](const JobRuntime* a, const JobRuntime* b) {
-                     return static_cast<double>(a->running_maps) *
-                                a->inv_weight <
-                            static_cast<double>(b->running_maps) *
-                                b->inv_weight;
+                     return a->fair_share() < b->fair_share();
                    });
 
   for (JobRuntime* rt : scratch_order_) {

@@ -262,6 +262,24 @@ void JobTable::requeue_running_map(JobId id, std::size_t map_index,
   watch_pending(id, rt, map_index);
 }
 
+void JobTable::launch_clone(JobId id) {
+  JobRuntime& rt = job(id);
+  ++rt.running_clones;
+  // Clones occupy slots, so the fair share they consume must be visible to
+  // the scheduler — but they stay out of total_running_ and the map sums
+  // (the original attempt carries the task through the accounting).
+  mark_fair_dirty(id, rt);
+}
+
+void JobTable::finish_clone(JobId id) {
+  JobRuntime& rt = job(id);
+  if (rt.running_clones == 0) {
+    throw std::logic_error("JobTable: finish_clone with none running");
+  }
+  --rt.running_clones;
+  mark_fair_dirty(id, rt);
+}
+
 void JobTable::requeue_running_reduce(JobId id) {
   JobRuntime& rt = job(id);
   if (rt.running_reduces == 0) {

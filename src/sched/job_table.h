@@ -60,6 +60,11 @@ struct JobRuntime {
   std::vector<std::size_t> pending_pos;
   std::size_t running_maps = 0;
   std::size_t completed_maps = 0;
+  /// Proactive clone attempts currently running for this job. Clones ride
+  /// outside the pending/running/completed map accounting (the original
+  /// attempt carries the task), but they occupy real slots and therefore
+  /// count toward the job's fair share.
+  std::size_t running_clones = 0;
 
   std::size_t pending_reduces = 0;
   std::size_t running_reduces = 0;
@@ -109,6 +114,14 @@ struct JobRuntime {
 
   bool maps_done() const {
     return pending_maps.empty() && running_maps == 0;
+  }
+  /// Weighted fair share consumed by this job's running work (original map
+  /// attempts plus proactive clones). Both the incremental and the legacy
+  /// fair paths call this, keeping their floating-point results
+  /// bit-identical; with cloning disabled running_clones is always 0 and
+  /// the product reduces to the historical running_maps * inv_weight.
+  double fair_share() const {
+    return static_cast<double>(running_maps + running_clones) * inv_weight;
   }
   bool reduces_done() const {
     return completed_reduces == spec.reduces;
@@ -231,6 +244,16 @@ class JobTable {
 
   /// A running reduce failed: back to pending.
   void requeue_running_reduce(JobId job);
+
+  /// A proactive clone attempt launched for `job`: bumps running_clones and
+  /// republishes the fair-share key. Clones never touch the pending /
+  /// running / completed map sums.
+  void launch_clone(JobId job);
+
+  /// A clone attempt retired (won the race, was killed by the winner, swept
+  /// by node loss, or its job failed). Throws std::logic_error when no
+  /// clone is running — the cluster retires each clone exactly once.
+  void finish_clone(JobId job);
 
   /// A running map finished. Jobs with zero reduces complete when their
   /// last map does.

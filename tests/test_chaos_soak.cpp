@@ -9,6 +9,11 @@
 // loss) on top of the churn and additionally audits the integrity pipeline
 // (detection, quarantine, repair, last-good-replica protection).
 //
+// A third suite adds degraded-mode nodes and heavy-tailed task inflation on
+// top of churn + corruption, with the full mitigation stack armed
+// (straggler detection, budgeted cloning, speculation), and audits the
+// clone ledger and degrade-episode ordering.
+//
 // 24 runs per suite = 4 seeds x {FIFO, Fair} x {Vanilla, GreedyLRU,
 // ElephantTrap}. The nightly CI job extends the seed list via the
 // DARE_SOAK_SEEDS environment variable (number of extra seeds to append);
@@ -333,6 +338,112 @@ TEST(CorruptionSoakLastReplica, QuarantineNeverDeletesFinalCopy) {
   }
 }
 
+// --- straggler soak --------------------------------------------------------
+// The full storm: stochastic churn, silent corruption, degraded-mode nodes,
+// and heavy-tailed task inflation — with the whole mitigation stack armed
+// (progress-rate straggler detection, budgeted task cloning, speculation).
+// Clone accounting must balance exactly even when node deaths, job kills,
+// and zombie attempts interleave with the clone races.
+
+struct StragglerTotals {
+  std::uint64_t runs = 0;
+  std::uint64_t onsets = 0;
+  std::uint64_t inflations = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t clones = 0;
+  std::uint64_t clone_wins = 0;
+};
+
+StragglerTotals& straggler_totals() {
+  static StragglerTotals t;
+  return t;
+}
+
+ClusterOptions straggler_soak_options(SchedulerKind scheduler,
+                                      PolicyKind policy, std::uint64_t seed) {
+  auto opts = corruption_soak_options(scheduler, policy, seed);
+  opts.stragglers.enabled = true;
+  opts.stragglers.degrade_mtbf_s = 50.0;
+  opts.stragglers.degrade_duration_s = 25.0;
+  opts.stragglers.compute_slowdown = 4.0;
+  opts.stragglers.disk_slowdown = 2.5;
+  opts.stragglers.rack_correlation = 0.3;
+  opts.stragglers.tail_prob = 0.1;
+  opts.stragglers.tail_alpha = 1.2;
+  opts.stragglers.tail_cap = 8.0;
+  opts.enable_straggler_detection = true;
+  opts.straggler_detect_min_samples = 2;
+  opts.straggler_backoff = from_seconds(15.0);
+  opts.enable_task_cloning = true;
+  opts.clone_budget_fraction = 0.15;
+  opts.enable_speculation = true;
+  return opts;
+}
+
+class StragglerSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(StragglerSoak, ChurnCorruptionAndStragglersSurvive) {
+  ThrowOnInvariant guard;
+  const auto [scheduler, policy, seed] = GetParam();
+  const auto opts = straggler_soak_options(scheduler, policy, seed);
+  const auto wl = soak_workload(seed);
+
+  Cluster cluster(opts);
+  metrics::RunResult result;
+  ASSERT_NO_THROW(result = cluster.run(wl))
+      << scheduler_name(scheduler) << "/" << policy_name(policy) << " seed "
+      << seed;
+
+  // Terminal accounting: every job completed or cleanly failed.
+  ASSERT_EQ(result.jobs.size(), wl.jobs.size());
+  std::size_t failed = 0;
+  for (const auto& jm : result.jobs) {
+    EXPECT_GE(jm.completion, jm.arrival);
+    if (jm.failed) ++failed;
+  }
+  EXPECT_EQ(failed, result.failed_jobs);
+
+  // Cross-component consistency — includes the clone-count invariant and
+  // the all-slots-returned check.
+  EXPECT_NO_THROW(cluster.validate());
+
+  // Clone ledger balances exactly: a clone either won its race or was
+  // killed (by the race, a node death sweep, or its job failing) — never
+  // both, never neither.
+  EXPECT_EQ(result.clone_wins + result.clones_killed, result.clones_launched);
+  EXPECT_LE(result.clone_wins, result.clones_launched);
+
+  // Degrade episodes open and close in order.
+  EXPECT_LE(result.degraded_recoveries, result.degraded_onsets);
+  EXPECT_LE(result.straggler_readmissions, result.stragglers_detected);
+
+  // Block conservation still holds under the combined storm.
+  const auto& nn = cluster.name_node();
+  for (FileId fid : nn.all_files()) {
+    for (BlockId bid : nn.file(fid).blocks) {
+      if (!nn.locations(bid).empty()) continue;
+      for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+        if (!nn.is_node_alive(static_cast<NodeId>(w))) continue;
+        EXPECT_FALSE(cluster.data_node(w).has_any_copy(bid))
+            << "block " << bid << " reported lost but alive on node " << w
+            << " (" << scheduler_name(scheduler) << "/"
+            << policy_name(policy) << " seed " << seed << ")";
+      }
+    }
+  }
+
+  auto& t = straggler_totals();
+  ++t.runs;
+  t.onsets += result.degraded_onsets;
+  t.inflations += result.tail_inflations;
+  t.detections += result.stragglers_detected;
+  t.clones += result.clones_launched;
+  t.clone_wins += result.clone_wins;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, StragglerSoak,
+                         ::testing::ValuesIn(soak_params()));
+
 // The suite itself must cover >= 20 randomized schedules (this holds even
 // under --gtest_filter, since it audits the registration, not the runs).
 TEST(ChaosSoakAggregate, SuiteCoversAtLeastTwentySchedules) {
@@ -366,6 +477,18 @@ class SoakAggregateAudit : public ::testing::Environment {
     EXPECT_GT(c.corrupt_reads, 0u);
     EXPECT_GT(c.quarantined, 0u);
     EXPECT_GT(c.repaired, 0u);
+
+    // And the straggler soak must actually have degraded nodes, inflated
+    // tasks, detected stragglers, and raced clones somewhere.
+    const auto& s = straggler_totals();
+    if (s.runs == 0) return;  // straggler suite filtered out
+    EXPECT_EQ(s.runs, soak_params().size())
+        << "straggler soak partially filtered; aggregate not meaningful";
+    EXPECT_GT(s.onsets, 0u);
+    EXPECT_GT(s.inflations, 0u);
+    EXPECT_GT(s.detections, 0u);
+    EXPECT_GT(s.clones, 0u);
+    EXPECT_GT(s.clone_wins, 0u);
   }
 };
 

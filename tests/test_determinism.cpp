@@ -94,6 +94,28 @@ TEST(Determinism, CorruptionEnabled) {
   expect_twice_identical(options);
 }
 
+TEST(Determinism, StragglersEnabled) {
+  // The straggler subsystem (degraded-node chains, heavy-tailed task
+  // inflation) plus its full mitigation stack (progress-rate detection,
+  // budgeted cloning, speculation) must be exactly as reproducible as a
+  // quiet run: all straggler randomness lives in one forked stream and
+  // every detection/cloning decision is driven by deterministic state.
+  auto options = paper_defaults(net::cct_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kElephantTrap);
+  options.stragglers.enabled = true;
+  options.stragglers.degrade_mtbf_s = 60.0;
+  options.stragglers.degrade_duration_s = 30.0;
+  options.stragglers.rack_correlation = 0.2;
+  options.stragglers.tail_prob = 0.1;
+  options.stragglers.tail_cap = 8.0;
+  options.enable_straggler_detection = true;
+  options.straggler_detect_min_samples = 2;
+  options.enable_task_cloning = true;
+  options.clone_budget_fraction = 0.15;
+  options.enable_speculation = true;
+  expect_twice_identical(options);
+}
+
 TEST(Determinism, DifferentSeedsDiffer) {
   // Sanity that the digest has discriminating power: a different seed must
   // perturb at least one metric bit. (Astronomically unlikely to collide.)
