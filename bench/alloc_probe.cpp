@@ -1,0 +1,78 @@
+// Allocation-count probe for the bench binaries: replaces the global
+// operator new/delete pair with forwarding versions that bump a relaxed
+// atomic counter, so benches can report allocation churn alongside CPU and
+// peak RSS (see bench_common.h read_memory_stats()).
+//
+// Compiled into dare_bench_probe and linked into every bench target — never
+// into the libraries or tests, so simulation behavior and the sanitizer
+// builds are untouched. Under ASan/TSan/MSan the replacement operators are
+// compiled out entirely (the sanitizer runtime owns allocation
+// interposition) and allocation_count() reports 0.
+
+#include <cstdint>
+
+namespace dare::bench {
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DARE_ALLOC_PROBE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DARE_ALLOC_PROBE_DISABLED 1
+#endif
+#endif
+
+#ifndef DARE_ALLOC_PROBE_DISABLED
+// Plain (non-std::atomic) counter: the benches are single-threaded on the
+// allocation path that matters, and a std::atomic here would force the
+// header to pull <atomic> into replacement operators that must not throw.
+// Torn reads would only skew a telemetry number, never a fingerprint.
+std::uint64_t g_allocations = 0;
+#endif
+
+}  // namespace
+
+std::uint64_t allocation_count() {
+#ifndef DARE_ALLOC_PROBE_DISABLED
+  return g_allocations;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dare::bench
+
+#ifndef DARE_ALLOC_PROBE_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+void* operator new(std::size_t size) {
+  ++dare::bench::g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++dare::bench::g_allocations;
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return operator new(size, t);
+}
+void operator delete[](void* p) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+
+#endif  // DARE_ALLOC_PROBE_DISABLED

@@ -12,8 +12,32 @@
 #include "cluster/experiment.h"
 #include "common/config.h"
 #include "common/table.h"
+#include "obs/phase_profiler.h"
 
 namespace dare::bench {
+
+/// Global operator-new invocations observed so far in this process. Counted
+/// by the replacement operators in alloc_probe.cpp (linked into every bench
+/// binary); 0 under sanitizers, whose own allocator interposition must stay
+/// in charge. Like peak RSS this is reporting-only telemetry — it never
+/// feeds a fingerprint.
+std::uint64_t allocation_count();
+
+/// Memory telemetry for bench reports: process peak RSS (getrusage high
+/// water, via PhaseProfiler so the one-clock-reader rule has a single home)
+/// and cumulative heap allocation count. Excluded from fingerprints by
+/// construction — RunResult never sees either number.
+struct MemoryStats {
+  std::int64_t peak_rss_kb = 0;
+  std::uint64_t allocations = 0;
+};
+
+inline MemoryStats read_memory_stats() {
+  MemoryStats stats;
+  stats.peak_rss_kb = obs::PhaseProfiler::peak_rss_bytes() / 1024;
+  stats.allocations = allocation_count();
+  return stats;
+}
 
 /// Parse `key=value` CLI overrides into a Config.
 inline Config parse_args(int argc, char** argv) {

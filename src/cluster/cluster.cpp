@@ -123,6 +123,11 @@ Cluster::Cluster(const ClusterOptions& options)
         workers, std::move(node_rack), topology_->rack_count());
     jobs_.attach_locality_index(locality_index_.get());
   }
+  // Release each job's runtime as it retires: the observer snapshots its
+  // metrics (on_job_retired) and the table's residency stays O(active jobs)
+  // instead of O(all jobs ever submitted).
+  jobs_.set_retire_observer(
+      [this](const sched::JobRuntime& rt) { on_job_retired(rt); });
   if (locality_index_ != nullptr || track_unavailability_) {
     // Attach before load_files so the mirror sees the static placements.
     // One observer serves both consumers (the name node supports a single
@@ -173,8 +178,8 @@ Cluster::Cluster(const ClusterOptions& options)
       break;
   }
 
-  free_map_slots_.assign(workers, options_.map_slots_per_node);
-  free_reduce_slots_.assign(workers, options_.reduce_slots_per_node);
+  slots_.reset(workers, options_.map_slots_per_node,
+               options_.reduce_slots_per_node);
 
   if (options_.enable_scarlett) {
     scarlett_ = std::make_unique<core::ScarlettPlanner>(options_.scarlett);
@@ -221,14 +226,16 @@ Cluster::Cluster(const ClusterOptions& options)
 
 Cluster::~Cluster() = default;
 
-void Cluster::load_files(const workload::Workload& workload) {
-  if (workload.catalog.empty()) {
+void Cluster::load_files(const std::vector<workload::FileSpec>& catalog,
+                         const workload::CatalogSpec& catalog_spec,
+                         const std::vector<std::size_t>& access_counts) {
+  if (catalog.empty()) {
     throw std::invalid_argument("Cluster: workload has an empty catalog");
   }
   Bytes total_static = 0;
-  for (const auto& file : workload.catalog) {
+  for (const auto& file : catalog) {
     const FileId fid = name_node_->create_file(
-        file.name, file.blocks, workload.catalog_spec.block_size,
+        file.name, file.blocks, catalog_spec.block_size,
         /*replication=*/3, sim_.now());
     catalog_file_ids_.push_back(fid);
     for (BlockId bid : name_node_->file(fid).blocks) {
@@ -248,10 +255,10 @@ void Cluster::load_files(const workload::Workload& workload) {
 
   // Snapshot the initial-placement popularity indices now: repair copies
   // created after failures later mutate the static block sets.
-  const auto counts = workload.file_access_counts();
   file_popularity_.clear();
   for (std::size_t i = 0; i < catalog_file_ids_.size(); ++i) {
-    file_popularity_[catalog_file_ids_[i]] = static_cast<double>(counts[i]);
+    file_popularity_[catalog_file_ids_[i]] =
+        static_cast<double>(access_counts[i]);
   }
   cv_before_samples_.clear();
   for (const auto& dn : data_nodes_) {
@@ -295,33 +302,46 @@ void Cluster::create_policies() {
   }
 }
 
-void Cluster::schedule_arrivals(const workload::Workload& workload) {
-  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
-    const auto& tmpl = workload.jobs[i];
-    if (tmpl.file_index >= catalog_file_ids_.size()) {
-      throw std::invalid_argument("Cluster: job references unknown file");
-    }
-    sched::JobSpec spec;
-    spec.id = static_cast<JobId>(i);
-    spec.arrival = tmpl.arrival;
-    spec.input_file = catalog_file_ids_[tmpl.file_index];
-    const auto& file = name_node_->file(spec.input_file);
-    spec.maps.reserve(file.blocks.size());
-    for (BlockId bid : file.blocks) {
-      spec.maps.push_back(
-          sched::MapTaskSpec{bid, file.block_size, tmpl.map_cpu});
-    }
-    spec.reduces = tmpl.reduces;
-    spec.reduce_cpu = tmpl.reduce_cpu;
-    spec.shuffle_bytes = tmpl.shuffle_bytes;
-    sim_.at(tmpl.arrival, [this, spec] {
-      if (tracer_ != nullptr) {
-        tracer_->job_submitted(spec.id, spec.maps.size(), spec.reduces);
-      }
-      jobs_.add_job(spec);
-      try_assign_all();
-    });
+void Cluster::admit_job(const workload::JobTemplate& tmpl) {
+  if (tmpl.file_index >= catalog_file_ids_.size()) {
+    throw std::invalid_argument("Cluster: job references unknown file");
   }
+  sched::JobSpec spec;
+  // Jobs admit in arrival order, so the submission count is the dense id
+  // the up-front loop used to assign.
+  spec.id = static_cast<JobId>(jobs_.all_jobs().size());
+  spec.arrival = tmpl.arrival;
+  spec.input_file = catalog_file_ids_[tmpl.file_index];
+  const auto& file = name_node_->file(spec.input_file);
+  spec.maps.reserve(file.blocks.size());
+  for (BlockId bid : file.blocks) {
+    spec.maps.push_back(
+        sched::MapTaskSpec{bid, file.block_size, tmpl.map_cpu});
+  }
+  spec.reduces = tmpl.reduces;
+  spec.reduce_cpu = tmpl.reduce_cpu;
+  spec.shuffle_bytes = tmpl.shuffle_bytes;
+  if (tracer_ != nullptr) {
+    tracer_->job_submitted(spec.id, spec.maps.size(), spec.reduces);
+  }
+  jobs_.add_job(spec);
+}
+
+void Cluster::schedule_next_arrival() {
+  if (arrivals_ == nullptr) return;
+  const auto tmpl = arrivals_->next();
+  if (!tmpl) {
+    arrivals_.reset();  // stream exhausted; nothing more to admit
+    return;
+  }
+  // Pull one job ahead: each arrival event admits its job, then schedules
+  // the next one. At any instant at most one un-admitted template is
+  // buffered, regardless of the workload's total size.
+  sim_.at(tmpl->arrival, [this, tmpl = *tmpl] {
+    admit_job(tmpl);
+    schedule_next_arrival();
+    try_assign_all();
+  });
 }
 
 void Cluster::start_heartbeats() {
@@ -384,10 +404,7 @@ void Cluster::heartbeat(std::size_t worker) {
     straggler_decision(static_cast<NodeId>(worker));
   }
 
-  const bool finished = workload_ != nullptr &&
-                        jobs_.all_jobs().size() == workload_->jobs.size() &&
-                        jobs_.all_done();
-  if (!finished) {
+  if (!run_finished()) {
     heartbeat_event_[worker] =
         sim_.after(options_.heartbeat_interval, [this, worker] {
           heartbeat(worker);
@@ -411,6 +428,19 @@ void Cluster::try_assign_all() {
   const std::size_t n = data_nodes_.size();
   const std::size_t start = assign_rotation_++ % n;
   for (std::size_t k = 0; k < n; ++k) {
+    // SoA early exits — both behavior-preserving:
+    //  * no pending work of either kind: every remaining select_map /
+    //    select_reduce call would return nullopt without mutating any
+    //    scheduler state (the fair journal drain just defers);
+    //  * no free slot anywhere and the retry tick already booked: every
+    //    remaining visit would be a complete no-op (maybe_schedule_tick
+    //    dedups via tick_scheduled_).
+    // At 10k nodes these turn the steady-state sweep from O(nodes) into
+    // O(1) whenever the cluster is saturated or drained.
+    if (jobs_.total_pending_maps() + jobs_.total_pending_reduces() == 0) {
+      break;
+    }
+    if (slots_.total_free() == 0 && tick_scheduled_) break;
     try_assign_node(static_cast<NodeId>((start + k) % n));
   }
 }
@@ -420,13 +450,13 @@ void Cluster::try_assign_node(NodeId worker) {
   // Dead, blacklisted, or detected-slow: no new launches. A detected-slow
   // node keeps its running work (graceful degradation, not eviction).
   if (!node_open_for_launch(w)) return;
-  while (free_map_slots_[w] > 0) {
+  while (slots_.free_maps(w) > 0) {
     const auto selection =
         scheduler_->select_map(worker, sim_.now(), jobs_, *locator_);
     if (!selection) break;
     launch_map(worker, *selection);
   }
-  while (free_reduce_slots_[w] > 0) {
+  while (slots_.free_reduces(w) > 0) {
     const auto job = scheduler_->select_reduce(jobs_);
     if (!job) break;
     launch_reduce(worker, *job);
@@ -592,7 +622,7 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
   const sched::MapTaskSpec task =
       jobs_.job(selection.job).spec.maps[map_index];
   const storage::BlockMeta meta = name_node_->block(task.block);
-  --free_map_slots_[w];
+  slots_.take_map(w);
   if (tracer_ != nullptr) {
     tracer_->map_launched(worker, selection.job, map_index,
                           static_cast<int>(selection.locality),
@@ -623,7 +653,7 @@ void Cluster::launch_map(NodeId worker, const sched::MapSelection& selection) {
     access_trace_.events.push_back({meta.file, sim_.now()});
   }
 
-  map_times_s_.push_back(to_seconds(duration));
+  map_time_stats_.add(to_seconds(duration));
 
   const JobId job = selection.job;
   const double duration_s = to_seconds(duration);
@@ -652,7 +682,7 @@ void Cluster::launch_speculative(NodeId worker, JobId job,
   const auto w = static_cast<std::size_t>(worker);
   const sched::MapTaskSpec task = jobs_.job(job).spec.maps[map_index];
   const storage::BlockMeta meta = name_node_->block(task.block);
-  --free_map_slots_[w];
+  slots_.take_map(w);
   ++speculative_launched_;
 
   const bool node_local = locator_->is_local(worker, task.block);
@@ -778,7 +808,7 @@ void Cluster::maybe_clone(JobId job, std::size_t map_index, NodeId original) {
   // to the block; detected-slow nodes are never clone targets.
   NodeId best = kInvalidNode;
   for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-    if (!node_open_for_launch(w) || free_map_slots_[w] == 0) continue;
+    if (!node_open_for_launch(w) || slots_.free_maps(w) == 0) continue;
     if (static_cast<NodeId>(w) == original) continue;
     const auto node = static_cast<NodeId>(w);
     if (locator_->is_local(node, state.block)) {
@@ -795,7 +825,7 @@ void Cluster::launch_clone(NodeId worker, JobId job, std::size_t map_index) {
   const auto w = static_cast<std::size_t>(worker);
   const sched::MapTaskSpec task = jobs_.job(job).spec.maps[map_index];
   const storage::BlockMeta meta = name_node_->block(task.block);
-  --free_map_slots_[w];
+  slots_.take_map(w);
   ++clones_launched_;
   ++running_clones_;
   jobs_.launch_clone(job);
@@ -882,7 +912,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   const bool was_speculative = att_it->speculative;
   const bool was_clone = att_it->clone;
   state.attempts.erase(att_it);
-  ++free_map_slots_[wi];
+  slots_.give_map(wi);
   // A clone's budget is returned the moment it reports back, win or fail —
   // the erase above is the one place every self-finishing clone passes.
   if (was_clone) retire_clone(job);
@@ -929,16 +959,20 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
   // Feed the straggler detector before folding this completion into the
   // stats it normalizes against.
   note_attempt_progress(worker, duration_s);
-  jobs_.complete_map(job, sim_.now());
-  if (tracer_ != nullptr && jobs_.job(job).done()) {
-    tracer_->job_finished(
-        job, to_seconds(sim_.now() - jobs_.job(job).spec.arrival));
+  // Speculation-estimator stats fold in before the completion transition:
+  // if this map finishes the job, its runtime (and the per-job stats entry)
+  // is released inside complete_map.
+  {
+    auto& [sum_s, count] = job_map_stats_[job];
+    sum_s += duration_s;
+    ++count;
   }
-  auto& [sum_s, count] = job_map_stats_[job];
-  sum_s += duration_s;
-  ++count;
   global_map_stats_.first += duration_s;
   ++global_map_stats_.second;
+  const auto done = jobs_.complete_map(job, sim_.now());
+  if (tracer_ != nullptr && done.job_done) {
+    tracer_->job_finished(job, to_seconds(sim_.now() - done.arrival));
+  }
 
   // Kill the losing attempts: cancel their completion events, release the
   // network flows they held, and free their slots now (Hadoop sends a kill
@@ -962,7 +996,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
         network_->flow_finished(other.flow_src, other.node);
       }
       if (!dead_[static_cast<std::size_t>(other.node)]) {
-        ++free_map_slots_[static_cast<std::size_t>(other.node)];
+        slots_.give_map(static_cast<std::size_t>(other.node));
       }
     }
   }
@@ -970,8 +1004,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
 
   if (run_finished()) cancel_pending_churn();
 
-  const auto& rt = jobs_.job(job);
-  if (rt.maps_done() && rt.pending_reduces > 0) {
+  if (done.reduces_ready) {
     // Reduces just became launchable; offer slots cluster-wide.
     try_assign_all();
   } else {
@@ -980,9 +1013,7 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
 }
 
 bool Cluster::run_finished() const {
-  return workload_ != nullptr &&
-         jobs_.all_jobs().size() == workload_->jobs.size() &&
-         jobs_.all_done();
+  return ran_ && jobs_.all_jobs().size() == total_jobs_ && jobs_.all_done();
 }
 
 void Cluster::speculation_tick() {
@@ -1016,7 +1047,7 @@ void Cluster::speculation_tick() {
       // on a suspect defeats its purpose.
       NodeId best = kInvalidNode;
       for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-        if (!node_open_for_launch(w) || free_map_slots_[w] == 0) continue;
+        if (!node_open_for_launch(w) || slots_.free_maps(w) == 0) continue;
         if (static_cast<NodeId>(w) == state.attempts[0].node) continue;
         const auto node = static_cast<NodeId>(w);
         if (locator_->is_local(node, state.block)) {
@@ -1036,7 +1067,7 @@ void Cluster::speculation_tick() {
 void Cluster::launch_reduce(NodeId worker, JobId job) {
   const auto w = static_cast<std::size_t>(worker);
   jobs_.launch_reduce(job);
-  --free_reduce_slots_[w];
+  slots_.take_reduce(w);
   const auto& spec = jobs_.job(job).spec;
 
   // Reduces suffer degraded-mode compute and tail inflation exactly like
@@ -1094,7 +1125,7 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
           return;
         }
         running_reduces_.erase(it);
-        ++free_reduce_slots_[wi];
+        slots_.give_reduce(wi);
         if (fault_process_ && fault_process_->sample_task_failure()) {
           ++task_attempt_failures_;
           if (tracer_ != nullptr) {
@@ -1120,10 +1151,9 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
           tracer_->reduce_finished(
               worker, job, static_cast<std::int64_t>(attempt_id), duration_s);
         }
-        jobs_.complete_reduce(job, sim_.now());
-        if (tracer_ != nullptr && jobs_.job(job).done()) {
-          tracer_->job_finished(
-              job, to_seconds(sim_.now() - jobs_.job(job).spec.arrival));
+        const auto done = jobs_.complete_reduce(job, sim_.now());
+        if (tracer_ != nullptr && done.job_done) {
+          tracer_->job_finished(job, to_seconds(sim_.now() - done.arrival));
         }
         if (run_finished()) cancel_pending_churn();
         try_assign_node(worker);
@@ -1150,8 +1180,7 @@ void Cluster::fail_node(NodeId worker, faults::FaultKind kind,
   death_time_[w] = sim_.now();
   death_kind_[w] = kind;
   ++fault_epoch_[w];
-  free_map_slots_[w] = 0;
-  free_reduce_slots_[w] = 0;
+  slots_.clear_node(w);
   heartbeat_event_[w].cancel();
   next_failure_[w].cancel();
   ++node_failures_;
@@ -1325,8 +1354,7 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
     }
     cleanup_node_attempts(worker);
   }
-  free_map_slots_[w] = options_.map_slots_per_node;
-  free_reduce_slots_[w] = options_.reduce_slots_per_node;
+  slots_.restore_node(w);
   heartbeat(w);  // re-registration heartbeat, restarts the periodic chain
   if (fault_process_) schedule_stochastic_failure(worker, fault_epoch_[w]);
   try_assign_all();
@@ -1447,7 +1475,7 @@ void Cluster::fail_job(JobId job) {
           network_->flow_finished(attempt.flow_src, attempt.node);
         }
         if (!dead_[static_cast<std::size_t>(attempt.node)]) {
-          ++free_map_slots_[static_cast<std::size_t>(attempt.node)];
+          slots_.give_map(static_cast<std::size_t>(attempt.node));
         }
       }
       // cancel() == false: zombie on a dead node, flow already released.
@@ -1468,7 +1496,7 @@ void Cluster::fail_job(JobId job) {
         network_->flow_finished(it->second.flow_src, it->second.node);
       }
       if (!dead_[static_cast<std::size_t>(it->second.node)]) {
-        ++free_reduce_slots_[static_cast<std::size_t>(it->second.node)];
+        slots_.give_reduce(static_cast<std::size_t>(it->second.node));
       }
     }
     it = running_reduces_.erase(it);
@@ -1708,8 +1736,8 @@ void Cluster::sample_tick() {
     ++live;
     total_slots +=
         options_.map_slots_per_node + options_.reduce_slots_per_node;
-    busy_slots += (options_.map_slots_per_node - free_map_slots_[w]) +
-                  (options_.reduce_slots_per_node - free_reduce_slots_[w]);
+    busy_slots += (options_.map_slots_per_node - slots_.free_maps(w)) +
+                  (options_.reduce_slots_per_node - slots_.free_reduces(w));
     dynamic_bytes += data_nodes_[w]->dynamic_bytes();
   }
   if (total_slots > 0) {
@@ -1796,10 +1824,7 @@ void Cluster::scarlett_epoch() {
     if (extra > 0) scarlett_extra_replicas_[order.file] += extra;
   }
 
-  const bool finished = workload_ != nullptr &&
-                        jobs_.all_jobs().size() == workload_->jobs.size() &&
-                        jobs_.all_done();
-  if (!finished) {
+  if (!run_finished()) {
     sim_.after(options_.scarlett.epoch, [this] { scarlett_epoch(); });
   }
 }
@@ -1811,13 +1836,13 @@ void Cluster::validate() const {
 
   // Slot accounting.
   for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
-    if (free_map_slots_[w] > options_.map_slots_per_node) {
+    if (slots_.free_maps(w) > options_.map_slots_per_node) {
       fail("map slot overflow on node " + std::to_string(w));
     }
-    if (free_reduce_slots_[w] > options_.reduce_slots_per_node) {
+    if (slots_.free_reduces(w) > options_.reduce_slots_per_node) {
       fail("reduce slot overflow on node " + std::to_string(w));
     }
-    if (dead_[w] && (free_map_slots_[w] != 0 || free_reduce_slots_[w] != 0)) {
+    if (dead_[w] && (slots_.free_maps(w) != 0 || slots_.free_reduces(w) != 0)) {
       fail("dead node " + std::to_string(w) + " advertises free slots");
     }
   }
@@ -1873,11 +1898,14 @@ void Cluster::validate() const {
   // unreported window (insert -> next heartbeat) is allowed.
   // Conversely checked above: every registered location is present.
 
-  // Job-table totals.
+  // Job-table totals. Released runtimes (retired jobs under the O(active)
+  // residency regime) are skipped: they contributed zero to every aggregate
+  // when they retired, and their metrics were snapshotted by the observer.
   std::size_t pending_maps = 0;
   std::size_t pending_reduces = 0;
   std::size_t running = 0;
   for (JobId id : jobs_.all_jobs()) {
+    if (!jobs_.has_job(id)) continue;
     const auto& rt = jobs_.job(id);
     pending_maps += rt.pending_maps.size();
     pending_reduces += rt.pending_reduces;
@@ -1906,6 +1934,9 @@ void Cluster::validate() const {
       running != jobs_.total_running()) {
     fail("job table aggregate counters diverge from per-job state");
   }
+  if (!slots_.consistent()) {
+    fail("slot ledger totals diverge from per-node free-slot counts");
+  }
 
   // With no work in flight, every network flow must have been released and
   // every live node must have every slot back — a missing slot means some
@@ -1917,8 +1948,8 @@ void Cluster::validate() const {
         fail("leaked network flow on node " + std::to_string(w));
       }
       if (dead_[w]) continue;
-      if (free_map_slots_[w] != options_.map_slots_per_node ||
-          free_reduce_slots_[w] != options_.reduce_slots_per_node) {
+      if (slots_.free_maps(w) != options_.map_slots_per_node ||
+          slots_.free_reduces(w) != options_.reduce_slots_per_node) {
         fail("node " + std::to_string(w) +
              " has unreturned task slots after the last job finished");
       }
@@ -1939,8 +1970,11 @@ void Cluster::validate() const {
          ") diverge from the cluster clone count (" +
          std::to_string(running_clones_) + ")");
   }
+  // Retired-but-unreleased jobs (release deferred while losing clones
+  // drain) still hold clone counts, so this walks every resident runtime.
   std::size_t job_clones = 0;
   for (JobId id : jobs_.all_jobs()) {
+    if (!jobs_.has_job(id)) continue;
     job_clones += jobs_.job(id).running_clones;
   }
   if (job_clones != running_clones_) {
@@ -1996,27 +2030,43 @@ void Cluster::validate() const {
   }
 }
 
-metrics::RunResult Cluster::collect_results(
-    const workload::Workload& /*workload*/) {
+void Cluster::on_job_retired(const sched::JobRuntime& rt) {
+  if (rt.completion == kTimeNever) {
+    throw std::logic_error("Cluster: job retired without completion time");
+  }
+  metrics::JobMetrics jm;
+  jm.id = rt.spec.id;
+  jm.arrival = rt.spec.arrival;
+  jm.completion = rt.completion;
+  jm.maps = rt.total_maps();
+  jm.local_maps = rt.local_launches;
+  jm.rack_local_maps = rt.rack_local_launches;
+  jm.dedicated_runtime_s = dedicated_runtime_s(rt.spec);
+  jm.failed = rt.failed;
+  // arrival_seq is dense (admission order), so indexing by it reproduces
+  // the all_jobs() iteration order of the old end-of-run collection loop.
+  if (job_metrics_.size() <= rt.arrival_seq) {
+    job_metrics_.resize(rt.arrival_seq + 1);
+  }
+  job_metrics_[rt.arrival_seq] = jm;
+
+  // The job's per-task side tables die with it.
+  job_map_stats_.erase(rt.spec.id);
+  reduce_attempt_failures_.erase(rt.spec.id);
+  for (std::size_t mi = 0; mi < rt.total_maps(); ++mi) {
+    map_attempt_failures_.erase(task_key(rt.spec.id, mi));
+  }
+}
+
+metrics::RunResult Cluster::collect_results() {
   metrics::RunResult result;
 
-  // Per-job metrics.
-  for (JobId id : jobs_.all_jobs()) {
-    const auto& rt = jobs_.job(id);
-    if (rt.completion == kTimeNever) {
-      throw std::logic_error("Cluster: job never completed");
-    }
-    metrics::JobMetrics jm;
-    jm.id = id;
-    jm.arrival = rt.spec.arrival;
-    jm.completion = rt.completion;
-    jm.maps = rt.total_maps();
-    jm.local_maps = rt.local_launches;
-    jm.rack_local_maps = rt.rack_local_launches;
-    jm.dedicated_runtime_s = dedicated_runtime_s(rt.spec);
-    jm.failed = rt.failed;
-    result.jobs.push_back(jm);
+  // Per-job metrics: snapshotted by on_job_retired as each job finished
+  // (the only copy — runtimes are released at retirement).
+  if (job_metrics_.size() != total_jobs_) {
+    throw std::logic_error("Cluster: job metrics incomplete at run end");
   }
+  result.jobs = std::move(job_metrics_);
 
   // Replication activity.
   for (const auto& policy : policies_) {
@@ -2077,18 +2127,55 @@ metrics::RunResult Cluster::collect_results(
   result.cv_after = coefficient_of_variation(live_node_popularity());
 
   result.makespan = sim_.now();
-  metrics::finalize(result, map_times_s_);
+  metrics::finalize(result, map_time_stats_);
   return result;
 }
 
+namespace {
+
+/// JobStream over an already-materialized job vector (the classic run()
+/// path). Borrows the vector; the workload outlives the run.
+class VectorJobStream final : public workload::JobStream {
+ public:
+  explicit VectorJobStream(const std::vector<workload::JobTemplate>& jobs)
+      : jobs_(&jobs) {}
+  std::optional<workload::JobTemplate> next() override {
+    if (next_ == jobs_->size()) return std::nullopt;
+    return (*jobs_)[next_++];
+  }
+
+ private:
+  const std::vector<workload::JobTemplate>* jobs_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
 metrics::RunResult Cluster::run(const workload::Workload& workload) {
+  return run_with(workload.catalog, workload.catalog_spec,
+                  workload.file_access_counts(), workload.jobs.size(),
+                  std::make_unique<VectorJobStream>(workload.jobs));
+}
+
+metrics::RunResult Cluster::run_stream(const workload::WorkloadSpec& spec) {
+  return run_with(spec.catalog, spec.catalog_spec, spec.file_access_counts(),
+                  spec.num_jobs, spec.open());
+}
+
+metrics::RunResult Cluster::run_with(
+    const std::vector<workload::FileSpec>& catalog,
+    const workload::CatalogSpec& catalog_spec,
+    const std::vector<std::size_t>& access_counts, std::size_t total_jobs,
+    std::unique_ptr<workload::JobStream> stream) {
   if (ran_) throw std::logic_error("Cluster: run() may only be called once");
   ran_ = true;
-  workload_ = &workload;
+  total_jobs_ = total_jobs;
+  arrivals_ = std::move(stream);
+  job_metrics_.reserve(total_jobs_);
 
-  load_files(workload);
+  load_files(catalog, catalog_spec, access_counts);
   create_policies();
-  schedule_arrivals(workload);
+  schedule_next_arrival();
   start_heartbeats();
   if (scarlett_) {
     sim_.after(options_.scarlett.epoch, [this] { scarlett_epoch(); });
@@ -2154,8 +2241,7 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
     sim_.run();
   }
 
-  if (!jobs_.all_done() ||
-      jobs_.all_jobs().size() != workload.jobs.size()) {
+  if (!jobs_.all_done() || jobs_.all_jobs().size() != total_jobs_) {
     throw std::logic_error("Cluster: simulation drained with unfinished jobs");
   }
   if (options_.record_access_trace) {
@@ -2167,7 +2253,7 @@ metrics::RunResult Cluster::run(const workload::Workload& workload) {
     }
     access_trace_.span = sim_.now();
   }
-  return collect_results(workload);
+  return collect_results();
 }
 
 }  // namespace dare::cluster

@@ -16,8 +16,11 @@
 #include <vector>
 
 #include "cluster/options.h"
+#include "cluster/slot_ledger.h"
+#include "common/arena.h"
 #include "common/invariant.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/replication_policy.h"
 #include "faults/fault_model.h"
 #include "metrics/run_metrics.h"
@@ -46,6 +49,12 @@ class Cluster {
   /// May be called once per Cluster instance.
   metrics::RunResult run(const workload::Workload& workload);
 
+  /// Streaming variant: jobs are pulled from the spec's generator as
+  /// simulated time reaches their arrivals, so the run never materializes
+  /// the full job vector and per-job bookkeeping stays O(active jobs).
+  /// Produces the same RunResult as run(materialize(spec)).
+  metrics::RunResult run_stream(const workload::WorkloadSpec& spec);
+
   /// Exhaustive cross-component consistency check; throws std::logic_error
   /// with a description on the first violated invariant. Intended for tests
   /// (it walks every block): slot accounting, name-node/data-node replica
@@ -63,13 +72,33 @@ class Cluster {
     return *data_nodes_.at(i);
   }
   Bytes node_budget_bytes() const { return node_budget_bytes_; }
+  /// Residency telemetry for the O(active) regression tests.
+  const sched::JobTable& job_table() const { return jobs_; }
 
  private:
   class Locator;
 
-  void load_files(const workload::Workload& workload);
+  /// Shared body of run()/run_stream(): catalog load, policy setup, the
+  /// event loop, and result collection. `stream` yields the jobs in arrival
+  /// order; `total_jobs` is the count it will produce.
+  metrics::RunResult run_with(const std::vector<workload::FileSpec>& catalog,
+                              const workload::CatalogSpec& catalog_spec,
+                              const std::vector<std::size_t>& access_counts,
+                              std::size_t total_jobs,
+                              std::unique_ptr<workload::JobStream> stream);
+
+  void load_files(const std::vector<workload::FileSpec>& catalog,
+                  const workload::CatalogSpec& catalog_spec,
+                  const std::vector<std::size_t>& access_counts);
   void create_policies();
-  void schedule_arrivals(const workload::Workload& workload);
+  /// Pull-based admission: materialize the template into a JobSpec and
+  /// register it with the job table (at its arrival event).
+  void admit_job(const workload::JobTemplate& tmpl);
+  /// Schedule the arrival event for the next job in arrivals_, if any.
+  void schedule_next_arrival();
+  /// Retire observer (jobs_): copy the finished job's metrics out before
+  /// its runtime is released, and drop its per-job side tables.
+  void on_job_retired(const sched::JobRuntime& rt);
   void start_heartbeats();
   void heartbeat(std::size_t worker);
 
@@ -208,7 +237,7 @@ class Cluster {
     return it == file_popularity_.end() ? 0.0 : it->second;
   }
 
-  metrics::RunResult collect_results(const workload::Workload& workload);
+  metrics::RunResult collect_results();
 
   ClusterOptions options_;
   sim::Simulation sim_;
@@ -226,8 +255,8 @@ class Cluster {
   std::unique_ptr<sched::LocalityIndex> locality_index_;
 
   sched::JobTable jobs_;
-  std::vector<std::size_t> free_map_slots_;
-  std::vector<std::size_t> free_reduce_slots_;
+  /// SoA sweep state: per-node free slots + O(1) cluster-wide totals.
+  SlotLedger slots_;
   std::vector<FileId> catalog_file_ids_;  ///< catalog index -> FileId
 
   Bytes node_budget_bytes_ = 0;
@@ -354,7 +383,14 @@ class Cluster {
     return (static_cast<std::uint64_t>(job) << 20) |
            static_cast<std::uint64_t>(map_index);
   }
-  std::unordered_map<std::uint64_t, MapTaskState> running_maps_;
+  /// Slab-backed: attempt records churn at task rate (one insert/erase per
+  /// map launched anywhere in the run), so recycling their nodes through an
+  /// arena removes the highest-frequency heap traffic in the simulator.
+  std::unordered_map<
+      std::uint64_t, MapTaskState, std::hash<std::uint64_t>,
+      std::equal_to<std::uint64_t>,
+      common::SlabAllocator<std::pair<const std::uint64_t, MapTaskState>>>
+      running_maps_;
   /// Running reduce attempts, keyed by a monotonic attempt id (a job can
   /// run several reduces at once). std::map: iterated in key order when a
   /// node death sweeps its attempts, so requeue order is deterministic.
@@ -365,18 +401,28 @@ class Cluster {
     NodeId flow_src = kInvalidNode;
     sim::EventHandle completion;
   };
-  std::map<std::uint64_t, ReduceAttempt> running_reduces_;
+  std::map<std::uint64_t, ReduceAttempt, std::less<std::uint64_t>,
+           common::SlabAllocator<std::pair<const std::uint64_t, ReduceAttempt>>>
+      running_reduces_;
   std::uint64_t next_reduce_attempt_ = 0;
   /// Per-job completed-map duration statistics (speculation estimator),
   /// with a cluster-wide fallback for jobs (e.g. single-map jobs) that have
   /// no completed sibling map to estimate from.
-  std::unordered_map<JobId, std::pair<double, std::size_t>> job_map_stats_;
+  std::unordered_map<
+      JobId, std::pair<double, std::size_t>, std::hash<JobId>,
+      std::equal_to<JobId>,
+      common::SlabAllocator<
+          std::pair<const JobId, std::pair<double, std::size_t>>>>
+      job_map_stats_;
   std::pair<double, std::size_t> global_map_stats_{0.0, 0};
   std::uint64_t speculative_launched_ = 0;
   std::uint64_t speculative_wins_ = 0;
   std::uint64_t speculative_killed_ = 0;
 
-  std::vector<double> map_times_s_;
+  /// Map-task durations, accumulated in launch order (Welford). An
+  /// accumulator instead of one double per task: O(1) memory at any scale,
+  /// bit-identical mean to the vector it replaced.
+  OnlineStats map_time_stats_;
   std::vector<double> cv_before_samples_;  ///< static-placement node PIs
   /// Initial-placement file popularity (accesses per file in the workload),
   /// snapshot at load time; shared by collect_results and the sampler.
@@ -395,7 +441,14 @@ class Cluster {
   std::unordered_map<FileId, int> scarlett_extra_replicas_;
   std::uint64_t scarlett_bytes_moved_ = 0;
 
-  const workload::Workload* workload_ = nullptr;
+  /// Pull-based arrival state: the open job stream (null until run_with
+  /// starts, and again once exhausted) and the total number of jobs it will
+  /// deliver (the run-completion denominator).
+  std::unique_ptr<workload::JobStream> arrivals_;
+  std::size_t total_jobs_ = 0;
+  /// Per-job results, filled by on_job_retired at each job's arrival_seq —
+  /// the only copy of a job's metrics once its runtime is released.
+  std::vector<metrics::JobMetrics> job_metrics_;
 };
 
 }  // namespace dare::cluster

@@ -1,0 +1,171 @@
+// Slab arena: chunked node storage with per-size freelists.
+//
+// Generalizes the PR3 event-queue slab idiom (a vector of records recycled
+// through an intrusive freelist) into an allocator the node-based containers
+// on the simulation hot path can share. The JobTracker bookkeeping churns
+// fixed-size nodes at task rate — a JobRuntime per arrival, a MapTaskState
+// per launch, fair-share keys per transition, replica records per policy
+// decision — and the general-purpose heap pays lock/metadata overhead plus
+// cache-scattered placement for every one of them. The arena instead carves
+// nodes from contiguous chunks and recycles frees through a freelist, so
+// steady-state container churn performs zero heap allocations and nodes
+// freed together are reused hot.
+//
+// Single-threaded by design, like the simulation itself (one Cluster per
+// thread; see DESIGN.md §5e): no locks, no atomics. Do not share one pool
+// across threads.
+//
+// Memory is returned to the OS only when the pool dies (with its owning
+// container) — the price of O(1) recycling. Peak residency therefore equals
+// the high-water mark of live nodes, which the O(active) release discipline
+// keeps bounded (see DESIGN.md §5g).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/invariant.h"
+
+namespace dare::common {
+
+/// Chunked size-class pool. allocate/deallocate are O(1) amortized; blocks
+/// larger than kMaxPooledBytes fall through to the global heap (bucket
+/// arrays and other n>1 requests are not slab material).
+class SlabPool {
+ public:
+  /// Largest block served from slabs; chosen to cover every node type the
+  /// simulation churns (hash-map nodes, tree nodes, small records — the
+  /// largest is the JobRuntime map node).
+  static constexpr std::size_t kMaxPooledBytes = 1024;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    DARE_INVARIANT(align <= alignof(std::max_align_t),
+                   "SlabPool: over-aligned type");
+    if (bytes > kMaxPooledBytes) return ::operator new(bytes);
+    SizeClass& sc = size_class(round_up(bytes));
+    if (sc.free_head != nullptr) {
+      void* p = sc.free_head;
+      sc.free_head = *static_cast<void**>(p);
+      ++live_;
+      return p;
+    }
+    if (sc.bump + sc.size > sc.bump_end) refill(sc);
+    void* p = sc.bump;
+    sc.bump += sc.size;
+    ++live_;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    if (bytes > kMaxPooledBytes) {
+      ::operator delete(p);
+      return;
+    }
+    SizeClass& sc = size_class(round_up(bytes));
+    *static_cast<void**>(p) = sc.free_head;
+    sc.free_head = p;
+    DARE_INVARIANT(live_ > 0, "SlabPool: deallocate would underflow");
+    --live_;
+  }
+
+  /// --- introspection (tests) ----------------------------------------------
+  std::size_t live_blocks() const { return live_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t chunk_bytes() const { return chunk_bytes_total_; }
+
+ private:
+  struct SizeClass {
+    std::size_t size = 0;
+    void* free_head = nullptr;
+    std::byte* bump = nullptr;
+    std::byte* bump_end = nullptr;
+  };
+
+  static std::size_t round_up(std::size_t bytes) {
+    constexpr std::size_t kGrain = alignof(std::max_align_t);
+    const std::size_t grains = (bytes + kGrain - 1) / kGrain;
+    // A freed block stores the freelist link in-place.
+    return grains == 0 ? kGrain : grains * kGrain;
+  }
+
+  SizeClass& size_class(std::size_t size) {
+    for (SizeClass& sc : classes_) {
+      if (sc.size == size) return sc;
+    }
+    classes_.push_back(SizeClass{size, nullptr, nullptr, nullptr});
+    return classes_.back();
+  }
+
+  void refill(SizeClass& sc) {
+    // At least 64 nodes per chunk, at least 4 KiB — few mallocs, good
+    // locality for nodes allocated together.
+    const std::size_t bytes = std::max<std::size_t>(sc.size * 64, 4096);
+    chunks_.push_back(std::make_unique<std::byte[]>(bytes));
+    chunk_bytes_total_ += bytes;
+    sc.bump = chunks_.back().get();
+    sc.bump_end = sc.bump + (bytes / sc.size) * sc.size;
+  }
+
+  // The handful of node sizes a container family produces; linear scan
+  // beats any map at this cardinality.
+  std::vector<SizeClass> classes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t chunk_bytes_total_ = 0;
+  std::size_t live_ = 0;
+};
+
+/// C++17 allocator over a shared SlabPool. Default construction creates a
+/// fresh pool, so declaring a container with this allocator type is all it
+/// takes — the pool lives and dies with the container. Rebound copies (the
+/// container's internal node allocators) share the same pool.
+template <typename T>
+class SlabAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  SlabAllocator() : pool_(std::make_shared<SlabPool>()) {}
+  explicit SlabAllocator(std::shared_ptr<SlabPool> pool)
+      : pool_(std::move(pool)) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      return static_cast<T*>(pool_->allocate(sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1) {
+      pool_->deallocate(p, sizeof(T));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  const std::shared_ptr<SlabPool>& pool() const { return pool_; }
+
+  template <typename U>
+  bool operator==(const SlabAllocator<U>& other) const {
+    return pool_ == other.pool();
+  }
+  template <typename U>
+  bool operator!=(const SlabAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::shared_ptr<SlabPool> pool_;
+};
+
+}  // namespace dare::common

@@ -8,6 +8,12 @@
 namespace dare::metrics {
 
 void finalize(RunResult& result, const std::vector<double>& map_times_s) {
+  OnlineStats map_stats;
+  for (double t : map_times_s) map_stats.add(t);
+  finalize(result, map_stats);
+}
+
+void finalize(RunResult& result, const OnlineStats& map_time_stats) {
   std::size_t total_maps = 0;
   std::size_t local_maps = 0;
   std::size_t rack_maps = 0;
@@ -49,9 +55,7 @@ void finalize(RunResult& result, const std::vector<double>& map_times_s) {
           ? 0.0
           : result.repair_latency_total_s /
                 static_cast<double>(result.rereplicated_blocks);
-  OnlineStats map_stats;
-  for (double t : map_times_s) map_stats.add(t);
-  result.mean_map_time_s = map_stats.mean();
+  result.mean_map_time_s = map_time_stats.mean();
   result.blocks_created_per_job =
       result.jobs.empty()
           ? 0.0

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace dare::metrics {
@@ -146,6 +147,12 @@ struct RunResult {
 /// Fill the aggregate fields of `result` from its per-job entries plus the
 /// provided counters. `map_times_s` holds every map task's duration.
 void finalize(RunResult& result, const std::vector<double>& map_times_s);
+
+/// Same, but with the map-time statistics already accumulated (Welford, in
+/// launch order). The cluster streams durations into an OnlineStats instead
+/// of storing one double per map task; the vector overload builds the same
+/// accumulator in the same order, so both produce bit-identical means.
+void finalize(RunResult& result, const OnlineStats& map_time_stats);
 
 /// Popularity index of one node: sum over its blocks of size * popularity.
 /// `block_sizes` and `block_popularity` are parallel arrays indexed by the

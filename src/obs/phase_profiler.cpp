@@ -4,6 +4,10 @@
 #include <ctime>
 #include <ostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace dare::obs {
 
 const char* phase_name(Phase phase) {
@@ -49,6 +53,13 @@ void PhaseProfiler::write_report(std::ostream& out) const {
                   static_cast<unsigned long long>(b.calls), ms, per_call);
     out << line;
   }
+  const std::int64_t rss = peak_rss_bytes();
+  if (rss > 0) {
+    char line[64];
+    std::snprintf(line, sizeof line, "peak RSS     %10.1f MiB\n",
+                  static_cast<double>(rss) / (1024.0 * 1024.0));
+    out << line;
+  }
 }
 
 std::int64_t PhaseProfiler::process_cpu_ns() {
@@ -59,6 +70,20 @@ std::int64_t PhaseProfiler::process_cpu_ns() {
   clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
          static_cast<std::int64_t>(ts.tv_nsec);
+}
+
+std::int64_t PhaseProfiler::peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace dare::obs

@@ -47,6 +47,14 @@ class PhaseProfiler {
   /// bench baseline, immune to wall-clock steal on shared machines).
   static std::int64_t process_cpu_ns();
 
+  /// Peak resident-set size of this process in bytes (getrusage ru_maxrss;
+  /// 0 where unsupported). Like process_cpu_ns() this is bench-reporting
+  /// telemetry only: it never enters trace events, RunResult, or
+  /// metrics::fingerprint. Note the kernel high-water mark never decreases,
+  /// so per-configuration measurements must run in separate processes (see
+  /// bench/bench_scale.cpp).
+  static std::int64_t peak_rss_bytes();
+
  private:
   struct Bucket {
     std::int64_t ns = 0;

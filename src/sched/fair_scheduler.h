@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "sched/scheduler.h"
 
 namespace dare::sched {
@@ -81,8 +82,14 @@ class FairScheduler final : public Scheduler {
   /// different table triggers a rebuild (fixtures construct fresh pairs, so
   /// in practice this fires once).
   const JobTable* synced_table_ = nullptr;
-  std::set<ShareKey> share_order_;
-  std::unordered_map<JobId, ShareKey> share_keys_;
+  /// Slab-backed: every fair-share journal entry erases and reinserts one
+  /// tree node, so the arena turns the scheduler's steady-state churn into
+  /// freelist pops.
+  std::set<ShareKey, std::less<ShareKey>, common::SlabAllocator<ShareKey>>
+      share_order_;
+  std::unordered_map<JobId, ShareKey, std::hash<JobId>, std::equal_to<JobId>,
+                     common::SlabAllocator<std::pair<const JobId, ShareKey>>>
+      share_keys_;
 
   /// Legacy-mode scratch, reused across calls so the per-opportunity sort
   /// at least stops allocating.

@@ -7,6 +7,36 @@ namespace dare::sched {
 std::optional<MapSelection> FifoScheduler::select_map(
     NodeId node, SimTime /*now*/, JobTable& jobs,
     const BlockLocator& locator) {
+  if (jobs.has_locality_index()) {
+    // FIFO never declines: the seed's arrival-order scan always launched
+    // from the oldest job with pending maps, so only that job needs probing.
+    // Walking past the reduce-phase prefix made the scan O(active jobs) per
+    // opportunity — the dominant cost of large FIFO runs.
+    const auto& ready = jobs.map_ready();
+    if (ready.empty()) return std::nullopt;
+    const JobRuntime& rt = *ready.begin()->second;
+    const JobId id = rt.spec.id;
+    if (const auto local = jobs.find_local_map(rt, node, locator)) {
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(
+            node, id, static_cast<int>(Locality::kNodeLocal), 0.0);
+      }
+      return MapSelection{id, *local, Locality::kNodeLocal};
+    }
+    if (const auto rack = jobs.find_rack_local_map(rt, node, locator)) {
+      if (tracer_ != nullptr) {
+        tracer_->scheduler_decision(
+            node, id, static_cast<int>(Locality::kRackLocal), 0.0);
+      }
+      return MapSelection{id, *rack, Locality::kRackLocal};
+    }
+    if (tracer_ != nullptr) {
+      tracer_->scheduler_decision(
+          node, id, static_cast<int>(Locality::kOffRack), 0.0);
+    }
+    return MapSelection{id, 0, Locality::kOffRack};
+  }
+  // Legacy path (A/B baseline, fake locators in tests): full scan.
   for (const JobRuntime& rt : jobs.active_jobs()) {
     if (rt.pending_maps.empty()) continue;
     const JobId id = rt.spec.id;

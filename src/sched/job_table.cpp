@@ -43,8 +43,27 @@ void JobTable::mark_fair_dirty(JobId id, JobRuntime& rt) {
 std::vector<JobId> JobTable::consume_fair_dirty() {
   std::vector<JobId> drained;
   drained.swap(fair_dirty_);
-  for (JobId id : drained) jobs_.at(id).fair_dirty = false;
+  for (JobId id : drained) {
+    // Retiring marks the job dirty one last time (so the scheduler drops
+    // its share-set entry); under release-on-retire the runtime may already
+    // be gone by the time the journal drains.
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) it->second.fair_dirty = false;
+  }
   return drained;
+}
+
+void JobTable::set_retire_observer(RetireObserver observer) {
+  if (!jobs_.empty()) {
+    throw std::logic_error(
+        "JobTable: retire observer must install before the first job");
+  }
+  retire_observer_ = std::move(observer);
+}
+
+void JobTable::release_job(JobId id) {
+  ++released_jobs_;
+  jobs_.erase(id);
 }
 
 void JobTable::update_reduce_ready(JobRuntime& rt) {
@@ -56,9 +75,19 @@ void JobTable::update_reduce_ready(JobRuntime& rt) {
   }
 }
 
+void JobTable::update_map_ready(JobRuntime& rt) {
+  const std::pair<std::size_t, JobRuntime*> key{rt.arrival_seq, &rt};
+  if (rt.active && !rt.pending_maps.empty()) {
+    map_ready_.insert(key);
+  } else {
+    map_ready_.erase(key);
+  }
+}
+
 void JobTable::retire_active(JobId id, JobRuntime& rt) {
   DARE_INVARIANT(rt.active, "JobTable: retiring a job that is not active");
   reduce_ready_.erase({rt.arrival_seq, &rt});
+  map_ready_.erase({rt.arrival_seq, &rt});
   if (rt.active_prev != nullptr) {
     rt.active_prev->active_next = rt.active_next;
   } else {
@@ -77,6 +106,14 @@ void JobTable::retire_active(JobId id, JobRuntime& rt) {
   if (index_ != nullptr) {
     index_->job_retired(id);
     rt.locality = nullptr;
+  }
+  if (retire_observer_) {
+    retire_observer_(rt);
+    // A job can retire while losing clone attempts are still in flight
+    // (the winning map completes the job; the clones are killed and drain
+    // through finish_clone afterwards). Defer the release until the last
+    // clone retires so the fair-share accounting they carry stays valid.
+    if (rt.running_clones == 0) release_job(id);
   }
 }
 
@@ -109,6 +146,7 @@ void JobTable::add_job(const JobSpec& spec) {
   // reference-stable for the job's lifetime.
   rt.active = true;
   auto& stored = jobs_.emplace(spec.id, std::move(rt)).first->second;
+  if (jobs_.size() > peak_resident_jobs_) peak_resident_jobs_ = jobs_.size();
   stored.active_prev = active_tail_;
   stored.active_next = nullptr;
   if (active_tail_ != nullptr) {
@@ -121,6 +159,7 @@ void JobTable::add_job(const JobSpec& spec) {
   order_.push_back(spec.id);
 
   mark_fair_dirty(spec.id, stored);
+  update_map_ready(stored);
   if (index_ != nullptr) stored.locality = index_->job_state_ptr(spec.id);
   for (std::size_t i = 0; i < stored.spec.maps.size(); ++i) {
     watch_pending(spec.id, stored, i);
@@ -230,6 +269,8 @@ std::size_t JobTable::launch_map(JobId id, std::size_t pending_index,
   --total_pending_maps_;
   ++total_running_;
   mark_fair_dirty(id, rt);
+  // Launching the last pending map drops the job from the map-ready set.
+  if (rt.pending_maps.empty()) update_map_ready(rt);
   return map_index;
 }
 
@@ -259,6 +300,8 @@ void JobTable::requeue_running_map(JobId id, std::size_t map_index,
   ++total_pending_maps_;
   --total_running_;
   mark_fair_dirty(id, rt);
+  // 0 -> 1 pending: the job re-enters the map-ready set.
+  if (rt.pending_maps.size() == 1) update_map_ready(rt);
   watch_pending(id, rt, map_index);
 }
 
@@ -278,6 +321,11 @@ void JobTable::finish_clone(JobId id) {
   }
   --rt.running_clones;
   mark_fair_dirty(id, rt);
+  // Last clone of an already-retired job: the deferred release (see
+  // retire_active) happens now.
+  if (retire_observer_ && !rt.active && rt.running_clones == 0) {
+    release_job(id);
+  }
 }
 
 void JobTable::requeue_running_reduce(JobId id) {
@@ -294,7 +342,7 @@ void JobTable::requeue_running_reduce(JobId id) {
   update_reduce_ready(rt);
 }
 
-void JobTable::complete_map(JobId id, SimTime now) {
+TransitionResult JobTable::complete_map(JobId id, SimTime now) {
   JobRuntime& rt = job(id);
   if (rt.running_maps == 0) {
     throw std::logic_error("JobTable: complete_map with none running");
@@ -303,14 +351,19 @@ void JobTable::complete_map(JobId id, SimTime now) {
   ++rt.completed_maps;
   --total_running_;
   mark_fair_dirty(id, rt);
+  TransitionResult result;
+  result.arrival = rt.spec.arrival;
   if (rt.spec.reduces == 0 && rt.done()) {
     rt.completion = now;
-    retire_active(id, rt);
-    return;
+    result.job_done = true;
+    retire_active(id, rt);  // may destroy rt — no reads past this point
+    return result;
   }
   // The last map completing flips maps_done(): the job may become
   // reduce-ready.
   update_reduce_ready(rt);
+  result.reduces_ready = rt.maps_done() && rt.pending_reduces > 0;
+  return result;
 }
 
 void JobTable::launch_reduce(JobId id) {
@@ -329,7 +382,7 @@ void JobTable::launch_reduce(JobId id) {
   update_reduce_ready(rt);
 }
 
-void JobTable::complete_reduce(JobId id, SimTime now) {
+TransitionResult JobTable::complete_reduce(JobId id, SimTime now) {
   JobRuntime& rt = job(id);
   if (rt.running_reduces == 0) {
     throw std::logic_error("JobTable: complete_reduce with none running");
@@ -337,10 +390,14 @@ void JobTable::complete_reduce(JobId id, SimTime now) {
   --rt.running_reduces;
   ++rt.completed_reduces;
   --total_running_;
+  TransitionResult result;
+  result.arrival = rt.spec.arrival;
   if (rt.done()) {
     rt.completion = now;
-    retire_active(id, rt);
+    result.job_done = true;
+    retire_active(id, rt);  // may destroy rt — no reads past this point
   }
+  return result;
 }
 
 void JobTable::fail_job(JobId id, SimTime now) {

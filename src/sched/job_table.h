@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iterator>
 #include <optional>
 #include <set>
@@ -22,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "sched/job.h"
 #include "sched/locality_index.h"
@@ -45,6 +47,19 @@ class BlockLocator {
 /// How close a launched map task is to its input data — Hadoop's three
 /// locality tiers.
 enum class Locality { kNodeLocal, kRackLocal, kOffRack };
+
+/// What a completion transition did to its job — returned by value so
+/// callers never have to re-read the JobRuntime after the call (with a
+/// retire observer installed, a completed job's runtime may already have
+/// been released when the call returns).
+struct TransitionResult {
+  /// This transition completed the job (its completion time is `now`).
+  bool job_done = false;
+  /// The job's submission time (always valid, even after release).
+  SimTime arrival = kTimeNever;
+  /// The job has maps done and reduces waiting to launch.
+  bool reduces_ready = false;
+};
 
 struct JobRuntime {
   /// pending_pos value for a map task that is not currently pending.
@@ -256,15 +271,17 @@ class JobTable {
   void finish_clone(JobId job);
 
   /// A running map finished. Jobs with zero reduces complete when their
-  /// last map does.
-  void complete_map(JobId job, SimTime now);
+  /// last map does. The returned TransitionResult carries everything the
+  /// caller needs — do not re-read the runtime after a job_done result when
+  /// a retire observer is installed.
+  TransitionResult complete_map(JobId job, SimTime now);
 
   /// Launch one reduce. Requires maps_done() and pending_reduces > 0.
   void launch_reduce(JobId job);
 
   /// A running reduce finished; when the job completes, record the time and
-  /// retire it from the active list.
-  void complete_reduce(JobId job, SimTime now);
+  /// retire it from the active list. Same re-read caveat as complete_map.
+  TransitionResult complete_reduce(JobId job, SimTime now);
 
   /// Kill a job after a task attempt exhausted its retries: mark it failed,
   /// drop its pending/running work from the aggregates, and retire it from
@@ -279,8 +296,19 @@ class JobTable {
   /// still in their map phase. Maintained incrementally on the transitions
   /// that can change membership; the schedulers use it when a locality
   /// index is attached (the A/B legacy mode keeps the seed's full scan).
-  using ReduceReadySet = std::set<std::pair<std::size_t, JobRuntime*>>;
+  using ReduceReadySet =
+      std::set<std::pair<std::size_t, JobRuntime*>,
+               std::less<std::pair<std::size_t, JobRuntime*>>,
+               common::SlabAllocator<std::pair<std::size_t, JobRuntime*>>>;
   const ReduceReadySet& reduce_ready() const { return reduce_ready_; }
+
+  /// --- map-ready set ------------------------------------------------------
+  /// Active jobs with pending maps, keyed by arrival_seq. The FIFO scheduler
+  /// always launches from the first such job (it never declines), so its
+  /// selection reduces to this set's first element — the seed's scan paid
+  /// O(active jobs) per opportunity walking the reduce-phase prefix, which
+  /// dominated large-run profiles. Same indexed-mode gating as reduce_ready.
+  const ReduceReadySet& map_ready() const { return map_ready_; }
 
   /// --- fair-share change journal -----------------------------------------
   /// Jobs whose fair-share key (running maps, weight) or set membership
@@ -295,30 +323,65 @@ class JobTable {
   std::size_t total_running() const { return total_running_; }
   bool all_done() const { return active_count_ == 0; }
 
+  /// --- retirement / O(active) residency ----------------------------------
+  /// Observer invoked exactly once per job as it retires (completes or
+  /// fails), while its runtime is still fully readable. Installing an
+  /// observer also switches the table to release-on-retire: once the
+  /// observer has run and the job's last clone attempt has finished, the
+  /// JobRuntime is destroyed and the table's residency stays O(active jobs)
+  /// instead of O(all jobs ever submitted). Callers must then treat the
+  /// observer callback as their only chance to copy per-job metrics out.
+  using RetireObserver = std::function<void(const JobRuntime&)>;
+  void set_retire_observer(RetireObserver observer);
+
+  /// Runtimes currently held (active + retired-but-not-released). Without a
+  /// retire observer this equals all_jobs().size().
+  std::size_t resident_jobs() const { return jobs_.size(); }
+  /// Runtimes released so far under release-on-retire.
+  std::size_t released_jobs() const { return released_jobs_; }
+  /// High-water mark of resident_jobs(): the quantity the O(active)
+  /// residency discipline bounds (streamed runs keep it near the live
+  /// backlog, far below the total job count).
+  std::size_t peak_resident_jobs() const { return peak_resident_jobs_; }
+
  private:
   friend class ActiveJobs;
 
   /// Unlink from the active list (idempotent per job: callers retire at
-  /// most once because done() flips exactly once).
+  /// most once because done() flips exactly once). With a retire observer
+  /// installed this may destroy `rt` — callers must not touch it after.
   void retire_active(JobId id, JobRuntime& rt);
+  /// Destroy a retired job's runtime (release-on-retire mode only).
+  void release_job(JobId id);
   void mark_fair_dirty(JobId id, JobRuntime& rt);
   /// Recompute `rt`'s reduce_ready_ membership after a transition.
   void update_reduce_ready(JobRuntime& rt);
+  /// Recompute `rt`'s map_ready_ membership after a pending-set transition.
+  void update_map_ready(JobRuntime& rt);
   /// Publish a pending-set entry/exit to the locality index, if attached.
   void watch_pending(JobId id, const JobRuntime& rt, std::size_t map_index);
   void unwatch_pending(JobId id, const JobRuntime& rt, std::size_t map_index);
 
-  std::unordered_map<JobId, JobRuntime> jobs_;
+  /// Slab-backed: a released JobRuntime node is recycled by a later arrival
+  /// instead of round-tripping through the heap, so under release-on-retire
+  /// the steady-state churn of a streamed run allocates nothing.
+  std::unordered_map<JobId, JobRuntime, std::hash<JobId>, std::equal_to<JobId>,
+                     common::SlabAllocator<std::pair<const JobId, JobRuntime>>>
+      jobs_;
   std::vector<JobId> order_;
   JobRuntime* active_head_ = nullptr;
   JobRuntime* active_tail_ = nullptr;
   std::size_t active_count_ = 0;
   LocalityIndex* index_ = nullptr;
   ReduceReadySet reduce_ready_;
+  ReduceReadySet map_ready_;
   std::vector<JobId> fair_dirty_;
   std::size_t total_pending_maps_ = 0;
   std::size_t total_pending_reduces_ = 0;
   std::size_t total_running_ = 0;
+  RetireObserver retire_observer_;
+  std::size_t released_jobs_ = 0;
+  std::size_t peak_resident_jobs_ = 0;
 };
 
 inline ActiveJobs::iterator ActiveJobs::begin() const {

@@ -57,9 +57,21 @@ void LocalityIndex::drop_candidate(std::vector<std::uint32_t>& candidates,
 LocalityIndex::JobState& LocalityIndex::job_state(JobId job) {
   const auto it = jobs_.find(job);
   if (it != jobs_.end()) return it->second;
+  // Small domains take the direct layout (one slot per node/rack, indexed
+  // without probing — the replica-delta fan-out loops are too hot for even
+  // a perfect-hash probe); at hyperscale the per-job footprint of a full
+  // domain is what made large backlogs unrepresentable, so the table goes
+  // sparse, pre-sized for a typical replica footprint (maps x replication
+  // distinct nodes) and growing with the job's actual candidate set.
+  constexpr std::size_t kDirectNodes = 256;
   JobState& state = jobs_[job];
-  state.by_node.resize(num_nodes_);
-  state.by_rack.resize(num_racks_);
+  if (num_nodes_ <= kDirectNodes) {
+    state.by_node.reserve_domain(num_nodes_);
+    state.by_rack.reserve_domain(num_racks_);
+  } else {
+    state.by_node.reserve_slots(48);
+    state.by_rack.reserve_slots(12);
+  }
   return state;
 }
 
@@ -78,9 +90,11 @@ void LocalityIndex::replica_added(BlockId block, NodeId node) {
   const auto wit = watchers_.find(block);
   if (wit == watchers_.end()) return;
   for (const Watcher& w : wit->second) {
-    w.state->by_node[static_cast<std::size_t>(node)].push_back(w.map_index);
+    w.state->by_node.slot_mut(static_cast<std::uint32_t>(node))
+        .push_back(w.map_index);
     if (first_in_rack) {
-      w.state->by_rack[static_cast<std::size_t>(rack)].push_back(w.map_index);
+      w.state->by_rack.slot_mut(static_cast<std::uint32_t>(rack))
+          .push_back(w.map_index);
     }
   }
 }
@@ -102,11 +116,12 @@ void LocalityIndex::replica_removed(BlockId block, NodeId node) {
   const auto wit = watchers_.find(block);
   if (wit == watchers_.end()) return;
   for (const Watcher& w : wit->second) {
-    drop_candidate(w.state->by_node[static_cast<std::size_t>(node)],
+    drop_candidate(w.state->by_node.slot_mut(static_cast<std::uint32_t>(node)),
                    w.map_index);
     if (last_in_rack) {
-      drop_candidate(w.state->by_rack[static_cast<std::size_t>(rack)],
-                     w.map_index);
+      drop_candidate(
+          w.state->by_rack.slot_mut(static_cast<std::uint32_t>(rack)),
+          w.map_index);
     }
   }
 }
@@ -119,7 +134,7 @@ void LocalityIndex::watch_map(JobId job, std::size_t map_index,
   const auto it = block_nodes_.find(block);
   if (it == block_nodes_.end()) return;  // block has no live replica
   for (NodeId n : it->second) {
-    state.by_node[static_cast<std::size_t>(n)].push_back(mi);
+    state.by_node.slot_mut(static_cast<std::uint32_t>(n)).push_back(mi);
   }
   // One rack-candidate entry per distinct rack holding a replica.
   for (std::size_t i = 0; i < it->second.size(); ++i) {
@@ -131,7 +146,9 @@ void LocalityIndex::watch_map(JobId job, std::size_t map_index,
         break;
       }
     }
-    if (!seen) state.by_rack[static_cast<std::size_t>(rack)].push_back(mi);
+    if (!seen) {
+      state.by_rack.slot_mut(static_cast<std::uint32_t>(rack)).push_back(mi);
+    }
   }
 }
 
@@ -163,7 +180,7 @@ void LocalityIndex::unwatch_map(JobId job, std::size_t map_index,
                      std::to_string(job));
   JobState& state = jit->second;
   for (NodeId n : bit->second) {
-    drop_candidate(state.by_node[static_cast<std::size_t>(n)], mi);
+    drop_candidate(state.by_node.slot_mut(static_cast<std::uint32_t>(n)), mi);
   }
   for (std::size_t i = 0; i < bit->second.size(); ++i) {
     const RackId rack = node_rack_[static_cast<std::size_t>(bit->second[i])];
@@ -175,7 +192,8 @@ void LocalityIndex::unwatch_map(JobId job, std::size_t map_index,
       }
     }
     if (!seen) {
-      drop_candidate(state.by_rack[static_cast<std::size_t>(rack)], mi);
+      drop_candidate(state.by_rack.slot_mut(static_cast<std::uint32_t>(rack)),
+                     mi);
     }
   }
 }
@@ -184,10 +202,8 @@ void LocalityIndex::job_retired(JobId job) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;  // never had candidates
 #ifndef NDEBUG
-  for (const auto& candidates : it->second.by_node) {
-    DARE_INVARIANT(candidates.empty(),
-                   "LocalityIndex: job retired with live node candidates");
-  }
+  DARE_INVARIANT(it->second.by_node.all_empty(),
+                 "LocalityIndex: job retired with live node candidates");
 #endif
   jobs_.erase(it);
 }
@@ -199,7 +215,7 @@ const std::vector<std::uint32_t>& LocalityIndex::node_candidates(
   }
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return kNoCandidates;
-  return it->second.by_node[static_cast<std::size_t>(node)];
+  return it->second.by_node.find(static_cast<std::uint32_t>(node));
 }
 
 const std::vector<std::uint32_t>& LocalityIndex::rack_candidates(
@@ -210,7 +226,7 @@ const std::vector<std::uint32_t>& LocalityIndex::rack_candidates(
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return kNoCandidates;
   const RackId rack = node_rack_[static_cast<std::size_t>(node)];
-  return it->second.by_rack[static_cast<std::size_t>(rack)];
+  return it->second.by_rack.find(static_cast<std::uint32_t>(rack));
 }
 
 std::size_t LocalityIndex::replica_count(BlockId block) const {

@@ -33,9 +33,136 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 
 namespace dare::sched {
+
+/// Slot -> candidate-list map with two layouts behind one interface.
+///
+/// A job only ever has candidates on the nodes holding replicas of its input
+/// blocks — a few dozen of 10k nodes — but the previous dense layout paid a
+/// vector header per node per job (~240 KiB per active job at 10k nodes),
+/// which alone made large FIFO backlogs unrepresentable. Two regimes:
+///
+///  * direct (reserve_domain, small clusters): capacity covers the whole
+///    key domain, slot i lives at index i, every access is one indexed
+///    load — bit-for-bit the dense layout's speed, which the replica-delta
+///    fan-out loops are too hot to give up;
+///  * sparse (reserve_slots, hyperscale): open addressing with linear
+///    probing under a masked-identity hash, so the table stays a handful of
+///    cache lines no matter how many nodes the cluster has.
+///
+/// Entries are never removed before the owning job retires (a drained list
+/// stays, exactly like a drained dense element), so probing needs no
+/// tombstones.
+class CandidateMap {
+ public:
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  /// Candidate list of `slot`; a shared empty list when absent.
+  const std::vector<std::uint32_t>& find(std::uint32_t slot) const {
+    if (direct_) return slots_[slot].list;
+    if (used_ == 0) return empty_list();
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = slot & mask;; i = (i + 1) & mask) {
+      if (slots_[i].key == slot) return slots_[i].list;
+      if (slots_[i].key == kEmptySlot) return empty_list();
+    }
+  }
+
+  /// Mutable candidate list of `slot`, inserted empty when absent.
+  std::vector<std::uint32_t>& slot_mut(std::uint32_t slot) {
+    if (direct_) {
+      Slot& s = slots_[slot];
+      if (s.key == kEmptySlot) {
+        s.key = slot;
+        ++used_;
+      }
+      return s.list;
+    }
+    if (slots_.empty()) rehash(8);
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = slot & mask;
+    while (slots_[i].key != slot) {
+      if (slots_[i].key == kEmptySlot) {
+        if ((used_ + 1) * 4 > slots_.size() * 3) {
+          rehash(slots_.size() * 2);
+          mask = slots_.size() - 1;
+          i = slot & mask;
+          while (slots_[i].key != kEmptySlot) i = (i + 1) & mask;
+        }
+        slots_[i].key = slot;
+        ++used_;
+        return slots_[i].list;
+      }
+      i = (i + 1) & mask;
+    }
+    return slots_[i].list;
+  }
+
+  /// Retirement audit: every present list has been drained.
+  bool all_empty() const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptySlot && !s.list.empty()) return false;
+    }
+    return true;
+  }
+
+  std::size_t used() const { return used_; }
+  bool direct() const { return direct_; }
+
+  /// Direct mode: allocate one slot per key in [0, domain) and index without
+  /// probing. Call before any insertion; every later slot value must be
+  /// < domain. Worth its footprint only when the domain is small.
+  void reserve_domain(std::size_t domain) {
+    slots_ = std::vector<Slot>(domain);
+    direct_ = true;
+  }
+
+  /// Sparse mode: pre-size the probe table (next power of two >= `slots` /
+  /// 0.75 load) so the expected candidate set inserts without a rehash
+  /// chain. No-op when the table is already at least that large.
+  void reserve_slots(std::size_t slots) {
+    std::size_t capacity = 8;
+    while (slots * 4 > capacity * 3) capacity *= 2;
+    if (capacity > slots_.size()) rehash(capacity);
+  }
+
+ private:
+  /// Key and list side by side: the delta hot loops probe and then touch the
+  /// list header, so both land on the same cache line. The hash is the
+  /// identity (masked): slot keys are dense small integers (node ids, rack
+  /// ids), which masked-identity spreads at least as well as any mixer while
+  /// keeping adjacent ids adjacent — the watch burst walks a block's replica
+  /// nodes in placement order, so consecutive probes share lines.
+  struct Slot {
+    std::uint32_t key = kEmptySlot;
+    std::vector<std::uint32_t> list;
+  };
+
+  static const std::vector<std::uint32_t>& empty_list() {
+    static const std::vector<std::uint32_t> kNone;
+    return kNone;
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_ = std::vector<Slot>(capacity);
+    const std::size_t mask = capacity - 1;
+    for (Slot& s : old) {
+      if (s.key == kEmptySlot) continue;
+      std::size_t j = s.key & mask;
+      while (slots_[j].key != kEmptySlot) j = (j + 1) & mask;
+      slots_[j].key = s.key;
+      slots_[j].list = std::move(s.list);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t used_ = 0;
+  bool direct_ = false;
+};
 
 class LocalityIndex {
  public:
@@ -44,9 +171,9 @@ class LocalityIndex {
   /// pointer in JobRuntime and queries through it without any hash lookup.
   struct JobState {
     /// node -> pending map indices with a replica on that node.
-    std::vector<std::vector<std::uint32_t>> by_node;
+    CandidateMap by_node;
     /// rack -> pending map indices with >= 1 replica in that rack.
-    std::vector<std::vector<std::uint32_t>> by_rack;
+    CandidateMap by_rack;
   };
 
   /// `node_rack[n]` is the rack of node n; `num_racks` bounds its values.
@@ -81,11 +208,11 @@ class LocalityIndex {
   /// lookup per probe showed up in large-run profiles).
   const std::vector<std::uint32_t>& node_candidates(const JobState& state,
                                                     NodeId node) const {
-    return state.by_node[node];
+    return state.by_node.find(static_cast<std::uint32_t>(node));
   }
   const std::vector<std::uint32_t>& rack_candidates(const JobState& state,
                                                     NodeId node) const {
-    return state.by_rack[node_rack_[node]];
+    return state.by_rack.find(static_cast<std::uint32_t>(node_rack_[node]));
   }
 
   /// Create-or-get the job's candidate state. The returned pointer is
@@ -117,12 +244,18 @@ class LocalityIndex {
   std::size_t num_racks_;
   std::vector<RackId> node_rack_;
 
+  /// Slab-backed maps (watcher and job nodes churn at task / job rate).
+  template <typename K, typename V>
+  using IndexMap =
+      std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                         common::SlabAllocator<std::pair<const K, V>>>;
+
   /// Mirror of NameNode::locations, maintained from deltas.
-  std::unordered_map<BlockId, std::vector<NodeId>> block_nodes_;
+  IndexMap<BlockId, std::vector<NodeId>> block_nodes_;
   /// block -> pending maps reading it (a job may appear more than once if
   /// several of its maps share a block).
-  std::unordered_map<BlockId, std::vector<Watcher>> watchers_;
-  std::unordered_map<JobId, JobState> jobs_;
+  IndexMap<BlockId, std::vector<Watcher>> watchers_;
+  IndexMap<JobId, JobState> jobs_;
 };
 
 }  // namespace dare::sched

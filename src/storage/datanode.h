@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/profile.h"
@@ -161,8 +162,14 @@ class DataNode {
   std::unordered_set<BlockId> static_index_;
   Bytes static_bytes_ = 0;
 
-  std::unordered_map<BlockId, BlockMeta> dynamic_;  // live replicas
-  std::unordered_map<BlockId, BlockMeta> marked_;   // tombstoned, on disk
+  /// Slab-backed: the DARE policies insert and evict dynamic replicas at
+  /// decision rate, and the insert/evict/reclaim cycle recycles the same
+  /// handful of arena nodes instead of hammering the heap.
+  using ReplicaMap = std::unordered_map<
+      BlockId, BlockMeta, std::hash<BlockId>, std::equal_to<BlockId>,
+      common::SlabAllocator<std::pair<const BlockId, BlockMeta>>>;
+  ReplicaMap dynamic_;  // live replicas
+  ReplicaMap marked_;   // tombstoned, on disk
   Bytes dynamic_bytes_ = 0;
   Bytes audited_budget_ = -1;  // < 0: no budget audit installed
 

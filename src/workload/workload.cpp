@@ -49,71 +49,165 @@ JobTemplate synthesize_job(SimTime arrival, std::size_t file_index,
   return job;
 }
 
+/// wl1's generator loop as a pull stream. The Rng is the workload's root
+/// stream copied at its post-catalog position, so job i's draws are exactly
+/// the draws the materialized loop made for job i.
+class Wl1Stream final : public JobStream {
+ public:
+  Wl1Stream(const Rng& rng, const WorkloadOptions& options,
+            std::vector<std::size_t> file_blocks)
+      : rng_(rng),
+        options_(options),
+        file_blocks_(std::move(file_blocks)),
+        popularity_(small_file_popularity(options.catalog, options.zipf_s)),
+        lambda_(1.0 / options.small_interarrival_s) {}
+
+  std::optional<JobTemplate> next() override {
+    if (produced_ == options_.num_jobs) return std::nullopt;
+    ++produced_;
+    t_ += from_seconds(rng_.exponential(lambda_));
+    const std::size_t file = popularity_.sample(rng_);
+    return synthesize_job(t_, file, file_blocks_[file], rng_);
+  }
+
+ private:
+  Rng rng_;
+  WorkloadOptions options_;
+  std::vector<std::size_t> file_blocks_;  ///< catalog index -> block count
+  DiscreteDistribution popularity_;
+  double lambda_;
+  SimTime t_ = 0;
+  std::size_t produced_ = 0;
+};
+
+/// wl2's generator loop as a pull stream (large job every large_period,
+/// burst of fast small arrivals after each). Same draw-for-draw contract as
+/// Wl1Stream.
+class Wl2Stream final : public JobStream {
+ public:
+  Wl2Stream(const Rng& rng, const WorkloadOptions& options,
+            std::vector<std::size_t> file_blocks)
+      : rng_(rng),
+        options_(options),
+        file_blocks_(std::move(file_blocks)),
+        popularity_(small_file_popularity(options.catalog, options.zipf_s)),
+        lambda_(1.0 / options.small_interarrival_s),
+        burst_lambda_(1.0 / options.burst_interarrival_s) {}
+
+  std::optional<JobTemplate> next() override {
+    if (produced_ == options_.num_jobs) return std::nullopt;
+    const std::size_t i = produced_++;
+    const bool large =
+        options_.large_period > 0 && i % options_.large_period == 0 && i > 0;
+    if (large) {
+      t_ += from_seconds(rng_.exponential(lambda_));
+      // Full scan over one of the large files.
+      const std::size_t file =
+          options_.catalog.small_files +
+          static_cast<std::size_t>(
+              rng_.uniform_int(options_.catalog.large_files));
+      burst_remaining_ = options_.burst_length;
+      return synthesize_job(t_, file, file_blocks_[file], rng_);
+    }
+    // Small jobs arrive faster right after a large job (the wl2 pattern).
+    const double rate = burst_remaining_ > 0 ? burst_lambda_ : lambda_;
+    if (burst_remaining_ > 0) --burst_remaining_;
+    t_ += from_seconds(rng_.exponential(rate));
+    const std::size_t file = popularity_.sample(rng_);
+    return synthesize_job(t_, file, file_blocks_[file], rng_);
+  }
+
+ private:
+  Rng rng_;
+  WorkloadOptions options_;
+  std::vector<std::size_t> file_blocks_;
+  DiscreteDistribution popularity_;
+  double lambda_;
+  double burst_lambda_;
+  SimTime t_ = 0;
+  std::size_t produced_ = 0;
+  std::size_t burst_remaining_ = 0;
+};
+
+std::vector<std::size_t> catalog_block_counts(
+    const std::vector<FileSpec>& catalog) {
+  std::vector<std::size_t> blocks;
+  blocks.reserve(catalog.size());
+  for (const auto& file : catalog) blocks.push_back(file.blocks);
+  return blocks;
+}
+
 }  // namespace
 
-Workload make_wl1(const WorkloadOptions& options) {
-  Workload wl;
-  wl.name = "wl1";
-  wl.catalog_spec = options.catalog;
+std::vector<std::size_t> WorkloadSpec::file_access_counts() const {
+  std::vector<std::size_t> counts(catalog.size(), 0);
+  const auto stream = open();
+  while (const auto job = stream->next()) {
+    if (job->file_index >= counts.size()) {
+      throw std::out_of_range("WorkloadSpec: job references missing file");
+    }
+    ++counts[job->file_index];
+  }
+  return counts;
+}
+
+WorkloadSpec make_wl1_spec(const WorkloadOptions& options) {
+  WorkloadSpec spec;
+  spec.name = "wl1";
+  spec.catalog_spec = options.catalog;
+  spec.num_jobs = options.num_jobs;
   // Root stream: the generator is a top-level entry point seeded from its
   // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
-  wl.catalog = build_catalog(options.catalog, rng);
-  const DiscreteDistribution popularity =
-      small_file_popularity(options.catalog, options.zipf_s);
-
-  SimTime t = 0;
-  const double lambda = 1.0 / options.small_interarrival_s;
-  for (std::size_t i = 0; i < options.num_jobs; ++i) {
-    t += from_seconds(rng.exponential(lambda));
-    const std::size_t file = popularity.sample(rng);
-    wl.jobs.push_back(
-        synthesize_job(t, file, wl.catalog[file].blocks, rng));
-  }
-  return wl;
+  spec.catalog = build_catalog(options.catalog, rng);
+  // The factory captures the post-catalog generator state by value: every
+  // open() resumes from the exact stream position the materialized loop had
+  // after building the catalog.
+  spec.open = [rng, options,
+               blocks = catalog_block_counts(spec.catalog)]() {
+    return std::unique_ptr<JobStream>(
+        std::make_unique<Wl1Stream>(rng, options, blocks));
+  };
+  return spec;
 }
 
-Workload make_wl2(const WorkloadOptions& options) {
+WorkloadSpec make_wl2_spec(const WorkloadOptions& options) {
   if (options.catalog.large_files == 0) {
     throw std::invalid_argument("make_wl2: needs large files in the catalog");
   }
-  Workload wl;
-  wl.name = "wl2";
-  wl.catalog_spec = options.catalog;
+  WorkloadSpec spec;
+  spec.name = "wl2";
+  spec.catalog_spec = options.catalog;
+  spec.num_jobs = options.num_jobs;
   // Root stream: the generator is a top-level entry point seeded from its
   // own options. dare-lint: allow(rng-stream-discipline)
   Rng rng(options.seed);
-  wl.catalog = build_catalog(options.catalog, rng);
-  const DiscreteDistribution popularity =
-      small_file_popularity(options.catalog, options.zipf_s);
+  spec.catalog = build_catalog(options.catalog, rng);
+  spec.open = [rng, options,
+               blocks = catalog_block_counts(spec.catalog)]() {
+    return std::unique_ptr<JobStream>(
+        std::make_unique<Wl2Stream>(rng, options, blocks));
+  };
+  return spec;
+}
 
-  SimTime t = 0;
-  const double lambda = 1.0 / options.small_interarrival_s;
-  const double burst_lambda = 1.0 / options.burst_interarrival_s;
-  std::size_t burst_remaining = 0;
-  for (std::size_t i = 0; i < options.num_jobs; ++i) {
-    const bool large =
-        options.large_period > 0 && i % options.large_period == 0 && i > 0;
-    if (large) {
-      t += from_seconds(rng.exponential(lambda));
-      // Full scan over one of the large files.
-      const std::size_t file =
-          options.catalog.small_files +
-          static_cast<std::size_t>(rng.uniform_int(options.catalog.large_files));
-      wl.jobs.push_back(
-          synthesize_job(t, file, wl.catalog[file].blocks, rng));
-      burst_remaining = options.burst_length;
-      continue;
-    }
-    // Small jobs arrive faster right after a large job (the wl2 pattern).
-    const double rate = burst_remaining > 0 ? burst_lambda : lambda;
-    if (burst_remaining > 0) --burst_remaining;
-    t += from_seconds(rng.exponential(rate));
-    const std::size_t file = popularity.sample(rng);
-    wl.jobs.push_back(
-        synthesize_job(t, file, wl.catalog[file].blocks, rng));
-  }
+Workload materialize(const WorkloadSpec& spec) {
+  Workload wl;
+  wl.name = spec.name;
+  wl.catalog_spec = spec.catalog_spec;
+  wl.catalog = spec.catalog;
+  wl.jobs.reserve(spec.num_jobs);
+  const auto stream = spec.open();
+  while (auto job = stream->next()) wl.jobs.push_back(*job);
   return wl;
+}
+
+Workload make_wl1(const WorkloadOptions& options) {
+  return materialize(make_wl1_spec(options));
+}
+
+Workload make_wl2(const WorkloadOptions& options) {
+  return materialize(make_wl2_spec(options));
 }
 
 }  // namespace dare::workload

@@ -13,6 +13,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +47,38 @@ struct Workload {
   std::vector<std::size_t> file_access_counts() const;
 };
 
+/// Pull-based job generator: next() yields job templates in arrival order
+/// and std::nullopt once the stream is exhausted. Streams are single-pass;
+/// open a fresh one (WorkloadSpec::open) to replay from the start.
+class JobStream {
+ public:
+  virtual ~JobStream() = default;
+  virtual std::optional<JobTemplate> next() = 0;
+};
+
+/// A workload described by its generator instead of a materialized job
+/// vector: the catalog is built up front (HDFS loads it before the run),
+/// jobs are drawn on demand as simulated time reaches their arrivals. A
+/// spec's stream replays the exact RNG draw sequence of the materialized
+/// generators, so `materialize(make_wl1_spec(o))` == `make_wl1(o)` template
+/// for template — the equivalence tests pin this.
+struct WorkloadSpec {
+  std::string name;
+  CatalogSpec catalog_spec;
+  std::vector<FileSpec> catalog;
+  /// Total jobs the stream will yield (known up front; arrival times are
+  /// not).
+  std::size_t num_jobs = 0;
+  /// Factory for a fresh stream positioned at the first job. Each stream
+  /// owns its own generator state; open() is const-cheap (no job is ever
+  /// drawn eagerly).
+  std::function<std::unique_ptr<JobStream>()> open;
+
+  /// Number of accesses per catalog file: one extra counting replay of the
+  /// stream — O(num_jobs) time, O(catalog) memory, no job storage.
+  std::vector<std::size_t> file_access_counts() const;
+};
+
 struct WorkloadOptions {
   std::size_t num_jobs = 500;
   std::uint64_t seed = 1;
@@ -67,6 +102,16 @@ Workload make_wl1(const WorkloadOptions& options);
 
 /// wl2: small jobs after large jobs.
 Workload make_wl2(const WorkloadOptions& options);
+
+/// Streaming variants: same catalogs, same draw-for-draw job sequences, but
+/// jobs are generated on demand (hyperscale runs never hold 100k templates
+/// in memory). make_wl1/make_wl2 are materialize() over these specs.
+WorkloadSpec make_wl1_spec(const WorkloadOptions& options);
+WorkloadSpec make_wl2_spec(const WorkloadOptions& options);
+
+/// Drain a spec's stream into the classic vector-backed Workload (tests,
+/// small runs, and the streamed-vs-materialized equivalence oracle).
+Workload materialize(const WorkloadSpec& spec);
 
 /// The file-popularity distribution used to draw inputs for small jobs —
 /// exactly the distribution plotted in Fig. 6.

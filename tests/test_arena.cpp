@@ -1,0 +1,130 @@
+// SlabPool / SlabAllocator unit tests: the arena must recycle freed nodes
+// (steady-state container churn performs zero heap allocations) and fall
+// back to the heap for blocks it does not pool. The end-to-end effect —
+// streamed runs whose residency stays O(active jobs) — is pinned in
+// test_hyperscale.cpp; this file pins the allocator mechanics those runs
+// rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace dare::common {
+namespace {
+
+TEST(SlabPool, AllocateDeallocateTracksLiveBlocks) {
+  SlabPool pool;
+  EXPECT_EQ(pool.live_blocks(), 0u);
+  void* a = pool.allocate(24, alignof(std::max_align_t));
+  void* b = pool.allocate(24, alignof(std::max_align_t));
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live_blocks(), 2u);
+  pool.deallocate(a, 24);
+  EXPECT_EQ(pool.live_blocks(), 1u);
+  pool.deallocate(b, 24);
+  EXPECT_EQ(pool.live_blocks(), 0u);
+}
+
+TEST(SlabPool, FreedBlocksAreReused) {
+  SlabPool pool;
+  void* a = pool.allocate(48, alignof(std::max_align_t));
+  pool.deallocate(a, 48);
+  // Same size class: the freelist must hand the block straight back.
+  void* b = pool.allocate(48, alignof(std::max_align_t));
+  EXPECT_EQ(a, b);
+  pool.deallocate(b, 48);
+}
+
+TEST(SlabPool, SteadyStateChurnAllocatesNoNewChunks) {
+  SlabPool pool;
+  // Fill one chunk's worth, release, and churn: the chunk count must stay
+  // where the first wave left it — this is the "steady-state container
+  // churn performs zero heap allocations" guarantee.
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    blocks.push_back(pool.allocate(64, alignof(std::max_align_t)));
+  }
+  const std::size_t chunks_after_first_wave = pool.chunk_count();
+  const std::size_t bytes_after_first_wave = pool.chunk_bytes();
+  for (int round = 0; round < 100; ++round) {
+    for (void* p : blocks) pool.deallocate(p, 64);
+    blocks.clear();
+    for (int i = 0; i < 64; ++i) {
+      blocks.push_back(pool.allocate(64, alignof(std::max_align_t)));
+    }
+  }
+  EXPECT_EQ(pool.chunk_count(), chunks_after_first_wave);
+  EXPECT_EQ(pool.chunk_bytes(), bytes_after_first_wave);
+  for (void* p : blocks) pool.deallocate(p, 64);
+  EXPECT_EQ(pool.live_blocks(), 0u);
+}
+
+TEST(SlabPool, DistinctSizeClassesDoNotShareFreelists) {
+  SlabPool pool;
+  void* small = pool.allocate(16, alignof(std::max_align_t));
+  pool.deallocate(small, 16);
+  // A different size class must not be served from the 16-byte freelist.
+  void* big = pool.allocate(256, alignof(std::max_align_t));
+  EXPECT_NE(small, big);
+  pool.deallocate(big, 256);
+}
+
+TEST(SlabPool, OversizedBlocksBypassTheSlabs) {
+  SlabPool pool;
+  const std::size_t huge = SlabPool::kMaxPooledBytes + 1;
+  void* p = pool.allocate(huge, alignof(std::max_align_t));
+  ASSERT_NE(p, nullptr);
+  // Heap fallback: neither the live counter nor the chunk list sees it.
+  EXPECT_EQ(pool.live_blocks(), 0u);
+  EXPECT_EQ(pool.chunk_count(), 0u);
+  pool.deallocate(p, huge);
+}
+
+TEST(SlabAllocator, RebindsShareThePool) {
+  SlabAllocator<int> a;
+  SlabAllocator<long long> b(a);  // rebind copy, as containers make
+  EXPECT_TRUE(a == b);
+  SlabAllocator<int> other;  // fresh default construction = fresh pool
+  EXPECT_TRUE(a != other);
+}
+
+TEST(SlabAllocator, NodeContainerChurnReusesChunks) {
+  using Alloc = SlabAllocator<std::pair<const std::uint64_t, std::uint64_t>>;
+  std::unordered_map<std::uint64_t, std::uint64_t, std::hash<std::uint64_t>,
+                     std::equal_to<std::uint64_t>, Alloc>
+      map;
+  for (std::uint64_t i = 0; i < 1000; ++i) map.emplace(i, i * 3);
+  const auto& pool = *map.get_allocator().pool();
+  const std::size_t chunks_at_peak = pool.chunk_count();
+  EXPECT_GT(chunks_at_peak, 0u);
+  // erase + refill cycles must be served entirely from the freelist.
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 1000; ++i) map.erase(i);
+    for (std::uint64_t i = 0; i < 1000; ++i) map.emplace(i, i * 7);
+  }
+  EXPECT_EQ(pool.chunk_count(), chunks_at_peak);
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(SlabAllocator, TreeContainerChurnReusesChunks) {
+  std::set<std::uint64_t, std::less<std::uint64_t>,
+           SlabAllocator<std::uint64_t>>
+      set;
+  for (std::uint64_t i = 0; i < 500; ++i) set.insert(i);
+  const auto& pool = *set.get_allocator().pool();
+  const std::size_t chunks_at_peak = pool.chunk_count();
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 500; ++i) set.erase(i);
+    for (std::uint64_t i = 0; i < 500; ++i) set.insert(i);
+  }
+  EXPECT_EQ(pool.chunk_count(), chunks_at_peak);
+}
+
+}  // namespace
+}  // namespace dare::common

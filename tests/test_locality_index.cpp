@@ -406,5 +406,61 @@ TEST(LocalityIndexOracleTest, RandomizedScheduleSelectsIdentically) {
   }
 }
 
+TEST(CandidateMapTest, DirectAndSparseLayoutsAnswerIdentically) {
+  // The two layouts behind CandidateMap must be observationally identical:
+  // drive one direct-mode and one sparse-mode map through the same
+  // randomized mutation schedule and compare every slot's list afterwards
+  // (and at checkpoints along the way).
+  constexpr std::uint32_t kDomain = 64;
+  CandidateMap direct;
+  direct.reserve_domain(kDomain);
+  CandidateMap sparse;
+  sparse.reserve_slots(8);  // deliberately small: forces rehash chains
+
+  ASSERT_TRUE(direct.direct());
+  ASSERT_FALSE(sparse.direct());
+
+  Rng rng(777);
+  for (int step = 0; step < 5000; ++step) {
+    const auto slot = static_cast<std::uint32_t>(rng.uniform_int(kDomain));
+    if (rng.uniform_int(3) != 0) {
+      const auto value = static_cast<std::uint32_t>(rng.uniform_int(1000));
+      direct.slot_mut(slot).push_back(value);
+      sparse.slot_mut(slot).push_back(value);
+    } else {
+      auto& d = direct.slot_mut(slot);
+      auto& s = sparse.slot_mut(slot);
+      ASSERT_EQ(d.size(), s.size());
+      if (!d.empty()) {
+        d.pop_back();
+        s.pop_back();
+      }
+    }
+    if (step % 500 == 0) {
+      for (std::uint32_t k = 0; k < kDomain; ++k) {
+        ASSERT_EQ(direct.find(k), sparse.find(k)) << "slot " << k;
+      }
+      ASSERT_EQ(direct.used(), sparse.used());
+    }
+  }
+  for (std::uint32_t k = 0; k < kDomain; ++k) {
+    EXPECT_EQ(direct.find(k), sparse.find(k)) << "slot " << k;
+  }
+  EXPECT_EQ(direct.all_empty(), sparse.all_empty());
+}
+
+TEST(CandidateMapTest, FindOnAbsentSlotReturnsEmpty) {
+  CandidateMap sparse;
+  EXPECT_TRUE(sparse.find(7).empty());  // empty table, no probe loop
+  sparse.slot_mut(3).push_back(1);
+  EXPECT_TRUE(sparse.find(7).empty());
+  EXPECT_EQ(sparse.find(3).size(), 1u);
+
+  CandidateMap direct;
+  direct.reserve_domain(16);
+  EXPECT_TRUE(direct.find(7).empty());
+  EXPECT_EQ(direct.used(), 0u);  // find never inserts
+}
+
 }  // namespace
 }  // namespace dare::sched

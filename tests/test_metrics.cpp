@@ -81,7 +81,7 @@ TEST(Fingerprint, SkippedJobsChangeDigestOnlyWhenPresent) {
 
 TEST(Finalize, EmptyRunIsSafe) {
   RunResult result;
-  finalize(result, {});
+  finalize(result, std::vector<double>{});
   EXPECT_EQ(result.locality, 0.0);
   EXPECT_EQ(result.gmtt_s, 0.0);
   EXPECT_EQ(result.mean_slowdown, 0.0);

@@ -70,6 +70,11 @@ from pathlib import Path
 DETERMINISM_DIRS = ("src/sim", "src/core", "src/sched", "src/storage",
                     "src/faults", "src/cluster", "src/obs", "src/metrics",
                     "src/net", "src/workload", "src/analysis")
+# Individual files that also get the determinism rules. src/common as a
+# whole is exempt (it implements the RNG the rules funnel everything into),
+# but these files back fingerprint-bearing containers on the simulation hot
+# path, so unordered-iteration and randomness bans apply to them verbatim.
+DETERMINISM_FILES = ("src/common/arena.h",)
 NO_FLOAT_DIRS = ("src/metrics",)
 # Directories where suppression-hygiene applies (recursively).
 HYGIENE_DIRS = ("src", "tests", "bench", "examples", "tools")
@@ -309,6 +314,12 @@ def lint_repo(root: Path) -> list[Finding]:
     for rel in DETERMINISM_DIRS:
         for path in sorted((root / rel).glob("*.h")) + \
                 sorted((root / rel).glob("*.cpp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            findings.extend(check_determinism_file(path, text))
+
+    for rel in DETERMINISM_FILES:
+        path = root / rel
+        if path.is_file():
             text = path.read_text(encoding="utf-8", errors="replace")
             findings.extend(check_determinism_file(path, text))
 

@@ -465,6 +465,9 @@ def lint_repo(cindex, root: Path, build_dir: Path) -> int:
     entries = json.loads(
         (build_dir / "compile_commands.json").read_text(encoding="utf-8"))
     det_dirs = [root / d for d in dare_lint.DETERMINISM_DIRS]
+    # Single-file scopes ride along: _under() treats an exact file path as
+    # its own base, so the per-file determinism list needs no special case.
+    det_dirs += [root / f for f in dare_lint.DETERMINISM_FILES]
     analyzer = Analyzer(cindex, root, det_dirs)
     parsed = 0
     for entry in entries:
