@@ -3,7 +3,9 @@
 // the rows/series of exactly one table or figure of the DARE paper.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
 #include <string>
@@ -39,10 +41,59 @@ inline MemoryStats read_memory_stats() {
   return stats;
 }
 
-/// Parse `key=value` CLI overrides into a Config.
-inline Config parse_args(int argc, char** argv) {
+/// Keys every bench binary accepts in addition to its own:
+/// `csv=<prefix>` (maybe_write_csv) and `progress=1` (progress_meter).
+inline const std::vector<std::string>& common_bench_keys() {
+  static const std::vector<std::string> keys = {"csv", "progress"};
+  return keys;
+}
+
+/// Arguments not recognized by this binary: positional tokens plus every
+/// config key outside cluster::override_keys(), common_bench_keys(), and
+/// the binary's own `extra_keys`. Pure — parse_args uses it to reject, the
+/// tests exercise it directly.
+inline std::vector<std::string> unknown_args(
+    const Config& cfg, const std::vector<std::string>& positional,
+    const std::vector<std::string>& extra_keys) {
+  std::vector<std::string> unknown = positional;
+  const auto contains = [](const std::vector<std::string>& keys,
+                           const std::string& key) {
+    return std::find(keys.begin(), keys.end(), key) != keys.end();
+  };
+  for (const auto& key : cfg.keys()) {
+    if (contains(cluster::override_keys(), key) ||
+        contains(common_bench_keys(), key) || contains(extra_keys, key)) {
+      continue;
+    }
+    unknown.push_back(key + "=...");
+  }
+  return unknown;
+}
+
+/// Parse `key=value` CLI overrides into a Config, validating every key
+/// against cluster::override_keys() + common_bench_keys() + `extra_keys`.
+/// A typo'd knob or stray positional exits 1 with a usage line instead of
+/// silently running the default configuration (same contract the examples
+/// enforce since PR5/PR7).
+inline Config parse_args(int argc, char** argv,
+                         const std::vector<std::string>& extra_keys = {}) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return Config::from_args(args);
+  std::vector<std::string> positional;
+  const Config cfg = Config::from_args(args, &positional);
+  const auto unknown = unknown_args(cfg, positional, extra_keys);
+  if (!unknown.empty()) {
+    std::cerr << "error: unrecognized argument(s):";
+    for (const auto& u : unknown) std::cerr << ' ' << u;
+    std::cerr << "\nusage: " << (argc > 0 ? argv[0] : "bench")
+              << " [key=value ...]\n  binary-specific keys:";
+    for (const auto& key : extra_keys) std::cerr << ' ' << key;
+    std::cerr << "\n  common keys: csv=<prefix> progress=1"
+              << "\n  cluster override keys:";
+    for (const auto& key : cluster::override_keys()) std::cerr << ' ' << key;
+    std::cerr << '\n';
+    std::exit(1);
+  }
+  return cfg;
 }
 
 /// Standard banner so bench outputs are self-describing in logs.
@@ -54,9 +105,10 @@ inline void banner(const std::string& experiment,
             << "==============================================================\n";
 }
 
-/// `progress=1`: live completed/total meter on stderr for run_parallel
-/// sweeps (stderr so redirected table output stays clean). The callback is
-/// serialized by run_parallel's annotated mutex; see cluster::SweepProgress.
+/// `progress=1`: live completed/total meter on stderr for run_parallel /
+/// farm sweeps (stderr so redirected table output stays clean). The
+/// callback may run concurrently on worker threads (cluster::SweepProgress
+/// contract); a bare stream write never data-races, at worst interleaves.
 inline cluster::SweepProgress progress_meter(const Config& cfg) {
   if (!cfg.get_bool("progress", false)) return {};
   return [](std::size_t done, std::size_t total) {

@@ -64,5 +64,5 @@ int run(const Config& cfg) {
 }  // namespace dare
 
 int main(int argc, char** argv) {
-  return dare::run(dare::bench::parse_args(argc, argv));
+  return dare::run(dare::bench::parse_args(argc, argv, {"jobs"}));
 }

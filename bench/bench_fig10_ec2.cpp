@@ -6,9 +6,14 @@
 // bandwidth ratio is lower, so the same locality gain buys a larger
 // improvement in turnaround and slowdown (paper: 19 % and 25 %).
 //
-// Overrides: jobs=<n> nodes=<n> seed=<n> progress=1
+// Runs on cluster::ExperimentFarm: each grid cell is a self-contained,
+// keyed work item, so `journal=<path>` makes the sweep resumable after an
+// interruption (completed cells replay from the journal bit-identically).
+//
+// Overrides: jobs=<n> nodes=<n> seed=<n> seeds=<n> journal=<path>
+//            threads=<n> progress=1
 #include "bench_common.h"
-#include "cluster/experiment.h"
+#include "cluster/farm.h"
 
 namespace dare {
 namespace {
@@ -31,26 +36,35 @@ int run(const Config& cfg) {
                                             PolicyKind::kGreedyLru,
                                             PolicyKind::kElephantTrap};
 
-  std::vector<workload::Workload> workloads;
-  for (std::size_t r = 0; r < replications; ++r) {
-    workloads.push_back(cluster::standard_wl1(nodes, jobs, seed + 10 * r));
-  }
-
-  std::vector<std::function<metrics::RunResult()>> runs;
+  // One self-contained farm item per cell replication; workload and
+  // cluster seeds follow the original scheme (wl1: seed+10r, cluster:
+  // seed+100r), so every policy/scheduler cell replays the identical job
+  // stream.
+  const std::vector<std::string> policy_keys = {"vanilla", "lru",
+                                                "elephant-trap"};
+  std::vector<Config> items;
   for (const auto& [sched, name] : schedulers) {
-    for (const auto policy : policies) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
       for (std::size_t r = 0; r < replications; ++r) {
-        const auto* wl_ptr = &workloads[r];
-        runs.push_back([=] {
-          const auto options = cluster::paper_defaults(
-              net::ec2_profile(nodes), sched, policy, seed + 100 * r);
-          return cluster::run_once(options, *wl_ptr);
-        });
+        Config item;
+        item.set("profile", "ec2");
+        item.set("nodes", std::to_string(nodes));
+        item.set("scheduler", sched == SchedulerKind::kFifo ? "fifo" : "fair");
+        item.set("policy", policy_keys[p]);
+        item.set("seed", std::to_string(seed + 100 * r));
+        item.set("workload", "wl1");
+        item.set("jobs", std::to_string(jobs));
+        item.set("wl_seed", std::to_string(seed + 10 * r));
+        items.push_back(std::move(item));
       }
     }
   }
-  const auto results =
-      cluster::run_parallel(runs, 0, bench::progress_meter(cfg));
+  cluster::ExperimentFarm::Options farm_options;
+  farm_options.threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
+  farm_options.journal_path = cfg.get_string("journal", "");
+  farm_options.progress = bench::progress_meter(cfg);
+  cluster::ExperimentFarm farm(std::move(items), farm_options);
+  const auto results = farm.run();
 
   struct Cell {
     double locality = 0.0;
@@ -63,9 +77,12 @@ int run(const Config& cfg) {
        ++cell) {
     Cell c;
     for (std::size_t r = 0; r < replications; ++r) {
-      c.locality += results[idx].locality;
-      c.gmtt_s += results[idx].gmtt_s;
-      c.slowdown += results[idx].mean_slowdown;
+      // metric() round-trips through the farm row's shortest-form decimal
+      // rendering, which parses back to the exact double — cell averages
+      // are bit-identical whether the item ran fresh or replayed.
+      c.locality += results[idx].metric("locality");
+      c.gmtt_s += results[idx].metric("gmtt_s");
+      c.slowdown += results[idx].metric("mean_slowdown");
       ++idx;
     }
     c.locality /= static_cast<double>(replications);
@@ -113,5 +130,5 @@ int run(const Config& cfg) {
 }  // namespace dare
 
 int main(int argc, char** argv) {
-  return dare::run(dare::bench::parse_args(argc, argv));
+  return dare::run(dare::bench::parse_args(argc, argv, {"jobs", "journal", "seeds", "threads"}));
 }

@@ -5,9 +5,14 @@
 // Each cell is averaged over `seeds` independent replications (workload and
 // cluster seeds both vary).
 //
-// Overrides: jobs=<n> nodes=<n> seed=<n> seeds=<n>
+// Runs on cluster::ExperimentFarm: each grid cell is a self-contained,
+// keyed work item, so `journal=<path>` makes the sweep resumable after an
+// interruption (completed cells replay from the journal bit-identically).
+//
+// Overrides: jobs=<n> nodes=<n> seed=<n> seeds=<n> journal=<path>
+//            threads=<n> progress=1
 #include "bench_common.h"
-#include "cluster/experiment.h"
+#include "cluster/farm.h"
 
 namespace dare {
 namespace {
@@ -32,32 +37,38 @@ int run(const Config& cfg) {
       {PolicyKind::kGreedyLru, "DARE, LRU eviction"},
       {PolicyKind::kElephantTrap, "DARE, ElephantTrap"}};
 
-  // One workload instance per (name, replication); generated up front so
-  // every policy/scheduler cell replays the identical job stream.
-  std::vector<std::vector<workload::Workload>> workloads(2);
-  for (std::size_t r = 0; r < replications; ++r) {
-    workloads[0].push_back(cluster::standard_wl1(nodes, jobs, seed + 10 * r));
-    workloads[1].push_back(
-        cluster::standard_wl2(nodes, jobs, seed + 10 * r + 1));
-  }
-
-  // Run the full 2x2x3xseeds grid in parallel.
-  std::vector<std::function<metrics::RunResult()>> runs;
+  // Run the full 2x2x3xseeds grid on the experiment farm: one
+  // self-contained item per cell replication. Workload seeds follow the
+  // original scheme (wl1: seed+10r, wl2: seed+10r+1, cluster: seed+100r),
+  // so every policy/scheduler cell replays the identical job stream.
+  const std::vector<std::string> policy_keys = {"vanilla", "lru",
+                                                "elephant-trap"};
+  std::vector<Config> items;
   for (std::size_t w = 0; w < 2; ++w) {
     for (const auto& [sched, sched_name] : schedulers) {
-      for (const auto& [policy, policy_name] : policies) {
+      for (std::size_t p = 0; p < policies.size(); ++p) {
         for (std::size_t r = 0; r < replications; ++r) {
-          const auto* wl_ptr = &workloads[w][r];
-          runs.push_back([=]() {
-            auto options = cluster::paper_defaults(
-                net::cct_profile(nodes), sched, policy, seed + 100 * r);
-            return cluster::run_once(options, *wl_ptr);
-          });
+          Config item;
+          item.set("profile", "cct");
+          item.set("nodes", std::to_string(nodes));
+          item.set("scheduler",
+                   sched == SchedulerKind::kFifo ? "fifo" : "fair");
+          item.set("policy", policy_keys[p]);
+          item.set("seed", std::to_string(seed + 100 * r));
+          item.set("workload", w == 0 ? "wl1" : "wl2");
+          item.set("jobs", std::to_string(jobs));
+          item.set("wl_seed", std::to_string(seed + 10 * r + w));
+          items.push_back(std::move(item));
         }
       }
     }
   }
-  const auto results = cluster::run_parallel(runs);
+  cluster::ExperimentFarm::Options farm_options;
+  farm_options.threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
+  farm_options.journal_path = cfg.get_string("journal", "");
+  farm_options.progress = bench::progress_meter(cfg);
+  cluster::ExperimentFarm farm(std::move(items), farm_options);
+  const auto results = farm.run();
 
   // Seed-averaged aggregates per cell.
   struct Cell {
@@ -70,9 +81,13 @@ int run(const Config& cfg) {
   for (std::size_t cell = 0; cell < 2 * 2 * 3; ++cell) {
     Cell c;
     for (std::size_t r = 0; r < replications; ++r) {
-      c.locality += results[idx].locality;
-      c.gmtt_s += results[idx].gmtt_s;
-      c.slowdown += results[idx].mean_slowdown;
+      // metric() round-trips through the farm row's shortest-form decimal
+      // rendering, which parses back to the exact double — cell averages
+      // are bit-identical whether the item ran fresh or replayed from a
+      // journal.
+      c.locality += results[idx].metric("locality");
+      c.gmtt_s += results[idx].metric("gmtt_s");
+      c.slowdown += results[idx].metric("mean_slowdown");
       ++idx;
     }
     c.locality /= static_cast<double>(replications);
@@ -124,5 +139,5 @@ int run(const Config& cfg) {
 }  // namespace dare
 
 int main(int argc, char** argv) {
-  return dare::run(dare::bench::parse_args(argc, argv));
+  return dare::run(dare::bench::parse_args(argc, argv, {"jobs", "journal", "seeds", "threads"}));
 }

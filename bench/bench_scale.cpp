@@ -176,7 +176,7 @@ bool run_in_child(std::size_t nodes, std::size_t jobs,
 
 int main(int argc, char** argv) {
   using namespace dare;
-  const auto cfg = bench::parse_args(argc, argv);
+  const auto cfg = bench::parse_args(argc, argv, {"json", "max_scale", "mode", "profile", "repeats"});
   bench::banner("Hyperscale scale curve (PR8 perf baseline)",
                 "infrastructure (no paper figure); ROADMAP hyperscale tier");
 

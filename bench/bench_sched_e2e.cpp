@@ -99,7 +99,7 @@ workload::Workload heavy_workload(std::size_t jobs) {
 
 int main(int argc, char** argv) {
   using namespace dare;
-  const auto cfg = bench::parse_args(argc, argv);
+  const auto cfg = bench::parse_args(argc, argv, {"jobs_cct", "jobs_ec2", "json", "mode", "nodes_cct", "nodes_ec2", "profile", "repeats"});
   bench::banner("Scheduler hot-path end-to-end A/B (PR3 perf baseline)",
                 "infrastructure (no paper figure); DARE Secs. 5-6 configs");
 

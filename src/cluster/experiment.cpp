@@ -183,11 +183,15 @@ std::vector<metrics::RunResult> run_parallel(
     if (progress) {
       futures.push_back(pool.submit([&run, &progress, &state, total] {
         metrics::RunResult result = run();
+        std::size_t completed = 0;
         {
           MutexLock lock(state.mutex);
-          ++state.completed;
-          progress(state.completed, total);
+          completed = ++state.completed;
         }
+        // Invoked outside the lock: observer I/O must not serialize the
+        // workers, and an observer exception must not leave the counter
+        // mutex poisoned (see the SweepProgress contract in experiment.h).
+        progress(completed, total);
         return result;
       }));
     } else {
@@ -212,9 +216,13 @@ workload::WorkloadOptions scaled_options(std::size_t total_nodes,
   // cluster absorbs the same job stream faster, so arrivals speed up
   // proportionally (the paper replays the same trace on both clusters; its
   // 100-node cluster is correspondingly less loaded per node, which we
-  // mirror with a gentler scaling exponent).
-  const double scale =
-      std::max(0.35, 19.0 / static_cast<double>(total_nodes - 1));
+  // mirror with a gentler scaling exponent). Degenerate sizes need a guard:
+  // total_nodes counts the master, so a 0- or 1-node cluster has no workers
+  // and the unclamped 19/(n-1) is inf (n == 1) or ~0 via size_t wraparound
+  // (n == 0); both clamp to the single-worker scale.
+  const double workers =
+      total_nodes > 1 ? static_cast<double>(total_nodes - 1) : 1.0;
+  const double scale = std::max(0.35, 19.0 / workers);
   wopts.small_interarrival_s *= scale;
   wopts.burst_interarrival_s *= scale;
   return wopts;

@@ -53,11 +53,19 @@ PolicyKind parse_policy(const std::string& name);
 metrics::RunResult run_once(const ClusterOptions& options,
                             const workload::Workload& workload);
 
-/// Progress observer for run_parallel: invoked once per completed run with
-/// (completed_so_far, total). Calls are serialized under an internal mutex
-/// (clang thread-safety annotated) but arrive on pool worker threads in
-/// completion order, which is nondeterministic — observers must only report
-/// progress, never feed results (result order is preserved separately).
+/// Progress observer for run_parallel (and the ExperimentFarm in farm.h):
+/// invoked once per completed run with (completed_so_far, total). The
+/// counter is snapshotted under an internal mutex, but the observer itself
+/// runs *outside* that lock on a pool worker thread, so:
+///   - calls arrive in completion order, which is nondeterministic, and may
+///     overlap in time — observers must be thread-safe (a bare stream write
+///     like the bench progress meter is fine);
+///   - observers must only report progress, never feed results (result
+///     order is preserved separately);
+///   - exception contract: a throwing observer does not poison the internal
+///     mutex or stall other workers, but the exception is captured in that
+///     run's future and rethrown by run_parallel when it collects results —
+///     the completed simulation result is lost. Observers should not throw.
 using SweepProgress = std::function<void(std::size_t, std::size_t)>;
 
 /// Run a batch of independent simulations on a thread pool, preserving

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -88,15 +89,24 @@ std::string Config::get_string(const std::string& key,
 double Config::get_double(const std::string& key, double fallback) const {
   const auto v = raw(key);
   if (!v) return fallback;
+  double d = 0.0;
   try {
     std::size_t pos = 0;
-    const double d = std::stod(*v, &pos);
+    d = std::stod(*v, &pos);
     if (pos != v->size()) throw std::invalid_argument("trailing chars");
-    return d;
   } catch (const std::exception&) {
     throw std::invalid_argument("Config: key '" + key +
                                 "' is not a double: " + *v);
   }
+  // std::stod happily parses "nan"/"inf" spellings, but no cluster knob has
+  // a meaningful non-finite value and several per-field validators only
+  // bound-check (NaN compares false against every bound, sailing through) —
+  // reject here so `budget=nan` fails at the parse with the key named.
+  if (!std::isfinite(d)) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is not a finite double: " + *v);
+  }
+  return d;
 }
 
 std::int64_t Config::get_int(const std::string& key,

@@ -34,7 +34,10 @@ class Config {
   bool contains(const std::string& key) const;
 
   /// Typed getters: return `fallback` when the key is absent; throw
-  /// std::invalid_argument when present but unparsable.
+  /// std::invalid_argument when present but unparsable. get_double also
+  /// rejects non-finite values ("nan", "inf", ...): no knob has a
+  /// meaningful non-finite setting, and NaN would slip past bound-checking
+  /// validators downstream.
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
   double get_double(const std::string& key, double fallback) const;

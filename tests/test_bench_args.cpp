@@ -1,0 +1,47 @@
+// Tests for the bench CLI validator: unknown_args() is the pure core of
+// bench::parse_args, which rejects typo'd knobs instead of silently running
+// the default configuration.
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dare::bench {
+namespace {
+
+TEST(UnknownArgs, AcceptsClusterOverrideAndCommonKeys) {
+  const auto cfg = Config::from_string(
+      "nodes = 20\npolicy = lru\nseed = 3\ncsv = out\nprogress = 1\n");
+  EXPECT_TRUE(unknown_args(cfg, {}, {}).empty());
+}
+
+TEST(UnknownArgs, AcceptsBinarySpecificExtraKeys) {
+  const auto cfg = Config::from_string("jobs = 100\nseeds = 3\n");
+  EXPECT_TRUE(unknown_args(cfg, {}, {"jobs", "seeds"}).empty());
+  // The same keys without the extras list are unknown: each binary opts
+  // into exactly the knobs it reads.
+  const auto unknown = unknown_args(cfg, {}, {});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "jobs=...");
+  EXPECT_EQ(unknown[1], "seeds=...");
+}
+
+TEST(UnknownArgs, FlagsTyposAndPositionals) {
+  const auto cfg = Config::from_string("nodse = 8\njobs = 10\n");
+  const auto unknown = unknown_args(cfg, {"stray"}, {"jobs"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "stray");        // positionals lead, verbatim
+  EXPECT_EQ(unknown[1], "nodse=...");    // then unknown keys, sorted
+}
+
+TEST(UnknownArgs, CommonKeysAreCsvAndProgress) {
+  const auto& keys = common_bench_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "csv");
+  EXPECT_EQ(keys[1], "progress");
+}
+
+}  // namespace
+}  // namespace dare::bench

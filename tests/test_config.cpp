@@ -46,6 +46,33 @@ TEST(Config, BadTypedValueThrows) {
   EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
 }
 
+TEST(Config, NonFiniteDoublesRejected) {
+  // std::stod happily parses every spelling below, but a NaN or infinite
+  // knob silently corrupts downstream arithmetic (e.g. arrival scaling) —
+  // get_double must reject them with the offending key in the message.
+  auto cfg = Config::from_string(
+      "a = nan\nb = inf\nc = -inf\nd = INF\ne = NaN\nf = infinity\n");
+  for (const auto& key : cfg.keys()) {
+    try {
+      cfg.get_double(key, 0.0);
+      FAIL() << "key '" << key << "' should have thrown";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + key + "'"),
+                std::string::npos)
+          << "message should name the key: " << e.what();
+    }
+  }
+}
+
+TEST(Config, FiniteDoubleSpellingsStillParse) {
+  const auto cfg = Config::from_string(
+      "a = 1e308\nb = -0.0\nc = 2.5e-10\nd = 42\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("a", 0.0), 1e308);
+  EXPECT_DOUBLE_EQ(cfg.get_double("b", 1.0), -0.0);
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0.0), 2.5e-10);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d", 0.0), 42.0);
+}
+
 TEST(Config, BooleanSpellings) {
   const auto cfg = Config::from_string(
       "a = true\nb = FALSE\nc = 1\nd = off\ne = Yes\n");

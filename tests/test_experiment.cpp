@@ -2,6 +2,10 @@
 // the parallel runner's order preservation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
 #include "cluster/experiment.h"
 
 namespace dare::cluster {
@@ -119,7 +123,7 @@ TEST(RunParallel, PreservesOrderAndValues) {
   }
 }
 
-TEST(RunParallel, ProgressObserverIsSerializedAndComplete) {
+TEST(RunParallel, ProgressObserverReportsEveryCompletion) {
   std::vector<std::function<metrics::RunResult()>> runs;
   for (int i = 0; i < 8; ++i) {
     runs.push_back([i] {
@@ -128,25 +132,69 @@ TEST(RunParallel, ProgressObserverIsSerializedAndComplete) {
       return r;
     });
   }
-  // The observer runs on pool worker threads but under run_parallel's
-  // mutex, so plain (unsynchronized) locals are safe to mutate here — that
-  // serialization is the contract under test.
+  // The observer's counter snapshot is taken under run_parallel's mutex,
+  // but the observer itself runs outside it and may be invoked
+  // concurrently (the SweepProgress contract) — so the test provides its
+  // own lock.
+  std::mutex mutex;
   std::vector<std::size_t> seen;
   std::size_t reported_total = 0;
   const auto results =
       run_parallel(runs, 4, [&](std::size_t done, std::size_t total) {
+        const std::lock_guard<std::mutex> lock(mutex);
         seen.push_back(done);
         reported_total = total;
       });
   ASSERT_EQ(results.size(), 8u);
   ASSERT_EQ(seen.size(), 8u);
   EXPECT_EQ(reported_total, 8u);
+  // Each completion count 1..8 is reported exactly once; arrival order is
+  // completion order, which is nondeterministic.
+  std::sort(seen.begin(), seen.end());
   for (std::size_t i = 0; i < seen.size(); ++i) {
-    // Strictly increasing 1..8: each completion reports once, in order.
     EXPECT_EQ(seen[i], i + 1);
   }
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(results[static_cast<std::size_t>(i)].makespan, i);
+  }
+}
+
+TEST(RunParallel, ThrowingProgressObserverPropagates) {
+  std::vector<std::function<metrics::RunResult()>> runs;
+  for (int i = 0; i < 4; ++i) {
+    runs.push_back([] { return metrics::RunResult{}; });
+  }
+  // The documented exception contract: a throwing observer is captured in
+  // that run's future and rethrown by run_parallel — no deadlock, no
+  // poisoned mutex, every worker still drains.
+  EXPECT_THROW(run_parallel(runs, 2,
+                            [](std::size_t, std::size_t) {
+                              throw std::runtime_error("observer failure");
+                            }),
+               std::runtime_error);
+}
+
+TEST(StandardWorkloads, DegenerateClusterSizesClampToOneWorker) {
+  // total_nodes counts the master: 1- and 0-node "clusters" have no
+  // workers. The unguarded 19/(n-1) arrival scaling used to yield inf
+  // interarrivals at n == 1 (and size_t wraparound at n == 0); all three
+  // degenerate sizes must now behave like the single-worker cluster.
+  const auto two = standard_wl1(2, 8, 3);
+  const auto one = standard_wl1(1, 8, 3);
+  const auto zero = standard_wl1(0, 8, 3);
+  ASSERT_EQ(one.jobs.size(), two.jobs.size());
+  ASSERT_EQ(zero.jobs.size(), two.jobs.size());
+  for (std::size_t i = 0; i < two.jobs.size(); ++i) {
+    EXPECT_EQ(one.jobs[i].arrival, two.jobs[i].arrival);
+    EXPECT_EQ(zero.jobs[i].arrival, two.jobs[i].arrival);
+    EXPECT_GE(one.jobs[i].arrival, 0);
+    EXPECT_LT(one.jobs[i].arrival, kTimeNever);
+  }
+  const auto one_wl2 = standard_wl2(1, 8, 3);
+  const auto two_wl2 = standard_wl2(2, 8, 3);
+  ASSERT_EQ(one_wl2.jobs.size(), two_wl2.jobs.size());
+  for (std::size_t i = 0; i < two_wl2.jobs.size(); ++i) {
+    EXPECT_EQ(one_wl2.jobs[i].arrival, two_wl2.jobs[i].arrival);
   }
 }
 
