@@ -1,0 +1,131 @@
+// Network-fault demo: the same workload on a quiet cluster, then with rack
+// partitions and degraded uplinks raging, then with the mitigation ladder
+// stepped up — the plain FIFO repair queue versus the prioritized
+// bandwidth-aware repair scheduler that lets critically-exposed blocks
+// (one reachable replica left) jump the bulk re-replication backlog.
+//
+// Usage: netfault_run [jobs=N] [nodes=N]
+//                     [plus cluster overrides: netfault=, part_mtbf_s=,
+//                      repair_policy=, repairs_per_uplink=, ...]
+#include <algorithm>
+#include <iostream>
+
+#include "cluster/experiment.h"
+#include "common/config.h"
+#include "common/table.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: netfault_run [jobs=N] [nodes=N]\n"
+    "                    [plus cluster overrides: netfault=, part_mtbf_s=,\n"
+    "                     part_duration_s=, link_mtbf_s=, link_duration_s=,\n"
+    "                     bandwidth_cut=, latency_inflation=,\n"
+    "                     connect_timeout_s=, repair_policy=,\n"
+    "                     repairs_per_uplink=, repair_backoff_s=,\n"
+    "                     policy=, scheduler=, seed=, ...]\n"
+    "Arguments are key=value tokens; anything else is rejected.\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dare;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> positional;
+  const Config cfg = Config::from_args(args, &positional);
+
+  // A typo'd knob must fail loudly, not silently run the default config.
+  const std::vector<std::string> local_keys = {"jobs", "nodes"};
+  std::vector<std::string> unknown = positional;
+  for (const auto& key : cfg.keys()) {
+    const auto& shared = cluster::override_keys();
+    if (std::find(shared.begin(), shared.end(), key) != shared.end()) continue;
+    if (std::find(local_keys.begin(), local_keys.end(), key) !=
+        local_keys.end()) {
+      continue;
+    }
+    unknown.push_back(key + "=...");
+  }
+  if (!unknown.empty()) {
+    std::cerr << "error: unrecognized argument(s):";
+    for (const auto& u : unknown) std::cerr << ' ' << u;
+    std::cerr << '\n' << kUsage;
+    return 1;
+  }
+
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 20));
+  const auto jobs = static_cast<std::size_t>(cfg.get_int("jobs", 300));
+
+  const auto wl = cluster::standard_wl1(nodes, jobs);
+
+  // Default network-fault climate; every knob is overridable from the CLI.
+  // Mild node churn underneath keeps the repair pipeline honest.
+  auto base = cluster::paper_defaults(net::ec2_profile(nodes),
+                                      cluster::SchedulerKind::kFair,
+                                      cluster::PolicyKind::kElephantTrap);
+  base.faults.enabled = true;
+  base.faults.mtbf_s = 240.0;
+  base.faults.mttr_s = 30.0;
+  base.faults.permanent_fraction = 0.15;
+  base.faults.min_live_workers = 4;
+  base.netfault.partition_mtbf_s = 120.0;
+  base.netfault.partition_duration_s = 20.0;
+  base.netfault.link_degrade_mtbf_s = 90.0;
+  base.netfault.link_degrade_duration_s = 40.0;
+  base.rereplication_interval = from_seconds(1.0);
+  base.rereplication_batch = 32;
+  base = cluster::apply_overrides(base, cfg);
+
+  struct Variant {
+    const char* name;
+    bool netfault;
+    cluster::RepairPolicy repair;
+  };
+  const Variant variants[] = {
+      {"quiet network", false, cluster::RepairPolicy::kFifo},
+      {"partitions, fifo repair", true, cluster::RepairPolicy::kFifo},
+      {"partitions, prioritized repair", true,
+       cluster::RepairPolicy::kPrioritized},
+  };
+
+  AsciiTable table({"configuration", "GMTT (s)", "locality", "partitions",
+                    "healed", "link degrades", "unreach reads", "retries",
+                    "repaired", "1-rep windows", "1-rep (s)", "failed jobs"});
+  for (const auto& v : variants) {
+    auto options = base;
+    options.netfault.enabled = v.netfault;
+    options.repair_policy = v.repair;
+    const auto result = cluster::run_once(options, wl);
+    table.add_row({v.name, fmt_fixed(result.gmtt_s, 2),
+                   fmt_percent(result.locality),
+                   std::to_string(result.partition_episodes),
+                   std::to_string(result.partitions_healed),
+                   std::to_string(result.link_degrade_episodes),
+                   std::to_string(result.unreachable_reads),
+                   std::to_string(result.repair_retries),
+                   std::to_string(result.repairs_landed),
+                   std::to_string(result.one_replica_windows),
+                   fmt_fixed(result.one_replica_total_s, 1),
+                   std::to_string(result.failed_jobs)});
+  }
+  table.print(
+      std::cout,
+      "Network-fault demo — " + std::to_string(nodes) + "-node cluster, " +
+          std::string(cluster::policy_name(base.policy)) +
+          " policy, partition MTBF " +
+          std::to_string(static_cast<int>(base.netfault.partition_mtbf_s)) +
+          " s, episodes " +
+          std::to_string(
+              static_cast<int>(base.netfault.partition_duration_s)) +
+          " s");
+  std::cout
+      << "\nA partitioned rack keeps computing but stops heartbeating: the "
+         "name node declares its\nnodes dead and queues re-replication for "
+         "their blocks; reads past the boundary fail\nfast after a connect "
+         "timeout. When the partition heals, the nodes re-register and\n"
+         "surplus repair copies are pruned. The prioritized repair "
+         "scheduler drains blocks down\nto one reachable replica before any "
+         "bulk backlog, shrinking the exposure windows a\nfifo queue leaves "
+         "open.\n";
+  return 0;
+}

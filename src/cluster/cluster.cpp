@@ -67,7 +67,9 @@ class Cluster::Locator final : public sched::BlockLocator {
 // forked from rng_ below, never seeded directly.
 // dare-lint: allow(rng-stream-discipline)
 Cluster::Cluster(const ClusterOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      rng_(options.seed),
+      repairs_(options.repair_policy) {
   if (options_.profile.topology.nodes < 2) {
     throw std::invalid_argument("Cluster: need a master plus >= 1 worker");
   }
@@ -78,6 +80,11 @@ Cluster::Cluster(const ClusterOptions& options)
   faults::validate_fault_params(options_.faults, workers);
   faults::validate_corruption_params(options_.corruption);
   faults::validate_straggler_params(options_.stragglers);
+  faults::validate_netfault_params(options_.netfault);
+  if (options_.repair_retry_backoff <= 0) {
+    throw std::invalid_argument(
+        "ClusterOptions.repair_retry_backoff must be positive");
+  }
   if (!(options_.clone_budget_fraction >= 0.0 &&
         options_.clone_budget_fraction <= 1.0)) {
     throw std::invalid_argument(
@@ -110,15 +117,34 @@ Cluster::Cluster(const ClusterOptions& options)
         static_cast<NodeId>(i), options_.profile.disk, rng_));
   }
   locator_ = std::make_unique<Locator>(*name_node_, *topology_);
+  node_rack_.resize(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    node_rack_[i] = topology_->rack_of(static_cast<NodeId>(i));
+  }
+  const std::size_t racks = topology_->rack_count();
+  rack_partitioned_.assign(racks, false);
+  rack_partition_start_.assign(racks, 0);
+  partition_event_.resize(racks);
+  link_event_.resize(racks);
+  repair_uplink_inflight_.assign(racks, 0);
+  for (const auto& ev : options_.partition_events) {
+    if (ev.rack < 0 || static_cast<std::size_t>(ev.rack) >= racks) {
+      throw std::invalid_argument("Cluster: partition event for unknown rack");
+    }
+    if (ev.duration <= 0) {
+      throw std::invalid_argument(
+          "Cluster: partition event needs a positive duration");
+    }
+  }
+  netfault_active_ =
+      options_.netfault.enabled || !options_.partition_events.empty();
   track_unavailability_ = options_.faults.enabled ||
                           !options_.failures.empty() ||
                           options_.corruption.enabled ||
-                          !options_.corruption_events.empty();
+                          !options_.corruption_events.empty() ||
+                          netfault_active_;
   if (options_.use_locality_index) {
-    std::vector<RackId> node_rack(workers);
-    for (std::size_t i = 0; i < workers; ++i) {
-      node_rack[i] = topology_->rack_of(static_cast<NodeId>(i));
-    }
+    std::vector<RackId> node_rack = node_rack_;
     locality_index_ = std::make_unique<sched::LocalityIndex>(
         workers, std::move(node_rack), topology_->rack_count());
     jobs_.attach_locality_index(locality_index_.get());
@@ -208,6 +234,17 @@ Cluster::Cluster(const ClusterOptions& options)
   if (options_.stragglers.enabled) {
     straggler_process_ = std::make_unique<faults::StragglerProcess>(
         options_.stragglers, rng_);
+  }
+  // Network-fault stream: forked last of all, and only when the stochastic
+  // process is enabled — scripted partition events need no randomness, and
+  // disabled runs keep the exact stream positions (and fingerprints) they
+  // had before the subsystem existed.
+  // dare-lint: allow(rng-stream-discipline)
+  if (options_.netfault.enabled) {
+    netfault_process_ = std::make_unique<faults::NetworkFaultProcess>(
+        options_.netfault, rng_);
+    network_->set_degradation_factors(options_.netfault.bandwidth_cut,
+                                      options_.netfault.latency_inflation);
   }
   verify_reads_ =
       corruption_ != nullptr || !options_.corruption_events.empty();
@@ -357,6 +394,20 @@ void Cluster::start_heartbeats() {
 
 void Cluster::heartbeat(std::size_t worker) {
   if (dead_[worker]) return;  // a dead node heartbeats no more
+  if (node_partitioned(worker)) {
+    // Lost at the partitioned boundary: the tracker keeps beating but the
+    // master never hears it, so the missed-beat detector will declare the
+    // node dead. Only the periodic chain is re-armed; pending block reports
+    // stay queued until the heal reconciles (or the next delivered beat
+    // drains them, for a blip shorter than the detection timeout).
+    if (!run_finished()) {
+      heartbeat_event_[worker] =
+          sim_.after(options_.heartbeat_interval, [this, worker] {
+            heartbeat(worker);
+          });
+    }
+    return;
+  }
   obs::PhaseScope prof(profiler_, obs::Phase::kHeartbeat);
   name_node_->heartbeat_received(static_cast<NodeId>(worker), sim_.now());
   auto& dn = *data_nodes_[worker];
@@ -466,7 +517,8 @@ void Cluster::try_assign_node(NodeId worker) {
   }
 }
 
-NodeId Cluster::pick_source(NodeId reader, BlockId block) const {
+NodeId Cluster::pick_source(NodeId reader, BlockId block,
+                            std::size_t* unreachable_skipped) const {
   const auto& locs = name_node_->locations(block);
   NodeId best = kInvalidNode;
   bool best_slow = false;
@@ -475,6 +527,13 @@ NodeId Cluster::pick_source(NodeId reader, BlockId block) const {
   for (NodeId cand : locs) {
     if (cand == reader) continue;  // metadata race; never a usable source
     if (dead_[static_cast<std::size_t>(cand)]) continue;
+    if (netfault_active_ && !network_->reachable(reader, cand)) {
+      // A replica behind a partitioned boundary reads like a dead one,
+      // except the reader pays a fail-fast connect timeout for probing it
+      // (charged by plan_read via this count).
+      if (unreachable_skipped != nullptr) ++*unreachable_skipped;
+      continue;
+    }
     // Graceful degradation: detected-slow holders rank strictly below every
     // healthy one (deprioritized, never excluded — a slow copy still beats
     // the archival tier). With detection off this bit is always false and
@@ -571,12 +630,20 @@ Cluster::ReadPlan Cluster::plan_read(NodeId worker, BlockId block, Bytes bytes,
     handle_bad_block(block, worker);
   }
   for (;;) {
-    const NodeId src = pick_source(worker, block);
+    std::size_t unreachable = 0;
+    const NodeId src = pick_source(worker, block, &unreachable);
+    if (unreachable > 0) {
+      // Fail fast across a dead link: the reader probed a replica behind a
+      // partitioned boundary, burned one connect timeout, and moved on to a
+      // reachable copy (or the archival fallback below).
+      plan.duration += from_seconds(options_.netfault.connect_timeout_s);
+      ++unreachable_reads_;
+    }
     if (src == kInvalidNode) {
-      // Every other replica is on a dead node or burned by quarantine:
-      // restore from the (simulated) archival tier — a fixed, painful
-      // penalty. This keeps jobs with genuinely lost blocks finishable
-      // instead of deadlocking the run.
+      // Every other replica is on a dead or unreachable node or burned by
+      // quarantine: restore from the (simulated) archival tier — a fixed,
+      // painful penalty. This keeps jobs with genuinely lost blocks
+      // finishable instead of deadlocking the run.
       plan.duration += from_seconds(60.0);
       plan.src = worker;
       plan.remote_flow = false;
@@ -898,13 +965,13 @@ void Cluster::on_map_attempt_finished(JobId job, std::size_t map_index,
     throw std::logic_error("Cluster: attempt not registered");
   }
 
-  if (dead_[wi]) {
-    // The node died mid-attempt: its tracker never reports back, so nobody
-    // learns anything here. The attempt stays registered as a zombie until
-    // the name node detects the death via missed heartbeats and
-    // cleanup_node_attempts() requeues the task. Only the network flow is
-    // torn down (done above) — mark it released so the sweep won't double
-    // release it.
+  if (dead_[wi] || node_partitioned(wi)) {
+    // The node died (or its rack fell behind a partition) mid-attempt: its
+    // tracker never reports back, so nobody learns anything here. The
+    // attempt stays registered as a zombie until the name node detects the
+    // loss via missed heartbeats and cleanup_node_attempts() requeues the
+    // task (or a blip heal sweeps it). Only the network flow is torn down
+    // (done above) — mark it released so the sweep won't double release it.
     att_it->holds_flow = false;
     return;
   }
@@ -1086,7 +1153,8 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
          ++attempt) {
       const auto cand =
           static_cast<NodeId>(rng_.uniform_int(data_nodes_.size()));
-      if (cand != worker && !dead_[static_cast<std::size_t>(cand)]) {
+      if (cand != worker && !dead_[static_cast<std::size_t>(cand)] &&
+          (!netfault_active_ || network_->reachable(cand, worker))) {
         src = cand;
         break;
       }
@@ -1117,10 +1185,11 @@ void Cluster::launch_reduce(NodeId worker, JobId job) {
           throw std::logic_error("Cluster: unknown reduce attempt completed");
         }
         const auto wi = static_cast<std::size_t>(worker);
-        if (dead_[wi]) {
-          // Zombie completion on a dead tracker: nobody hears about it.
-          // The attempt stays registered until heartbeat detection sweeps
-          // the node; only its flow (already released) is gone.
+        if (dead_[wi] || node_partitioned(wi)) {
+          // Zombie completion on a dead or partitioned tracker: nobody
+          // hears about it. The attempt stays registered until heartbeat
+          // detection (or a blip heal) sweeps the node; only its flow
+          // (already released) is gone.
           it->second.holds_flow = false;
           return;
         }
@@ -1217,12 +1286,22 @@ void Cluster::detection_tick() {
 void Cluster::declare_node_dead(NodeId worker) {
   const auto w = static_cast<std::size_t>(worker);
   if (declared_dead_[w]) return;
-  DARE_INVARIANT(dead_[w],
-                 "Cluster: declaring a physically live node dead (node " +
-                     std::to_string(w) + ")");
+  // A node may be declared while physically alive when its rack is
+  // partitioned: the beats are sent but never delivered, which from the
+  // master's chair is indistinguishable from a dead tracker.
+  DARE_INVARIANT(dead_[w] || node_partitioned(w),
+                 "Cluster: declaring a physically live, reachable node dead "
+                 "(node " + std::to_string(w) + ")");
   declared_dead_[w] = true;
   ++failures_detected_;
-  detection_latency_total_ += sim_.now() - death_time_[w];
+  detection_latency_total_ +=
+      sim_.now() -
+      (dead_[w] ? death_time_[w]
+                : rack_partition_start_[static_cast<std::size_t>(
+                      node_rack_[w])]);
+  // A partitioned-but-alive node keeps its slots in the ledger until now;
+  // they leave the pool exactly like a dead node's (restored at the heal).
+  if (!dead_[w]) slots_.clear_node(w);
   // The name node drops every replica location on the node; blocks that
   // fell under their replication factor enter the repair queue.
   const auto under_replicated = name_node_->node_failed(worker);
@@ -1303,47 +1382,19 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
   obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
   dead_[w] = false;
   ++fault_epoch_[w];
-  ++node_rejoins_;
-  auto& dn = *data_nodes_[w];
+  if (declared_dead_[w] && node_partitioned(w)) {
+    // The node rebooted behind a still-partitioned uplink: the master
+    // cannot see it, so reconciliation waits for the heal (end_partition
+    // finds the node declared and re-registers it then). Only the local
+    // heartbeat chain restarts — its beats are lost at the boundary.
+    heartbeat(w);
+    if (fault_process_) schedule_stochastic_failure(worker, fault_epoch_[w]);
+    return;
+  }
   if (declared_dead_[w]) {
-    declared_dead_[w] = false;
-    // Full re-registration: anything the dead tracker had queued for its
-    // next block report died with the process; the disk contents are the
-    // only truth left, and the name node reconciles against them.
-    dn.clear_pending_reports();
-    // Disk scrub on re-registration: a corrupt copy is only offered back to
-    // the name node when it is the last copy anywhere (resurrecting a lost
-    // block beats deleting its final bytes); otherwise quarantine it
-    // locally. The name node scrubbed this node's locations at declaration,
-    // so any remaining location is another live holder.
-    for (BlockId b : dn.corrupt_blocks()) {
-      if (name_node_->locations(b).empty()) {
-        record_data_loss(b);
-      } else if (dn.quarantine_replica(b)) {
-        ++replicas_quarantined_;
-        // The name node holds no location for this copy, so the tracer
-        // event comes from the cluster glue.
-        if (tracer_ != nullptr) tracer_->replica_quarantined(worker, b);
-      }
-    }
-    std::vector<BlockId> statics;
-    for (const auto& meta : dn.static_blocks()) statics.push_back(meta.id);
-    std::sort(statics.begin(), statics.end());
-    std::vector<BlockId> dynamics = dn.dynamic_blocks();
-    std::sort(dynamics.begin(), dynamics.end());
-    const auto report = name_node_->node_rejoined(worker, statics, dynamics);
-    for (BlockId pruned : report.pruned_static) {
-      // Re-replication won the race while we were down: the stale copy is
-      // surplus now, drop it.
-      dn.remove_static_block(pruned);
-      ++overreplication_prunes_;
-    }
-    // The policy's in-memory state (recency lists, aging ring, budgets)
-    // died with the process; rebuild it from the surviving replicas.
-    policies_[w]->rebuild(dn.dynamic_block_metas());
-    blacklisted_[w] = false;
-    node_task_failures_[w] = 0;
+    reregister_node(worker);
   } else {
+    ++node_rejoins_;
     // Blip shorter than the detection timeout: the name node never
     // noticed, its metadata is still correct, and the disk (and policy
     // state) is intact. But the rebooted tracker does not resume tasks —
@@ -1353,11 +1404,58 @@ void Cluster::recover_node(NodeId worker, std::uint64_t epoch) {
       tracer_->node_rejoined(worker, /*full_reregistration=*/false);
     }
     cleanup_node_attempts(worker);
+    slots_.restore_node(w);
   }
-  slots_.restore_node(w);
   heartbeat(w);  // re-registration heartbeat, restarts the periodic chain
   if (fault_process_) schedule_stochastic_failure(worker, fault_epoch_[w]);
   try_assign_all();
+}
+
+void Cluster::reregister_node(NodeId worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  auto& dn = *data_nodes_[w];
+  declared_dead_[w] = false;
+  ++node_rejoins_;
+  // Full re-registration: anything the tracker had queued for its next
+  // block report is stale (a dead process lost it; a partitioned one may
+  // have marked replicas the master re-replicated meanwhile); the disk
+  // contents are the only truth left, and the name node reconciles against
+  // them.
+  dn.clear_pending_reports();
+  // Disk scrub on re-registration: a corrupt copy is only offered back to
+  // the name node when it is the last copy anywhere (resurrecting a lost
+  // block beats deleting its final bytes); otherwise quarantine it
+  // locally. The name node scrubbed this node's locations at declaration,
+  // so any remaining location is another live holder.
+  for (BlockId b : dn.corrupt_blocks()) {
+    if (name_node_->locations(b).empty()) {
+      record_data_loss(b);
+    } else if (dn.quarantine_replica(b)) {
+      ++replicas_quarantined_;
+      // The name node holds no location for this copy, so the tracer
+      // event comes from the cluster glue.
+      if (tracer_ != nullptr) tracer_->replica_quarantined(worker, b);
+    }
+  }
+  std::vector<BlockId> statics;
+  for (const auto& meta : dn.static_blocks()) statics.push_back(meta.id);
+  std::sort(statics.begin(), statics.end());
+  std::vector<BlockId> dynamics = dn.dynamic_blocks();
+  std::sort(dynamics.begin(), dynamics.end());
+  const auto report = name_node_->node_rejoined(worker, statics, dynamics);
+  for (BlockId pruned : report.pruned_static) {
+    // Re-replication won the race while we were gone: the stale copy is
+    // surplus now, drop it (exactly once — node_rejoined prunes only what
+    // it just adopted back above target).
+    dn.remove_static_block(pruned);
+    ++overreplication_prunes_;
+  }
+  // The policy's in-memory state (recency lists, aging ring, budgets) is
+  // stale; rebuild it from the surviving replicas.
+  policies_[w]->rebuild(dn.dynamic_block_metas());
+  blacklisted_[w] = false;
+  node_task_failures_[w] = 0;
+  slots_.restore_node(w);
 }
 
 void Cluster::schedule_stochastic_failure(NodeId worker, std::uint64_t epoch) {
@@ -1442,6 +1540,108 @@ void Cluster::end_degrade(NodeId worker) {
   if (tracer_ != nullptr) tracer_->node_degrade_ended(worker);
   if (run_finished()) return;
   schedule_degrade_onset(worker);  // the chain continues until the run ends
+}
+
+void Cluster::schedule_partition_onset(RackId rack) {
+  const auto r = static_cast<std::size_t>(rack);
+  partition_event_[r] =
+      sim_.after(netfault_process_->sample_partition_uptime(), [this, rack] {
+        if (run_finished()) return;
+        begin_partition(rack, netfault_process_->sample_partition_duration());
+      });
+}
+
+void Cluster::begin_partition(RackId rack, SimDuration duration) {
+  const auto r = static_cast<std::size_t>(rack);
+  // Already partitioned (a scripted event overlapping the stochastic chain):
+  // the existing episode's heal event stands, and the new onset is absorbed.
+  if (run_finished() || rack_partitioned_[r]) return;
+  // The cluster always keeps a connected side with the master: an onset
+  // that would cut off the last connected rack is absorbed (the chain
+  // continues, the episode just doesn't happen).
+  std::size_t connected = 0;
+  for (const bool partitioned : rack_partitioned_) {
+    if (!partitioned) ++connected;
+  }
+  if (connected <= 1) {
+    if (netfault_process_ != nullptr) schedule_partition_onset(rack);
+    return;
+  }
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
+  rack_partitioned_[r] = true;
+  rack_partition_start_[r] = sim_.now();
+  network_->set_rack_partitioned(rack, true);
+  ++partition_episodes_;
+  if (tracer_ != nullptr) {
+    tracer_->partition_started(rack, to_seconds(duration));
+  }
+  partition_event_[r] =
+      sim_.after(duration, [this, rack] { end_partition(rack); });
+}
+
+void Cluster::end_partition(RackId rack) {
+  const auto r = static_cast<std::size_t>(rack);
+  if (!rack_partitioned_[r]) return;
+  obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
+  rack_partitioned_[r] = false;
+  network_->set_rack_partitioned(rack, false);
+  ++partitions_healed_;
+  if (tracer_ != nullptr) tracer_->partition_healed(rack);
+  for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
+    if (node_rack_[w] != rack) continue;
+    // Physically dead nodes reconcile on their own recovery path (which
+    // defers to the heal only while the uplink is down — not any more).
+    if (dead_[w]) continue;
+    if (declared_dead_[w]) {
+      // The detector declared this node during the outage and the master
+      // re-replicated around it; rejoin prunes the surplus exactly once.
+      reregister_node(static_cast<NodeId>(w));
+    } else {
+      // Blip shorter than the detection timeout: the master never noticed.
+      // Tasks launched before the cut died with their lost completions —
+      // requeue them like a transient reboot.
+      if (tracer_ != nullptr) {
+        tracer_->node_rejoined(static_cast<NodeId>(w),
+                               /*full_reregistration=*/false);
+      }
+      cleanup_node_attempts(static_cast<NodeId>(w));
+      slots_.restore_node(w);
+    }
+    // Refresh the master's freshness stamp: the node was beating into the
+    // void the whole outage, and without this the detector would
+    // (re-)declare a healed, reachable node.
+    name_node_->heartbeat_received(static_cast<NodeId>(w), sim_.now());
+  }
+  try_assign_all();
+  if (run_finished()) return;
+  if (netfault_process_ != nullptr) schedule_partition_onset(rack);
+}
+
+void Cluster::schedule_link_onset(RackId rack) {
+  const auto r = static_cast<std::size_t>(rack);
+  link_event_[r] =
+      sim_.after(netfault_process_->sample_link_uptime(), [this, rack] {
+        if (run_finished()) return;
+        begin_link_degrade(rack, netfault_process_->sample_link_duration());
+      });
+}
+
+void Cluster::begin_link_degrade(RackId rack, SimDuration duration) {
+  const auto r = static_cast<std::size_t>(rack);
+  if (run_finished() || network_->uplink_degraded(rack)) return;
+  network_->set_uplink_degraded(rack, true);
+  ++link_degrade_episodes_;
+  if (tracer_ != nullptr) {
+    tracer_->link_degraded(rack, to_seconds(duration));
+  }
+  link_event_[r] =
+      sim_.after(duration, [this, rack] { end_link_degrade(rack); });
+}
+
+void Cluster::end_link_degrade(RackId rack) {
+  network_->set_uplink_degraded(rack, false);
+  if (run_finished()) return;
+  schedule_link_onset(rack);  // the chain continues until the run ends
 }
 
 void Cluster::fail_job(JobId job) {
@@ -1530,17 +1730,36 @@ void Cluster::cancel_pending_churn() {
   for (auto& handle : next_failure_) handle.cancel();
   for (auto& handle : recover_event_) handle.cancel();
   for (auto& handle : degrade_event_) handle.cancel();
+  // Racks partitioned at run end stay partitioned: post-run repair retries
+  // see them unreachable and abandon, which is the intended teardown.
+  for (auto& handle : partition_event_) handle.cancel();
+  for (auto& handle : link_event_) handle.cancel();
   latent_event_.cancel();
   // The gauge sampler must die with the run too: a sample event left in the
   // queue would fire after the last job and inflate the makespan.
   sampler_event_.cancel();
 }
 
+RepairClass Cluster::classify_repair(BlockId block) const {
+  // Critical = at most one replica a repair read could actually reach right
+  // now. Partitioned holders are alive but useless as sources, so they don't
+  // count toward redundancy.
+  std::size_t live = 0;
+  for (NodeId cand : name_node_->locations(block)) {
+    const auto c = static_cast<std::size_t>(cand);
+    if (dead_[c] || node_partitioned(c)) continue;
+    ++live;
+  }
+  return live <= 1 ? RepairClass::kCritical : RepairClass::kBulk;
+}
+
 void Cluster::queue_repair(BlockId block) {
-  repair_queue_.push_back(block);
-  // First enqueue wins: repair latency measures first queue entry to
-  // repair-copy registration (emplace is a no-op for a re-queued block).
-  repair_enqueue_time_.emplace(block, sim_.now());
+  // The scheduler dedups: a block already queued keeps its original enqueue
+  // stamp (repair latency measures first queue entry to repair-copy
+  // registration) and at most gets upgraded to critical in place.
+  if (repairs_.enqueue(block, classify_repair(block), sim_.now())) {
+    ++repairs_enqueued_;
+  }
   if (!repair_tick_scheduled_) {
     repair_tick_scheduled_ = true;
     sim_.after(options_.rereplication_interval,
@@ -1570,6 +1789,22 @@ void Cluster::on_replica_delta(BlockId block, NodeId node, bool added) {
     }
   } else if (name_node_->locations(block).empty()) {
     unavail_open_.emplace(block, sim_.now());
+  }
+  // One-replica exposure windows: time spent down to a single visible copy
+  // (the next loss is forever). Armed only after the initial load —
+  // single-replica files at load time are a configuration choice, not an
+  // exposure event.
+  if (!exposure_armed_) return;
+  const std::size_t visible = name_node_->locations(block).size();
+  if (visible == 1) {
+    one_replica_open_.emplace(block, sim_.now());  // no-op if already open
+  } else {
+    const auto it = one_replica_open_.find(block);
+    if (it != one_replica_open_.end()) {
+      ++one_replica_windows_;
+      one_replica_total_ += sim_.now() - it->second;
+      one_replica_open_.erase(it);
+    }
   }
 }
 
@@ -1606,48 +1841,132 @@ void Cluster::schedule_latent_corruption() {
   });
 }
 
+void Cluster::retry_repair(RepairScheduler::Entry entry) {
+  // Post-run there is nothing left to protect and no heal is coming —
+  // convert the retry into an abandon so the ledger closes out.
+  if (run_finished()) {
+    abandon_repair(entry);
+    return;
+  }
+  if (repairs_.contains(entry.block)) {
+    // A fresh enqueue raced the in-flight transfer (another replica of the
+    // same block died). That entry supersedes this one; close this one out
+    // as abandoned so both enqueue counts stay terminally accounted.
+    abandon_repair(entry);
+    return;
+  }
+  ++repair_retries_;
+  ++entry.retries;
+  // Exponential backoff, shift-capped so a long outage can't overflow the
+  // arithmetic; the heal-time tick drains the queue regardless of backoff
+  // pressure because retries re-classify below.
+  const auto shift = std::min<std::uint32_t>(entry.retries - 1, 4);
+  entry.ready = sim_.now() + (options_.repair_retry_backoff << shift);
+  entry.cls = classify_repair(entry.block);
+  if (tracer_ != nullptr) {
+    tracer_->repair_retried(entry.block, entry.retries);
+  }
+  repairs_.reinsert(entry);
+  if (!repair_tick_scheduled_) {
+    repair_tick_scheduled_ = true;
+    sim_.after(options_.rereplication_interval,
+               [this] { rereplication_tick(); });
+  }
+}
+
+void Cluster::abandon_repair(const RepairScheduler::Entry&) {
+  ++repairs_abandoned_;
+}
+
+void Cluster::land_repair(const RepairScheduler::Entry& entry) {
+  ++repairs_landed_;
+  ++rereplicated_blocks_;
+  // Repair latency measures first queue entry to repair-copy registration
+  // (retries included — backoff time is real exposure time).
+  repair_latency_total_ += sim_.now() - entry.enqueued;
+}
+
 void Cluster::rereplication_tick() {
   repair_tick_scheduled_ = false;
   obs::PhaseScope prof(profiler_, obs::Phase::kChurn);
+  // Post-run the tick becomes a closer: backoff gates are ignored and
+  // retryable outcomes abandon instead, so the ledger reaches its terminal
+  // state without waiting out backoff timers.
+  const bool post_run = run_finished();
   std::size_t started = 0;
-  while (!repair_queue_.empty() && started < options_.rereplication_batch) {
-    const BlockId bid = repair_queue_.front();
-    repair_queue_.pop_front();
+  bool critical_blocked = false;
+  std::vector<RepairScheduler::Entry> deferred;
+  const std::size_t max_pops = repairs_.size();
+  std::size_t pops = 0;
+  while (pops < max_pops && started < options_.rereplication_batch) {
+    ++pops;
+    auto popped = repairs_.pop_front();
+    if (!popped.has_value()) break;
+    RepairScheduler::Entry e = *popped;
+    if (!post_run && e.ready > sim_.now()) {
+      // Still backing off; defer without charging the batch budget.
+      deferred.push_back(e);
+      continue;
+    }
+    if (repairs_.policy() == RepairPolicy::kPrioritized && critical_blocked &&
+        e.cls == RepairClass::kBulk) {
+      // A critical entry is waiting on uplink bandwidth: bulk repairs must
+      // not steal the capacity it is waiting for.
+      ++repair_preemptions_;
+      if (tracer_ != nullptr) tracer_->repair_preempted(e.block);
+      deferred.push_back(e);
+      continue;
+    }
     // A rejoining node may have re-adopted a stale replica since this block
     // was queued — don't copy what is no longer under-replicated.
-    if (!name_node_->is_under_replicated(bid)) {
-      repair_enqueue_time_.erase(bid);
+    if (!name_node_->is_under_replicated(e.block)) {
+      abandon_repair(e);
       continue;
     }
-    const auto& meta = name_node_->block(bid);
+    const auto& meta = name_node_->block(e.block);
 
-    // Source: a live holder, preferring one not detected slow (graceful
-    // degradation — a limping disk makes a poor repair source, but it still
-    // beats abandoning the repair). Destination: a live node without a copy.
-    const NodeId src = [&]() -> NodeId {
+    // Source: a live *reachable* holder, preferring one not detected slow
+    // (graceful degradation — a limping disk makes a poor repair source,
+    // but it still beats abandoning the repair).
+    NodeId src = kInvalidNode;
+    bool unreachable_holder = false;
+    {
       NodeId fallback = kInvalidNode;
-      for (NodeId cand : name_node_->locations(bid)) {
+      for (NodeId cand : name_node_->locations(e.block)) {
         const auto c = static_cast<std::size_t>(cand);
         if (dead_[c]) continue;
-        if (!detected_slow_[c]) return cand;
+        if (node_partitioned(c)) {
+          unreachable_holder = true;
+          continue;
+        }
+        if (!detected_slow_[c]) {
+          src = cand;
+          break;
+        }
         if (fallback == kInvalidNode) fallback = cand;
       }
-      return fallback;
-    }();
+      if (src == kInvalidNode) src = fallback;
+    }
     if (src == kInvalidNode) {
-      // Block truly lost, nothing to copy; abandon the repair.
-      repair_enqueue_time_.erase(bid);
+      if (unreachable_holder && !post_run) {
+        // Every surviving copy sits behind a partitioned boundary. The
+        // block is not lost — re-enqueue with backoff and try again after
+        // the heal instead of dropping the repair.
+        retry_repair(e);
+      } else {
+        // Block truly lost (or the run is over), nothing to copy.
+        abandon_repair(e);
+      }
       continue;
     }
-    if (verify_reads_ && checksum_fails(src, bid, meta.size)) {
+    if (verify_reads_ && checksum_fails(src, e.block, meta.size)) {
       // The repair read discovered its source corrupt. kQuarantined
-      // re-queues the block via handle_bad_block (a different source gets
-      // tried next tick); kLastReplica abandons the repair — re-queuing
-      // would spin on the same corrupt final copy.
-      if (handle_bad_block(bid, src) !=
-          storage::NameNode::BadBlockResult::kQuarantined) {
-        repair_enqueue_time_.erase(bid);
-      }
+      // re-queues the block via handle_bad_block (a fresh ledger entry; a
+      // different source gets tried next tick); kLastReplica abandons the
+      // repair — re-queuing would spin on the same corrupt final copy.
+      // Either way this entry is terminally closed.
+      handle_bad_block(e.block, src);
+      abandon_repair(e);
       continue;
     }
 
@@ -1656,45 +1975,86 @@ void Cluster::rereplication_tick() {
          ++attempt) {
       const auto cand =
           static_cast<std::size_t>(rng_.uniform_int(data_nodes_.size()));
-      if (!dead_[cand] && !data_nodes_[cand]->has_any_copy(bid)) {
+      if (!dead_[cand] && !node_partitioned(cand) &&
+          !data_nodes_[cand]->has_any_copy(e.block)) {
         dst = static_cast<NodeId>(cand);
         break;
       }
     }
     if (dst == kInvalidNode) {
-      // Every live node already has a copy; abandon (a location scrub will
-      // re-queue if it matters again).
-      repair_enqueue_time_.erase(bid);
+      // Every live reachable node already has a copy; abandon (a location
+      // scrub will re-queue if it matters again).
+      abandon_repair(e);
+      continue;
+    }
+
+    // Bandwidth-aware admission: bound concurrent repair transfers crossing
+    // any one rack uplink so repair traffic cannot saturate a link jobs
+    // need. Deferral is free (no batch charge, no retry penalty) — the
+    // capacity frees up as in-flight transfers complete.
+    const auto src_rack = static_cast<std::size_t>(
+        node_rack_[static_cast<std::size_t>(src)]);
+    const auto dst_rack = static_cast<std::size_t>(
+        node_rack_[static_cast<std::size_t>(dst)]);
+    const bool cross_rack = src_rack != dst_rack;
+    if (options_.max_repairs_per_uplink != 0 && cross_rack &&
+        (repair_uplink_inflight_[src_rack] >=
+             options_.max_repairs_per_uplink ||
+         repair_uplink_inflight_[dst_rack] >=
+             options_.max_repairs_per_uplink)) {
+      if (e.cls == RepairClass::kCritical) critical_blocked = true;
+      deferred.push_back(e);
       continue;
     }
 
     const SimDuration transfer =
         network_->transfer_duration(src, dst, meta.size);
     network_->flow_started(src, dst);
+    if (cross_rack) {
+      ++repair_uplink_inflight_[src_rack];
+      ++repair_uplink_inflight_[dst_rack];
+    }
     ++started;
-    sim_.after(transfer, [this, bid, src, dst, meta] {
+    ++repairs_inflight_;
+    sim_.after(transfer, [this, e, src, dst, meta, cross_rack, src_rack,
+                          dst_rack] {
       network_->flow_finished(src, dst);
+      if (cross_rack) {
+        --repair_uplink_inflight_[src_rack];
+        --repair_uplink_inflight_[dst_rack];
+      }
+      --repairs_inflight_;
       const auto d = static_cast<std::size_t>(dst);
-      if (dead_[d]) return;  // destination died mid-copy; repair re-queues
-      if (!name_node_->is_under_replicated(bid)) {
+      if (netfault_active_ && !network_->reachable(src, dst)) {
+        // A partition severed the transfer mid-flight; the bytes never
+        // landed. Retry from a reachable replica after backoff.
+        ++repair_timeouts_;
+        retry_repair(e);
+        return;
+      }
+      if (dead_[d] || declared_dead_[d] || node_partitioned(d)) {
+        // Destination died (or was declared dead / cut off) mid-copy; the
+        // copy is void. Retry elsewhere.
+        retry_repair(e);
+        return;
+      }
+      if (!name_node_->is_under_replicated(e.block)) {
         // A rejoin beat the transfer: the in-flight copy is surplus and is
         // discarded on arrival.
         ++overreplication_prunes_;
-        repair_enqueue_time_.erase(bid);
+        abandon_repair(e);
         return;
       }
-      if (name_node_->add_repair_replica(bid, dst)) {
+      if (name_node_->add_repair_replica(e.block, dst)) {
         data_nodes_[d]->add_static_block(meta);
-        ++rereplicated_blocks_;
-        const auto stamp = repair_enqueue_time_.find(bid);
-        if (stamp != repair_enqueue_time_.end()) {
-          repair_latency_total_ += sim_.now() - stamp->second;
-          repair_enqueue_time_.erase(stamp);
-        }
+        land_repair(e);
+      } else {
+        abandon_repair(e);
       }
     });
   }
-  if (!repair_queue_.empty()) {
+  for (const auto& e : deferred) repairs_.reinsert(e);
+  if (!repairs_.empty()) {
     repair_tick_scheduled_ = true;
     sim_.after(options_.rereplication_interval,
                [this] { rereplication_tick(); });
@@ -1845,6 +2205,31 @@ void Cluster::validate() const {
     if (dead_[w] && (slots_.free_maps(w) != 0 || slots_.free_reduces(w) != 0)) {
       fail("dead node " + std::to_string(w) + " advertises free slots");
     }
+    // A partitioned node the detector declared dead was cleared from the
+    // ledger (the master stopped scheduling on it) even though it is
+    // physically alive; it must not advertise slots until the heal.
+    if (!dead_[w] && declared_dead_[w] && node_partitioned(w) &&
+        (slots_.free_maps(w) != 0 || slots_.free_reduces(w) != 0)) {
+      fail("declared-dead partitioned node " + std::to_string(w) +
+           " advertises free slots");
+    }
+  }
+
+  // Repair-queue audit: membership index and queue agree, and every
+  // first-time enqueue is accounted for — queued, in flight, landed, or
+  // abandoned. Nothing leaks.
+  if (!repairs_.consistent()) {
+    fail("repair scheduler membership index diverges from its queue");
+  }
+  if (repairs_enqueued_ !=
+      repairs_landed_ + repairs_abandoned_ + repairs_.size() +
+          repairs_inflight_) {
+    fail("repair ledger out of balance: enqueued " +
+         std::to_string(repairs_enqueued_) + " != landed " +
+         std::to_string(repairs_landed_) + " + abandoned " +
+         std::to_string(repairs_abandoned_) + " + queued " +
+         std::to_string(repairs_.size()) + " + inflight " +
+         std::to_string(repairs_inflight_));
   }
 
   // Name-node <-> data-node agreement, block by block.
@@ -1947,7 +2332,10 @@ void Cluster::validate() const {
       if (network_->active_flows(static_cast<NodeId>(w)) != 0) {
         fail("leaked network flow on node " + std::to_string(w));
       }
-      if (dead_[w]) continue;
+      // Nodes behind a still-partitioned uplink are exempt: a declared one
+      // had its slots cleared, and an undeclared one may hold slots for
+      // zombie attempts that only the heal-time cleanup sweeps.
+      if (dead_[w] || node_partitioned(w)) continue;
       if (slots_.free_maps(w) != options_.map_slots_per_node ||
           slots_.free_reduces(w) != options_.reduce_slots_per_node) {
         fail("node " + std::to_string(w) +
@@ -2061,6 +2449,11 @@ void Cluster::on_job_retired(const sched::JobRuntime& rt) {
 metrics::RunResult Cluster::collect_results() {
   metrics::RunResult result;
 
+  // Close out the repair ledger: entries still queued at teardown (e.g.
+  // waiting out a backoff for a heal that never came) are terminally
+  // abandoned, in priority order so the drain itself is deterministic.
+  for (const auto& e : repairs_.drain()) abandon_repair(e);
+
   // Per-job metrics: snapshotted by on_job_retired as each job finished
   // (the only copy — runtimes are released at retirement).
   if (job_metrics_.size() != total_jobs_) {
@@ -2119,6 +2512,28 @@ metrics::RunResult Cluster::collect_results() {
   result.unavailability_windows = unavailability_windows_;
   result.unavailability_total_s = to_seconds(unavailability_total_);
 
+  // Network-fault and repair-ledger accounting. Exposure windows still open
+  // at run end close at the makespan, mirroring the unavailability rule.
+  // dare-lint: allow(unordered-iteration) -- commutative summation; the
+  // result is independent of iteration order.
+  for (const auto& [block, opened] : one_replica_open_) {
+    ++one_replica_windows_;
+    one_replica_total_ += sim_.now() - opened;
+  }
+  one_replica_open_.clear();
+  result.partition_episodes = partition_episodes_;
+  result.partitions_healed = partitions_healed_;
+  result.link_degrade_episodes = link_degrade_episodes_;
+  result.unreachable_reads = unreachable_reads_;
+  result.repairs_enqueued = repairs_enqueued_;
+  result.repairs_landed = repairs_landed_;
+  result.repairs_abandoned = repairs_abandoned_;
+  result.repair_retries = repair_retries_;
+  result.repair_timeouts = repair_timeouts_;
+  result.repair_preemptions = repair_preemptions_;
+  result.one_replica_windows = one_replica_windows_;
+  result.one_replica_total_s = to_seconds(one_replica_total_);
+
   // Popularity indices (Fig. 11). Block popularity = number of jobs that
   // accessed its file in this workload (snapshot taken at load time).
   // "Before" uses the static placement; "after" reflects the final
@@ -2174,6 +2589,9 @@ metrics::RunResult Cluster::run_with(
   job_metrics_.reserve(total_jobs_);
 
   load_files(catalog, catalog_spec, access_counts);
+  // Exposure tracking arms only now: the load itself registers replicas one
+  // at a time, and those transient single-copy states are not exposure.
+  exposure_armed_ = true;
   create_policies();
   schedule_next_arrival();
   start_heartbeats();
@@ -2212,9 +2630,15 @@ metrics::RunResult Cluster::run_with(
   if (corruption_ != nullptr && options_.corruption.sector_mtbf_s > 0.0) {
     schedule_latent_corruption();
   }
-  if (!options_.failures.empty() || options_.faults.enabled) {
+  for (const auto& ev : options_.partition_events) {
+    sim_.at(ev.at, [this, ev] { begin_partition(ev.rack, ev.duration); });
+  }
+  if (!options_.failures.empty() || options_.faults.enabled ||
+      netfault_active_) {
     // Heartbeat-expiry monitor: the only way the name node learns of
-    // deaths. Runs every heartbeat interval until the workload finishes.
+    // deaths — and of partitions, whose lost beats look identical. Without
+    // it a partitioned node's tasks would never requeue and the run would
+    // hang. Runs every heartbeat interval until the workload finishes.
     monitor_event_ =
         sim_.after(options_.heartbeat_interval, [this] { detection_tick(); });
   }
@@ -2226,6 +2650,14 @@ metrics::RunResult Cluster::run_with(
   if (straggler_process_ != nullptr) {
     for (std::size_t w = 0; w < data_nodes_.size(); ++w) {
       schedule_degrade_onset(static_cast<NodeId>(w));
+    }
+  }
+  if (netfault_process_ != nullptr && topology_->rack_count() > 1) {
+    // Single-rack topologies have no inter-rack boundary to partition or
+    // degrade; the process still forked (stream discipline) but idles.
+    for (std::size_t r = 0; r < topology_->rack_count(); ++r) {
+      schedule_partition_onset(static_cast<RackId>(r));
+      schedule_link_onset(static_cast<RackId>(r));
     }
   }
   if (options_.enable_speculation) {

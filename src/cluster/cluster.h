@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/options.h"
+#include "cluster/repair_scheduler.h"
 #include "cluster/slot_ledger.h"
 #include "common/arena.h"
 #include "common/invariant.h"
@@ -67,6 +68,7 @@ class Cluster {
 
   /// Introspection for tests.
   std::size_t worker_count() const { return data_nodes_.size(); }
+  const net::Topology& topology() const { return *topology_; }
   const storage::NameNode& name_node() const { return *name_node_; }
   const storage::DataNode& data_node(std::size_t i) const {
     return *data_nodes_.at(i);
@@ -128,9 +130,44 @@ class Cluster {
   /// without inflating the makespan.
   void cancel_pending_churn();
   void rereplication_tick();
+  /// Retryable repair failure: re-enqueue `entry` with exponential backoff
+  /// (kRepairRetried), or abandon it once the run has finished so the event
+  /// queue is guaranteed to drain even under an unhealed partition.
+  void retry_repair(RepairScheduler::Entry entry);
+  /// Terminal repair outcomes (the enqueue/land/abandon ledger).
+  void abandon_repair(const RepairScheduler::Entry& entry);
+  void land_repair(const RepairScheduler::Entry& entry);
+  /// Urgency of repairing `block` now: critical when at most one live
+  /// reachable replica remains, bulk otherwise.
+  RepairClass classify_repair(BlockId block) const;
   bool node_alive(std::size_t worker) const { return !dead_[worker]; }
   bool node_usable(std::size_t worker) const {
     return !dead_[worker] && !blacklisted_[worker];
+  }
+
+  /// --- network faults (partitions + degraded uplinks) ---------------------
+  /// Per-rack episode chains mirroring the degrade-chain pattern: onset
+  /// events sample the netfault process's forked stream, end events heal
+  /// and chain the next onset unless the run already finished. A
+  /// partitioned rack keeps running physically — its heartbeats are lost at
+  /// the boundary, the missed-beat detector declares its nodes dead, and
+  /// heal reconciles the survivors via the same full re-registration path
+  /// a rebooted node uses (node_rejoined prunes surplus copies exactly
+  /// once).
+  void schedule_partition_onset(RackId rack);
+  void begin_partition(RackId rack, SimDuration duration);
+  void end_partition(RackId rack);
+  void schedule_link_onset(RackId rack);
+  void begin_link_degrade(RackId rack, SimDuration duration);
+  void end_link_degrade(RackId rack);
+  /// Full block-report reconciliation of a declared-dead node that is
+  /// physically alive again (partition healed, or reboot finished): scrub
+  /// corrupt copies, node_rejoined, prune surplus statics, rebuild the
+  /// policy, reset the blacklist. Shared by recover_node and end_partition.
+  void reregister_node(NodeId worker);
+  bool node_partitioned(std::size_t worker) const {
+    return netfault_active_ &&
+           rack_partitioned_[static_cast<std::size_t>(node_rack_[worker])];
   }
 
   /// Speculative execution.
@@ -164,9 +201,12 @@ class Cluster {
   /// as a read/repair source until its backoff expires.
   void note_attempt_progress(NodeId worker, double duration_s);
   void straggler_decision(NodeId worker);
-  /// Launch-eligibility gate: usable and not currently detected-slow.
+  /// Launch-eligibility gate: usable, not currently detected-slow, and not
+  /// cut off behind a partitioned rack uplink (the master cannot reach a
+  /// partitioned tracker to hand it work, whatever it believes about it).
   bool node_open_for_launch(std::size_t worker) const {
-    return node_usable(worker) && !detected_slow_[worker];
+    return node_usable(worker) && !detected_slow_[worker] &&
+           !node_partitioned(worker);
   }
 
   /// --- proactive task cloning ---------------------------------------------
@@ -180,8 +220,12 @@ class Cluster {
   void retire_clone(JobId job);
 
   /// Pick the replica source for a remote read: same rack first, then
-  /// fewest active flows, then lowest id (deterministic).
-  NodeId pick_source(NodeId reader, BlockId block) const;
+  /// fewest active flows, then lowest id (deterministic). Candidates behind
+  /// a partitioned boundary are skipped like dead ones; when
+  /// `unreachable_skipped` is non-null it receives how many such candidates
+  /// were passed over (the reader's fail-fast connect timeouts).
+  NodeId pick_source(NodeId reader, BlockId block,
+                     std::size_t* unreachable_skipped = nullptr) const;
 
   /// --- data integrity (checksums, quarantine, repair accounting) ---------
   /// The read leg of a map attempt. `src` is the replica actually read
@@ -282,8 +326,23 @@ class Cluster {
   std::vector<sim::EventHandle> next_failure_;
   std::vector<sim::EventHandle> recover_event_;
   sim::EventHandle monitor_event_;
-  std::deque<BlockId> repair_queue_;
+  /// Two-class prioritized repair queue (dedup + deterministic ordering;
+  /// see cluster/repair_scheduler.h). Replaced the PR 5 FIFO deque.
+  RepairScheduler repairs_;
   bool repair_tick_scheduled_ = false;
+  /// Repair ledger + retry accounting. Every first-time enqueue terminally
+  /// lands or is abandoned; validate() checks
+  /// enqueued == landed + abandoned + queued + in-flight at all times.
+  std::uint64_t repairs_enqueued_ = 0;
+  std::uint64_t repairs_landed_ = 0;
+  std::uint64_t repairs_abandoned_ = 0;
+  std::uint64_t repairs_inflight_ = 0;
+  std::uint64_t repair_retries_ = 0;
+  std::uint64_t repair_timeouts_ = 0;
+  std::uint64_t repair_preemptions_ = 0;
+  /// Concurrent repair transfers crossing each rack's uplink (bandwidth-
+  /// aware admission; bounded by options_.max_repairs_per_uplink).
+  std::vector<std::size_t> repair_uplink_inflight_;
   /// Data-integrity state. `corruption_` is forked only when the stochastic
   /// process is enabled (zero draws otherwise); `verify_reads_` also covers
   /// scripted corruption events. Unavailability windows are tracked from
@@ -297,13 +356,19 @@ class Cluster {
   std::uint64_t replicas_quarantined_ = 0;
   std::uint64_t data_loss_events_ = 0;
   std::unordered_set<BlockId> data_loss_blocks_;
-  /// First time each block entered the repair queue (erased when the repair
-  /// lands or is abandoned); feeds repair_latency_total_.
-  std::unordered_map<BlockId, SimTime> repair_enqueue_time_;
+  /// Queue-to-landing repair latency (each entry carries its first-enqueue
+  /// time through retries; see RepairScheduler::Entry::enqueued).
   SimDuration repair_latency_total_ = 0;
   std::unordered_map<BlockId, SimTime> unavail_open_;
   std::uint64_t unavailability_windows_ = 0;
   SimDuration unavailability_total_ = 0;
+  /// One-replica exposure windows (tail risk: the next loss is data loss).
+  /// Armed only after the initial catalog placement so the 0->1->2 build-up
+  /// of load_files never counts as exposure.
+  std::unordered_map<BlockId, SimTime> one_replica_open_;
+  std::uint64_t one_replica_windows_ = 0;
+  SimDuration one_replica_total_ = 0;
+  bool exposure_armed_ = false;
   std::uint64_t task_reexecutions_ = 0;
   std::uint64_t rereplicated_blocks_ = 0;
   std::uint64_t node_failures_ = 0;
@@ -336,6 +401,27 @@ class Cluster {
   std::uint64_t degraded_onsets_ = 0;
   std::uint64_t degraded_recoveries_ = 0;
   std::uint64_t tail_inflations_ = 0;
+
+  /// Network-fault subsystem. `netfault_active_` gates every reaction path
+  /// (reachability filters, heartbeat loss, the declare-partitioned
+  /// relaxation) and is true when either the stochastic process or scripted
+  /// partition events are configured; the forked process itself exists only
+  /// when options_.netfault.enabled. `rack_partitioned_` is physical truth
+  /// about the interconnect, mirrored into net::Network for transfer
+  /// modeling.
+  std::unique_ptr<faults::NetworkFaultProcess> netfault_process_;
+  bool netfault_active_ = false;
+  std::vector<RackId> node_rack_;  ///< cached topology_->rack_of per node
+  std::vector<bool> rack_partitioned_;
+  std::vector<SimTime> rack_partition_start_;
+  /// Pending onset *or* end event of each rack's partition / link chains
+  /// (one in flight per rack per chain); cancelled once the run finishes.
+  std::vector<sim::EventHandle> partition_event_;
+  std::vector<sim::EventHandle> link_event_;
+  std::uint64_t partition_episodes_ = 0;
+  std::uint64_t partitions_healed_ = 0;
+  std::uint64_t link_degrade_episodes_ = 0;
+  std::uint64_t unreachable_reads_ = 0;
 
   /// Straggler-detection state (see note_attempt_progress /
   /// straggler_decision).

@@ -39,17 +39,21 @@ PolicyKind parse_policy(const std::string& name) {
 
 const std::vector<std::string>& override_keys() {
   static const std::vector<std::string> keys = {
-      "backoff_s",      "bitrot_per_gb",       "blacklist_threshold",
-      "budget",         "clone_budget",        "clone_max_maps",
-      "cloning",        "compute_slowdown",    "corruption",
+      "backoff_s",      "bandwidth_cut",       "bitrot_per_gb",
+      "blacklist_threshold", "budget",         "clone_budget",
+      "clone_max_maps", "cloning",             "compute_slowdown",
+      "connect_timeout_s",   "corruption",
       "degrade_duration_s", "degrade_mtbf_s",  "degrade_rack_correlation",
       "detect_min_samples", "detect_missed",   "detect_ratio",
       "detect_stragglers",  "disk_slowdown",   "fair_delay_ms",
-      "faults",         "heartbeat_s",         "map_slots",
+      "faults",         "heartbeat_s",         "latency_inflation",
+      "link_duration_s",    "link_mtbf_s",     "map_slots",
       "max_attempts",   "min_live_workers",    "mtbf_s",
-      "mttr_s",         "nodes",               "p",
+      "mttr_s",         "netfault",            "nodes",
+      "p",              "part_duration_s",     "part_mtbf_s",
       "permanent_fraction", "policy",          "profile",
-      "rack_correlation",   "reduce_slots",    "scheduler",
+      "rack_correlation",   "reduce_slots",    "repair_backoff_s",
+      "repair_policy",  "repairs_per_uplink",  "scheduler",
       "sector_mtbf_s",      "seed",            "stragglers",
       "tail_alpha",     "tail_cap",            "tail_prob",
       "task_failure_prob",  "threshold"};
@@ -139,6 +143,39 @@ ClusterOptions apply_overrides(ClusterOptions options, const Config& cfg) {
   if (cfg.contains("backoff_s")) {
     options.straggler_backoff =
         from_seconds(cfg.get_double("backoff_s", 30.0));
+  }
+  options.netfault.enabled =
+      cfg.get_bool("netfault", options.netfault.enabled);
+  options.netfault.partition_mtbf_s =
+      cfg.get_double("part_mtbf_s", options.netfault.partition_mtbf_s);
+  options.netfault.partition_duration_s =
+      cfg.get_double("part_duration_s", options.netfault.partition_duration_s);
+  options.netfault.link_degrade_mtbf_s =
+      cfg.get_double("link_mtbf_s", options.netfault.link_degrade_mtbf_s);
+  options.netfault.link_degrade_duration_s = cfg.get_double(
+      "link_duration_s", options.netfault.link_degrade_duration_s);
+  options.netfault.bandwidth_cut =
+      cfg.get_double("bandwidth_cut", options.netfault.bandwidth_cut);
+  options.netfault.latency_inflation =
+      cfg.get_double("latency_inflation", options.netfault.latency_inflation);
+  options.netfault.connect_timeout_s =
+      cfg.get_double("connect_timeout_s", options.netfault.connect_timeout_s);
+  if (cfg.contains("repair_policy")) {
+    const std::string policy = cfg.get_string("repair_policy", "");
+    if (policy == "fifo") {
+      options.repair_policy = RepairPolicy::kFifo;
+    } else if (policy == "prioritized") {
+      options.repair_policy = RepairPolicy::kPrioritized;
+    } else {
+      throw std::invalid_argument("unknown repair_policy: " + policy);
+    }
+  }
+  options.max_repairs_per_uplink = static_cast<std::size_t>(cfg.get_int(
+      "repairs_per_uplink",
+      static_cast<std::int64_t>(options.max_repairs_per_uplink)));
+  if (cfg.contains("repair_backoff_s")) {
+    options.repair_retry_backoff =
+        from_seconds(cfg.get_double("repair_backoff_s", 5.0));
   }
   options.enable_task_cloning =
       cfg.get_bool("cloning", options.enable_task_cloning);

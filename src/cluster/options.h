@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/repair_scheduler.h"
 #include "core/elephant_trap.h"
 #include "core/scarlett.h"
 #include "faults/fault_model.h"
@@ -131,6 +132,22 @@ struct ClusterOptions {
   SimDuration rereplication_interval = from_seconds(5.0);
   std::size_t rereplication_batch = 8;
 
+  /// Ordering discipline of the repair queue: prioritized (two classes,
+  /// critical-before-bulk, the default) or plain FIFO (the A/B baseline in
+  /// bench_netfault). Either way the queue dedups: a block whose replicas
+  /// die in quick succession is queued once. See cluster/repair_scheduler.h.
+  RepairPolicy repair_policy = RepairPolicy::kPrioritized;
+  /// Bandwidth-aware admission: at most this many concurrent *repair*
+  /// transfers may cross any one rack uplink (either endpoint), so a repair
+  /// storm after a rack loss cannot starve task reads of uplink bandwidth.
+  /// 0 = unbounded. Entries deferred by the cap stay queued with no retry
+  /// penalty.
+  std::size_t max_repairs_per_uplink = 2;
+  /// Base re-enqueue backoff after a retryable repair failure (unreachable
+  /// source, destination lost, transfer severed mid-flight); doubles per
+  /// consecutive retry of the same entry (shift capped at 4 → 16x).
+  SimDuration repair_retry_backoff = from_seconds(5.0);
+
   /// Record a file-level access event for every launched map task, exposed
   /// as a workload::AccessTrace after the run — the simulated counterpart
   /// of the HDFS audit logs the paper analyzes in Section III.
@@ -144,6 +161,30 @@ struct ClusterOptions {
   /// bit-identical to a build without the subsystem. See
   /// faults::StragglerParams.
   faults::StragglerParams stragglers;
+
+  /// --- network faults ------------------------------------------------------
+  /// Stochastic interconnect trouble: per-rack partition episodes (the
+  /// top-of-rack switch cuts the rack off from the cluster *and* the
+  /// master — heartbeats are lost, the missed-beat detector declares the
+  /// rack dead, heal reconciles via full re-registration) and per-rack
+  /// uplink-degradation episodes (cross-rack transfers limp at a fraction
+  /// of their bandwidth with inflated latency). Like `faults`,
+  /// `corruption`, and `stragglers`, driven by its own forked RNG stream —
+  /// disabled runs are bit-identical to a build without the subsystem. See
+  /// faults::NetworkFaultParams.
+  faults::NetworkFaultParams netfault;
+
+  /// Scripted partitions on top of (or instead of) the stochastic process:
+  /// at `at`, cut `rack` off for `duration`. Used by the deterministic
+  /// partition-heal/repair-race tests and the failure drills; the reaction
+  /// machinery (lost heartbeats, reachability filtering, heal
+  /// reconciliation) is identical to the stochastic path.
+  struct PartitionEvent {
+    SimTime at = 0;
+    RackId rack = 0;
+    SimDuration duration = 0;
+  };
+  std::vector<PartitionEvent> partition_events;
 
   /// Progress-rate straggler detection in the name-node heartbeat path. The
   /// name node keeps a per-node EWMA of (observed attempt duration /

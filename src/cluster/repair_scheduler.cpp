@@ -1,0 +1,83 @@
+#include "cluster/repair_scheduler.h"
+
+#include <stdexcept>
+
+namespace dare::cluster {
+
+RepairScheduler::RepairScheduler(RepairPolicy policy)
+    : policy_(policy), queue_(Cmp{policy}) {}
+
+void RepairScheduler::insert(const Entry& entry) {
+  const auto [it, inserted] = queue_.insert(entry);
+  if (!inserted) {
+    // Keys are unique by construction: (class, time, BlockId) collides only
+    // for the same block, and the membership guard already rejected that.
+    throw std::logic_error("RepairScheduler: duplicate ordering key");
+  }
+  queued_.emplace(entry.block, it);
+}
+
+bool RepairScheduler::enqueue(BlockId block, RepairClass cls, SimTime now) {
+  const auto found = queued_.find(block);
+  if (found != queued_.end()) {
+    // Dedup guard. An escalation (another replica died while the block sat
+    // queued as bulk) upgrades the entry in place, keeping its original
+    // enqueue time and sequence so it only ever gains priority.
+    if (cls == RepairClass::kCritical &&
+        found->second->cls == RepairClass::kBulk) {
+      Entry upgraded = *found->second;
+      upgraded.cls = RepairClass::kCritical;
+      queue_.erase(found->second);
+      queued_.erase(found);
+      insert(upgraded);
+    }
+    return false;
+  }
+  Entry entry;
+  entry.block = block;
+  entry.cls = cls;
+  entry.enqueued = now;
+  entry.seq = next_seq_++;
+  entry.ready = now;
+  insert(entry);
+  return true;
+}
+
+bool RepairScheduler::contains(BlockId block) const {
+  return queued_.find(block) != queued_.end();
+}
+
+std::optional<RepairScheduler::Entry> RepairScheduler::pop_front() {
+  if (queue_.empty()) return std::nullopt;
+  const auto it = queue_.begin();
+  Entry entry = *it;
+  queued_.erase(entry.block);
+  queue_.erase(it);
+  return entry;
+}
+
+void RepairScheduler::reinsert(const Entry& entry) {
+  if (contains(entry.block)) {
+    throw std::logic_error(
+        "RepairScheduler: reinsert of a block that is already queued");
+  }
+  insert(entry);
+}
+
+std::vector<RepairScheduler::Entry> RepairScheduler::drain() {
+  std::vector<Entry> entries(queue_.begin(), queue_.end());
+  queue_.clear();
+  queued_.clear();
+  return entries;
+}
+
+bool RepairScheduler::consistent() const {
+  if (queued_.size() != queue_.size()) return false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const auto found = queued_.find(it->block);
+    if (found == queued_.end() || found->second != it) return false;
+  }
+  return true;
+}
+
+}  // namespace dare::cluster

@@ -1,0 +1,116 @@
+// Two-class prioritized re-replication queue (replaces the PR 5 FIFO
+// `std::deque<BlockId>`; modeled on SLASH2's upsch work queues, see
+// ROADMAP "multi-datacenter" item).
+//
+// Every queued block carries a class: *critical* (down to its last live
+// reachable replica — one more loss is data loss) or *bulk* (merely under
+// target). Under the prioritized policy criticals drain strictly before
+// bulk entries are admitted; under the FIFO policy arrival order rules and
+// the class is bookkeeping only (the A/B axis of `bench_netfault`). Either
+// way the queue holds each block at most once — a membership index dedups
+// re-enqueues, so replicas dying in quick succession no longer burn
+// `rereplication_batch` slots on no-op repairs — and ordering is fully
+// deterministic: (class, first-enqueue time, BlockId) when prioritized,
+// first-enqueue sequence number when FIFO.
+//
+// Retry state rides with the entry: a repair whose source is unreachable
+// (or whose transfer is severed mid-flight) is re-inserted with an
+// exponential-backoff `ready` time instead of being dropped; the tick
+// skips not-ready entries without consuming its batch budget. The
+// scheduler itself is pure data structure — admission (uplink caps,
+// preemption, the retry policy) lives in Cluster::rereplication_tick.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dare::cluster {
+
+/// Urgency of a queued repair. Lower enum value = drains first.
+enum class RepairClass : std::uint8_t {
+  kCritical = 0,  ///< one live reachable replica left; next loss is forever
+  kBulk = 1,      ///< under the replication target but not in danger
+};
+
+/// Ordering discipline of the repair queue (bench A/B axis).
+enum class RepairPolicy : std::uint8_t {
+  kFifo,         ///< arrival order, classes recorded but ignored
+  kPrioritized,  ///< (class, enqueue time, BlockId); critical preempts bulk
+};
+
+class RepairScheduler {
+ public:
+  struct Entry {
+    BlockId block = 0;
+    RepairClass cls = RepairClass::kBulk;
+    /// First-enqueue time; preserved across retries so starvation is
+    /// impossible (an old entry only ever gains priority).
+    SimTime enqueued = 0;
+    /// First-enqueue sequence number; the FIFO policy's ordering key.
+    std::uint64_t seq = 0;
+    /// Backoff gate: the tick defers the entry while now < ready.
+    SimTime ready = 0;
+    /// Retryable failures so far (drives the exponential backoff).
+    std::uint32_t retries = 0;
+  };
+
+  explicit RepairScheduler(RepairPolicy policy);
+
+  /// Queue `block` for repair. Returns true when the block was newly
+  /// enqueued; false when it was already queued (the dedup guard) — in
+  /// that case a critical `cls` upgrades a queued bulk entry in place
+  /// (original enqueue time and sequence kept).
+  bool enqueue(BlockId block, RepairClass cls, SimTime now);
+
+  /// Is `block` currently queued? (Popped/in-flight blocks are not.)
+  bool contains(BlockId block) const;
+
+  /// Remove and return the highest-priority entry, or nullopt when empty.
+  /// Readiness is the caller's concern: not-ready entries still pop (the
+  /// tick re-inserts them via reinsert() without charging its batch).
+  std::optional<Entry> pop_front();
+
+  /// Put a popped entry back (defer or retry). The caller adjusts ready /
+  /// retries / cls first; enqueued and seq must be preserved. Throws if
+  /// the block is already queued (a popped entry has no twin by
+  /// construction).
+  void reinsert(const Entry& entry);
+
+  /// Remove every entry, in priority order (run teardown closes them out
+  /// as abandoned so the repair ledger balances).
+  std::vector<Entry> drain();
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  RepairPolicy policy() const { return policy_; }
+
+  /// Audit for Cluster::validate(): membership index and queue agree.
+  bool consistent() const;
+
+ private:
+  struct Cmp {
+    RepairPolicy policy;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (policy == RepairPolicy::kPrioritized) {
+        if (a.cls != b.cls) return a.cls < b.cls;
+        if (a.enqueued != b.enqueued) return a.enqueued < b.enqueued;
+        return a.block < b.block;
+      }
+      return a.seq < b.seq;
+    }
+  };
+
+  void insert(const Entry& entry);
+
+  RepairPolicy policy_;
+  std::uint64_t next_seq_ = 0;
+  std::set<Entry, Cmp> queue_;
+  std::unordered_map<BlockId, std::set<Entry, Cmp>::iterator> queued_;
+};
+
+}  // namespace dare::cluster

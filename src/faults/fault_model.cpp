@@ -97,6 +97,25 @@ void validate_straggler_params(const StragglerParams& params) {
   require_positive(params.tail_sigma, "StragglerParams.tail_sigma");
 }
 
+void validate_netfault_params(const NetworkFaultParams& params) {
+  require_positive(params.partition_mtbf_s,
+                   "NetworkFaultParams.partition_mtbf_s");
+  require_positive(params.partition_duration_s,
+                   "NetworkFaultParams.partition_duration_s");
+  require_positive(params.link_degrade_mtbf_s,
+                   "NetworkFaultParams.link_degrade_mtbf_s");
+  require_positive(params.link_degrade_duration_s,
+                   "NetworkFaultParams.link_degrade_duration_s");
+  // A zero cut would stall every cross-rack transfer forever; degraded
+  // links limp, partitions are what tears connectivity.
+  require_positive(params.bandwidth_cut, "NetworkFaultParams.bandwidth_cut");
+  require_fraction(params.bandwidth_cut, "NetworkFaultParams.bandwidth_cut");
+  require_at_least(params.latency_inflation, 1.0,
+                   "NetworkFaultParams.latency_inflation");
+  require_nonnegative(params.connect_timeout_s,
+                      "NetworkFaultParams.connect_timeout_s");
+}
+
 FaultProcess::FaultProcess(const FaultInjectionParams& params, Rng& parent)
     : params_(params), rng_(parent.fork()) {
   if (params_.mtbf_s <= 0.0) {
@@ -189,6 +208,36 @@ double StragglerProcess::sample_task_inflation() {
         BoundedPareto(1.0, params_.tail_cap, params_.tail_alpha).sample(rng_);
   }
   return tail ? factor : 1.0;
+}
+
+NetworkFaultProcess::NetworkFaultProcess(const NetworkFaultParams& params,
+                                         Rng& parent)
+    : params_(params), rng_(parent.fork()) {
+  validate_netfault_params(params_);
+}
+
+SimDuration NetworkFaultProcess::sample_partition_uptime() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.partition_mtbf_s)));
+}
+
+SimDuration NetworkFaultProcess::sample_partition_duration() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.partition_duration_s)));
+}
+
+SimDuration NetworkFaultProcess::sample_link_uptime() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.link_degrade_mtbf_s)));
+}
+
+SimDuration NetworkFaultProcess::sample_link_duration() {
+  return std::max<SimDuration>(
+      from_millis(1.0),
+      from_seconds(rng_.exponential(1.0 / params_.link_degrade_duration_s)));
 }
 
 }  // namespace dare::faults

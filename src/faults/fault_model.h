@@ -132,6 +132,53 @@ struct StragglerParams {
   double tail_sigma = 0.75;
 };
 
+/// Network-fault model: the interconnect limps or tears, the machines stay
+/// up.
+///
+/// Two independent per-rack episode chains, both on the same forked stream:
+///  - *Rack partitions*: a top-of-rack switch outage cuts the whole rack off
+///    from the rest of the cluster (and from the master). Heartbeats across
+///    the boundary are lost, so the PR 2 missed-beat detector declares the
+///    rack's nodes dead even though they are physically alive; when the
+///    partition heals they re-register and the NameNode reconciles their
+///    block reports exactly as for a rebooted node.
+///  - *Uplink degradation*: a rack's uplink is congested/renegotiated for a
+///    while — cross-rack transfers touching the rack keep a fraction of
+///    their bandwidth and see their latency inflated.
+struct NetworkFaultParams {
+  /// Master switch; when false no network-fault process is created and runs
+  /// are bit-identical to a build without this subsystem.
+  bool enabled = false;
+
+  /// Mean time between rack-partition onsets per rack, seconds
+  /// (exponential). Partitions never fire on single-rack topologies and at
+  /// most rack_count-1 racks are partitioned at once (the cluster always
+  /// keeps a connected majority side with the master).
+  double partition_mtbf_s = 900.0;
+
+  /// Mean length of a partition episode, seconds (exponential).
+  double partition_duration_s = 45.0;
+
+  /// Mean time between uplink-degradation onsets per rack, seconds
+  /// (exponential).
+  double link_degrade_mtbf_s = 400.0;
+
+  /// Mean length of an uplink-degradation episode, seconds (exponential).
+  double link_degrade_duration_s = 60.0;
+
+  /// Fraction of bandwidth a degraded uplink keeps, in (0, 1].
+  double bandwidth_cut = 0.25;
+
+  /// Latency multiplier on transfers crossing a degraded uplink (>= 1).
+  double latency_inflation = 4.0;
+
+  /// Fail-fast penalty a reader pays when its preferred replica sits behind
+  /// a partitioned boundary: the connect attempt times out quickly and the
+  /// read retries from a reachable replica. Charged once per affected read;
+  /// no RNG draw (a constant keeps disabled runs bit-identical).
+  double connect_timeout_s = 0.25;
+};
+
 /// Throws std::invalid_argument naming the offending field when `params`
 /// is out of range: NaN or non-positive rates, fractions outside [0, 1],
 /// or (when enabled) a live-worker floor at or above the worker count.
@@ -147,6 +194,11 @@ void validate_corruption_params(const CorruptionParams& params);
 /// is out of range: NaN or non-positive rates, slowdowns below 1,
 /// probabilities outside [0, 1], or a tail cap at or below 1.
 void validate_straggler_params(const StragglerParams& params);
+
+/// Throws std::invalid_argument naming the offending field when `params`
+/// is out of range: NaN or non-positive rates, a bandwidth cut outside
+/// (0, 1], a latency inflation below 1, or a negative connect timeout.
+void validate_netfault_params(const NetworkFaultParams& params);
 
 /// One sampled node failure.
 struct FailureSample {
@@ -247,6 +299,38 @@ class StragglerProcess {
 
  private:
   StragglerParams params_;
+  Rng rng_;
+};
+
+/// Per-cluster network-fault sampler. One instance serves every rack's
+/// partition and uplink-degradation episode chains (the draws interleave in
+/// event order, which is deterministic); all state lives in a forked RNG
+/// stream so enabling network faults never perturbs the draws of other
+/// components. Every sampler draws exactly once per call, so the stream
+/// position is independent of what the caller does with the sample.
+class NetworkFaultProcess {
+ public:
+  /// Forks a child stream off `parent`. Throws std::invalid_argument (via
+  /// validate_netfault_params) when the parameters are out of range.
+  NetworkFaultProcess(const NetworkFaultParams& params, Rng& parent);
+
+  /// Time until the next partition onset of a rack that is connected now.
+  SimDuration sample_partition_uptime();
+
+  /// Length of a partition episode starting now.
+  SimDuration sample_partition_duration();
+
+  /// Time until the next uplink-degradation onset of a rack whose uplink is
+  /// nominal now.
+  SimDuration sample_link_uptime();
+
+  /// Length of an uplink-degradation episode starting now.
+  SimDuration sample_link_duration();
+
+  const NetworkFaultParams& params() const { return params_; }
+
+ private:
+  NetworkFaultParams params_;
   Rng rng_;
 };
 

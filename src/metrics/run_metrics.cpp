@@ -172,6 +172,22 @@ std::uint64_t fingerprint(const RunResult& result) {
   if (result.clone_wins != 0) d.mix(result.clone_wins);
   if (result.clones_killed != 0) d.mix(result.clones_killed);
   if (result.clone_wasted_work_s != 0.0) d.mix(result.clone_wasted_work_s);
+  // Network-fault and repair-ledger fields, same only-when-nonzero rule:
+  // the quiet BENCH_PR3.json configurations never partition, never degrade
+  // a link, and never queue a repair, so their committed digests survive
+  // both the new subsystem and the repair-queue replacement.
+  if (result.partition_episodes != 0) d.mix(result.partition_episodes);
+  if (result.partitions_healed != 0) d.mix(result.partitions_healed);
+  if (result.link_degrade_episodes != 0) d.mix(result.link_degrade_episodes);
+  if (result.unreachable_reads != 0) d.mix(result.unreachable_reads);
+  if (result.repairs_enqueued != 0) d.mix(result.repairs_enqueued);
+  if (result.repairs_landed != 0) d.mix(result.repairs_landed);
+  if (result.repairs_abandoned != 0) d.mix(result.repairs_abandoned);
+  if (result.repair_retries != 0) d.mix(result.repair_retries);
+  if (result.repair_timeouts != 0) d.mix(result.repair_timeouts);
+  if (result.repair_preemptions != 0) d.mix(result.repair_preemptions);
+  if (result.one_replica_windows != 0) d.mix(result.one_replica_windows);
+  if (result.one_replica_total_s != 0.0) d.mix(result.one_replica_total_s);
   d.mix(result.cv_before);
   d.mix(result.cv_after);
   d.mix_i(result.makespan);

@@ -135,6 +135,34 @@ struct RunResult {
   /// Runtime burned by clones that did not win, seconds (budget overhead).
   double clone_wasted_work_s = 0.0;
 
+  /// Network-fault accounting (only nonzero when the netfault process or
+  /// scripted partitions are active; see faults::NetworkFaultParams).
+  std::uint64_t partition_episodes = 0;    ///< rack partitions started
+  std::uint64_t partitions_healed = 0;     ///< partitions that ended in-run
+  std::uint64_t link_degrade_episodes = 0; ///< uplink degradations started
+  /// Reads whose preferred replica sat behind a partitioned boundary and
+  /// paid the fail-fast connect timeout before retrying elsewhere.
+  std::uint64_t unreachable_reads = 0;
+
+  /// Repair-queue ledger (nonzero in any run that queues repairs). Every
+  /// first-time enqueue terminally lands or is abandoned; at all_done
+  /// repairs_enqueued == repairs_landed + repairs_abandoned (the in-queue /
+  /// in-flight terms of the validate() equation are zero once the event
+  /// queue drains).
+  std::uint64_t repairs_enqueued = 0;      ///< first-time enqueues (deduped)
+  std::uint64_t repairs_landed = 0;        ///< repair copies registered
+  std::uint64_t repairs_abandoned = 0;     ///< no source/dest, superseded,
+                                           ///< or closed out at teardown
+  std::uint64_t repair_retries = 0;        ///< re-enqueues with backoff
+  std::uint64_t repair_timeouts = 0;       ///< transfers severed mid-flight
+  std::uint64_t repair_preemptions = 0;    ///< bulk entries deferred behind
+                                           ///< the critical class
+  /// Exposure windows during which a block was down to exactly one visible
+  /// replica (opened by a loss to one copy, closed by repair/rejoin/loss or
+  /// run end). The tail-risk metric bench_netfault reports.
+  std::uint64_t one_replica_windows = 0;
+  double one_replica_total_s = 0.0;
+
   /// Fig. 11 uniformity: cv of node popularity indices with the initial
   /// (static) placement and with the final placement.
   double cv_before = 0.0;

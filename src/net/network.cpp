@@ -13,7 +13,37 @@ Network::Network(const ClusterProfile& profile, const Topology& topology,
       topology_(&topology),
       rng_(rng.fork()),
       flows_(topology.node_count(), 0),
-      uplink_flows_(topology.rack_count(), 0) {}
+      uplink_flows_(topology.rack_count(), 0),
+      partitioned_(topology.rack_count(), 0),
+      degraded_links_(topology.rack_count(), 0) {}
+
+void Network::set_rack_partitioned(RackId rack, bool partitioned) {
+  partitioned_.at(static_cast<std::size_t>(rack)) = partitioned ? 1 : 0;
+}
+
+bool Network::rack_partitioned(RackId rack) const {
+  return partitioned_.at(static_cast<std::size_t>(rack)) != 0;
+}
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  if (a == b || topology_->same_rack(a, b)) return true;
+  return partitioned_[static_cast<std::size_t>(topology_->rack_of(a))] == 0 &&
+         partitioned_[static_cast<std::size_t>(topology_->rack_of(b))] == 0;
+}
+
+void Network::set_uplink_degraded(RackId rack, bool degraded) {
+  degraded_links_.at(static_cast<std::size_t>(rack)) = degraded ? 1 : 0;
+}
+
+bool Network::uplink_degraded(RackId rack) const {
+  return degraded_links_.at(static_cast<std::size_t>(rack)) != 0;
+}
+
+void Network::set_degradation_factors(double bandwidth_cut,
+                                      double latency_inflation) {
+  bandwidth_cut_ = bandwidth_cut;
+  latency_inflation_ = latency_inflation;
+}
 
 double Network::sample_rtt_ms(NodeId a, NodeId b) {
   const LatencyProfile& lat = profile_.latency;
@@ -98,7 +128,18 @@ SimDuration Network::transfer_duration(NodeId src, NodeId dst, Bytes bytes) {
         static_cast<double>(uplink_sharing);
     rate = std::min(rate, uplink_rate);
   }
-  const double latency_s = sample_rtt_ms(src, dst) / 1e3;
+  double latency_s = sample_rtt_ms(src, dst) / 1e3;
+  // Uplink degradation multiplies rate and latency *after* every sampler
+  // above has drawn, so the stream position (and the arithmetic when no
+  // uplink is degraded) is untouched by the fault subsystem.
+  if (!topology_->same_rack(src, dst) &&
+      (degraded_links_[static_cast<std::size_t>(topology_->rack_of(src))] !=
+           0 ||
+       degraded_links_[static_cast<std::size_t>(topology_->rack_of(dst))] !=
+           0)) {
+    rate *= bandwidth_cut_;
+    latency_s *= latency_inflation_;
+  }
   const double seconds = latency_s + static_cast<double>(bytes) / rate;
   return from_seconds(seconds);
 }

@@ -47,6 +47,25 @@ class Network {
   /// Active cross-rack flows touching a rack's uplink.
   int active_uplink_flows(RackId rack) const;
 
+  /// Network-fault state (driven by the cluster's NetworkFaultProcess).
+  /// A partitioned rack is cut off from every other rack: transfers across
+  /// the boundary are impossible and the caller must consult reachable()
+  /// before planning one. Degradation limps instead of cutting: cross-rack
+  /// transfers touching a degraded uplink keep `bandwidth_cut` of their
+  /// rate and see `latency_inflation`× latency. Both apply *after* the
+  /// stochastic samplers, so the RNG draw sequence — and therefore every
+  /// run with faults disabled — is bit-identical to a build without them.
+  void set_rack_partitioned(RackId rack, bool partitioned);
+  bool rack_partitioned(RackId rack) const;
+  /// Can `a` talk to `b` right now? Same-rack traffic never crosses the
+  /// faulted switch; cross-rack traffic requires both endpoint racks
+  /// connected.
+  bool reachable(NodeId a, NodeId b) const;
+  void set_uplink_degraded(RackId rack, bool degraded);
+  bool uplink_degraded(RackId rack) const;
+  /// Multipliers applied to transfers crossing a degraded uplink.
+  void set_degradation_factors(double bandwidth_cut, double latency_inflation);
+
   const Topology& topology() const { return *topology_; }
   const ClusterProfile& profile() const { return profile_; }
 
@@ -55,7 +74,11 @@ class Network {
   const Topology* topology_;
   Rng rng_;
   std::vector<int> flows_;
-  std::vector<int> uplink_flows_;  ///< per rack
+  std::vector<int> uplink_flows_;     ///< per rack
+  std::vector<char> partitioned_;     ///< per rack
+  std::vector<char> degraded_links_;  ///< per rack uplink
+  double bandwidth_cut_ = 1.0;
+  double latency_inflation_ = 1.0;
 };
 
 }  // namespace dare::net

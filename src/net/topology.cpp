@@ -8,14 +8,29 @@ Topology::Topology(const TopologyOptions& options, Rng& rng)
     : kind_(options.kind),
       racks_(options.kind == TopologyKind::kSingleRack ? 1 : options.racks),
       racks_per_pod_(options.racks_per_pod) {
+  // Each guard names the offending TopologyOptions field (the construction
+  // sites are several layers away from the knob that was mistyped). The
+  // single-rack kind pins racks_ to 1, so its checks key off the requested
+  // options rather than the pinned member.
   if (options.nodes == 0) {
-    throw std::invalid_argument("Topology: need at least one node");
+    throw std::invalid_argument(
+        "TopologyOptions.nodes must be at least 1 (no cluster without "
+        "nodes)");
   }
-  if (kind_ == TopologyKind::kMultiTier && racks_ == 0) {
-    throw std::invalid_argument("Topology: multi-tier needs racks > 0");
+  if (kind_ == TopologyKind::kMultiTier && options.racks == 0) {
+    throw std::invalid_argument(
+        "TopologyOptions.racks must be at least 1 on a multi-tier "
+        "topology (rack assignment divides by it)");
   }
-  if (racks_per_pod_ == 0) {
-    throw std::invalid_argument("Topology: racks_per_pod must be > 0");
+  if (kind_ == TopologyKind::kMultiTier && options.racks > options.nodes) {
+    throw std::invalid_argument(
+        "TopologyOptions.racks must not exceed TopologyOptions.nodes "
+        "(more racks than machines guarantees empty racks)");
+  }
+  if (options.racks_per_pod == 0) {
+    throw std::invalid_argument(
+        "TopologyOptions.racks_per_pod must be at least 1 (pod "
+        "assignment divides by it)");
   }
   rack_of_.resize(options.nodes);
   if (kind_ == TopologyKind::kSingleRack) {

@@ -41,6 +41,11 @@ const char* kind_name(EventKind kind) {
     case EventKind::kStragglerCleared: return "straggler_cleared";
     case EventKind::kCloneLaunched: return "clone_launched";
     case EventKind::kCloneKilled: return "clone_killed";
+    case EventKind::kLinkDegraded: return "link_degraded";
+    case EventKind::kPartitionStarted: return "partition_started";
+    case EventKind::kPartitionHealed: return "partition_healed";
+    case EventKind::kRepairRetried: return "repair_retried";
+    case EventKind::kRepairPreempted: return "repair_preempted";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -74,6 +79,14 @@ Track kind_track(EventKind kind) {
     case EventKind::kDataLoss:
     case EventKind::kStragglerDetected:
     case EventKind::kStragglerCleared:
+    // Partition/link episodes and repair-queue decisions are cluster-scope
+    // (their node field is kInvalidNode; the rack travels in `detail`), so
+    // they live on the NameNode track rather than a per-node row.
+    case EventKind::kLinkDegraded:
+    case EventKind::kPartitionStarted:
+    case EventKind::kPartitionHealed:
+    case EventKind::kRepairRetried:
+    case EventKind::kRepairPreempted:
       return Track::kNameNode;
     default:
       return Track::kNode;
@@ -272,6 +285,30 @@ void TraceCollector::clone_killed(NodeId node, JobId job,
                                   std::size_t map_index) {
   record(EventKind::kCloneKilled, node, job,
          static_cast<std::int64_t>(map_index));
+}
+
+void TraceCollector::link_degraded(RackId rack, double duration_s) {
+  record(EventKind::kLinkDegraded, kInvalidNode, kInvalidJob, -1,
+         static_cast<std::int64_t>(rack), duration_s);
+}
+
+void TraceCollector::partition_started(RackId rack, double duration_s) {
+  record(EventKind::kPartitionStarted, kInvalidNode, kInvalidJob, -1,
+         static_cast<std::int64_t>(rack), duration_s);
+}
+
+void TraceCollector::partition_healed(RackId rack) {
+  record(EventKind::kPartitionHealed, kInvalidNode, kInvalidJob, -1,
+         static_cast<std::int64_t>(rack));
+}
+
+void TraceCollector::repair_retried(BlockId block, std::size_t retries) {
+  record(EventKind::kRepairRetried, kInvalidNode, kInvalidJob, block,
+         static_cast<std::int64_t>(retries));
+}
+
+void TraceCollector::repair_preempted(BlockId block) {
+  record(EventKind::kRepairPreempted, kInvalidNode, kInvalidJob, block);
 }
 
 void TraceCollector::scheduler_decision(NodeId node, JobId job, int locality,

@@ -98,6 +98,13 @@ class TraceCollector {
                       int locality);
   void clone_killed(NodeId node, JobId job, std::size_t map_index);
 
+  // --- network faults & prioritized repair --------------------------------
+  void link_degraded(RackId rack, double duration_s);
+  void partition_started(RackId rack, double duration_s);
+  void partition_healed(RackId rack);
+  void repair_retried(BlockId block, std::size_t retries);
+  void repair_preempted(BlockId block);
+
   // --- scheduler ----------------------------------------------------------
   void scheduler_decision(NodeId node, JobId job, int locality,
                           double waited_s);

@@ -68,6 +68,16 @@ enum class EventKind : std::uint8_t {
   kCloneKilled,        ///< clone attempt cancelled (lost the race, swept by
                        ///< node loss, or its job failed)
 
+  // Network faults & prioritized repair (netfault process, repair queue).
+  kLinkDegraded,       ///< uplink-degradation onset; detail = rack,
+                       ///< value = episode length (s)
+  kPartitionStarted,   ///< rack cut off; detail = rack, value = length (s)
+  kPartitionHealed,    ///< rack reconnected; detail = rack
+  kRepairRetried,      ///< task = block re-enqueued with backoff,
+                       ///< detail = retries so far
+  kRepairPreempted,    ///< task = bulk block deferred behind the critical
+                       ///< class this tick
+
   kKindCount,          ///< sentinel, not a real kind
 };
 

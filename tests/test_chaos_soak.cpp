@@ -14,6 +14,11 @@
 // (straggler detection, budgeted cloning, speculation), and audits the
 // clone ledger and degrade-episode ordering.
 //
+// A fourth suite adds network faults — stochastic rack partitions and
+// degraded inter-rack uplinks — on top of churn + corruption, and audits
+// the partition lifecycle (every heal matches an episode) and the repair
+// ledger (every first-time enqueue terminally lands or is abandoned).
+//
 // 24 runs per suite = 4 seeds x {FIFO, Fair} x {Vanilla, GreedyLRU,
 // ElephantTrap}. The nightly CI job extends the seed list via the
 // DARE_SOAK_SEEDS environment variable (number of extra seeds to append);
@@ -444,6 +449,116 @@ TEST_P(StragglerSoak, ChurnCorruptionAndStragglersSurvive) {
 INSTANTIATE_TEST_SUITE_P(Schedules, StragglerSoak,
                          ::testing::ValuesIn(soak_params()));
 
+// --- network-fault soak ----------------------------------------------------
+// Churn + corruption + network faults: stochastic rack partitions (lost
+// heartbeats, false-positive declarations, heal-time re-registration) and
+// degraded inter-rack uplinks, with the prioritized bandwidth-aware repair
+// scheduler doing the cleanup. Audits the partition lifecycle and the
+// repair ledger on every run.
+
+struct NetFaultTotals {
+  std::uint64_t runs = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t link_episodes = 0;
+  std::uint64_t unreachable_reads = 0;
+  std::uint64_t repairs_enqueued = 0;
+  std::uint64_t repair_retries = 0;
+};
+
+NetFaultTotals& netfault_totals() {
+  static NetFaultTotals t;
+  return t;
+}
+
+ClusterOptions netfault_soak_options(SchedulerKind scheduler,
+                                     PolicyKind policy, std::uint64_t seed) {
+  auto opts = corruption_soak_options(scheduler, policy, seed);
+  opts.netfault.enabled = true;
+  opts.netfault.partition_mtbf_s = 90.0;
+  opts.netfault.partition_duration_s = 20.0;
+  opts.netfault.link_degrade_mtbf_s = 60.0;
+  opts.netfault.link_degrade_duration_s = 30.0;
+  opts.netfault.bandwidth_cut = 0.25;
+  opts.netfault.latency_inflation = 4.0;
+  opts.repair_policy = RepairPolicy::kPrioritized;
+  opts.max_repairs_per_uplink = 2;
+  opts.repair_retry_backoff = from_seconds(2.0);
+  opts.rereplication_interval = from_seconds(1.0);
+  return opts;
+}
+
+class NetFaultSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(NetFaultSoak, ChurnCorruptionAndPartitionsSurvive) {
+  ThrowOnInvariant guard;
+  const auto [scheduler, policy, seed] = GetParam();
+  const auto opts = netfault_soak_options(scheduler, policy, seed);
+  const auto wl = soak_workload(seed);
+
+  Cluster cluster(opts);
+  metrics::RunResult result;
+  ASSERT_NO_THROW(result = cluster.run(wl))
+      << scheduler_name(scheduler) << "/" << policy_name(policy) << " seed "
+      << seed;
+
+  // Terminal accounting: every job completed or cleanly failed.
+  ASSERT_EQ(result.jobs.size(), wl.jobs.size());
+  std::size_t failed = 0;
+  for (const auto& jm : result.jobs) {
+    EXPECT_GE(jm.completion, jm.arrival);
+    if (jm.failed) ++failed;
+  }
+  EXPECT_EQ(failed, result.failed_jobs);
+
+  // Cross-component consistency — includes the repair-ledger equation and
+  // the partitioned-node slot checks.
+  EXPECT_NO_THROW(cluster.validate());
+
+  // Partition lifecycle: heals never outnumber episodes, and one-replica
+  // exposure windows all closed (open windows are closed at collection, so
+  // accounting is total).
+  EXPECT_LE(result.partitions_healed, result.partition_episodes);
+  // Every mid-transfer timeout fed the retry path: it either re-queued
+  // (counted as a retry) or gave up (counted as an abandon).
+  EXPECT_LE(result.repair_timeouts,
+            result.repair_retries + result.repairs_abandoned);
+
+  // Repair ledger closes out at run end: nothing queued, nothing inflight.
+  EXPECT_EQ(result.repairs_enqueued,
+            result.repairs_landed + result.repairs_abandoned)
+      << scheduler_name(scheduler) << "/" << policy_name(policy) << " seed "
+      << seed;
+
+  // Block conservation under partitions: a block advertised nowhere may
+  // not physically live on any live node.
+  const auto& nn = cluster.name_node();
+  for (FileId fid : nn.all_files()) {
+    for (BlockId bid : nn.file(fid).blocks) {
+      if (!nn.locations(bid).empty()) continue;
+      for (std::size_t w = 0; w < cluster.worker_count(); ++w) {
+        if (!nn.is_node_alive(static_cast<NodeId>(w))) continue;
+        EXPECT_FALSE(cluster.data_node(w).has_any_copy(bid))
+            << "block " << bid << " reported lost but alive on node " << w
+            << " (" << scheduler_name(scheduler) << "/"
+            << policy_name(policy) << " seed " << seed << ")";
+      }
+    }
+  }
+
+  auto& t = netfault_totals();
+  ++t.runs;
+  t.partitions += result.partition_episodes;
+  t.heals += result.partitions_healed;
+  t.link_episodes += result.link_degrade_episodes;
+  t.unreachable_reads += result.unreachable_reads;
+  t.repairs_enqueued += result.repairs_enqueued;
+  t.repair_retries += result.repair_retries;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, NetFaultSoak,
+                         ::testing::ValuesIn(soak_params()));
+
 // The suite itself must cover >= 20 randomized schedules (this holds even
 // under --gtest_filter, since it audits the registration, not the runs).
 TEST(ChaosSoakAggregate, SuiteCoversAtLeastTwentySchedules) {
@@ -489,6 +604,20 @@ class SoakAggregateAudit : public ::testing::Environment {
     EXPECT_GT(s.detections, 0u);
     EXPECT_GT(s.clones, 0u);
     EXPECT_GT(s.clone_wins, 0u);
+
+    // And the network-fault soak must actually have partitioned racks,
+    // healed them, degraded uplinks, failed reads fast, queued repairs,
+    // and backed off retries somewhere across the suite.
+    const auto& n = netfault_totals();
+    if (n.runs == 0) return;  // netfault suite filtered out
+    EXPECT_EQ(n.runs, soak_params().size())
+        << "netfault soak partially filtered; aggregate not meaningful";
+    EXPECT_GT(n.partitions, 0u);
+    EXPECT_GT(n.heals, 0u);
+    EXPECT_GT(n.link_episodes, 0u);
+    EXPECT_GT(n.unreachable_reads, 0u);
+    EXPECT_GT(n.repairs_enqueued, 0u);
+    EXPECT_GT(n.repair_retries, 0u);
   }
 };
 

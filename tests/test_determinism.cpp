@@ -116,6 +116,30 @@ TEST(Determinism, StragglersEnabled) {
   expect_twice_identical(options);
 }
 
+TEST(Determinism, NetworkFaultsEnabled) {
+  // The network-fault subsystem (rack partitions, degraded uplinks) plus
+  // churn and the prioritized repair scheduler must be exactly as
+  // reproducible as a quiet run: all netfault randomness lives in one
+  // forked stream, repair ordering is (class, enqueue time, block), and
+  // every reachability / backoff / admission decision is driven by
+  // deterministic state. ec2 profile: multi-rack, so partitions actually
+  // fire.
+  auto options = paper_defaults(net::ec2_profile(kNodes), SchedulerKind::kFair,
+                                PolicyKind::kElephantTrap);
+  options.faults.enabled = true;
+  options.faults.mtbf_s = 80.0;
+  options.faults.mttr_s = 20.0;
+  options.faults.permanent_fraction = 0.2;
+  options.faults.min_live_workers = 4;
+  options.netfault.enabled = true;
+  options.netfault.partition_mtbf_s = 90.0;
+  options.netfault.partition_duration_s = 15.0;
+  options.netfault.link_degrade_mtbf_s = 50.0;
+  options.netfault.link_degrade_duration_s = 25.0;
+  options.rereplication_interval = from_seconds(2.0);
+  expect_twice_identical(options);
+}
+
 TEST(Determinism, DifferentSeedsDiffer) {
   // Sanity that the digest has discriminating power: a different seed must
   // perturb at least one metric bit. (Astronomically unlikely to collide.)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 namespace dare::net {
 namespace {
@@ -131,6 +132,35 @@ TEST(Topology, RejectsBadOptions) {
   EXPECT_THROW(Topology(bad_racks, rng), std::invalid_argument);
   auto bad_pod = multi_tier(5, 3, 0);
   EXPECT_THROW(Topology(bad_pod, rng), std::invalid_argument);
+}
+
+// Construction-time validation names the offending field (same style as
+// faults::validate_straggler_params), one scenario per field.
+std::string construction_error(const TopologyOptions& options) {
+  Rng rng(9);
+  try {
+    Topology topo(options, rng);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Topology, ZeroRacksThrowsNamingField) {
+  const std::string what = construction_error(multi_tier(5, 0));
+  EXPECT_NE(what.find("TopologyOptions.racks"), std::string::npos) << what;
+}
+
+TEST(Topology, ZeroRacksPerPodThrowsNamingField) {
+  const std::string what = construction_error(multi_tier(5, 3, 0));
+  EXPECT_NE(what.find("TopologyOptions.racks_per_pod"), std::string::npos)
+      << what;
+}
+
+TEST(Topology, MoreRacksThanNodesThrowsNamingField) {
+  const std::string what = construction_error(multi_tier(5, 6));
+  EXPECT_NE(what.find("TopologyOptions.racks"), std::string::npos) << what;
+  EXPECT_NE(what.find("nodes"), std::string::npos) << what;
 }
 
 TEST(Topology, BadNodeIdThrows) {
